@@ -1,0 +1,394 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md as testing.B
+// targets (the cmd/olapbench binary prints the same series as tables).
+//
+//	go test -bench=. -benchmem
+package olapdim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/cube"
+	"olapdim/internal/frozen"
+	"olapdim/internal/gen"
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+	"olapdim/internal/schema"
+	"olapdim/internal/transform"
+)
+
+// impliedAllQuery is the worst-case DIMSAT workload used across the
+// scaling benchmarks: deciding the implied constraint C0.All forces the
+// search to exhaust the pruned subhierarchy space (see EXPERIMENTS.md).
+func impliedAllQuery(b *testing.B, ds *core.DimensionSchema, opts core.Options) {
+	b.Helper()
+	alpha := constraint.RollupAtom{RootCat: gen.CategoryName(0), Cat: schema.All}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		implied, _, err := core.Implies(ds, alpha, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !implied {
+			b.Fatal("C0.All must be implied")
+		}
+	}
+}
+
+// BenchmarkDimsatScalingN is experiment E1: Proposition 4 scaling in the
+// number of categories.
+func BenchmarkDimsatScalingN(b *testing.B) {
+	for _, n := range []int{6, 8, 10, 12, 14} {
+		ds := gen.Schema(gen.SchemaSpec{
+			Seed: 1, Categories: n, Levels: 3 + n/6, ExtraEdgeProb: 0.25,
+			ChoiceProb: 0.6, Constants: 2, CondProb: 0.3, IntoFrac: 0.3,
+		})
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			impliedAllQuery(b, ds, core.Options{})
+		})
+	}
+}
+
+// BenchmarkDimsatIntoDensity is experiment E2: the Section 5 conjecture
+// that into-constraint pruning has a major impact.
+func BenchmarkDimsatIntoDensity(b *testing.B) {
+	for _, frac := range []float64{0, 0.5, 1.0} {
+		ds := gen.Schema(gen.SchemaSpec{
+			Seed: 1, Categories: 12, Levels: 4, ExtraEdgeProb: 0.25,
+			ChoiceProb: 0.4, IntoFrac: frac,
+		})
+		for _, pruned := range []bool{true, false} {
+			name := fmt.Sprintf("into=%.2f/pruning=%v", frac, pruned)
+			b.Run(name, func(b *testing.B) {
+				impliedAllQuery(b, ds, core.Options{DisableIntoPruning: !pruned})
+			})
+		}
+	}
+}
+
+// BenchmarkDimsatConstants is experiment E3: Proposition 4 scaling in N_K
+// on adversarial pigeonhole assignments (see cmd/olapbench for the
+// construction).
+func BenchmarkDimsatConstants(b *testing.B) {
+	for _, nk := range []int{2, 3, 4, 5} {
+		ds := pigeonholeSchema(nk)
+		b.Run(fmt.Sprintf("NK=%d", nk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Satisfiable(ds, "C0", core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Satisfiable {
+					b.Fatal("pigeonhole must be unsatisfiable")
+				}
+			}
+		})
+	}
+}
+
+// pigeonholeSchema mirrors the E3 workload of cmd/olapbench: a chain of
+// nk+1 categories that must take pairwise distinct values among nk
+// constants.
+func pigeonholeSchema(nk int) *core.DimensionSchema {
+	m := nk + 1
+	g := schema.New(fmt.Sprintf("chain%d", m))
+	for i := 0; i < m; i++ {
+		if err := g.AddEdge(fmt.Sprintf("C%d", i), fmt.Sprintf("C%d", i+1)); err != nil {
+			panic(err)
+		}
+	}
+	if err := g.AddEdge(fmt.Sprintf("C%d", m), schema.All); err != nil {
+		panic(err)
+	}
+	ds := core.NewDimensionSchema(g)
+	for i := 1; i <= m; i++ {
+		var hole []constraint.Expr
+		for j := 0; j < nk; j++ {
+			hole = append(hole, constraint.EqAtom{RootCat: "C0", Cat: fmt.Sprintf("C%d", i), Val: fmt.Sprintf("k%d", j)})
+		}
+		ds.Sigma = append(ds.Sigma, constraint.Or{Xs: hole})
+	}
+	for i := 1; i <= m; i++ {
+		for i2 := i + 1; i2 <= m; i2++ {
+			for j := 0; j < nk; j++ {
+				ds.Sigma = append(ds.Sigma, constraint.Not{X: constraint.NewAnd(
+					constraint.EqAtom{RootCat: "C0", Cat: fmt.Sprintf("C%d", i), Val: fmt.Sprintf("k%d", j)},
+					constraint.EqAtom{RootCat: "C0", Cat: fmt.Sprintf("C%d", i2), Val: fmt.Sprintf("k%d", j)},
+				)})
+			}
+		}
+	}
+	return ds
+}
+
+// BenchmarkDimsatSigmaSize is experiment E4: the linear N_Sigma factor of
+// Proposition 4, measured by padding Σ with tautologies over a fixed
+// search space.
+func BenchmarkDimsatSigmaSize(b *testing.B) {
+	base := gen.Schema(gen.SchemaSpec{
+		Seed: 11, Categories: 12, Levels: 4, ExtraEdgeProb: 0.3, ChoiceProb: 0.4,
+	})
+	c0 := gen.CategoryName(0)
+	p0 := base.G.Out(c0)[0]
+	taut := constraint.NewOr(constraint.NewPath(c0, p0), constraint.Not{X: constraint.NewPath(c0, p0)})
+	for _, n := range []int{0, 100, 400} {
+		sigma := append([]constraint.Expr(nil), base.Sigma...)
+		for i := 0; i < n; i++ {
+			sigma = append(sigma, taut)
+		}
+		ds := core.NewDimensionSchema(base.G, sigma...)
+		b.Run(fmt.Sprintf("NSigma=%d", len(sigma)), func(b *testing.B) {
+			impliedAllQuery(b, ds, core.Options{})
+		})
+	}
+}
+
+// BenchmarkDimsatLocation is experiment E5: the paper's own schema (the
+// Section 6 conjecture of "a few seconds in practice").
+func BenchmarkDimsatLocation(b *testing.B) {
+	ds := paper.LocationSch()
+	b.Run("sat-Store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Satisfiable(ds, paper.Store, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frozen-Store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EnumerateFrozen(ds, paper.Store, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("summarizable-Country-City", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Summarizable(ds, paper.Country, []string{paper.City}, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("summarizable-Country-StateProvince", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Summarizable(ds, paper.Country, []string{paper.State, paper.Province}, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDimsatAblation is experiment E6: each pruning heuristic's
+// contribution on a fixed heterogeneous workload.
+func BenchmarkDimsatAblation(b *testing.B) {
+	ds := gen.Schema(gen.SchemaSpec{
+		Seed: 1, Categories: 12, Levels: 4, ExtraEdgeProb: 0.3,
+		ChoiceProb: 0.5, Constants: 2, CondProb: 0.4, IntoFrac: 0.6,
+	})
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", core.Options{}},
+		{"no-into", core.Options{DisableIntoPruning: true}},
+		{"no-structure", core.Options{DisableStructurePruning: true}},
+		{"none", core.Options{DisableIntoPruning: true, DisableStructurePruning: true}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			impliedAllQuery(b, ds, cfg.opts)
+		})
+	}
+}
+
+// BenchmarkNaiveVsDimsat is experiment E7: DIMSAT against the brute-force
+// Theorem 3 enumeration on an unsatisfiable query (both must exhaust
+// their search space).
+func BenchmarkNaiveVsDimsat(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		base := gen.Schema(gen.SchemaSpec{
+			Seed: 1, Categories: n, Levels: 2 + n/4,
+			ExtraEdgeProb: 0.3, ChoiceProb: 0.5, IntoFrac: 0.3,
+		})
+		c0 := gen.CategoryName(0)
+		sigma := append(append([]constraint.Expr(nil), base.Sigma...),
+			constraint.Not{X: constraint.RollupAtom{RootCat: c0, Cat: schema.All}})
+		ds := core.NewDimensionSchema(base.G, sigma...)
+		b.Run(fmt.Sprintf("dimsat/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Satisfiable(ds, c0, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Satisfiable {
+					b.Fatal("must be unsatisfiable")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := frozen.NaiveSatisfiable(ds.G, ds.Sigma, c0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ok {
+					b.Fatal("must be unsatisfiable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregateNavigation is experiment E8: answering the Country
+// cube view from the materialized City view versus scanning base facts.
+func BenchmarkAggregateNavigation(b *testing.B) {
+	ds := paper.LocationSch()
+	for _, stores := range []int{100, 1000} {
+		d, err := gen.InstanceFromFrozen(ds, paper.Store, stores, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		facts := gen.Facts(d.Members(paper.Store), 20*stores, 1000, int64(stores))
+		nav := olap.NewNavigator(d, facts, &olap.SchemaOracle{DS: ds})
+		nav.Materialize(paper.City, olap.Sum)
+		b.Run(fmt.Sprintf("base/stores=%d", stores), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				olap.Compute(d, facts, paper.Country, olap.Sum)
+			}
+		})
+		b.Run(fmt.Sprintf("rewrite/stores=%d", stores), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, plan, err := nav.Query(paper.Country, olap.Sum); err != nil || plan.FromBase {
+					b.Fatalf("rewrite refused: %v %v", plan, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCubeNavigation is experiment E11: multidimensional lattice
+// navigation over a scaled location × product space — the certified
+// rewrite against the base-table scan.
+func BenchmarkCubeNavigation(b *testing.B) {
+	ds := paper.LocationSch()
+	loc, err := gen.InstanceFromFrozen(ds, paper.Store, 500, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prodDS, err := core.Parse(`
+schema product
+edge Product -> Brand -> Maker -> All
+edge Product -> Maker
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prod, err := gen.InstanceFromFrozen(prodDS, "Product", 200, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := cube.NewSpace(
+		cube.Dimension{Name: "store", Inst: loc},
+		cube.Dimension{Name: "product", Inst: prod},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := cube.NewTable(space)
+	stores := loc.Members(paper.Store)
+	prods := prod.Members("Product")
+	for i := 0; i < 50000; i++ {
+		if err := tbl.Add(int64(i%997), stores[i%len(stores)], prods[(i*7)%len(prods)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	nav, err := cube.NewNavigator(tbl, []olap.Oracle{
+		&olap.SchemaOracle{DS: ds}, olap.InstanceOracle{D: prod},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nav.Materialize(cube.Group{paper.City, "Maker"}, olap.Sum); err != nil {
+		b.Fatal(err)
+	}
+	query := cube.Group{paper.Country, "Maker"}
+	b.Run("base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cube.Compute(tbl, query, olap.Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rewrite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, plan, err := nav.Query(query, olap.Sum); err != nil || plan.FromBase {
+				b.Fatalf("rewrite refused: %v %v", plan, err)
+			}
+		}
+	})
+}
+
+// Sinks prevent the compiler from eliding benchmarked work.
+var (
+	benchSinkFlat *transform.FlatDimension
+	benchSinkPad  int
+)
+
+// BenchmarkTransformBaselines is experiment E9: the costs of the two
+// related-work transformations on the paper's dimension.
+func BenchmarkTransformBaselines(b *testing.B) {
+	b.Run("flatten", func(b *testing.B) {
+		d := paper.LocationInstance()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSinkFlat = transform.Flatten(d)
+		}
+	})
+	b.Run("pad", func(b *testing.B) {
+		d := paper.LocationInstance()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			padded, _ := transform.PadWithNulls(d)
+			benchSinkPad = padded.NumMembers()
+		}
+	})
+}
+
+// BenchmarkViewMaintenance compares folding a fact batch into materialized
+// views incrementally against rematerializing from scratch.
+func BenchmarkViewMaintenance(b *testing.B) {
+	ds := paper.LocationSch()
+	d, err := gen.InstanceFromFrozen(ds, paper.Store, 1000, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := d.Members(paper.Store)
+	seed := gen.Facts(base, 20000, 1000, 7)
+	batch := make([]olap.Fact, 100)
+	for i := range batch {
+		batch[i] = olap.Fact{Base: base[i%len(base)], M: int64(i)}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		f := &olap.FactTable{Facts: append([]olap.Fact(nil), seed.Facts...)}
+		n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+		n.Materialize(paper.City, olap.Sum)
+		n.Materialize(paper.Country, olap.Sum)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := n.AddFacts(batch...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rematerialize", func(b *testing.B) {
+		f := &olap.FactTable{Facts: append([]olap.Fact(nil), seed.Facts...)}
+		n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Facts = append(f.Facts, batch...)
+			n.Materialize(paper.City, olap.Sum)
+			n.Materialize(paper.Country, olap.Sum)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Command cubeql runs textual queries against a serialized datacube (see
+// internal/codec for the JSON format and internal/query for the query
+// grammar). Rewrites through materialized views are certified per
+// dimension at the schema level, so answers are exact even over
+// heterogeneous dimensions.
+//
+//	cubeql [-materialize "store=City,product=Maker"] <cube.json> <query>
+//
+// Example:
+//
+//	cubeql sales.json "sum by store=Country, product=Maker under store=USA"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"olapdim/internal/codec"
+	"olapdim/internal/cube"
+	"olapdim/internal/olap"
+	"olapdim/internal/query"
+	"olapdim/internal/schema"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cubeql", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	materialize := fs.String("materialize", "", "comma-separated dim=Category pairs to precompute before querying")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, `usage: cubeql [-materialize "dim=Cat,..."] <cube.json> <query>`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "cubeql:", err)
+		return 1
+	}
+	dss, tbl, err := codec.DecodeCube(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "cubeql:", err)
+		return 1
+	}
+	oracles := make([]olap.Oracle, len(dss))
+	for i, ds := range dss {
+		oracles[i] = &olap.SchemaOracle{DS: ds}
+	}
+	eng, err := query.NewEngine(tbl, oracles)
+	if err != nil {
+		fmt.Fprintln(stderr, "cubeql:", err)
+		return 1
+	}
+
+	if *materialize != "" {
+		g, af, err := parseMaterialize(*materialize, tbl.Space)
+		if err != nil {
+			fmt.Fprintln(stderr, "cubeql:", err)
+			return 2
+		}
+		if _, err := eng.Materialize(g, af); err != nil {
+			fmt.Fprintln(stderr, "cubeql:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "materialized %s\n", g)
+	}
+
+	q, err := query.Parse(fs.Arg(1), tbl.Space)
+	if err != nil {
+		fmt.Fprintln(stderr, "cubeql:", err)
+		return 2
+	}
+	v, ex, err := eng.Execute(q)
+	if err != nil {
+		fmt.Fprintln(stderr, "cubeql:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "plan: %s\n", ex)
+	printView(stdout, v)
+	return 0
+}
+
+// parseMaterialize builds the group to precompute; the aggregate defaults
+// to the sum view (the navigator keys views per aggregate, and sum is what
+// the one-shot CLI queries most).
+func parseMaterialize(spec string, space *cube.Space) (cube.Group, olap.AggFunc, error) {
+	want := map[string]string{}
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("materialize %q is not dim=Category", item)
+		}
+		want[strings.TrimSpace(parts[0])] = strings.TrimSpace(parts[1])
+	}
+	g := make(cube.Group, space.NumDims())
+	for i, d := range space.Dims() {
+		if c, ok := want[d.Name]; ok {
+			g[i] = c
+			delete(want, d.Name)
+		} else {
+			g[i] = schema.All
+		}
+	}
+	for dim := range want {
+		return nil, 0, fmt.Errorf("unknown dimension %q", dim)
+	}
+	if err := space.Validate(g); err != nil {
+		return nil, 0, err
+	}
+	return g, olap.Sum, nil
+}
+
+func printView(w io.Writer, v *cube.View) {
+	keys := make([]string, 0, len(v.Cells))
+	for k := range v.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "%s by %s: %d cell(s)\n", v.Agg, v.Group, len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-40s %d\n", strings.Join(cube.Keys(k), ", "), v.Cells[k])
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"olapdim/internal/codec"
+	"olapdim/internal/core"
+	"olapdim/internal/cube"
+	"olapdim/internal/instance"
+	"olapdim/internal/paper"
+)
+
+// writeCubeFixture serializes a small 2-D cube (location × product) to a
+// temp file and returns its path.
+func writeCubeFixture(t *testing.T) string {
+	t.Helper()
+	locDS := paper.LocationSch()
+	loc := paper.LocationInstance()
+
+	prodDS, err := core.Parse(`
+schema product
+edge Product -> Maker -> All
+constraint Product_Maker
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := instance.New(prodDS.G)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(prod.AddMember("Maker", "AcmeCo"))
+	must(prod.AddLink("AcmeCo", instance.AllMember))
+	for _, p := range []string{"cola", "beans"} {
+		must(prod.AddMember("Product", p))
+		must(prod.AddLink(p, "AcmeCo"))
+	}
+
+	space, err := cube.NewSpace(
+		cube.Dimension{Name: "store", Inst: loc},
+		cube.Dimension{Name: "product", Inst: prod},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cube.NewTable(space)
+	must(tbl.Add(10, "s1", "cola"))
+	must(tbl.Add(20, "s3", "beans"))
+	must(tbl.Add(40, "s5", "cola")) // Washington
+	must(tbl.Add(80, "s6", "beans"))
+
+	data, err := codec.EncodeCube([]*core.DimensionSchema{locDS, prodDS}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cube.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func execCubeql(args ...string) (int, string, string) {
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCubeqlQuery(t *testing.T) {
+	path := writeCubeFixture(t)
+	code, out, errOut := execCubeql(path, "sum by store=Country, product=Maker")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	// Cells: Canada = 10 (s1), Mexico = 20 (s3), USA = 40 + 80 (s5 + s6).
+	for _, want := range []string{"plan:", "Canada, AcmeCo", "10", "Mexico, AcmeCo", "20", "USA, AcmeCo", "120"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCubeqlSlice(t *testing.T) {
+	path := writeCubeFixture(t)
+	code, out, _ := execCubeql(path, "count by store=Country under store=USA")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "USA") || strings.Contains(out, "Canada") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCubeqlMaterialize(t *testing.T) {
+	path := writeCubeFixture(t)
+	code, out, _ := execCubeql("-materialize", "store=City,product=Maker", path,
+		"sum by store=Country, product=Maker")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "materialized (City, Maker)") {
+		t.Errorf("missing materialization note:\n%s", out)
+	}
+	if !strings.Contains(out, "from (City, Maker)") {
+		t.Errorf("query did not use the view:\n%s", out)
+	}
+}
+
+func TestCubeqlErrors(t *testing.T) {
+	path := writeCubeFixture(t)
+	if code, _, _ := execCubeql(); code != 2 {
+		t.Error("missing args accepted")
+	}
+	if code, _, _ := execCubeql("no/such.json", "sum by store=Country"); code != 1 {
+		t.Error("missing file accepted")
+	}
+	if code, _, _ := execCubeql(path, "frob by store=Country"); code != 2 {
+		t.Error("bad query accepted")
+	}
+	if code, _, _ := execCubeql("-materialize", "ghost=City", path, "sum by store=Country"); code != 2 {
+		t.Error("bad materialize spec accepted")
+	}
+	if code, _, _ := execCubeql("-materialize", "store", path, "sum by store=Country"); code != 2 {
+		t.Error("malformed materialize pair accepted")
+	}
+}
+
+func TestCubeCodecRoundTrip(t *testing.T) {
+	path := writeCubeFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, tbl, err := codec.DecodeCube(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 2 || tbl.Space.NumDims() != 2 || len(tbl.Facts) != 4 {
+		t.Errorf("decoded %d schemas, %d dims, %d facts", len(dss), tbl.Space.NumDims(), len(tbl.Facts))
+	}
+	// Re-encode is deterministic.
+	again, err := codec.EncodeCube(dss, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Error("cube encoding is not deterministic")
+	}
+	// Bad payloads.
+	if _, _, err := codec.DecodeCube([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, _, err := codec.DecodeCube([]byte("{}")); err == nil {
+		t.Error("dimensionless cube accepted")
+	}
+}

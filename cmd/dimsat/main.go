@@ -1,0 +1,515 @@
+// Command dimsat reasons about OLAP dimension schemas with dimension
+// constraints (Hurtado & Mendelzon, PODS 2002). It reads schemas in the
+// .dims syntax (see DESIGN.md) and answers satisfiability, implication and
+// summarizability questions with the DIMSAT algorithm.
+//
+// Usage:
+//
+//	dimsat check   <schema.dims>                 validate schema + constraints
+//	dimsat sat     <schema.dims> <category>      category satisfiability
+//	dimsat unsat   <schema.dims>                 list unsatisfiable categories
+//	dimsat implies <schema.dims> <constraint>    constraint implication
+//	dimsat frozen  <schema.dims> <root>          enumerate frozen dimensions
+//	dimsat summarize <schema.dims> <target> <c1,c2,...>  summarizability
+//	dimsat matrix  <schema.dims>                 single-source summarizability matrix
+//	dimsat views   <schema.dims> <q1,q2> <cat=size,...> <budget>   view selection
+//	dimsat lint    <schema.dims>                 dead categories, redundant constraints
+//	dimsat stamp   <schema.dims> <root> <n>      generate an instance (JSON to stdout)
+//	dimsat icheck  <instance.json>               validate a serialized instance
+//	dimsat isummarize <instance.json> <target> <c1,c2,...>  instance-level test
+//	dimsat istats  <instance.json>               heterogeneity report (rollup signatures)
+//	dimsat expand  <schema.dims> <constraint>    expand composed atoms to path atoms
+//	dimsat cone    <instance.json> <member>      a member's frozen-dimension cone
+//	dimsat trace   <schema.dims> <category>      traced DIMSAT execution
+//
+// Flags (before the subcommand arguments):
+//
+//	-no-into       disable into-constraint pruning
+//	-no-structure  disable cycle/shortcut pruning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"olapdim/internal/codec"
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/frozen"
+	"olapdim/internal/gen"
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+	"olapdim/internal/parser"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dimsat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	noInto := fs.Bool("no-into", false, "disable into-constraint pruning")
+	noStructure := fs.Bool("no-structure", false, "disable cycle/shortcut pruning")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: dimsat [flags] <check|sat|unsat|implies|frozen|summarize|trace> <schema.dims> [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		fs.Usage()
+		return 2
+	}
+	cmd, path := rest[0], rest[1]
+	rest = rest[2:]
+	opts := core.Options{DisableIntoPruning: *noInto, DisableStructurePruning: *noStructure}
+
+	// Instance-file commands load a serialized instance instead of a
+	// schema file.
+	switch cmd {
+	case "icheck":
+		return cmdICheck(path, stdout, stderr)
+	case "isummarize":
+		if len(rest) != 2 {
+			fmt.Fprintln(stderr, "usage: dimsat isummarize <instance.json> <target> <c1,c2,...>")
+			return 2
+		}
+		return cmdISummarize(path, rest[0], strings.Split(rest[1], ","), stdout, stderr)
+	case "istats":
+		return cmdIStats(path, stdout, stderr)
+	case "cone":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat cone <instance.json> <member>")
+			return 2
+		}
+		return cmdCone(path, rest[0], stdout, stderr)
+	}
+
+	ds, err := loadSchema(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+
+	switch cmd {
+	case "check":
+		return cmdCheck(ds, stdout)
+	case "sat":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat sat <schema.dims> <category>")
+			return 2
+		}
+		return cmdSat(ds, rest[0], opts, stdout, stderr)
+	case "unsat":
+		return cmdUnsat(ds, stdout, stderr)
+	case "implies":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat implies <schema.dims> <constraint>")
+			return 2
+		}
+		return cmdImplies(ds, rest[0], opts, stdout, stderr)
+	case "frozen":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat frozen <schema.dims> <root>")
+			return 2
+		}
+		return cmdFrozen(ds, rest[0], opts, stdout, stderr)
+	case "summarize":
+		if len(rest) != 2 {
+			fmt.Fprintln(stderr, "usage: dimsat summarize <schema.dims> <target> <c1,c2,...>")
+			return 2
+		}
+		return cmdSummarize(ds, rest[0], strings.Split(rest[1], ","), opts, stdout, stderr)
+	case "trace":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat trace <schema.dims> <category>")
+			return 2
+		}
+		return cmdTrace(ds, rest[0], opts, stdout, stderr)
+	case "matrix":
+		return cmdMatrix(ds, opts, stdout, stderr)
+	case "views":
+		if len(rest) != 3 {
+			fmt.Fprintln(stderr, "usage: dimsat views <schema.dims> <q1,q2,...> <cat=size,...> <budget>")
+			return 2
+		}
+		return cmdViews(ds, rest[0], rest[1], rest[2], opts, stdout, stderr)
+	case "lint":
+		return cmdLint(ds, opts, stdout, stderr)
+	case "stamp":
+		if len(rest) != 2 {
+			fmt.Fprintln(stderr, "usage: dimsat stamp <schema.dims> <root> <copies>")
+			return 2
+		}
+		return cmdStamp(ds, rest[0], rest[1], opts, stdout, stderr)
+	case "expand":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat expand <schema.dims> <constraint>")
+			return 2
+		}
+		return cmdExpand(ds, rest[0], stdout, stderr)
+	}
+	fmt.Fprintf(stderr, "dimsat: unknown command %q\n", cmd)
+	return 2
+}
+
+func loadSchema(path string) (*core.DimensionSchema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Parse(string(data))
+}
+
+func cmdCheck(ds *core.DimensionSchema, stdout io.Writer) int {
+	fmt.Fprintf(stdout, "schema %s: %d categories, %d edges, %d constraints\n",
+		name(ds), ds.G.NumCategories(), ds.G.NumEdges(), len(ds.Sigma))
+	if sc := ds.G.Shortcuts(); len(sc) > 0 {
+		for _, s := range sc {
+			fmt.Fprintf(stdout, "shortcut: %s -> %s\n", s[0], s[1])
+		}
+	}
+	if ds.G.HasCycle() {
+		fmt.Fprintln(stdout, "hierarchy schema contains cycles")
+	}
+	fmt.Fprintln(stdout, "OK")
+	return 0
+}
+
+func name(ds *core.DimensionSchema) string {
+	if n := ds.G.Name(); n != "" {
+		return n
+	}
+	return "(unnamed)"
+}
+
+func cmdSat(ds *core.DimensionSchema, cat string, opts core.Options, stdout, stderr io.Writer) int {
+	res, err := core.Satisfiable(ds, cat, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	if res.Satisfiable {
+		fmt.Fprintf(stdout, "%s is satisfiable\nwitness: %s\n", cat, res.Witness)
+	} else {
+		fmt.Fprintf(stdout, "%s is unsatisfiable\n", cat)
+	}
+	printStats(stdout, res.Stats)
+	if res.Satisfiable {
+		return 0
+	}
+	return 3
+}
+
+func cmdUnsat(ds *core.DimensionSchema, stdout, stderr io.Writer) int {
+	unsat, err := core.UnsatisfiableCategories(ds)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	if len(unsat) == 0 {
+		fmt.Fprintln(stdout, "every category is satisfiable")
+		return 0
+	}
+	for _, c := range unsat {
+		fmt.Fprintln(stdout, c)
+	}
+	return 3
+}
+
+func cmdImplies(ds *core.DimensionSchema, src string, opts core.Options, stdout, stderr io.Writer) int {
+	alpha, err := parser.ParseConstraint(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	implied, res, err := core.Implies(ds, alpha, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	if implied {
+		fmt.Fprintf(stdout, "implied: %s\n", alpha)
+	} else {
+		fmt.Fprintf(stdout, "not implied: %s\n", alpha)
+		if res.Witness != nil {
+			fmt.Fprintf(stdout, "counterexample: %s\n", res.Witness)
+		}
+	}
+	printStats(stdout, res.Stats)
+	if implied {
+		return 0
+	}
+	return 3
+}
+
+func cmdFrozen(ds *core.DimensionSchema, root string, opts core.Options, stdout, stderr io.Writer) int {
+	fs, err := core.EnumerateFrozen(ds, root, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d frozen dimension(s) with root %s:\n", len(fs), root)
+	for i, f := range fs {
+		fmt.Fprintf(stdout, "f%d: %s\n", i+1, f)
+	}
+	return 0
+}
+
+func cmdSummarize(ds *core.DimensionSchema, target string, from []string, opts core.Options, stdout, stderr io.Writer) int {
+	rep, err := core.Summarizable(ds, target, from, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	for _, b := range rep.PerBottom {
+		verdict := "holds"
+		if !b.Implied {
+			verdict = "fails"
+		}
+		fmt.Fprintf(stdout, "bottom %s: %s  (%s)\n", b.Bottom, verdict, b.Constraint)
+		if !b.Implied && b.Counterexample.Witness != nil {
+			fmt.Fprintf(stdout, "  counterexample: %s\n", b.Counterexample.Witness)
+		}
+	}
+	if rep.Summarizable() {
+		fmt.Fprintf(stdout, "%s is summarizable from {%s}\n", target, strings.Join(from, ", "))
+		return 0
+	}
+	fmt.Fprintf(stdout, "%s is NOT summarizable from {%s}\n", target, strings.Join(from, ", "))
+	return 3
+}
+
+func cmdTrace(ds *core.DimensionSchema, cat string, opts core.Options, stdout, stderr io.Writer) int {
+	tr := &core.RecordingTracer{}
+	opts.Tracer = tr
+	res, err := core.Satisfiable(ds, cat, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, tr.String())
+	if res.Satisfiable {
+		fmt.Fprintf(stdout, "=> %s is satisfiable; witness: %s\n", cat, res.Witness)
+		printStats(stdout, res.Stats)
+		return 0
+	}
+	fmt.Fprintf(stdout, "=> %s is unsatisfiable\n", cat)
+	printStats(stdout, res.Stats)
+	return 3
+}
+
+func cmdMatrix(ds *core.DimensionSchema, opts core.Options, stdout, stderr io.Writer) int {
+	m, err := core.SummarizabilityMatrix(ds, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "single-source summarizability ('+' = target row computable from source column):")
+	fmt.Fprint(stdout, m)
+	return 0
+}
+
+func cmdViews(ds *core.DimensionSchema, queriesArg, sizesArg, budgetArg string, opts core.Options, stdout, stderr io.Writer) int {
+	queries := strings.Split(queriesArg, ",")
+	sizes := map[string]int{}
+	for _, kv := range strings.Split(sizesArg, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			fmt.Fprintf(stderr, "dimsat: size %q is not cat=size\n", kv)
+			return 2
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n <= 0 {
+			fmt.Fprintf(stderr, "dimsat: invalid size %q\n", kv)
+			return 2
+		}
+		if !ds.G.HasCategory(parts[0]) {
+			fmt.Fprintf(stderr, "dimsat: unknown category %q\n", parts[0])
+			return 1
+		}
+		sizes[parts[0]] = n
+	}
+	budget, err := strconv.Atoi(budgetArg)
+	if err != nil || budget <= 0 {
+		fmt.Fprintf(stderr, "dimsat: invalid budget %q\n", budgetArg)
+		return 2
+	}
+	for _, q := range queries {
+		if !ds.G.HasCategory(q) {
+			fmt.Fprintf(stderr, "dimsat: unknown category %q\n", q)
+			return 1
+		}
+	}
+	oracle := &olap.SchemaOracle{DS: ds, Opts: opts}
+	sel := olap.SelectViews(oracle, sizes, queries, budget)
+	fmt.Fprintln(stdout, sel)
+	if len(sel.Uncovered) > 0 {
+		return 3
+	}
+	return 0
+}
+
+func cmdLint(ds *core.DimensionSchema, opts core.Options, stdout, stderr io.Writer) int {
+	rep, err := core.Lint(ds, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep)
+	if rep.Clean() {
+		return 0
+	}
+	return 3
+}
+
+// cmdStamp generates an instance from the schema's frozen dimensions and
+// writes it as JSON to stdout.
+func cmdStamp(ds *core.DimensionSchema, root, copiesArg string, opts core.Options, stdout, stderr io.Writer) int {
+	copies, err := strconv.Atoi(copiesArg)
+	if err != nil || copies <= 0 {
+		fmt.Fprintf(stderr, "dimsat: invalid copy count %q\n", copiesArg)
+		return 2
+	}
+	d, err := gen.InstanceFromFrozen(ds, root, copies, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	data, err := codec.EncodeInstance(ds, d)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	stdout.Write(data)
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+func loadInstance(path string) (*core.DimensionSchema, *instance.Instance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return codec.DecodeInstance(data)
+}
+
+// cmdICheck validates a serialized instance against (C1)-(C7) and its
+// embedded constraint set.
+func cmdICheck(path string, stdout, stderr io.Writer) int {
+	ds, d, err := loadInstance(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "instance: %d members, %d links over schema %s\n",
+		d.NumMembers(), d.NumLinks(), name(ds))
+	violated := 0
+	for _, e := range ds.Sigma {
+		if !d.Satisfies(e) {
+			fmt.Fprintf(stdout, "violated: %s\n", e)
+			violated++
+		}
+	}
+	if violated > 0 {
+		fmt.Fprintf(stdout, "%d constraint(s) violated\n", violated)
+		return 3
+	}
+	fmt.Fprintln(stdout, "OK: conditions (C1)-(C7) and all constraints hold")
+	return 0
+}
+
+// cmdISummarize tests instance-level summarizability (Theorem 1 on the
+// concrete instance).
+func cmdISummarize(path, target string, from []string, stdout, stderr io.Writer) int {
+	_, d, err := loadInstance(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	if !d.Schema().HasCategory(target) {
+		fmt.Fprintf(stderr, "dimsat: unknown category %q\n", target)
+		return 1
+	}
+	for _, c := range from {
+		if !d.Schema().HasCategory(c) {
+			fmt.Fprintf(stderr, "dimsat: unknown category %q\n", c)
+			return 1
+		}
+	}
+	if core.SummarizableInInstance(d, target, from) {
+		fmt.Fprintf(stdout, "%s is summarizable from {%s} in this instance\n",
+			target, strings.Join(from, ", "))
+		return 0
+	}
+	fmt.Fprintf(stdout, "%s is NOT summarizable from {%s} in this instance\n",
+		target, strings.Join(from, ", "))
+	return 3
+}
+
+// cmdIStats prints the heterogeneity report: per-category member counts
+// and distinct rollup signatures.
+func cmdIStats(path string, stdout, stderr io.Writer) int {
+	_, d, err := loadInstance(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	rep := d.Heterogeneity()
+	fmt.Fprint(stdout, rep)
+	if het := rep.HeterogeneousCategories(); len(het) > 0 {
+		fmt.Fprintf(stdout, "heterogeneous categories: %s\n", strings.Join(het, ", "))
+	} else {
+		fmt.Fprintln(stdout, "instance is homogeneous")
+	}
+	return 0
+}
+
+// cmdExpand prints the Sections 3.1/3.3 expansion of composed atoms into
+// simple path atoms over the schema.
+func cmdExpand(ds *core.DimensionSchema, src string, stdout, stderr io.Writer) int {
+	e, err := parser.ParseConstraint(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	if err := constraint.Validate(e, ds.G); err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\n  = %s\n", e, constraint.Expand(e, ds.G))
+	return 0
+}
+
+// cmdCone prints the frozen-dimension cone of a member: the homogeneous
+// structure its ancestors form (the Theorem 3 minimal model).
+func cmdCone(path, member string, stdout, stderr io.Writer) int {
+	ds, d, err := loadInstance(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	domains := constraint.ValueDomains(ds.Sigma)
+	cone, err := frozen.ConeOf(d, member, domains)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	c, _ := d.Category(member)
+	fmt.Fprintf(stdout, "member %s (category %s)\n", member, c)
+	fmt.Fprintf(stdout, "cone: %s\n", cone)
+	fmt.Fprintf(stdout, "signature: {%s}\n", d.SignatureOf(member))
+	return 0
+}
+
+func printStats(w io.Writer, s core.Stats) {
+	fmt.Fprintf(w, "stats: %d expansions, %d checks, %d dead ends\n",
+		s.Expansions, s.Checks, s.DeadEnds)
+}

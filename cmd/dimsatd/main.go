@@ -1,0 +1,50 @@
+// Command dimsatd serves the dimension-constraint reasoner over HTTP for
+// one schema file. OLAP middleware can then consult satisfiability,
+// implication and summarizability as a service (see internal/server for
+// the endpoint list).
+//
+//	dimsatd -addr :8080 schema.dims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"olapdim/internal/core"
+	"olapdim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dimsatd [-addr host:port] <schema.dims>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.Parse(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(ds, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := ds.G.Name()
+	if name == "" {
+		name = flag.Arg(0)
+	}
+	log.Printf("dimsatd: serving schema %s (%d categories, %d constraints) on %s",
+		name, ds.G.NumCategories(), len(ds.Sigma), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"olapdim/internal/core"
+	"olapdim/internal/cube"
+	"olapdim/internal/gen"
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+	"olapdim/internal/schema"
+)
+
+// buildProductDim builds a heterogeneous product dimension scaled to n
+// products: even products are branded (Product -> Brand -> Maker), odd
+// products are generic (Product -> Maker).
+func buildProductDim(n int) (*instance.Instance, error) {
+	g := schema.New("product")
+	for _, e := range [][2]string{
+		{"Product", "Brand"}, {"Brand", "Maker"}, {"Product", "Maker"}, {"Maker", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	d := instance.New(g)
+	nMakers := n/10 + 1
+	for i := 0; i < nMakers; i++ {
+		if err := d.AddMember("Maker", fmt.Sprintf("maker%d", i)); err != nil {
+			return nil, err
+		}
+		if err := d.AddLink(fmt.Sprintf("maker%d", i), instance.AllMember); err != nil {
+			return nil, err
+		}
+	}
+	nBrands := n/5 + 1
+	for i := 0; i < nBrands; i++ {
+		if err := d.AddMember("Brand", fmt.Sprintf("brand%d", i)); err != nil {
+			return nil, err
+		}
+		if err := d.AddLink(fmt.Sprintf("brand%d", i), fmt.Sprintf("maker%d", i%nMakers)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("prod%d", i)
+		if err := d.AddMember("Product", p); err != nil {
+			return nil, err
+		}
+		var err error
+		if i%2 == 0 {
+			err = d.AddLink(p, fmt.Sprintf("brand%d", i%nBrands))
+		} else {
+			err = d.AddLink(p, fmt.Sprintf("maker%d", i%nMakers))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, d.Validate()
+}
+
+// runE11 measures multidimensional lattice navigation over a scaled
+// location × product space: the per-dimension-certified rewrite against a
+// base-table scan, and the silent error an uncertified rewrite would make.
+func runE11(w io.Writer, full bool) error {
+	ds := paper.LocationSch()
+	stores := 500
+	products := 200
+	facts := 50000
+	if full {
+		stores, products, facts = 2000, 500, 200000
+	}
+	loc, err := gen.InstanceFromFrozen(ds, paper.Store, stores, core.Options{})
+	if err != nil {
+		return err
+	}
+	prod, err := buildProductDim(products)
+	if err != nil {
+		return err
+	}
+	space, err := cube.NewSpace(
+		cube.Dimension{Name: "store", Inst: loc},
+		cube.Dimension{Name: "product", Inst: prod},
+	)
+	if err != nil {
+		return err
+	}
+	tbl := cube.NewTable(space)
+	storeMembers := loc.Members(paper.Store)
+	prodMembers := prod.Members("Product")
+	for i := 0; i < facts; i++ {
+		if err := tbl.Add(int64(i%997),
+			storeMembers[i%len(storeMembers)],
+			prodMembers[(i*7)%len(prodMembers)]); err != nil {
+			return err
+		}
+	}
+	nav, err := cube.NewNavigator(tbl, []olap.Oracle{
+		&olap.SchemaOracle{DS: ds}, olap.InstanceOracle{D: prod},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := nav.Materialize(cube.Group{paper.City, "Maker"}, olap.Sum); err != nil {
+		return err
+	}
+
+	query := cube.Group{paper.Country, "Maker"}
+	var direct, viaView *cube.View
+	var baseT, viewT []float64
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		direct, err = cube.Compute(tbl, query, olap.Sum)
+		if err != nil {
+			return err
+		}
+		baseT = append(baseT, float64(time.Since(start).Microseconds()))
+
+		start = time.Now()
+		v, plan, err := nav.Query(query, olap.Sum)
+		if err != nil {
+			return err
+		}
+		if plan.FromBase {
+			return fmt.Errorf("navigator refused the certified rewrite")
+		}
+		viewT = append(viewT, float64(time.Since(start).Microseconds()))
+		viaView = v
+	}
+	if diff := cube.Diff(direct, viaView); diff != "" {
+		return fmt.Errorf("certified rewrite wrong: %s", diff)
+	}
+	t := &table{header: []string{"path", "median time", "cells"}}
+	t.add("base scan ("+fmt.Sprint(facts)+" facts)", fmt.Sprintf("%.0f µs", median(baseT)), fmt.Sprint(len(direct.Cells)))
+	t.add("rewrite from (City, Maker) view", fmt.Sprintf("%.0f µs", median(viewT)), fmt.Sprint(len(viaView.Cells)))
+	t.write(w)
+
+	// The error an uncertified rewrite would silently commit.
+	stateView, err := cube.Compute(tbl, cube.Group{paper.State, "Maker"}, olap.Sum)
+	if err != nil {
+		return err
+	}
+	wrong, err := cube.RollupFrom(stateView, query)
+	if err != nil {
+		return err
+	}
+	var total, wrongTotal int64
+	for _, v := range direct.Cells {
+		total += v
+	}
+	for _, v := range wrong.Cells {
+		wrongTotal += v
+	}
+	fmt.Fprintf(w, "  uncertified rewrite from (State, Maker) would report %d of %d total sales (%.0f%% silently lost)\n",
+		wrongTotal, total, 100*float64(total-wrongTotal)/float64(total))
+	fmt.Fprintln(w, "  expectation: certified rewrite beats the scan; the oracle blocks the lossy shortcut")
+	return nil
+}

@@ -1,0 +1,108 @@
+package olapdim_test
+
+import (
+	"fmt"
+	"log"
+
+	"olapdim"
+)
+
+// The paper's running example: certify a cube-view rewrite at design time.
+func ExampleSummarizable() {
+	ds, err := olapdim.Parse(`
+schema location
+edge Store -> City -> State -> SaleRegion -> Country -> All
+edge Store -> SaleRegion
+edge City -> Province -> SaleRegion
+edge City -> Country
+edge State -> Country
+constraint Store_City
+constraint Store.SaleRegion
+constraint City="Washington" <-> City_Country
+constraint City="Washington" -> City.Country="USA"
+constraint State.Country="Mexico" | State.Country="USA"
+constraint State.Country="Mexico" <-> State_SaleRegion
+constraint Province.Country="Canada"
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromCity, _ := olapdim.Summarizable(ds, "Country", []string{"City"}, olapdim.Options{})
+	fromStates, _ := olapdim.Summarizable(ds, "Country", []string{"State", "Province"}, olapdim.Options{})
+	fmt.Println("Country from {City}:", fromCity.Summarizable())
+	fmt.Println("Country from {State, Province}:", fromStates.Summarizable())
+	// Output:
+	// Country from {City}: true
+	// Country from {State, Province}: false
+}
+
+// Satisfiability returns a frozen dimension witnessing the category.
+func ExampleSatisfiable() {
+	ds, err := olapdim.Parse(`
+edge Item -> Brand -> All
+edge Item -> Kind -> All
+constraint one(Item_Brand, Item_Kind)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := olapdim.Satisfiable(ds, "Item", olapdim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Satisfiable)
+	fmt.Println(res.Witness)
+	// Output:
+	// true
+	// Brand->All; Item->Brand
+}
+
+// Implication answers whether a constraint holds in every instance, with a
+// counterexample structure when it does not.
+func ExampleImplies() {
+	ds, err := olapdim.Parse(`
+edge Product -> Price -> All
+edge Product -> Discount -> Segment -> All
+edge Product -> Premium -> Segment
+constraint Product_Price
+constraint one(Product_Discount, Product_Premium)
+constraint Product.Price < 100 <-> Product_Discount
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha, err := olapdim.ParseConstraint("Product.Price <= 50 -> Product_Discount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	implied, _, err := olapdim.Implies(ds, alpha, olapdim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(implied)
+	// Output:
+	// true
+}
+
+// Frozen dimensions expose the homogeneous structures a heterogeneous
+// schema mixes (Figure 4 of the paper).
+func ExampleEnumerateFrozen() {
+	ds, err := olapdim.Parse(`
+edge Item -> Brand -> All
+edge Item -> Kind -> All
+constraint one(Item_Brand, Item_Kind)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := olapdim.EnumerateFrozen(ds, "Item", olapdim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range fs {
+		fmt.Println(f)
+	}
+	// Output:
+	// Brand->All; Item->Brand
+	// Item->Kind; Kind->All
+}

@@ -1,0 +1,99 @@
+// Pricing: the paper's Section 6 future-work sentence made executable —
+// "if the value of the price of a product is less than a given amount, the
+// product rolls up to some particular path in the hierarchy schema".
+// Declares a price-dependent hierarchy with order atoms, derives region
+// facts by implication, and shows the reasoning catching a price-band bug.
+//
+//	go run ./examples/pricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"olapdim"
+)
+
+const schemaSrc = `
+schema pricing
+edge Product -> Price -> All
+edge Product -> Budget -> Tier -> All
+edge Product -> Standard -> Tier
+edge Product -> Luxury -> Tier
+
+constraint Product_Price
+constraint one(Product_Budget, Product_Standard, Product_Luxury)
+constraint Product.Price < 20 <-> Product_Budget
+constraint Product.Price >= 20 & Product.Price < 200 <-> Product_Standard
+constraint Product.Price >= 200 <-> Product_Luxury
+`
+
+func main() {
+	ds, err := olapdim.Parse(schemaSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("price-banded tiers: Budget (<20), Standard ([20,200)), Luxury (>=200)")
+	fmt.Println()
+
+	// Implication over price regions.
+	queries := []string{
+		"Product.Price <= 10 -> Product_Budget",
+		"Product.Price >= 50 & Product.Price <= 100 -> Product_Standard",
+		"Product.Price > 500 -> Product_Luxury",
+		"Product.Price < 25 -> Product_Budget", // spans two bands: not implied
+		"Product.Tier",                         // every product lands in a tier
+	}
+	for _, src := range queries {
+		alpha, err := olapdim.ParseConstraint(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		implied, res, err := olapdim.Implies(ds, alpha, olapdim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("implied(%s) = %v\n", alpha, implied)
+		if !implied && res.Witness != nil {
+			fmt.Printf("  counterexample: %s\n", res.Witness)
+		}
+	}
+	fmt.Println()
+
+	// Tier is summarizable from the three branch categories: every product
+	// takes exactly one of them.
+	rep, err := olapdim.Summarizable(ds, "Tier",
+		[]string{"Budget", "Standard", "Luxury"}, olapdim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Tier summarizable from {Budget, Standard, Luxury}:", rep.Summarizable())
+	fmt.Println()
+
+	// A designer tightens the Standard band but forgets the gap at the
+	// boundary: products priced in [150, 200) have no legal tier.
+	bad := schemaSrc + "\nconstraint Product.Price < 150 | Product.Price >= 200\n"
+	trial, err := olapdim.Parse(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after adding: Product.Price<150 | Product.Price>=200")
+	res, err := olapdim.Satisfiable(trial, "Product", olapdim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Product still satisfiable:", res.Satisfiable)
+	implied, _, err := olapdim.Implies(trial, mustParse("!(Product.Price >= 150 & Product.Price < 200)"), olapdim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("no product can be priced in [150, 200):", implied)
+}
+
+func mustParse(src string) olapdim.Constraint {
+	e, err := olapdim.ParseConstraint(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}

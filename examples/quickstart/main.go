@@ -1,0 +1,82 @@
+// Quickstart: define a dimension schema with constraints, test category
+// satisfiability, constraint implication, and summarizability.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"olapdim/internal/core"
+	"olapdim/internal/parser"
+)
+
+const schemaSrc = `
+schema products
+edge Product -> Brand -> Company -> All
+edge Product -> Category -> Department -> All
+edge Product -> Department
+
+# Every product has a brand and a category.
+constraint Product_Brand & Product_Category
+# Products never skip Category on the way to Department.
+constraint !Product_Department
+`
+
+func main() {
+	// Parse the schema: a hierarchy graph plus dimension constraints.
+	ds, err := core.Parse(schemaSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schema %q: %d categories, %d edges, %d constraints\n\n",
+		ds.G.Name(), ds.G.NumCategories(), ds.G.NumEdges(), len(ds.Sigma))
+
+	// Satisfiability: can a category ever hold members? (Theorem 3: yes
+	// iff a frozen dimension exists; DIMSAT searches for one.)
+	for _, c := range []string{"Product", "Brand", "Department"} {
+		res, err := core.Satisfiable(ds, c, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("satisfiable(%s) = %v", c, res.Satisfiable)
+		if res.Witness != nil {
+			fmt.Printf("   witness: %s", res.Witness)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Implication (Theorem 2): does every instance satisfy a constraint?
+	for _, src := range []string{
+		"Product.Department",          // every product reaches Department
+		"Product_Category_Department", // via Category (the shortcut is forbidden)
+		"Product_Brand_Company",       // implied: up-connectivity (C7) forces Brand -> Company
+	} {
+		alpha, err := parser.ParseConstraint(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		implied, res, err := core.Implies(ds, alpha, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("implied(%s) = %v\n", alpha, implied)
+		if !implied && res.Witness != nil {
+			fmt.Printf("  counterexample: %s\n", res.Witness)
+		}
+	}
+	fmt.Println()
+
+	// Summarizability (Theorem 1): can the Department cube view be
+	// computed from the Category cube view in every instance?
+	rep, err := core.Summarizable(ds, "Department", []string{"Category"}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Department summarizable from {Category}: %v\n", rep.Summarizable())
+	for _, b := range rep.PerBottom {
+		fmt.Printf("  bottom %s: tested %s -> %v\n", b.Bottom, b.Constraint, b.Implied)
+	}
+}

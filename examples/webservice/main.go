@@ -1,0 +1,91 @@
+// Webservice: consume the dimension-constraint reasoner as an HTTP
+// service — the integration path for OLAP middleware that is not written
+// in Go. Starts an in-process server over the paper's schema (the same
+// handler cmd/dimsatd serves) and walks the endpoints with plain HTTP.
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"olapdim/internal/core"
+	"olapdim/internal/paper"
+	"olapdim/internal/server"
+)
+
+func main() {
+	srv, err := server.New(paper.LocationSch(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("serving locationSch at %s (same handler as cmd/dimsatd)\n\n", ts.URL)
+
+	// Which categories exist, and can they hold members?
+	var cats []struct {
+		Name        string `json:"name"`
+		Satisfiable bool   `json:"satisfiable"`
+		Bottom      bool   `json:"bottom"`
+	}
+	getJSON(ts.URL+"/categories", &cats)
+	fmt.Println("GET /categories:")
+	for _, c := range cats {
+		mark := ""
+		if c.Bottom {
+			mark = "  (bottom)"
+		}
+		fmt.Printf("  %-12s satisfiable=%v%s\n", c.Name, c.Satisfiable, mark)
+	}
+	fmt.Println()
+
+	// Is a constraint implied?
+	var imp struct {
+		Implied        bool   `json:"implied"`
+		Counterexample string `json:"counterexample"`
+	}
+	postJSON(ts.URL+"/implies", `{"constraint": "Store_SaleRegion"}`, &imp)
+	fmt.Printf("POST /implies Store_SaleRegion: implied=%v\n", imp.Implied)
+	fmt.Printf("  counterexample: %s\n\n", imp.Counterexample)
+
+	// The summarizability question middleware actually asks before
+	// rewriting a query against a materialized view.
+	for _, body := range []string{
+		`{"target":"Country","from":["City"]}`,
+		`{"target":"Country","from":["State","Province"]}`,
+	} {
+		var sum struct {
+			Summarizable bool `json:"summarizable"`
+		}
+		postJSON(ts.URL+"/summarizable", body, &sum)
+		fmt.Printf("POST /summarizable %s -> %v\n", body, sum.Summarizable)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postJSON(url, body string, out any) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package olapdim
+
+import (
+	"olapdim/internal/cube"
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+)
+
+// Instance is a dimension instance: members per category, a child/parent
+// relation, and member names, subject to the conditions (C1)-(C7) of the
+// paper (checked by its Validate method).
+type Instance = instance.Instance
+
+// AllMember is the unique member of the category All in every instance.
+const AllMember = instance.AllMember
+
+// NewInstance returns an empty dimension instance over a hierarchy schema.
+func NewInstance(g *HierarchySchema) *Instance { return instance.New(g) }
+
+// AggFunc is a distributive aggregate function.
+type AggFunc = olap.AggFunc
+
+// The distributive SQL aggregates (footnote 1 of the paper).
+const (
+	Sum   = olap.Sum
+	Count = olap.Count
+	Min   = olap.Min
+	Max   = olap.Max
+)
+
+// FactTable holds facts at the base granularity of one dimension.
+type FactTable = olap.FactTable
+
+// CubeView is a single-category cube view (Section 3.3 of the paper).
+type CubeView = olap.CubeView
+
+// ComputeCubeView evaluates CubeView(d, F, c, af(m)) directly from the
+// fact table.
+func ComputeCubeView(d *Instance, f *FactTable, category string, af AggFunc) *CubeView {
+	return olap.Compute(d, f, category, af)
+}
+
+// RollupCubeView computes the cube view for a category from precomputed
+// cube views (the Definition 6 rewriting). The result is exact iff the
+// category is summarizable from the source categories — check with
+// Summarizable or SummarizableIn first.
+func RollupCubeView(d *Instance, views []*CubeView, category string) (*CubeView, error) {
+	return olap.RollupFrom(d, views, category)
+}
+
+// SummarizableIn tests Theorem 1 on a concrete instance: the target's cube
+// view is exactly computable from the sources' for every fact table and
+// distributive aggregate.
+func SummarizableIn(d *Instance, target string, from []string) bool {
+	return olap.InstanceOracle{D: d}.Summarizable(target, from)
+}
+
+// Oracle answers summarizability questions for navigators and view
+// selection.
+type Oracle = olap.Oracle
+
+// InstanceOracle certifies rewrites against one concrete instance.
+type InstanceOracle = olap.InstanceOracle
+
+// SchemaOracle certifies rewrites against a dimension schema — valid for
+// every instance — memoizing DIMSAT results.
+type SchemaOracle = olap.SchemaOracle
+
+// Navigator answers cube-view queries from materialized views when a
+// rewrite is certified, falling back to the fact table.
+type Navigator = olap.Navigator
+
+// NewNavigator builds an aggregate navigator over one dimension instance.
+func NewNavigator(d *Instance, f *FactTable, oracle Oracle) *Navigator {
+	return olap.NewNavigator(d, f, oracle)
+}
+
+// ViewSelection is the outcome of SelectViews.
+type ViewSelection = olap.ViewSelection
+
+// SelectViews greedily chooses cube views to materialize for a query
+// workload within a cell budget, certifying every cover with the oracle
+// (the Section 6 view-selection application).
+func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCells int) *ViewSelection {
+	return olap.SelectViews(oracle, sizes, queries, budgetCells)
+}
+
+// Multidimensional datacube types (the Section 1 "points in a
+// multidimensional space" model; package internal/cube).
+
+// CubeDimension names one axis of a multidimensional space.
+type CubeDimension = cube.Dimension
+
+// CubeSpace is an ordered set of dimensions.
+type CubeSpace = cube.Space
+
+// CubeGroup addresses a datacube lattice node: one category per dimension.
+type CubeGroup = cube.Group
+
+// CubeTable is a multidimensional fact table.
+type CubeTable = cube.Table
+
+// MultiView is a multidimensional cube view.
+type MultiView = cube.View
+
+// CubeNavigator answers datacube queries through per-dimension-certified
+// rewrites.
+type CubeNavigator = cube.Navigator
+
+// NewCubeSpace builds a multidimensional space.
+func NewCubeSpace(dims ...CubeDimension) (*CubeSpace, error) { return cube.NewSpace(dims...) }
+
+// NewCubeTable returns an empty multidimensional fact table.
+func NewCubeTable(s *CubeSpace) *CubeTable { return cube.NewTable(s) }
+
+// ComputeCube evaluates a lattice view directly from the fact table.
+func ComputeCube(t *CubeTable, g CubeGroup, af AggFunc) (*MultiView, error) {
+	return cube.Compute(t, g, af)
+}
+
+// NewCubeNavigator builds a datacube navigator with one oracle per
+// dimension.
+func NewCubeNavigator(t *CubeTable, oracles []Oracle) (*CubeNavigator, error) {
+	return cube.NewNavigator(t, oracles)
+}

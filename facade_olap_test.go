@@ -1,0 +1,127 @@
+package olapdim_test
+
+import (
+	"testing"
+
+	"olapdim"
+)
+
+// TestOlapFacade drives a small end-to-end flow entirely through the
+// public facade: build a dimension, load facts, certify and execute a
+// rewrite, and run the navigator.
+func TestOlapFacade(t *testing.T) {
+	ds, err := olapdim.Parse(`
+schema shop
+edge Item -> Kind -> All
+constraint Item_Kind
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := olapdim.NewInstance(ds.G)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Kind", "food"))
+	must(d.AddMember("Kind", "drink"))
+	must(d.AddLink("food", olapdim.AllMember))
+	must(d.AddLink("drink", olapdim.AllMember))
+	for i, item := range []string{"bread", "milk", "tea"} {
+		must(d.AddMember("Item", item))
+		if i == 0 {
+			must(d.AddLink(item, "food"))
+		} else {
+			must(d.AddLink(item, "drink"))
+		}
+	}
+	must(d.Validate())
+
+	f := &olapdim.FactTable{}
+	f.Add("bread", 3)
+	f.Add("milk", 5)
+	f.Add("tea", 7)
+
+	if !olapdim.SummarizableIn(d, "Kind", []string{"Item"}) {
+		t.Fatal("Kind should be summarizable from {Item}")
+	}
+	byItem := olapdim.ComputeCubeView(d, f, "Item", olapdim.Sum)
+	byKind, err := olapdim.RollupCubeView(d, []*olapdim.CubeView{byItem}, "Kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byKind.Cells["drink"] != 12 || byKind.Cells["food"] != 3 {
+		t.Errorf("cells = %v", byKind.Cells)
+	}
+
+	nav := olapdim.NewNavigator(d, f, &olapdim.SchemaOracle{DS: ds})
+	nav.Materialize("Item", olapdim.Count)
+	v, plan, err := nav.Query("Kind", olapdim.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FromBase {
+		t.Errorf("plan = %s", plan)
+	}
+	if v.Cells["drink"] != 2 {
+		t.Errorf("count cells = %v", v.Cells)
+	}
+
+	sel := olapdim.SelectViews(&olapdim.SchemaOracle{DS: ds},
+		map[string]int{"Item": 3, "Kind": 2}, []string{"Kind"}, 100)
+	if len(sel.Uncovered) != 0 {
+		t.Errorf("selection = %s", sel)
+	}
+}
+
+// TestCubeFacade drives the multidimensional facade.
+func TestCubeFacade(t *testing.T) {
+	ds, err := olapdim.Parse("edge Item -> Kind -> All\nconstraint Item_Kind\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := olapdim.NewInstance(ds.G)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Kind", "k1"))
+	must(d.AddLink("k1", olapdim.AllMember))
+	must(d.AddMember("Item", "i1"))
+	must(d.AddLink("i1", "k1"))
+	must(d.Validate())
+
+	s, err := olapdim.NewCubeSpace(
+		olapdim.CubeDimension{Name: "a", Inst: d},
+		olapdim.CubeDimension{Name: "b", Inst: d},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := olapdim.NewCubeTable(s)
+	must(tbl.Add(10, "i1", "i1"))
+	v, err := olapdim.ComputeCube(tbl, olapdim.CubeGroup{"Kind", "Kind"}, olapdim.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Cells) != 1 {
+		t.Errorf("cells = %v", v.Cells)
+	}
+	nav, err := olapdim.NewCubeNavigator(tbl, []olapdim.Oracle{
+		olapdim.InstanceOracle{D: d}, olapdim.InstanceOracle{D: d},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nav.Materialize(olapdim.CubeGroup{"Item", "Item"}, olapdim.Sum); err != nil {
+		t.Fatal(err)
+	}
+	_, plan, err := nav.Query(olapdim.CubeGroup{"Kind", "Kind"}, olapdim.Sum)
+	if err != nil || plan.FromBase {
+		t.Errorf("plan = %s (%v)", plan, err)
+	}
+}

@@ -1,0 +1,3 @@
+module olapdim
+
+go 1.22

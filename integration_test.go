@@ -1,0 +1,172 @@
+package olapdim_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"olapdim"
+	"olapdim/internal/codec"
+	"olapdim/internal/core"
+	"olapdim/internal/cube"
+	"olapdim/internal/gen"
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+	"olapdim/internal/query"
+	"olapdim/internal/server"
+)
+
+// TestEndToEndWarehouse drives the full pipeline across modules: parse the
+// paper's schema, lint it, compute the summarizability matrix, select
+// views for a workload, scale the dimension, build a 2-D cube, answer
+// textual queries through certified navigation, round-trip everything
+// through the codec, and finally serve the reasoner over HTTP — asserting
+// consistency between every layer's answer.
+func TestEndToEndWarehouse(t *testing.T) {
+	// 1. Schema layer: the paper's location schema, freshly parsed from
+	// its .dims rendering (exercising format round trip on the fixture).
+	ds, err := olapdim.Parse(paper.LocationSch().Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lint, err := olapdim.Lint(ds, olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lint.Clean() {
+		t.Fatalf("locationSch should lint clean: %s", lint)
+	}
+
+	// 2. Reasoning layer: matrix and view selection agree.
+	m, err := olapdim.SummarizabilityMatrix(ds, olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &olapdim.SchemaOracle{DS: ds}
+	sel := olapdim.SelectViews(oracle,
+		map[string]int{paper.City: 1000, paper.SaleRegion: 600, paper.Country: 3},
+		[]string{paper.Country, paper.SaleRegion}, 10000)
+	if len(sel.Uncovered) != 0 {
+		t.Fatalf("selection failed: %s", sel)
+	}
+	for q, src := range sel.Covered {
+		if len(src) == 1 && src[0] != q && !m.From[q][src[0]] {
+			t.Errorf("selection uses %v for %s but the matrix denies it", src, q)
+		}
+	}
+
+	// 3. Scale the dimension and build a product dimension.
+	loc, err := gen.InstanceFromFrozen(ds, paper.Store, 400, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodDS, err := olapdim.Parse(`
+schema product
+edge Product -> Brand -> Maker -> All
+edge Product -> Maker
+constraint one(Product_Brand, Product_Maker)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := gen.InstanceFromFrozen(prodDS, "Product", 60, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Cube layer: facts, materialization, textual queries.
+	space, err := cube.NewSpace(
+		cube.Dimension{Name: "store", Inst: loc},
+		cube.Dimension{Name: "product", Inst: prod},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cube.NewTable(space)
+	stores := loc.Members(paper.Store)
+	prods := prod.Members("Product")
+	for i := 0; i < 5000; i++ {
+		if err := tbl.Add(int64(i%101), stores[i%len(stores)], prods[(3*i)%len(prods)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := query.NewEngine(tbl, []olap.Oracle{oracle, &olap.SchemaOracle{DS: prodDS}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Materialize(cube.Group{paper.City, "Maker"}, olap.Sum); err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Parse("sum by store=Country, product=Maker", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEngine, ex, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Plan.FromBase {
+		t.Errorf("query should rewrite from the materialized view: %s", ex)
+	}
+	direct, err := cube.Compute(tbl, cube.Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cube.Diff(direct, viaEngine); diff != "" {
+		t.Fatalf("engine answer differs from direct computation: %s", diff)
+	}
+
+	// 5. Codec layer: the whole cube survives a round trip and yields the
+	// same query answers.
+	blob, err := codec.EncodeCube([]*core.DimensionSchema{ds, prodDS}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss2, tbl2, err := codec.DecodeCube(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := query.NewEngine(tbl2, []olap.Oracle{
+		&olap.SchemaOracle{DS: dss2[0]}, &olap.SchemaOracle{DS: dss2[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.Parse("sum by store=Country, product=Maker", tbl2.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := eng2.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cube.Diff(direct, after); diff != "" {
+		t.Fatalf("codec round trip changed query results: %s", diff)
+	}
+
+	// 6. Service layer: the HTTP API gives the same summarizability
+	// verdicts the matrix computed.
+	srv, err := server.New(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/summarizable", "application/json",
+		strings.NewReader(`{"target":"Country","from":["City"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Summarizable bool `json:"summarizable"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Summarizable != m.From[paper.Country][paper.City] {
+		t.Error("HTTP service disagrees with the matrix")
+	}
+}

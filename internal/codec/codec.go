@@ -1,0 +1,111 @@
+// Package codec serializes dimension schemas and dimension instances as
+// self-contained JSON documents, so instances can be exchanged between the
+// CLI tools and other systems. The schema travels inside the document in
+// the .dims text syntax; members, explicit names, and child/parent links
+// are listed explicitly. Decoding re-validates everything: the hierarchy
+// schema, the constraints, membership, and the (C1)-(C7) conditions.
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"olapdim/internal/core"
+	"olapdim/internal/instance"
+	"olapdim/internal/schema"
+)
+
+// instanceDoc is the JSON shape of a serialized dimension instance.
+type instanceDoc struct {
+	// Schema holds the dimension schema in .dims text syntax.
+	Schema string `json:"schema"`
+	// Members maps each category to its member identifiers.
+	Members map[string][]string `json:"members"`
+	// Names holds the explicit Name values (identity names are omitted).
+	Names map[string]string `json:"names,omitempty"`
+	// Links lists the child/parent pairs.
+	Links [][2]string `json:"links"`
+}
+
+// EncodeInstance renders the instance and its dimension schema as JSON.
+func EncodeInstance(ds *core.DimensionSchema, d *instance.Instance) ([]byte, error) {
+	doc := instanceDoc{
+		Schema:  ds.Format(),
+		Members: map[string][]string{},
+		Names:   map[string]string{},
+	}
+	for _, c := range ds.G.SortedCategories() {
+		if c == schema.All {
+			continue
+		}
+		ms := d.SortedMembers(c)
+		if len(ms) > 0 {
+			doc.Members[c] = ms
+		}
+		for _, x := range ms {
+			if n := d.Name(x); n != x {
+				doc.Names[x] = n
+			}
+		}
+	}
+	if len(doc.Names) == 0 {
+		doc.Names = nil
+	}
+	for _, x := range d.AllMembers() {
+		parents := append([]string(nil), d.Parents(x)...)
+		sort.Strings(parents)
+		for _, p := range parents {
+			doc.Links = append(doc.Links, [2]string{x, p})
+		}
+	}
+	sort.Slice(doc.Links, func(i, j int) bool {
+		if doc.Links[i][0] != doc.Links[j][0] {
+			return doc.Links[i][0] < doc.Links[j][0]
+		}
+		return doc.Links[i][1] < doc.Links[j][1]
+	})
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeInstance parses a serialized instance, returning the embedded
+// dimension schema and the validated instance. The instance must satisfy
+// the (C1)-(C7) conditions; constraint satisfaction is the caller's
+// concern (an instance file may deliberately violate Σ for testing).
+func DecodeInstance(data []byte) (*core.DimensionSchema, *instance.Instance, error) {
+	var doc instanceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("codec: %v", err)
+	}
+	ds, err := core.Parse(doc.Schema)
+	if err != nil {
+		return nil, nil, fmt.Errorf("codec: embedded schema: %v", err)
+	}
+	d := instance.New(ds.G)
+	cats := make([]string, 0, len(doc.Members))
+	for c := range doc.Members {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		for _, x := range doc.Members[c] {
+			if err := d.AddMember(c, x); err != nil {
+				return nil, nil, fmt.Errorf("codec: %v", err)
+			}
+		}
+	}
+	for x, n := range doc.Names {
+		if err := d.SetName(x, n); err != nil {
+			return nil, nil, fmt.Errorf("codec: %v", err)
+		}
+	}
+	for _, l := range doc.Links {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			return nil, nil, fmt.Errorf("codec: %v", err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("codec: %v", err)
+	}
+	return ds, d, nil
+}

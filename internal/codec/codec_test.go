@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/core"
+	"olapdim/internal/gen"
+	"olapdim/internal/paper"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ds := paper.LocationSch()
+	d := paper.LocationInstance()
+	data, err := EncodeInstance(ds, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, d2, err := DecodeInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Sigma) != len(ds.Sigma) {
+		t.Errorf("constraints = %d, want %d", len(ds2.Sigma), len(ds.Sigma))
+	}
+	if d2.String() != d.String() {
+		t.Errorf("instance changed:\n%s\nvs\n%s", d2, d)
+	}
+	if !d2.SatisfiesAll(ds2.Sigma) {
+		t.Error("decoded instance violates sigma")
+	}
+	// Determinism.
+	data2, err := EncodeInstance(ds, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestEncodePreservesNames(t *testing.T) {
+	ds := paper.LocationSch()
+	d := paper.LocationInstance()
+	if err := d.SetName("s1", "Flagship"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeInstance(ds, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Flagship") {
+		t.Error("explicit name lost")
+	}
+	_, d2, err := DecodeInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name("s1") != "Flagship" {
+		t.Errorf("name = %q", d2.Name("s1"))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"schema": "edge A -> B", "members": {}, "links": []}`,             // B misses All
+		`{"schema": "edge A -> All", "members": {"Z": ["z"]}, "links": []}`, // unknown category
+		`{"schema": "edge A -> All", "members": {"A": ["a"]}, "links": [["a","ghost"]]}`,
+		`{"schema": "edge A -> All", "members": {"A": ["a"]}, "links": []}`, // C7: orphan member
+		`{"schema": "edge A -> All", "members": {"A": ["a"]}, "names": {"ghost": "x"}, "links": [["a","all"]]}`,
+	}
+	for _, src := range bad {
+		if _, _, err := DecodeInstance([]byte(src)); err == nil {
+			t.Errorf("DecodeInstance(%q) accepted", src)
+		}
+	}
+}
+
+func TestDecodeMinimal(t *testing.T) {
+	src := `{
+  "schema": "edge A -> All",
+  "members": {"A": ["a1", "a2"]},
+  "links": [["a1", "all"], ["a2", "all"]]
+}`
+	ds, d, err := DecodeInstance([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Members("A")) != 2 {
+		t.Errorf("members = %v", d.Members("A"))
+	}
+	if len(ds.Sigma) != 0 {
+		t.Errorf("sigma = %v", ds.Sigma)
+	}
+}
+
+// TestRoundTripAtScale round-trips a stamped 300-store instance, checking
+// structural identity and constraint satisfaction survive serialization.
+func TestRoundTripAtScale(t *testing.T) {
+	ds := paper.LocationSch()
+	d, err := gen.InstanceFromFrozen(ds, "Store", 300, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeInstance(ds, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, d2, err := DecodeInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumMembers() != d.NumMembers() || d2.NumLinks() != d.NumLinks() {
+		t.Errorf("size changed: %d/%d vs %d/%d members/links",
+			d2.NumMembers(), d2.NumLinks(), d.NumMembers(), d.NumLinks())
+	}
+	if !d2.SatisfiesAll(ds2.Sigma) {
+		t.Error("decoded instance violates sigma")
+	}
+	// Heterogeneity structure is preserved.
+	if len(d2.Signatures("Store")) != len(d.Signatures("Store")) {
+		t.Error("signatures changed across round trip")
+	}
+}

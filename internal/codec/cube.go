@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"olapdim/internal/core"
+	"olapdim/internal/cube"
+)
+
+// cubeDoc is the JSON shape of a serialized multidimensional fact table:
+// one embedded instance document per dimension plus the facts.
+type cubeDoc struct {
+	Dimensions []cubeDimDoc  `json:"dimensions"`
+	Facts      []cubeFactDoc `json:"facts"`
+}
+
+type cubeDimDoc struct {
+	Name string `json:"name"`
+	// Instance embeds the dimension's instance document (schema with
+	// constraints, members, names, links).
+	Instance json.RawMessage `json:"instance"`
+}
+
+type cubeFactDoc struct {
+	M      int64    `json:"m"`
+	Coords []string `json:"coords"`
+}
+
+// EncodeCube renders a multidimensional fact table with its dimensions as
+// JSON. dss supplies the dimension schema (with constraints) for each
+// dimension, aligned with the space's dimension order.
+func EncodeCube(dss []*core.DimensionSchema, tbl *cube.Table) ([]byte, error) {
+	dims := tbl.Space.Dims()
+	if len(dss) != len(dims) {
+		return nil, fmt.Errorf("codec: %d schemas for %d dimensions", len(dss), len(dims))
+	}
+	doc := cubeDoc{}
+	for i, d := range dims {
+		inst, err := EncodeInstance(dss[i], d.Inst)
+		if err != nil {
+			return nil, err
+		}
+		doc.Dimensions = append(doc.Dimensions, cubeDimDoc{Name: d.Name, Instance: inst})
+	}
+	for _, f := range tbl.Facts {
+		doc.Facts = append(doc.Facts, cubeFactDoc{M: f.M, Coords: f.Coords})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeCube parses a serialized cube, validating every dimension instance
+// and every fact coordinate.
+func DecodeCube(data []byte) ([]*core.DimensionSchema, *cube.Table, error) {
+	var doc cubeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("codec: %v", err)
+	}
+	if len(doc.Dimensions) == 0 {
+		return nil, nil, fmt.Errorf("codec: cube has no dimensions")
+	}
+	var dss []*core.DimensionSchema
+	var dims []cube.Dimension
+	for _, dd := range doc.Dimensions {
+		ds, inst, err := DecodeInstance(dd.Instance)
+		if err != nil {
+			return nil, nil, fmt.Errorf("codec: dimension %s: %v", dd.Name, err)
+		}
+		dss = append(dss, ds)
+		dims = append(dims, cube.Dimension{Name: dd.Name, Inst: inst})
+	}
+	space, err := cube.NewSpace(dims...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("codec: %v", err)
+	}
+	tbl := cube.NewTable(space)
+	for i, f := range doc.Facts {
+		if err := tbl.Add(f.M, f.Coords...); err != nil {
+			return nil, nil, fmt.Errorf("codec: fact %d: %v", i, err)
+		}
+	}
+	return dss, tbl, nil
+}

@@ -1,0 +1,118 @@
+package constraint
+
+import "testing"
+
+// ca builds a comparison atom over the shared test categories.
+func ca(op CmpOp, v float64) CmpAtom { return CmpAtom{RootCat: "A", Cat: "P", Op: op, Val: v} }
+
+func TestCmpAtomThroughConnectives(t *testing.T) {
+	// Cmp atoms flow through Walk, Eval, Reduce, Substitute, Expand and
+	// Equal like any other atom.
+	e := Implies{
+		A: NewAnd(ca(Lt, 5), Not{X: ca(Ge, 10)}),
+		B: NewOne(ca(Le, 7), RollupAtom{RootCat: "A", Cat: "P"}),
+	}
+	var n int
+	Walk(e, func(Atom) { n++ })
+	if n != 4 {
+		t.Errorf("walked %d atoms, want 4", n)
+	}
+
+	// Eval with a valuation deciding by op.
+	v := mapValuation{
+		ca(Lt, 5).String():  true,
+		ca(Ge, 10).String(): false,
+		ca(Le, 7).String():  true,
+		"A.P":               false,
+	}
+	if !Eval(e, v) {
+		t.Error("Eval should hold: (T & !F) -> one(T, F)")
+	}
+
+	// Reduce with a total decider folds to a constant.
+	d := func(a Atom) (bool, bool) { return v[a.String()], true }
+	if r := Reduce(e, d); !isTrue(r) {
+		t.Errorf("Reduce = %s, want true", r)
+	}
+
+	// Substitute keeps shape.
+	s := Substitute(e, func(a Atom) (bool, bool) {
+		if _, ok := a.(CmpAtom); ok {
+			return true, true
+		}
+		return false, false
+	})
+	if s.String() != "true & !true -> one(true, A.P)" {
+		t.Errorf("Substitute = %q", s)
+	}
+
+	// Expand leaves cmp atoms intact.
+	g := diamond(t)
+	e2 := NewAnd(CmpAtom{RootCat: "A", Cat: "D", Op: Gt, Val: 1}, RollupAtom{RootCat: "A", Cat: "D"})
+	x := Expand(e2, g)
+	if x.String() != "A.D>1 & (A_B_D | A_C_D | A_D)" {
+		t.Errorf("Expand = %q", x)
+	}
+
+	// Equal distinguishes op and value.
+	if Equal(ca(Lt, 5), ca(Le, 5)) || Equal(ca(Lt, 5), ca(Lt, 6)) {
+		t.Error("Equal conflated distinct cmp atoms")
+	}
+	if !Equal(ca(Gt, 2), ca(Gt, 2)) {
+		t.Error("Equal rejected identical cmp atoms")
+	}
+	if Equal(ca(Gt, 2), EqAtom{"A", "P", "2"}) {
+		t.Error("Equal conflated cmp with eq")
+	}
+}
+
+func TestCmpValidate(t *testing.T) {
+	g := diamond(t)
+	if err := Validate(CmpAtom{RootCat: "A", Cat: "D", Op: Lt, Val: 3}, g); err != nil {
+		t.Errorf("valid cmp atom rejected: %v", err)
+	}
+	if err := Validate(CmpAtom{RootCat: "A", Cat: "Z", Op: Lt, Val: 3}, g); err == nil {
+		t.Error("unknown category accepted")
+	}
+	nan := 0.0
+	nan = nan / nan
+	if err := Validate(CmpAtom{RootCat: "A", Cat: "D", Op: Lt, Val: nan}, g); err == nil {
+		t.Error("NaN constant accepted")
+	}
+}
+
+func TestCmpOpUnknownString(t *testing.T) {
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op rendering")
+	}
+	if CmpOp(99).Holds(1, 2) {
+		t.Error("unknown op holds")
+	}
+}
+
+func TestEqualAcrossKinds(t *testing.T) {
+	// Equal must distinguish every atom kind pair.
+	atoms := []Expr{
+		NewPath("A", "B"),
+		EqAtom{"A", "B", "k"},
+		ca(Lt, 1),
+		RollupAtom{"A", "B"},
+		ThroughAtom{"A", "B", "C"},
+		True{},
+		False{},
+	}
+	for i, a := range atoms {
+		for j, b := range atoms {
+			if (i == j) != Equal(a, b) {
+				t.Errorf("Equal(%s, %s) = %v", a, b, Equal(a, b))
+			}
+		}
+	}
+}
+
+func TestRootOfCmpOnly(t *testing.T) {
+	r, err := Root(NewOne(ca(Lt, 1), ca(Gt, 5)))
+	if err != nil || r != "A" {
+		t.Errorf("Root = %q, %v", r, err)
+	}
+}

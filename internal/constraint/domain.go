@@ -1,0 +1,126 @@
+package constraint
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ValueDomains computes, for each category, a finite set of symbolic Name
+// values that is complete for deciding the satisfiability of sigma's
+// equality and order atoms: any concrete Name value behaves, with respect
+// to every atom over that category, exactly like one of the returned
+// candidates (or like the nk sentinel, which satisfies no atom).
+//
+// For a category mentioning only equality atoms the domain is Const_ds
+// (the paper's Section 3.2). Order atoms (the Section 6 extension) add,
+// per category, every threshold value plus a representative of each open
+// region the thresholds cut the number line into — below the smallest,
+// between each consecutive pair, above the largest. Representatives are
+// perturbed away from the numeric values of that category's equality
+// constants so that every atom profile keeps a witness. Categories absent
+// from the map have no constrained values; nk alone covers them.
+func ValueDomains(sigma []Expr) map[string][]string {
+	eq := map[string]map[string]bool{}
+	thr := map[string]map[float64]bool{}
+	for _, e := range sigma {
+		Walk(e, func(a Atom) {
+			switch a := a.(type) {
+			case EqAtom:
+				if eq[a.Cat] == nil {
+					eq[a.Cat] = map[string]bool{}
+				}
+				eq[a.Cat][a.Val] = true
+			case CmpAtom:
+				if thr[a.Cat] == nil {
+					thr[a.Cat] = map[float64]bool{}
+				}
+				thr[a.Cat][a.Val] = true
+			}
+		})
+	}
+	out := map[string][]string{}
+	cats := map[string]bool{}
+	for c := range eq {
+		cats[c] = true
+	}
+	for c := range thr {
+		cats[c] = true
+	}
+	for c := range cats {
+		seen := map[string]bool{}
+		var domain []string
+		add := func(v string) {
+			if !seen[v] {
+				seen[v] = true
+				domain = append(domain, v)
+			}
+		}
+		for v := range eq[c] {
+			add(v)
+		}
+		if len(thr[c]) > 0 {
+			// Numeric values already claimed by equality constants: region
+			// representatives must avoid them to keep the "no equality atom
+			// holds" profile witnessed.
+			avoid := map[float64]bool{}
+			for v := range eq[c] {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					avoid[f] = true
+				}
+			}
+			ts := make([]float64, 0, len(thr[c]))
+			for t := range thr[c] {
+				ts = append(ts, t)
+				avoid[t] = true
+			}
+			sort.Float64s(ts)
+			// The thresholds themselves (boundary profiles).
+			for _, t := range ts {
+				add(FormatNum(t))
+			}
+			// Region representatives.
+			add(FormatNum(below(ts[0], avoid)))
+			for i := 0; i+1 < len(ts); i++ {
+				add(FormatNum(between(ts[i], ts[i+1], avoid)))
+			}
+			add(FormatNum(above(ts[len(ts)-1], avoid)))
+		}
+		sort.Strings(domain)
+		out[c] = domain
+	}
+	return out
+}
+
+// below finds a value strictly less than t avoiding the given set.
+func below(t float64, avoid map[float64]bool) float64 {
+	v := t - 1
+	for avoid[v] {
+		v -= 1
+	}
+	return v
+}
+
+// above finds a value strictly greater than t avoiding the given set.
+func above(t float64, avoid map[float64]bool) float64 {
+	v := t + 1
+	for avoid[v] {
+		v += 1
+	}
+	return v
+}
+
+// between finds a value strictly inside (lo, hi) avoiding the given set.
+// The avoid set is finite, so repeatedly halving towards lo terminates.
+func between(lo, hi float64, avoid map[float64]bool) float64 {
+	v := lo + (hi-lo)/2
+	for avoid[v] && v > lo {
+		v = lo + (v-lo)/2
+	}
+	return v
+}
+
+// NumValue interprets a symbolic domain value (or any Name) numerically.
+func NumValue(v string) (float64, bool) {
+	f, err := strconv.ParseFloat(v, 64)
+	return f, err == nil
+}

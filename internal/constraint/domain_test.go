@@ -1,0 +1,204 @@
+package constraint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpAtomString(t *testing.T) {
+	cases := []struct {
+		a    CmpAtom
+		want string
+	}{
+		{CmpAtom{"Product", "Price", Lt, 100}, "Product.Price<100"},
+		{CmpAtom{"Product", "Price", Le, 19.5}, "Product.Price<=19.5"},
+		{CmpAtom{"Product", "Price", Gt, -3}, "Product.Price>-3"},
+		{CmpAtom{"Price", "Price", Ge, 0}, "Price>=0"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCmpOpHolds(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		v, k float64
+		want bool
+	}{
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Holds(c.v, c.k); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.v, c.op, c.k, got, c.want)
+		}
+	}
+}
+
+func TestValueDomainsEqOnly(t *testing.T) {
+	sigma := []Expr{
+		EqAtom{"A", "D", "k2"},
+		EqAtom{"A", "D", "k1"},
+	}
+	got := ValueDomains(sigma)
+	want := map[string][]string{"D": {"k1", "k2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ValueDomains = %v, want %v", got, want)
+	}
+}
+
+func TestValueDomainsCmp(t *testing.T) {
+	sigma := []Expr{
+		CmpAtom{"A", "P", Lt, 10},
+		CmpAtom{"A", "P", Ge, 20},
+	}
+	got := ValueDomains(sigma)["P"]
+	// Thresholds 10 and 20, plus representatives below 10, between, above
+	// 20: {9, 10, 15, 20, 21} (rendered, sorted lexicographically).
+	want := []string{"10", "15", "20", "21", "9"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("domain = %v, want %v", got, want)
+	}
+}
+
+func TestValueDomainsAvoidsEqCollision(t *testing.T) {
+	// The midpoint of (10, 20) is 15, which collides with an equality
+	// constant; the representative must move off it so the "between, but
+	// not named 15" profile keeps a witness.
+	sigma := []Expr{
+		CmpAtom{"A", "P", Lt, 10},
+		CmpAtom{"A", "P", Ge, 20},
+		EqAtom{"A", "P", "15"},
+	}
+	domain := ValueDomains(sigma)["P"]
+	count15 := 0
+	hasStrictInterior := false
+	for _, v := range domain {
+		f, ok := NumValue(v)
+		if !ok {
+			continue
+		}
+		if f == 15 {
+			count15++
+		}
+		if f > 10 && f < 20 && f != 15 {
+			hasStrictInterior = true
+		}
+	}
+	if count15 != 1 {
+		t.Errorf("constant 15 should appear exactly once: %v", domain)
+	}
+	if !hasStrictInterior {
+		t.Errorf("no interior representative distinct from 15: %v", domain)
+	}
+}
+
+func TestValueDomainsBoundaryCollisions(t *testing.T) {
+	// Equality constants sitting exactly where the naive below/above
+	// representatives would land must be avoided.
+	sigma := []Expr{
+		CmpAtom{"A", "P", Lt, 10},
+		EqAtom{"A", "P", "9"},
+		EqAtom{"A", "P", "11"},
+	}
+	domain := ValueDomains(sigma)["P"]
+	var below10, above10 bool
+	for _, v := range domain {
+		f, ok := NumValue(v)
+		if !ok {
+			continue
+		}
+		if f < 10 && v != "9" {
+			below10 = true
+		}
+		if f > 10 && v != "11" {
+			above10 = true
+		}
+	}
+	if !below10 || !above10 {
+		t.Errorf("missing uncollided region representatives: %v", domain)
+	}
+}
+
+// profile computes the truth vector of all atoms of one category for a
+// concrete name value.
+func profile(atoms []Atom, val string) []bool {
+	var out []bool
+	for _, a := range atoms {
+		switch a := a.(type) {
+		case EqAtom:
+			out = append(out, val == a.Val)
+		case CmpAtom:
+			f, ok := NumValue(val)
+			out = append(out, ok && a.Op.Holds(f, a.Val))
+		}
+	}
+	return out
+}
+
+// TestValueDomainsComplete: for random atom sets and random concrete
+// values, some candidate (or nk) realizes the same atom-truth profile —
+// the completeness property the c-assignment search relies on.
+func TestValueDomainsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var atoms []Atom
+		var sigma []Expr
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a := CmpAtom{"A", "P", CmpOp(rng.Intn(4)), float64(rng.Intn(20) - 10)}
+				atoms = append(atoms, a)
+				sigma = append(sigma, a)
+			} else {
+				a := EqAtom{"A", "P", FormatNum(float64(rng.Intn(20) - 10))}
+				atoms = append(atoms, a)
+				sigma = append(sigma, a)
+			}
+		}
+		domain := ValueDomains(sigma)["P"]
+		candidates := append([]string{"certainly-not-numeric-nk"}, domain...)
+		// Try a spread of concrete values, numeric and not.
+		concrete := []string{"weird", "-100", "100", "0", "0.5", "-0.5", "7", "13.25"}
+		for i := 0; i < 10; i++ {
+			concrete = append(concrete, FormatNum(rng.Float64()*40-20))
+		}
+		for _, val := range concrete {
+			want := profile(atoms, val)
+			found := false
+			for _, c := range candidates {
+				if reflect.DeepEqual(profile(atoms, c), want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("value %q profile %v has no candidate witness in %v", val, want, domain)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumValue(t *testing.T) {
+	if f, ok := NumValue("19.5"); !ok || f != 19.5 {
+		t.Errorf("NumValue(19.5) = %v %v", f, ok)
+	}
+	if _, ok := NumValue("Canada"); ok {
+		t.Error("non-numeric accepted")
+	}
+	if _, ok := NumValue(""); ok {
+		t.Error("empty accepted")
+	}
+}

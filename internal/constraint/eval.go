@@ -1,0 +1,321 @@
+package constraint
+
+// Valuation assigns truth values to atoms. Implementations exist for
+// dimension instances (package instance: the FOL semantics S(α) of
+// Definition 4, per root member) and for subhierarchies (package frozen:
+// the circle operator of Definition 8 plus a c-assignment).
+type Valuation interface {
+	Path(a PathAtom) bool
+	Eq(a EqAtom) bool
+	Cmp(a CmpAtom) bool
+	Rollup(a RollupAtom) bool
+	Through(a ThroughAtom) bool
+}
+
+// Eval evaluates e under the valuation v.
+func Eval(e Expr, v Valuation) bool {
+	switch e := e.(type) {
+	case True:
+		return true
+	case False:
+		return false
+	case PathAtom:
+		return v.Path(e)
+	case EqAtom:
+		return v.Eq(e)
+	case CmpAtom:
+		return v.Cmp(e)
+	case RollupAtom:
+		return v.Rollup(e)
+	case ThroughAtom:
+		return v.Through(e)
+	case Not:
+		return !Eval(e.X, v)
+	case And:
+		for _, x := range e.Xs {
+			if !Eval(x, v) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, x := range e.Xs {
+			if Eval(x, v) {
+				return true
+			}
+		}
+		return false
+	case Implies:
+		return !Eval(e.A, v) || Eval(e.B, v)
+	case Iff:
+		return Eval(e.A, v) == Eval(e.B, v)
+	case Xor:
+		return Eval(e.A, v) != Eval(e.B, v)
+	case One:
+		n := 0
+		for _, x := range e.Xs {
+			if Eval(x, v) {
+				n++
+				if n > 1 {
+					return false
+				}
+			}
+		}
+		return n == 1
+	}
+	panic("constraint: unknown expression type")
+}
+
+// Decider partially assigns truth values to atoms: it returns the atom's
+// value and whether the value is decided. Undecided atoms survive in the
+// residual expression produced by Reduce.
+type Decider func(a Atom) (value, decided bool)
+
+// Reduce substitutes decided atoms with their truth values and
+// constant-folds the result. The returned expression mentions only
+// undecided atoms; if every atom is decided the result is True or False.
+// Reduce implements the circle operator Σ∘g of Definition 8 when the
+// decider resolves path atoms against a subhierarchy, and implements the
+// incremental c-assignment solver when the decider resolves equality atoms
+// against a partial assignment.
+func Reduce(e Expr, d Decider) Expr {
+	switch e := e.(type) {
+	case True, False:
+		return e
+	case PathAtom:
+		return reduceAtom(e, d)
+	case EqAtom:
+		return reduceAtom(e, d)
+	case CmpAtom:
+		return reduceAtom(e, d)
+	case RollupAtom:
+		return reduceAtom(e, d)
+	case ThroughAtom:
+		return reduceAtom(e, d)
+	case Not:
+		return simplifyNot(Reduce(e.X, d))
+	case And:
+		return reduceAnd(e.Xs, d)
+	case Or:
+		return reduceOr(e.Xs, d)
+	case Implies:
+		return simplifyImplies(Reduce(e.A, d), Reduce(e.B, d))
+	case Iff:
+		return simplifyIff(Reduce(e.A, d), Reduce(e.B, d))
+	case Xor:
+		return simplifyXor(Reduce(e.A, d), Reduce(e.B, d))
+	case One:
+		return reduceOne(e.Xs, d)
+	}
+	panic("constraint: unknown expression type")
+}
+
+func reduceAtom(a Atom, d Decider) Expr {
+	if v, ok := d(a); ok {
+		return boolExpr(v)
+	}
+	return a
+}
+
+func boolExpr(v bool) Expr {
+	if v {
+		return True{}
+	}
+	return False{}
+}
+
+func isTrue(e Expr) bool {
+	_, ok := e.(True)
+	return ok
+}
+
+func isFalse(e Expr) bool {
+	_, ok := e.(False)
+	return ok
+}
+
+func simplifyNot(x Expr) Expr {
+	switch x := x.(type) {
+	case True:
+		return False{}
+	case False:
+		return True{}
+	case Not:
+		return x.X
+	}
+	return Not{X: x}
+}
+
+func reduceAnd(xs []Expr, d Decider) Expr {
+	var kept []Expr
+	for _, x := range xs {
+		r := Reduce(x, d)
+		if isFalse(r) {
+			return False{}
+		}
+		if !isTrue(r) {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return True{}
+	case 1:
+		return kept[0]
+	}
+	return And{Xs: kept}
+}
+
+func reduceOr(xs []Expr, d Decider) Expr {
+	var kept []Expr
+	for _, x := range xs {
+		r := Reduce(x, d)
+		if isTrue(r) {
+			return True{}
+		}
+		if !isFalse(r) {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return False{}
+	case 1:
+		return kept[0]
+	}
+	return Or{Xs: kept}
+}
+
+func simplifyImplies(a, b Expr) Expr {
+	switch {
+	case isFalse(a) || isTrue(b):
+		return True{}
+	case isTrue(a):
+		return b
+	case isFalse(b):
+		return simplifyNot(a)
+	}
+	return Implies{A: a, B: b}
+}
+
+func simplifyIff(a, b Expr) Expr {
+	switch {
+	case isTrue(a):
+		return b
+	case isTrue(b):
+		return a
+	case isFalse(a):
+		return simplifyNot(b)
+	case isFalse(b):
+		return simplifyNot(a)
+	}
+	return Iff{A: a, B: b}
+}
+
+func simplifyXor(a, b Expr) Expr {
+	switch {
+	case isFalse(a):
+		return b
+	case isFalse(b):
+		return a
+	case isTrue(a):
+		return simplifyNot(b)
+	case isTrue(b):
+		return simplifyNot(a)
+	}
+	return Xor{A: a, B: b}
+}
+
+func reduceOne(xs []Expr, d Decider) Expr {
+	// ⊙(T, rest) requires all of rest false; a second T is contradiction.
+	var kept []Expr
+	sawTrue := false
+	for _, x := range xs {
+		r := Reduce(x, d)
+		switch {
+		case isTrue(r):
+			if sawTrue {
+				return False{}
+			}
+			sawTrue = true
+		case isFalse(r):
+			// dropped
+		default:
+			kept = append(kept, r)
+		}
+	}
+	if sawTrue {
+		// Exactly one already true: the rest must all be false.
+		negs := make([]Expr, len(kept))
+		for i, x := range kept {
+			negs[i] = simplifyNot(x)
+		}
+		return reduceSlicePlain(And{Xs: negs})
+	}
+	switch len(kept) {
+	case 0:
+		return False{}
+	case 1:
+		return kept[0]
+	}
+	return One{Xs: kept}
+}
+
+// reduceSlicePlain re-folds an expression without deciding further atoms.
+func reduceSlicePlain(e Expr) Expr {
+	return Reduce(e, func(Atom) (bool, bool) { return false, false })
+}
+
+// Simplify constant-folds e without deciding any atoms.
+func Simplify(e Expr) Expr { return reduceSlicePlain(e) }
+
+// Substitute replaces decided atoms with the constants true/false without
+// constant folding, preserving the shape of the expression. It renders the
+// literal form of the circle operator shown in Figure 5 of the paper;
+// Reduce is the folding variant used by the solver.
+func Substitute(e Expr, d Decider) Expr {
+	switch e := e.(type) {
+	case True, False:
+		return e
+	case PathAtom:
+		return substAtom(e, d)
+	case EqAtom:
+		return substAtom(e, d)
+	case CmpAtom:
+		return substAtom(e, d)
+	case RollupAtom:
+		return substAtom(e, d)
+	case ThroughAtom:
+		return substAtom(e, d)
+	case Not:
+		return Not{X: Substitute(e.X, d)}
+	case And:
+		return And{Xs: substSlice(e.Xs, d)}
+	case Or:
+		return Or{Xs: substSlice(e.Xs, d)}
+	case One:
+		return One{Xs: substSlice(e.Xs, d)}
+	case Implies:
+		return Implies{A: Substitute(e.A, d), B: Substitute(e.B, d)}
+	case Iff:
+		return Iff{A: Substitute(e.A, d), B: Substitute(e.B, d)}
+	case Xor:
+		return Xor{A: Substitute(e.A, d), B: Substitute(e.B, d)}
+	}
+	panic("constraint: unknown expression type")
+}
+
+func substAtom(a Atom, d Decider) Expr {
+	if v, ok := d(a); ok {
+		return boolExpr(v)
+	}
+	return a
+}
+
+func substSlice(xs []Expr, d Decider) []Expr {
+	out := make([]Expr, len(xs))
+	for i, x := range xs {
+		out[i] = Substitute(x, d)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mapValuation assigns truth values to atoms by their String().
+type mapValuation map[string]bool
+
+func (v mapValuation) Path(a PathAtom) bool       { return v[a.String()] }
+func (v mapValuation) Eq(a EqAtom) bool           { return v[a.String()] }
+func (v mapValuation) Rollup(a RollupAtom) bool   { return v[a.String()] }
+func (v mapValuation) Through(a ThroughAtom) bool { return v[a.String()] }
+
+var (
+	pa = NewPath("A", "P")
+	pb = NewPath("A", "Q")
+	pc = NewPath("A", "R")
+)
+
+func val(a, b bool) mapValuation {
+	return mapValuation{pa.String(): a, pb.String(): b}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			v := val(a, b)
+			cases := []struct {
+				e    Expr
+				want bool
+			}{
+				{True{}, true},
+				{False{}, false},
+				{pa, a},
+				{Not{X: pa}, !a},
+				{NewAnd(pa, pb), a && b},
+				{NewOr(pa, pb), a || b},
+				{Implies{A: pa, B: pb}, !a || b},
+				{Iff{A: pa, B: pb}, a == b},
+				{Xor{A: pa, B: pb}, a != b},
+				{NewAnd(), true},
+				{NewOr(), false},
+				{NewOne(), false},
+			}
+			for _, c := range cases {
+				if got := Eval(c.e, v); got != c.want {
+					t.Errorf("Eval(%s) with a=%v b=%v = %v, want %v", c.e, a, b, got, c.want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalOne(t *testing.T) {
+	cases := []struct {
+		a, b, c bool
+		want    bool
+	}{
+		{false, false, false, false},
+		{true, false, false, true},
+		{false, true, false, true},
+		{false, false, true, true},
+		{true, true, false, false},
+		{true, true, true, false},
+	}
+	for _, c := range cases {
+		v := mapValuation{pa.String(): c.a, pb.String(): c.b, pc.String(): c.c}
+		e := NewOne(pa, pb, pc)
+		if got := Eval(e, v); got != c.want {
+			t.Errorf("one(%v,%v,%v) = %v, want %v", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+// randomExpr builds a random expression over the atoms pa, pb, pc.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return pa
+		case 1:
+			return pb
+		case 2:
+			return pc
+		case 3:
+			return True{}
+		default:
+			return False{}
+		}
+	}
+	sub := func() Expr { return randomExpr(rng, depth-1) }
+	switch rng.Intn(7) {
+	case 0:
+		return Not{X: sub()}
+	case 1:
+		return NewAnd(sub(), sub())
+	case 2:
+		return NewOr(sub(), sub())
+	case 3:
+		return Implies{A: sub(), B: sub()}
+	case 4:
+		return Iff{A: sub(), B: sub()}
+	case 5:
+		return Xor{A: sub(), B: sub()}
+	default:
+		return NewOne(sub(), sub(), sub())
+	}
+}
+
+// TestReduceAgreesWithEval: folding an expression under a total decider
+// yields the constant Eval produces.
+func TestReduceAgreesWithEval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		for mask := 0; mask < 8; mask++ {
+			v := mapValuation{
+				pa.String(): mask&1 != 0,
+				pb.String(): mask&2 != 0,
+				pc.String(): mask&4 != 0,
+			}
+			d := func(a Atom) (bool, bool) { return v[a.String()], true }
+			r := Reduce(e, d)
+			want := Eval(e, v)
+			switch r.(type) {
+			case True:
+				if !want {
+					return false
+				}
+			case False:
+				if want {
+					return false
+				}
+			default:
+				return false // must fold to a constant
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialReducePreservesSemantics: deciding a subset of atoms and then
+// evaluating the residual matches evaluating the original.
+func TestPartialReducePreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		for mask := 0; mask < 8; mask++ {
+			v := mapValuation{
+				pa.String(): mask&1 != 0,
+				pb.String(): mask&2 != 0,
+				pc.String(): mask&4 != 0,
+			}
+			// Decide only pa; pb, pc stay symbolic.
+			d := func(a Atom) (bool, bool) {
+				if a.String() == pa.String() {
+					return v[a.String()], true
+				}
+				return false, false
+			}
+			r := Reduce(e, d)
+			if Eval(r, v) != Eval(e, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubstitutePreservesShapeAndSemantics: Substitute keeps semantics and
+// never folds (the result contains the same connective skeleton).
+func TestSubstituteSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		v := mapValuation{pa.String(): true, pb.String(): false, pc.String(): true}
+		d := func(a Atom) (bool, bool) {
+			if a.String() == pb.String() {
+				return false, true
+			}
+			return false, false
+		}
+		s := Substitute(e, d)
+		return Eval(s, v) == Eval(e, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstituteVerbatimShape(t *testing.T) {
+	e := Iff{A: EqAtom{"City", "City", "Washington"}, B: NewPath("City", "Country")}
+	d := func(a Atom) (bool, bool) {
+		if _, ok := a.(PathAtom); ok {
+			return false, true
+		}
+		return false, false
+	}
+	got := Substitute(e, d).String()
+	want := `City="Washington" <-> false`
+	if got != want {
+		t.Errorf("Substitute = %q, want %q", got, want)
+	}
+}
+
+func TestReduceOneSimplifications(t *testing.T) {
+	decideTrue := func(target Atom) Decider {
+		return func(a Atom) (bool, bool) {
+			if a.String() == target.String() {
+				return true, true
+			}
+			return false, false
+		}
+	}
+	decideFalse := func(target Atom) Decider {
+		return func(a Atom) (bool, bool) {
+			if a.String() == target.String() {
+				return false, true
+			}
+			return false, false
+		}
+	}
+	// one(T, x, y) reduces to !x & !y.
+	e := NewOne(pa, pb, pc)
+	r := Reduce(e, decideTrue(pa))
+	if r.String() != "!A_Q & !A_R" {
+		t.Errorf("one(T,q,r) reduced to %q", r)
+	}
+	// one(F, x, y) reduces to one(x, y).
+	r = Reduce(e, decideFalse(pa))
+	if r.String() != "one(A_Q, A_R)" {
+		t.Errorf("one(F,q,r) reduced to %q", r)
+	}
+	// one with a single residual operand reduces to the operand.
+	r = Reduce(NewOne(pa, pb), decideFalse(pb))
+	if r.String() != pa.String() {
+		t.Errorf("one(p,F) reduced to %q", r)
+	}
+	// Two decided-true operands are contradictory.
+	all := func(a Atom) (bool, bool) { return true, true }
+	r = Reduce(NewOne(pa, pb), all)
+	if !isFalse(r) {
+		t.Errorf("one(T,T) reduced to %q", r)
+	}
+}
+
+func TestSimplifyConstants(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewAnd(True{}, pa), "A_P"},
+		{NewAnd(False{}, pa), "false"},
+		{NewOr(True{}, pa), "true"},
+		{NewOr(False{}, pa), "A_P"},
+		{Implies{A: False{}, B: pa}, "true"},
+		{Implies{A: True{}, B: pa}, "A_P"},
+		{Implies{A: pa, B: False{}}, "!A_P"},
+		{Implies{A: pa, B: True{}}, "true"},
+		{Iff{A: True{}, B: pa}, "A_P"},
+		{Iff{A: False{}, B: pa}, "!A_P"},
+		{Xor{A: True{}, B: pa}, "!A_P"},
+		{Xor{A: False{}, B: pa}, "A_P"},
+		{Not{X: Not{X: pa}}, "A_P"},
+		{Not{X: True{}}, "false"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.e).String(); got != c.want {
+			t.Errorf("Simplify(%s) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func (v mapValuation) Cmp(a CmpAtom) bool { return v[a.String()] }

@@ -1,0 +1,112 @@
+package constraint
+
+import (
+	"testing"
+)
+
+func TestAtomStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{True{}, "true"},
+		{False{}, "false"},
+		{NewPath("Store", "City"), "Store_City"},
+		{NewPath("Store", "City", "Province"), "Store_City_Province"},
+		{EqAtom{RootCat: "Store", Cat: "Country", Val: "Canada"}, `Store.Country="Canada"`},
+		{EqAtom{RootCat: "City", Cat: "City", Val: "Washington"}, `City="Washington"`},
+		{RollupAtom{RootCat: "Store", Cat: "SaleRegion"}, "Store.SaleRegion"},
+		{ThroughAtom{RootCat: "Store", Via: "City", Cat: "Country"}, "Store.City.Country"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestConnectiveStrings(t *testing.T) {
+	a := NewPath("A", "B")
+	b := NewPath("A", "C")
+	c := NewPath("A", "D")
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Not{X: a}, "!A_B"},
+		{Not{X: Not{X: a}}, "!!A_B"},
+		{NewAnd(a, b), "A_B & A_C"},
+		{NewOr(a, b), "A_B | A_C"},
+		{Implies{A: a, B: b}, "A_B -> A_C"},
+		{Iff{A: a, B: b}, "A_B <-> A_C"},
+		{Xor{A: a, B: b}, "A_B ^ A_C"},
+		{NewOne(a, b, c), "one(A_B, A_C, A_D)"},
+		{NewAnd(), "true"},
+		{NewOr(), "false"},
+		// Precedence: & binds tighter than |, | tighter than ^, ^ tighter
+		// than ->, -> tighter than <->.
+		{NewOr(NewAnd(a, b), c), "A_B & A_C | A_D"},
+		{NewAnd(NewOr(a, b), c), "(A_B | A_C) & A_D"},
+		{Implies{A: NewOr(a, b), B: c}, "A_B | A_C -> A_D"},
+		{Implies{A: a, B: Implies{A: b, B: c}}, "A_B -> A_C -> A_D"},
+		{Implies{A: Implies{A: a, B: b}, B: c}, "(A_B -> A_C) -> A_D"},
+		{Iff{A: a, B: Implies{A: b, B: c}}, "A_B <-> A_C -> A_D"},
+		{Not{X: NewAnd(a, b)}, "!(A_B & A_C)"},
+		{Xor{A: a, B: NewOr(b, c)}, "A_B ^ A_C | A_D"},
+		{NewAnd(Not{X: a}, b), "!A_B & A_C"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewPath("A", "B")
+	cases := []struct {
+		x, y Expr
+		want bool
+	}{
+		{a, NewPath("A", "B"), true},
+		{a, NewPath("A", "C"), false},
+		{a, NewPath("A", "B", "C"), false},
+		{True{}, True{}, true},
+		{True{}, False{}, false},
+		{Not{X: a}, Not{X: a}, true},
+		{NewAnd(a, a), NewAnd(a, a), true},
+		{NewAnd(a), NewOr(a), false},
+		{Implies{A: a, B: a}, Implies{A: a, B: a}, true},
+		{Implies{A: a, B: a}, Iff{A: a, B: a}, false},
+		{Xor{A: a, B: a}, Xor{A: a, B: a}, true},
+		{NewOne(a), NewOne(a), true},
+		{NewOne(a), NewOne(a, a), false},
+		{EqAtom{"A", "B", "k"}, EqAtom{"A", "B", "k"}, true},
+		{EqAtom{"A", "B", "k"}, EqAtom{"A", "B", "j"}, false},
+		{RollupAtom{"A", "B"}, RollupAtom{"A", "B"}, true},
+		{ThroughAtom{"A", "B", "C"}, ThroughAtom{"A", "B", "C"}, true},
+		{ThroughAtom{"A", "B", "C"}, ThroughAtom{"A", "C", "B"}, false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.x, c.y); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestRoot(t *testing.T) {
+	a := NewPath("A", "B")
+	b := NewPath("B", "C")
+	if r, err := Root(NewAnd(a, a)); err != nil || r != "A" {
+		t.Errorf("Root = %q, %v", r, err)
+	}
+	if r, err := Root(True{}); err != nil || r != "" {
+		t.Errorf("Root(true) = %q, %v", r, err)
+	}
+	if _, err := Root(NewAnd(a, b)); err == nil {
+		t.Error("mixed roots accepted")
+	}
+	if r, err := Root(Implies{A: EqAtom{"A", "X", "k"}, B: RollupAtom{"A", "Y"}}); err != nil || r != "A" {
+		t.Errorf("Root = %q, %v", r, err)
+	}
+}

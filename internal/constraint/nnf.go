@@ -1,0 +1,142 @@
+package constraint
+
+// NNF converts an expression to negation normal form: negations apply only
+// to atoms, and the connectives are restricted to ∧ and ∨. Implication,
+// equivalence, exclusive disjunction and ⊙ are expanded:
+//
+//	a -> b      ⇒  ¬a ∨ b
+//	a <-> b     ⇒  (a ∧ b) ∨ (¬a ∧ ¬b)
+//	a ^ b       ⇒  (a ∧ ¬b) ∨ (¬a ∧ b)
+//	one(a...)   ⇒  ∨_i (a_i ∧ ⋀_{j≠i} ¬a_j)
+//
+// The ⊙ expansion is quadratic in its operand count; NNF exists for
+// inspection, canonical display, and solver experiments, while the
+// evaluators in this repository interpret the rich connectives directly.
+func NNF(e Expr) Expr {
+	return nnf(e, false)
+}
+
+// nnf pushes a pending negation down the tree.
+func nnf(e Expr, neg bool) Expr {
+	switch e := e.(type) {
+	case True:
+		if neg {
+			return False{}
+		}
+		return e
+	case False:
+		if neg {
+			return True{}
+		}
+		return e
+	case PathAtom, EqAtom, CmpAtom, RollupAtom, ThroughAtom:
+		if neg {
+			return Not{X: e}
+		}
+		return e
+	case Not:
+		return nnf(e.X, !neg)
+	case And:
+		xs := nnfSlice(e.Xs, neg)
+		if neg {
+			return Or{Xs: xs} // De Morgan
+		}
+		return And{Xs: xs}
+	case Or:
+		xs := nnfSlice(e.Xs, neg)
+		if neg {
+			return And{Xs: xs} // De Morgan
+		}
+		return Or{Xs: xs}
+	case Implies:
+		// a -> b ≡ ¬a ∨ b; negated: a ∧ ¬b.
+		if neg {
+			return And{Xs: []Expr{nnf(e.A, false), nnf(e.B, true)}}
+		}
+		return Or{Xs: []Expr{nnf(e.A, true), nnf(e.B, false)}}
+	case Iff:
+		// a <-> b ≡ (a∧b) ∨ (¬a∧¬b); negated it is xor.
+		if neg {
+			return xorNNF(e.A, e.B)
+		}
+		return Or{Xs: []Expr{
+			And{Xs: []Expr{nnf(e.A, false), nnf(e.B, false)}},
+			And{Xs: []Expr{nnf(e.A, true), nnf(e.B, true)}},
+		}}
+	case Xor:
+		if neg {
+			// ¬(a ^ b) ≡ a <-> b.
+			return Or{Xs: []Expr{
+				And{Xs: []Expr{nnf(e.A, false), nnf(e.B, false)}},
+				And{Xs: []Expr{nnf(e.A, true), nnf(e.B, true)}},
+			}}
+		}
+		return xorNNF(e.A, e.B)
+	case One:
+		if neg {
+			// ¬⊙(a...): every a false, or at least two true.
+			var arms []Expr
+			arms = append(arms, And{Xs: nnfSlice(e.Xs, true)})
+			for i := range e.Xs {
+				for j := i + 1; j < len(e.Xs); j++ {
+					arms = append(arms, And{Xs: []Expr{
+						nnf(e.Xs[i], false), nnf(e.Xs[j], false),
+					}})
+				}
+			}
+			return Or{Xs: arms}
+		}
+		var arms []Expr
+		for i := range e.Xs {
+			conj := make([]Expr, 0, len(e.Xs))
+			for j := range e.Xs {
+				conj = append(conj, nnf(e.Xs[j], i != j))
+			}
+			arms = append(arms, And{Xs: conj})
+		}
+		return Or{Xs: arms}
+	}
+	panic("constraint: unknown expression type")
+}
+
+func xorNNF(a, b Expr) Expr {
+	return Or{Xs: []Expr{
+		And{Xs: []Expr{nnf(a, false), nnf(b, true)}},
+		And{Xs: []Expr{nnf(a, true), nnf(b, false)}},
+	}}
+}
+
+func nnfSlice(xs []Expr, neg bool) []Expr {
+	out := make([]Expr, len(xs))
+	for i, x := range xs {
+		out[i] = nnf(x, neg)
+	}
+	return out
+}
+
+// IsNNF reports whether e is in negation normal form: only ∧, ∨, atoms,
+// constants, and negations applied directly to atoms.
+func IsNNF(e Expr) bool {
+	switch e := e.(type) {
+	case True, False, PathAtom, EqAtom, CmpAtom, RollupAtom, ThroughAtom:
+		return true
+	case Not:
+		_, isAtom := e.X.(Atom)
+		return isAtom
+	case And:
+		for _, x := range e.Xs {
+			if !IsNNF(x) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, x := range e.Xs {
+			if !IsNNF(x) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNNFShapes(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Implies{A: pa, B: pb}, "!A_P | A_Q"},
+		{Not{X: Implies{A: pa, B: pb}}, "A_P & !A_Q"},
+		{Iff{A: pa, B: pb}, "A_P & A_Q | !A_P & !A_Q"},
+		{Xor{A: pa, B: pb}, "A_P & !A_Q | !A_P & A_Q"},
+		{Not{X: Not{X: pa}}, "A_P"},
+		{Not{X: True{}}, "false"},
+		{Not{X: NewAnd(pa, pb)}, "!A_P | !A_Q"},
+		{Not{X: NewOr(pa, pb)}, "!A_P & !A_Q"},
+		{NewOne(pa, pb), "A_P & !A_Q | !A_P & A_Q"},
+	}
+	for _, c := range cases {
+		got := NNF(c.e)
+		if got.String() != c.want {
+			t.Errorf("NNF(%s) = %q, want %q", c.e, got, c.want)
+		}
+		if !IsNNF(got) {
+			t.Errorf("NNF(%s) = %s is not NNF", c.e, got)
+		}
+	}
+}
+
+// TestNNFPreservesSemantics: NNF agrees with the original under every
+// valuation of the three atoms, and always produces genuine NNF.
+func TestNNFPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		n := NNF(e)
+		if !IsNNF(n) {
+			t.Logf("NNF(%s) = %s is not NNF", e, n)
+			return false
+		}
+		for mask := 0; mask < 8; mask++ {
+			v := mapValuation{
+				pa.String(): mask&1 != 0,
+				pb.String(): mask&2 != 0,
+				pc.String(): mask&4 != 0,
+			}
+			if Eval(e, v) != Eval(n, v) {
+				t.Logf("NNF changed semantics of %s at mask %d: %s", e, mask, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsNNFRejects(t *testing.T) {
+	notNNF := []Expr{
+		Implies{A: pa, B: pb},
+		Iff{A: pa, B: pb},
+		Xor{A: pa, B: pb},
+		NewOne(pa),
+		Not{X: NewAnd(pa, pb)},
+		Not{X: Not{X: pa}},
+		NewAnd(Implies{A: pa, B: pb}),
+	}
+	for _, e := range notNNF {
+		if IsNNF(e) {
+			t.Errorf("IsNNF(%s) = true", e)
+		}
+	}
+}

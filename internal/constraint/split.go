@@ -1,0 +1,70 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Split compiles a split constraint — the constraint class of the authors'
+// earlier work ("Reasoning about summarizability in heterogeneous
+// multidimensional schemas", ICDT 2001) that Section 1.3 of the PODS 2002
+// paper identifies as a special case of dimension constraints — into a
+// dimension constraint.
+//
+// A split constraint over root c lists the possible sets of categories the
+// members of c may roll up to: every member's ancestor-category set must
+// equal exactly one of the allowed sets. universe is the scope of
+// categories the split speaks about (categories outside it are
+// unconstrained); each allowed set must be a subset of the universe.
+//
+// The compilation is ⊙ over the allowed sets of (⋀_{ci ∈ S} c.ci ∧
+// ⋀_{cj ∈ universe∖S} ¬c.cj), which is exactly the split semantics.
+// Goldstein's disjunctive existential constraints and the Husemann et al.
+// constraints, both subclasses of split constraints per Section 1.3, embed
+// through the same compiler.
+func Split(root string, universe []string, allowed [][]string) (Expr, error) {
+	if len(allowed) == 0 {
+		return nil, fmt.Errorf("constraint: split needs at least one allowed set")
+	}
+	uni := map[string]bool{}
+	for _, c := range universe {
+		uni[c] = true
+	}
+	scope := append([]string(nil), universe...)
+	sort.Strings(scope)
+
+	var arms []Expr
+	seen := map[string]bool{}
+	for _, set := range allowed {
+		in := map[string]bool{}
+		for _, c := range set {
+			if !uni[c] {
+				return nil, fmt.Errorf("constraint: split set member %q outside universe", c)
+			}
+			in[c] = true
+		}
+		key := fmt.Sprint(membershipVector(scope, in))
+		if seen[key] {
+			continue // duplicate allowed set
+		}
+		seen[key] = true
+		var conj []Expr
+		for _, c := range scope {
+			if in[c] {
+				conj = append(conj, RollupAtom{RootCat: root, Cat: c})
+			} else {
+				conj = append(conj, Not{X: RollupAtom{RootCat: root, Cat: c}})
+			}
+		}
+		arms = append(arms, And{Xs: conj})
+	}
+	return One{Xs: arms}, nil
+}
+
+func membershipVector(scope []string, in map[string]bool) []bool {
+	out := make([]bool, len(scope))
+	for i, c := range scope {
+		out[i] = in[c]
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitCompilation(t *testing.T) {
+	e, err := Split("Store", []string{"State", "Province"}, [][]string{
+		{"State"}, {"Province"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "one(Store.Province & !Store.State, !Store.Province & Store.State)"
+	// Arms keep input order; categories are sorted within each arm.
+	got := e.String()
+	if got != "one(!Store.Province & Store.State, Store.Province & !Store.State)" && got != want {
+		t.Errorf("Split = %q", got)
+	}
+	if root, err := Root(e); err != nil || root != "Store" {
+		t.Errorf("root = %q, %v", root, err)
+	}
+}
+
+func TestSplitDeduplicatesAndValidates(t *testing.T) {
+	e, err := Split("A", []string{"B"}, [][]string{{"B"}, {"B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(e.String(), "A.B") != 1 {
+		t.Errorf("duplicate arm kept: %s", e)
+	}
+	if _, err := Split("A", []string{"B"}, nil); err == nil {
+		t.Error("empty allowed list accepted")
+	}
+	if _, err := Split("A", []string{"B"}, [][]string{{"C"}}); err == nil {
+		t.Error("set member outside universe accepted")
+	}
+}
+
+func TestSplitEmptySetArm(t *testing.T) {
+	// The empty set is a legal arm: members rolling up to none of the
+	// universe.
+	e, err := Split("A", []string{"B", "C"}, [][]string{{}, {"B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "one(!A.B & !A.C, A.B & A.C)"
+	if e.String() != want {
+		t.Errorf("Split = %q, want %q", e, want)
+	}
+}

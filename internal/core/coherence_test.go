@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"olapdim/internal/core"
+	"olapdim/internal/gen"
+	"olapdim/internal/schema"
+)
+
+// TestSchemaImpliesInstanceSummarizability: whatever the schema-level test
+// certifies must hold in every instance of the schema — checked on
+// instances stamped from the schema's own frozen dimensions. This is the
+// soundness direction of Theorem 1 + Theorem 2 composed, exercised across
+// random schemas. (The converse cannot hold: a particular instance may
+// accidentally be summarizable even when the schema admits bad instances.)
+func TestSchemaImpliesInstanceSummarizability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := gen.Schema(gen.SchemaSpec{
+			Seed: seed, Categories: 5 + rng.Intn(3), Levels: 3,
+			ExtraEdgeProb: 0.35, ChoiceProb: 0.6, Constants: 2, CondProb: 0.4,
+			IntoFrac: 0.3,
+		})
+		bottoms := ds.G.Bottoms()
+		if len(bottoms) == 0 {
+			return true
+		}
+		root := bottoms[0]
+		res, err := core.Satisfiable(ds, root, core.Options{})
+		if err != nil {
+			return false
+		}
+		if !res.Satisfiable {
+			return true // nothing to stamp
+		}
+		d, err := gen.InstanceFromFrozen(ds, root, 8, core.Options{})
+		if err != nil {
+			return false
+		}
+		cats := ds.G.SortedCategories()
+		for trial := 0; trial < 5; trial++ {
+			target := cats[rng.Intn(len(cats))]
+			if target == schema.All {
+				continue
+			}
+			var S []string
+			for _, c := range cats {
+				if c != schema.All && rng.Intn(3) == 0 {
+					S = append(S, c)
+				}
+			}
+			if len(S) == 0 {
+				continue
+			}
+			rep, err := core.Summarizable(ds, target, S, core.Options{})
+			if err != nil {
+				return false
+			}
+			if rep.Summarizable() && !core.SummarizableInInstance(d, target, S) {
+				t.Logf("schema certifies %s from %v but instance disagrees\n%s", target, S, ds)
+				return false
+			}
+		}
+		return true
+	}
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}

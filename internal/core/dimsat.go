@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/frozen"
+	"olapdim/internal/schema"
+)
+
+// Options configure the DIMSAT search. The zero value enables every
+// heuristic; the ablation switches exist for experiment E6.
+type Options struct {
+	// DisableIntoPruning turns off the Section 5 heuristic that forces
+	// into-constrained edges into every expansion, shrinking the subset
+	// loop of EXPAND.
+	DisableIntoPruning bool
+	// DisableStructurePruning turns off the incremental cycle/shortcut
+	// pruning of EXPAND; candidate subhierarchies are then rejected only
+	// at CHECK time (Proposition 2 still guarantees correctness).
+	DisableStructurePruning bool
+	// Tracer, when non-nil, observes every EXPAND and CHECK step.
+	Tracer Tracer
+}
+
+// Tracer observes a DIMSAT execution; used to reproduce the Figure 7 trace
+// and to debug schemas.
+type Tracer interface {
+	// Expand is called after ctop has been expanded with parents R.
+	Expand(g *frozen.Subhierarchy, ctop string, R []string)
+	// Check is called when a complete subhierarchy is tested; induced
+	// reports whether it induced a frozen dimension.
+	Check(g *frozen.Subhierarchy, induced bool)
+}
+
+// Stats counts the work performed by one DIMSAT run.
+type Stats struct {
+	// Expansions counts EXPAND steps (edge-set extensions explored).
+	Expansions int
+	// Checks counts complete subhierarchies handed to CHECK.
+	Checks int
+	// DeadEnds counts expansions abandoned by the pruning rules.
+	DeadEnds int
+}
+
+// Result reports the outcome of a satisfiability or implication query.
+type Result struct {
+	// Satisfiable reports whether the queried category is satisfiable
+	// (for Implies, whether the counterexample category was satisfiable).
+	Satisfiable bool
+	// Witness is a frozen dimension witnessing satisfiability, nil when
+	// unsatisfiable.
+	Witness *frozen.Frozen
+	// Stats describes the search effort.
+	Stats Stats
+}
+
+// Satisfiable decides category satisfiability with the DIMSAT algorithm
+// (Figure 6): it explores cycle- and shortcut-free subhierarchies of G
+// rooted at c, pruning with into constraints, and tests each complete
+// subhierarchy with CHECK (Proposition 2). By Theorem 3, c is satisfiable
+// iff some subhierarchy induces a frozen dimension.
+func Satisfiable(ds *DimensionSchema, c string, opts Options) (Result, error) {
+	if !ds.G.HasCategory(c) {
+		return Result{}, fmt.Errorf("core: unknown category %q", c)
+	}
+	if c == schema.All {
+		// Proposition 1: the trivial instance witnesses satisfiability.
+		g := frozen.NewSubhierarchy(schema.All)
+		return Result{Satisfiable: true, Witness: &frozen.Frozen{G: g, Assign: frozen.Assignment{}}}, nil
+	}
+	s := newSearch(ds, c, opts)
+	s.walk(frozen.NewSubhierarchy(c), s.check)
+	return Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}, nil
+}
+
+// EnumerateFrozen lists every frozen dimension of ds with the given root
+// using the DIMSAT search (pruned, hence much faster than the naive
+// enumeration in package frozen). Assignments are canonicalized to the
+// categories mentioned by surviving equality atoms.
+func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*frozen.Frozen, error) {
+	if !ds.G.HasCategory(root) {
+		return nil, fmt.Errorf("core: unknown category %q", root)
+	}
+	s := newSearch(ds, root, opts)
+	seen := map[string]bool{}
+	var out []*frozen.Frozen
+	s.walk(frozen.NewSubhierarchy(root), func(g *frozen.Subhierarchy) bool {
+		s.stats.Checks++
+		if !g.Acyclic() || !g.ShortcutFree() {
+			return true
+		}
+		residual, ok := frozen.Circle(s.sigma, g)
+		if !ok {
+			return true
+		}
+		for _, a := range frozen.EnumerateAssignments(residual, s.consts) {
+			f := &frozen.Frozen{G: g.Clone(), Assign: a}
+			if !seen[f.Key()] {
+				seen[f.Key()] = true
+				out = append(out, f)
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// search carries the immutable inputs and mutable statistics of one DIMSAT
+// run.
+type search struct {
+	ds     *DimensionSchema
+	root   string
+	sigma  []constraint.Expr
+	consts map[string][]string
+	into   map[string][]string
+	opts   Options
+
+	stats   Stats
+	witness *frozen.Frozen
+}
+
+func newSearch(ds *DimensionSchema, root string, opts Options) *search {
+	s := &search{
+		ds:     ds,
+		root:   root,
+		sigma:  constraint.SigmaFor(ds.Sigma, ds.G, root),
+		consts: constraint.ValueDomains(ds.Sigma),
+		opts:   opts,
+	}
+	if !opts.DisableIntoPruning {
+		s.into = intoEdgesIn(ds)
+	}
+	return s
+}
+
+// intoEdgesIn extracts the forced edges implied by into constraints,
+// keeping only those that are actual schema edges (a non-edge path atom
+// makes its constraint unsatisfiable for populated roots, which CHECK
+// handles; forcing a non-edge would be unsound here).
+func intoEdgesIn(ds *DimensionSchema) map[string][]string {
+	raw := constraint.IntoEdges(ds.Sigma)
+	out := map[string][]string{}
+	for c, ps := range raw {
+		for _, p := range ps {
+			if ds.G.HasEdge(c, p) {
+				out[c] = append(out[c], p)
+			}
+		}
+	}
+	return out
+}
+
+// tops returns the categories of g with no outgoing edges, sorted.
+func tops(g *frozen.Subhierarchy) []string {
+	var out []string
+	for _, c := range g.Categories() {
+		if len(g.Out(c)) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// walk implements the EXPAND procedure of Figure 6, invoking onComplete at
+// every complete subhierarchy (g.Top = {All}). onComplete and walk return
+// false to abort the whole search. The subhierarchy passed to onComplete
+// is reused across calls; callers that retain it must Clone it.
+func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarchy) bool) bool {
+	t := tops(g)
+	if len(t) == 1 && t[0] == schema.All {
+		return onComplete(g)
+	}
+	// Choose the lexicographically first unexpanded category (not All) so
+	// executions and traces are deterministic.
+	ctop := ""
+	for _, c := range t {
+		if c != schema.All {
+			ctop = c
+			break
+		}
+	}
+	if ctop == "" {
+		// Every category has out-edges but All is absent: only reachable
+		// with structure pruning disabled, when a cycle swallowed the
+		// frontier. Dead end.
+		s.stats.DeadEnds++
+		return true
+	}
+
+	outG := s.ds.G.Out(ctop)
+	var candidates []string
+	// reachableOf caches, for candidates already in g, the set of
+	// categories they reach — used to veto sibling pairs (r1, r2) with
+	// r1 ↗'* r2, where the new edge (ctop, r2) would be a shortcut via
+	// r1. Figure 6 omits this case; see DESIGN.md.
+	var reachableOf map[string]map[string]bool
+	if s.opts.DisableStructurePruning {
+		candidates = append(candidates, outG...)
+	} else {
+		// One backward traversal answers both structural vetoes of
+		// Figure 6 lines (11)-(12): reaching = {b : b ↗'* ctop}.
+		reaching := g.ReachingSet(ctop)
+		for _, c := range outG {
+			if g.HasCategory(c) && reaching[c] {
+				continue // cycle: c already reaches ctop
+			}
+			if g.AnyParentIn(c, reaching) {
+				continue // shortcut: some b ↗'* ctop has the edge b -> c
+			}
+			candidates = append(candidates, c)
+		}
+		reachableOf = map[string]map[string]bool{}
+		for _, c := range candidates {
+			if g.HasCategory(c) {
+				reachableOf[c] = g.ReachableSet(c)
+			}
+		}
+	}
+
+	into := s.into[ctop]
+	// Line (15) of Figure 6: a forced edge that was pruned, or no legal
+	// parents at all, is a dead end.
+	if len(candidates) == 0 || !containsAll(candidates, into) {
+		s.stats.DeadEnds++
+		return true
+	}
+
+	var free []string
+	for _, c := range candidates {
+		if !contains(into, c) {
+			free = append(free, c)
+		}
+	}
+
+	// Enumerate R = S' ∪ Into over subsets S' ⊆ free; R must be non-empty.
+	// The subhierarchy is mutated in place and reverted after each branch
+	// (cloning per subset dominated the profile); aborting the search
+	// (walk returning false) skips the revert, which is safe because the
+	// whole search unwinds immediately and any retained witness is cloned.
+	n := len(free)
+	newCat := make([]bool, 0, len(into)+n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		R := append([]string(nil), into...)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				R = append(R, free[i])
+			}
+		}
+		if len(R) == 0 {
+			continue
+		}
+		if reachableOf != nil && conflictingPair(R, reachableOf) {
+			s.stats.DeadEnds++
+			continue
+		}
+		newCat = newCat[:0]
+		for _, p := range R {
+			newCat = append(newCat, g.AddEdgeUndoable(ctop, p))
+		}
+		s.stats.Expansions++
+		if s.opts.Tracer != nil {
+			s.opts.Tracer.Expand(g, ctop, R)
+		}
+		if !s.walk(g, onComplete) {
+			return false
+		}
+		for i := len(R) - 1; i >= 0; i-- {
+			g.RemoveEdge(ctop, R[i], newCat[i])
+		}
+	}
+	return true
+}
+
+// conflictingPair reports whether R contains distinct r1, r2 with
+// r1 ↗'* r2 in the current subhierarchy.
+func conflictingPair(R []string, reachableOf map[string]map[string]bool) bool {
+	for _, a := range R {
+		ra := reachableOf[a]
+		if ra == nil {
+			continue
+		}
+		for _, b := range R {
+			if a != b && ra[b] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// check implements CHECK (Figure 6) via Proposition 2. It returns false to
+// abort the search once a witness is found.
+func (s *search) check(g *frozen.Subhierarchy) bool {
+	s.stats.Checks++
+	f, ok := frozen.Induces(g, s.sigma, s.consts)
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Check(g, ok)
+	}
+	if !ok {
+		return true
+	}
+	// The search mutates g in place on backtracking; the witness must own
+	// its subhierarchy.
+	s.witness = &frozen.Frozen{G: f.G.Clone(), Assign: f.Assign}
+	return false
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(xs, ys []string) bool {
+	for _, y := range ys {
+		if !contains(xs, y) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/instance"
+	"olapdim/internal/schema"
+)
+
+// Implies decides ds ⊨ alpha by the reduction of Theorem 2: alpha is
+// implied iff its root category is unsatisfiable in (G, Σ ∪ {¬alpha}).
+// The returned Result carries the counterexample witness (a frozen
+// dimension violating alpha) when implication fails, and the search stats
+// either way. Constraints with no atoms are propositional constants and
+// are decided directly.
+func Implies(ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Result, error) {
+	if err := constraint.Validate(alpha, ds.G); err != nil {
+		return false, Result{}, err
+	}
+	root, err := constraint.Root(alpha)
+	if err != nil {
+		return false, Result{}, err
+	}
+	if root == "" {
+		v := constraint.Eval(alpha, nil)
+		return v, Result{}, nil
+	}
+	neg := &DimensionSchema{
+		G:     ds.G,
+		Sigma: append(append([]constraint.Expr(nil), ds.Sigma...), constraint.Not{X: alpha}),
+	}
+	res, err := Satisfiable(neg, root, opts)
+	if err != nil {
+		return false, Result{}, err
+	}
+	return !res.Satisfiable, res, nil
+}
+
+// SummarizabilityReport details a schema-level summarizability test: one
+// entry per bottom category with the Theorem 1 constraint tested and the
+// outcome.
+type SummarizabilityReport struct {
+	Target string
+	From   []string
+	// PerBottom lists, for each bottom category, the Theorem 1 constraint
+	// and whether the schema implies it.
+	PerBottom []BottomResult
+}
+
+// BottomResult is the outcome of the Theorem 1 test for one bottom
+// category.
+type BottomResult struct {
+	Bottom     string
+	Constraint constraint.Expr
+	Implied    bool
+	// Counterexample is a frozen dimension violating the constraint when
+	// Implied is false.
+	Counterexample Result
+}
+
+// Summarizable reports whether the schema implies the Theorem 1
+// characterization for every bottom category: the cube view for c can then
+// be computed from the cube views for S in every instance over ds.
+func (r *SummarizabilityReport) Summarizable() bool {
+	for _, b := range r.PerBottom {
+		if !b.Implied {
+			return false
+		}
+	}
+	return true
+}
+
+// Summarizable tests whether category c is summarizable from the set S in
+// every dimension instance over ds, by testing for each bottom category cb
+// the implication ds ⊨ cb.c ⊃ ⊙_{ci ∈ S} cb.ci.c (Theorem 1).
+func Summarizable(ds *DimensionSchema, c string, S []string, opts Options) (*SummarizabilityReport, error) {
+	if !ds.G.HasCategory(c) {
+		return nil, fmt.Errorf("core: unknown category %q", c)
+	}
+	for _, ci := range S {
+		if !ds.G.HasCategory(ci) {
+			return nil, fmt.Errorf("core: unknown category %q in source set", ci)
+		}
+	}
+	rep := &SummarizabilityReport{Target: c, From: append([]string(nil), S...)}
+	for _, cb := range ds.G.Bottoms() {
+		e := SummarizabilityConstraint(cb, c, S)
+		implied, res, err := Implies(ds, e, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.PerBottom = append(rep.PerBottom, BottomResult{
+			Bottom:         cb,
+			Constraint:     e,
+			Implied:        implied,
+			Counterexample: res,
+		})
+	}
+	return rep, nil
+}
+
+// SummarizableInInstance tests Theorem 1 on a single dimension instance:
+// category c is summarizable from S in d iff for every bottom category cb,
+// d ⊨ cb.c ⊃ ⊙_{ci ∈ S} cb.ci.c. Package olap cross-validates this
+// characterization against Definition 6 with actual fact tables.
+func SummarizableInInstance(d *instance.Instance, c string, S []string) bool {
+	for _, cb := range d.Schema().Bottoms() {
+		if cb == schema.All {
+			continue
+		}
+		if !d.Satisfies(SummarizabilityConstraint(cb, c, S)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CategorySatisfiable is a convenience wrapper returning only the Boolean
+// outcome of Satisfiable.
+func CategorySatisfiable(ds *DimensionSchema, c string) (bool, error) {
+	res, err := Satisfiable(ds, c, Options{})
+	if err != nil {
+		return false, err
+	}
+	return res.Satisfiable, nil
+}
+
+// UnsatisfiableCategories returns the categories of ds that admit no
+// members in any instance. The paper suggests dropping these from the
+// schema for a cleaner representation (Section 4).
+func UnsatisfiableCategories(ds *DimensionSchema) ([]string, error) {
+	var out []string
+	for _, c := range ds.G.SortedCategories() {
+		res, err := Satisfiable(ds, c, Options{})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Satisfiable {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

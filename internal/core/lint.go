@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"olapdim/internal/constraint"
+)
+
+// LintReport collects design-stage findings about a dimension schema.
+type LintReport struct {
+	// Unsatisfiable lists categories no instance can populate (the paper
+	// suggests dropping them, Section 4).
+	Unsatisfiable []string
+	// Redundant lists indices into Σ of constraints implied by the rest:
+	// removing any single one of them leaves the schema's meaning intact.
+	Redundant []int
+	// Shortcuts lists the schema-level shortcut pairs, worth double
+	// checking since instances may never realize both the edge and the
+	// path (condition C5).
+	Shortcuts [][2]string
+	// Cyclic reports whether the hierarchy schema contains cycles (legal,
+	// Example 4, but worth surfacing).
+	Cyclic bool
+}
+
+// Clean reports whether the linter found nothing to flag.
+func (r *LintReport) Clean() bool {
+	return len(r.Unsatisfiable) == 0 && len(r.Redundant) == 0
+}
+
+func (r *LintReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Unsatisfiable {
+		fmt.Fprintf(&b, "unsatisfiable category: %s\n", c)
+	}
+	for _, i := range r.Redundant {
+		fmt.Fprintf(&b, "redundant constraint #%d (implied by the others)\n", i+1)
+	}
+	for _, sc := range r.Shortcuts {
+		fmt.Fprintf(&b, "note: shortcut %s -> %s\n", sc[0], sc[1])
+	}
+	if r.Cyclic {
+		fmt.Fprintf(&b, "note: hierarchy schema contains cycles\n")
+	}
+	if r.Clean() {
+		b.WriteString("no problems found\n")
+	}
+	return b.String()
+}
+
+// Lint analyzes a dimension schema for design problems: dead categories,
+// constraints already implied by the rest of Σ (each tested by Theorem 2
+// with the constraint removed), schema shortcuts and cycles.
+func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &LintReport{
+		Shortcuts: ds.G.Shortcuts(),
+		Cyclic:    ds.G.HasCycle(),
+	}
+	var err error
+	rep.Unsatisfiable, err = UnsatisfiableCategories(ds)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ds.Sigma {
+		rest := make([]constraint.Expr, 0, len(ds.Sigma)-1)
+		rest = append(rest, ds.Sigma[:i]...)
+		rest = append(rest, ds.Sigma[i+1:]...)
+		sub := NewDimensionSchema(ds.G, rest...)
+		implied, _, err := Implies(sub, ds.Sigma[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		if implied {
+			rep.Redundant = append(rep.Redundant, i)
+		}
+	}
+	return rep, nil
+}

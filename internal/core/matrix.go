@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"olapdim/internal/schema"
+)
+
+// Matrix records, for every ordered pair of categories (target, source),
+// whether the target's cube view is computable from the source's alone in
+// every instance of the schema — the design-stage overview Section 6 of
+// the paper motivates.
+type Matrix struct {
+	// Categories lists the non-All categories, sorted.
+	Categories []string
+	// From[target][source] reports single-source summarizability.
+	From map[string]map[string]bool
+}
+
+// SummarizabilityMatrix computes single-source summarizability between
+// every pair of categories of ds. Each cell is one Theorem 1 implication
+// per bottom category, decided by DIMSAT; the N² independent cells are
+// computed on a worker pool sized to GOMAXPROCS (a Tracer in opts forces
+// sequential execution, since tracers are not required to be safe for
+// concurrent use).
+func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
+	m := &Matrix{From: map[string]map[string]bool{}}
+	for _, c := range ds.G.SortedCategories() {
+		if c != schema.All {
+			m.Categories = append(m.Categories, c)
+		}
+	}
+	n := len(m.Categories)
+	results := make([]bool, n*n)
+	errs := make([]error, n*n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if opts.Tracer != nil || workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				target := m.Categories[idx/n]
+				source := m.Categories[idx%n]
+				rep, err := Summarizable(ds, target, []string{source}, opts)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				results[idx] = rep.Summarizable()
+			}
+		}()
+	}
+	for idx := 0; idx < n*n; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for idx, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		target := m.Categories[idx/n]
+		if m.From[target] == nil {
+			m.From[target] = map[string]bool{}
+		}
+		m.From[target][m.Categories[idx%n]] = results[idx]
+	}
+	return m, nil
+}
+
+// String renders the matrix as a table: rows are targets, columns sources,
+// a "+" marking summarizable pairs.
+func (m *Matrix) String() string {
+	width := 6
+	for _, c := range m.Categories {
+		if len(c) > width {
+			width = len(c)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", width+2, "from:")
+	for _, src := range m.Categories {
+		fmt.Fprintf(&b, " %-*s", width, src)
+	}
+	b.WriteByte('\n')
+	for _, target := range m.Categories {
+		fmt.Fprintf(&b, "%-*s", width+2, target)
+		for _, src := range m.Categories {
+			mark := "."
+			if m.From[target][src] {
+				mark = "+"
+			}
+			fmt.Fprintf(&b, " %-*s", width, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SummarizableSources returns the sources from which target is
+// single-source summarizable, sorted.
+func (m *Matrix) SummarizableSources(target string) []string {
+	var out []string
+	for src, ok := range m.From[target] {
+		if ok {
+			out = append(out, src)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MinimalSources enumerates every minimal source set (up to maxSize
+// categories) from which target is summarizable in all instances of ds: a
+// certified set none of whose proper subsets is certified. Candidates are
+// all categories except All and the target itself (the singleton {target}
+// is trivially certified and is reported when nothing smaller exists…
+// nothing smaller can exist, so it is always the first result when
+// included). Supersets of certified sets are skipped — summarizability is
+// not monotone, but a superset of a certified set is never *minimal*.
+func MinimalSources(ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
+	if !ds.G.HasCategory(target) {
+		return nil, fmt.Errorf("core: unknown category %q", target)
+	}
+	var cands []string
+	for _, c := range ds.G.SortedCategories() {
+		if c != schema.All {
+			cands = append(cands, c)
+		}
+	}
+	var out [][]string
+	isSuperset := func(set []string) bool {
+		for _, m := range out {
+			if containsAll(set, m) {
+				return true
+			}
+		}
+		return false
+	}
+	var err error
+	var rec func(cur []string, start, size int)
+	rec = func(cur []string, start, size int) {
+		if err != nil {
+			return
+		}
+		if len(cur) == size {
+			if isSuperset(cur) {
+				return
+			}
+			rep, e := Summarizable(ds, target, cur, opts)
+			if e != nil {
+				err = e
+				return
+			}
+			if rep.Summarizable() {
+				out = append(out, append([]string(nil), cur...))
+			}
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			rec(append(cur, cands[i]), i+1, size)
+		}
+	}
+	for size := 1; size <= maxSize && size <= len(cands); size++ {
+		rec(nil, 0, size)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"olapdim/internal/instance"
+)
+
+// multiBottomSrc: two bottom categories (the paper's Definition 1 allows
+// several) feeding a shared level. Online orders skip the physical branch.
+const multiBottomSrc = `
+schema channels
+edge PosSale -> Store -> Region -> All
+edge WebSale -> Site -> Region
+constraint PosSale_Store
+constraint WebSale_Site
+constraint Store_Region
+constraint Site_Region
+`
+
+func TestMultiBottomBasics(t *testing.T) {
+	ds := parse(t, multiBottomSrc)
+	bottoms := ds.G.Bottoms()
+	if len(bottoms) != 2 || bottoms[0] != "PosSale" || bottoms[1] != "WebSale" {
+		t.Fatalf("bottoms = %v", bottoms)
+	}
+	for _, c := range []string{"PosSale", "WebSale", "Store", "Site", "Region"} {
+		res, err := Satisfiable(ds, c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfiable {
+			t.Errorf("%s unsatisfiable", c)
+		}
+	}
+}
+
+// TestMultiBottomSummarizability: Theorem 1 quantifies over EVERY bottom
+// category; a source set sufficient for one bottom but not the other must
+// be rejected.
+func TestMultiBottomSummarizability(t *testing.T) {
+	ds := parse(t, multiBottomSrc)
+	// Region from {Store}: POS sales route through Store, but web sales
+	// reach Region through Site only — the WebSale bottom fails.
+	rep, err := Summarizable(ds, "Region", []string{"Store"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summarizable() {
+		t.Error("Region should not be summarizable from {Store} (web sales missed)")
+	}
+	var posOK, webOK bool
+	for _, b := range rep.PerBottom {
+		switch b.Bottom {
+		case "PosSale":
+			posOK = b.Implied
+		case "WebSale":
+			webOK = b.Implied
+		}
+	}
+	if !posOK {
+		t.Error("the PosSale bottom should pass for {Store}")
+	}
+	if webOK {
+		t.Error("the WebSale bottom should fail for {Store}")
+	}
+	// Region from {Store, Site}: each sale routes through exactly one.
+	rep, err = Summarizable(ds, "Region", []string{"Store", "Site"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summarizable() {
+		t.Error("Region should be summarizable from {Store, Site}")
+	}
+	if len(rep.PerBottom) != 2 {
+		t.Errorf("per-bottom entries = %d, want 2", len(rep.PerBottom))
+	}
+}
+
+// multiBottomInstance builds an instance with facts-bearing members in
+// both bottom categories.
+func multiBottomInstance(t *testing.T, ds *DimensionSchema) *instance.Instance {
+	t.Helper()
+	d := instance.New(ds.G)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Region", "east"))
+	must(d.AddLink("east", instance.AllMember))
+	must(d.AddMember("Store", "st1"))
+	must(d.AddLink("st1", "east"))
+	must(d.AddMember("Site", "webshop"))
+	must(d.AddLink("webshop", "east"))
+	must(d.AddMember("PosSale", "p1"))
+	must(d.AddLink("p1", "st1"))
+	must(d.AddMember("PosSale", "p2"))
+	must(d.AddLink("p2", "st1"))
+	must(d.AddMember("WebSale", "w1"))
+	must(d.AddLink("w1", "webshop"))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.SatisfiesAll(ds.Sigma) {
+		t.Fatal("instance violates sigma")
+	}
+	return d
+}
+
+func TestMultiBottomInstanceLevel(t *testing.T) {
+	ds := parse(t, multiBottomSrc)
+	d := multiBottomInstance(t, ds)
+	// Base members span both bottoms.
+	base := d.BaseMembers()
+	if len(base) != 3 {
+		t.Fatalf("base members = %v", base)
+	}
+	if SummarizableInInstance(d, "Region", []string{"Store"}) {
+		t.Error("instance-level check must also fail for {Store}")
+	}
+	if !SummarizableInInstance(d, "Region", []string{"Store", "Site"}) {
+		t.Error("instance-level check must pass for {Store, Site}")
+	}
+}
+
+func TestMultiBottomEnumeration(t *testing.T) {
+	ds := parse(t, multiBottomSrc)
+	// Each bottom's frozen dimensions cover only its own branch.
+	fs, err := EnumerateFrozen(ds, "PosSale", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("PosSale frozen dimensions = %d", len(fs))
+	}
+	if fs[0].G.HasCategory("WebSale") || fs[0].G.HasCategory("Site") {
+		t.Errorf("PosSale frozen dimension leaked the web branch: %s", fs[0])
+	}
+	// The mid level has its own frozen dimension, not involving bottoms.
+	fs, err = EnumerateFrozen(ds, "Store", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].G.HasCategory("PosSale") {
+		t.Errorf("Store frozen dimensions = %v", fs)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/instance"
+)
+
+// priceSchema realizes the Section 6 motivating sentence: "if the value of
+// the price of a product is less than a given amount, the product rolls up
+// to some particular path in the hierarchy schema". Products carry a Price
+// ancestor; cheap products (price < 100) roll up through Discount, the
+// rest through Premium.
+const priceSchema = `
+schema pricing
+edge Product -> Price -> All
+edge Product -> Discount -> Segment -> All
+edge Product -> Premium -> Segment
+
+constraint Product_Price
+constraint one(Product_Discount, Product_Premium)
+constraint Product.Price < 100 <-> Product_Discount
+`
+
+func TestOrderAtomsSatisfiability(t *testing.T) {
+	ds := parse(t, priceSchema)
+	for _, c := range []string{"Product", "Price", "Discount", "Premium", "Segment"} {
+		res, err := Satisfiable(ds, c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfiable {
+			t.Errorf("%s should be satisfiable", c)
+		}
+	}
+	// Both branch structures exist as frozen dimensions, distinguished by
+	// the price region.
+	fs, err := EnumerateFrozen(ds, "Product", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaDiscount, viaPremium int
+	for _, f := range fs {
+		if f.G.HasEdge("Product", "Discount") {
+			viaDiscount++
+			v, ok := constraint.NumValue(f.Assign.Get("Price"))
+			if !ok || v >= 100 {
+				t.Errorf("discount frozen dimension with price %q", f.Assign.Get("Price"))
+			}
+		}
+		if f.G.HasEdge("Product", "Premium") {
+			viaPremium++
+			// Premium requires NOT(price < 100): numeric >= 100 or a
+			// non-numeric name.
+			if v, ok := constraint.NumValue(f.Assign.Get("Price")); ok && v < 100 {
+				t.Errorf("premium frozen dimension with price %v", v)
+			}
+		}
+	}
+	if viaDiscount == 0 || viaPremium == 0 {
+		t.Errorf("both branches must be realizable: discount=%d premium=%d", viaDiscount, viaPremium)
+	}
+}
+
+func TestOrderAtomsImplication(t *testing.T) {
+	ds := parse(t, priceSchema)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		// Cheap products pass through Discount on the way to Segment.
+		{"Product.Price < 100 -> Product.Discount.Segment", true},
+		// <= 50 implies < 100.
+		{"Product.Price <= 50 -> Product_Discount", true},
+		// > 200 implies not < 100, hence Premium.
+		{"Product.Price > 200 -> Product_Premium", true},
+		// A price below 100 does not follow from Discount alone… it does:
+		// the biconditional forces it.
+		{"Product_Discount -> Product.Price < 100", true},
+		// Boundary: exactly 100 is not < 100, so Premium.
+		{"Product.Price >= 100 -> Product_Premium", true},
+		// < 150 does NOT determine the branch (both regions fit under it).
+		{"Product.Price < 150 -> Product_Discount", false},
+		// Nothing forces prices to be bounded.
+		{"Product.Price < 1000000", false},
+	}
+	for _, c := range cases {
+		alpha, err := ParseConstraint(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		got, res, err := Implies(ds, alpha, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("implied(%s) = %v, want %v (witness %v)", c.src, got, c.want, res.Witness)
+		}
+	}
+}
+
+func TestOrderAtomsSummarizability(t *testing.T) {
+	ds := parse(t, priceSchema)
+	// Every product reaches Segment through exactly one of Discount and
+	// Premium, so Segment is summarizable from them.
+	rep, err := Summarizable(ds, "Segment", []string{"Discount", "Premium"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summarizable() {
+		t.Error("Segment should be summarizable from {Discount, Premium}")
+	}
+	rep, err = Summarizable(ds, "Segment", []string{"Discount"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summarizable() {
+		t.Error("Segment is not summarizable from {Discount} alone (premium products missed)")
+	}
+}
+
+func TestOrderAtomsUnsat(t *testing.T) {
+	// Contradictory price regions kill the category.
+	ds := parse(t, `
+edge Product -> Price -> All
+constraint Product_Price
+constraint Product.Price < 10
+constraint Product.Price > 20
+`)
+	res, err := Satisfiable(ds, "Product", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Error("contradictory price regions satisfiable")
+	}
+	// Overlapping regions are fine.
+	ds2 := parse(t, `
+edge Product -> Price -> All
+constraint Product_Price
+constraint Product.Price < 20
+constraint Product.Price > 10
+`)
+	res, err = Satisfiable(ds2, "Product", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Error("overlapping price regions unsatisfiable")
+	}
+	// Boundary subtlety: <= 10 and >= 10 meet exactly at 10.
+	ds3 := parse(t, `
+edge Product -> Price -> All
+constraint Product_Price
+constraint Product.Price <= 10
+constraint Product.Price >= 10
+`)
+	res, err = Satisfiable(ds3, "Product", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Error("touching price regions must be satisfiable at the boundary")
+	}
+	if res.Witness.Assign.Get("Price") != "10" {
+		t.Errorf("boundary witness price = %q, want 10", res.Witness.Assign.Get("Price"))
+	}
+}
+
+// TestOrderAtomsInstanceSemantics pins the member-level evaluation of
+// order atoms, including non-numeric names.
+func TestOrderAtomsInstanceSemantics(t *testing.T) {
+	ds := parse(t, priceSchema)
+	d := instance.New(ds.G)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Product", "p1"))
+	must(d.AddMember("Price", "price1"))
+	must(d.SetName("price1", "49.5"))
+	must(d.AddMember("Discount", "disc"))
+	must(d.AddMember("Segment", "seg"))
+	must(d.AddLink("p1", "price1"))
+	must(d.AddLink("price1", instance.AllMember))
+	must(d.AddLink("p1", "disc"))
+	must(d.AddLink("disc", "seg"))
+	must(d.AddLink("seg", instance.AllMember))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.SatisfiesAll(ds.Sigma) {
+		t.Fatal("cheap product instance violates sigma")
+	}
+	lt := constraint.CmpAtom{RootCat: "Product", Cat: "Price", Op: constraint.Lt, Val: 100}
+	if !d.MemberSatisfies("p1", lt) {
+		t.Error("49.5 < 100 must hold")
+	}
+	gt := constraint.CmpAtom{RootCat: "Product", Cat: "Price", Op: constraint.Gt, Val: 49.5}
+	if d.MemberSatisfies("p1", gt) {
+		t.Error("49.5 > 49.5 must not hold")
+	}
+	ge := constraint.CmpAtom{RootCat: "Product", Cat: "Price", Op: constraint.Ge, Val: 49.5}
+	if !d.MemberSatisfies("p1", ge) {
+		t.Error("49.5 >= 49.5 must hold")
+	}
+	// Non-numeric names never satisfy order atoms.
+	must(d.SetName("price1", "expensive"))
+	if d.MemberSatisfies("p1", lt) {
+		t.Error("non-numeric price satisfied an order atom")
+	}
+	// …and now the biconditional (price<100 <-> Discount) is violated.
+	if d.SatisfiesAll(ds.Sigma) {
+		t.Error("non-numeric price on a Discount product must violate sigma")
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/frozen"
+	"olapdim/internal/schema"
+)
+
+// randomDS builds a small random dimension schema with a constraint mix
+// covering path, rollup, through and equality atoms under all connectives.
+// Kept small so the naive oracle stays tractable.
+func randomDS(rng *rand.Rand) *DimensionSchema {
+	g := schema.New("prop")
+	n := 3 + rng.Intn(3) // 3..5 categories besides All
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	for i, c := range names {
+		later := names[i+1:]
+		if len(later) == 0 || rng.Intn(4) == 0 {
+			g.AddEdge(c, schema.All)
+		} else {
+			g.AddEdge(c, later[rng.Intn(len(later))])
+		}
+		for _, p := range later {
+			if rng.Intn(3) == 0 {
+				g.AddEdge(c, p)
+			}
+		}
+	}
+	ds := NewDimensionSchema(g)
+	nCons := rng.Intn(4)
+	for i := 0; i < nCons; i++ {
+		e := randomConstraint(rng, g, names)
+		if e != nil && constraint.Validate(e, g) == nil {
+			ds.Sigma = append(ds.Sigma, e)
+		}
+	}
+	return ds
+}
+
+func randomConstraint(rng *rand.Rand, g *schema.Schema, names []string) constraint.Expr {
+	root := names[rng.Intn(len(names))]
+	atom := func() constraint.Expr {
+		switch rng.Intn(5) {
+		case 0:
+			outs := g.Out(root)
+			p := outs[rng.Intn(len(outs))]
+			if p == schema.All {
+				return constraint.RollupAtom{RootCat: root, Cat: schema.All}
+			}
+			return constraint.NewPath(root, p)
+		case 1:
+			return constraint.RollupAtom{RootCat: root, Cat: names[rng.Intn(len(names))]}
+		case 2:
+			return constraint.ThroughAtom{
+				RootCat: root,
+				Via:     names[rng.Intn(len(names))],
+				Cat:     names[rng.Intn(len(names))],
+			}
+		case 3:
+			return constraint.EqAtom{
+				RootCat: root,
+				Cat:     names[rng.Intn(len(names))],
+				Val:     []string{"k1", "k2", "5"}[rng.Intn(3)],
+			}
+		default:
+			// Order atoms (the Section 6 extension) join the mix so the
+			// naive oracle cross-validates the value-domain machinery.
+			return constraint.CmpAtom{
+				RootCat: root,
+				Cat:     names[rng.Intn(len(names))],
+				Op:      constraint.CmpOp(rng.Intn(4)),
+				Val:     float64(rng.Intn(3)*5 - 5),
+			}
+		}
+	}
+	var build func(depth int) constraint.Expr
+	build = func(depth int) constraint.Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return atom()
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return constraint.Not{X: build(depth - 1)}
+		case 1:
+			return constraint.NewAnd(build(depth-1), build(depth-1))
+		case 2:
+			return constraint.NewOr(build(depth-1), build(depth-1))
+		case 3:
+			return constraint.Implies{A: build(depth - 1), B: build(depth - 1)}
+		case 4:
+			return constraint.Iff{A: build(depth - 1), B: build(depth - 1)}
+		default:
+			return constraint.NewOne(build(depth-1), build(depth-1))
+		}
+	}
+	return build(2)
+}
+
+// TestDimsatAgreesWithNaive is experiment T3: on random schemas, DIMSAT
+// (with every heuristic enabled, and with each disabled) answers category
+// satisfiability exactly like the brute-force Theorem 3 enumeration, which
+// shares no pruning or circle-operator code with it.
+func TestDimsatAgreesWithNaive(t *testing.T) {
+	variants := []Options{
+		{},
+		{DisableIntoPruning: true},
+		{DisableStructurePruning: true},
+		{DisableIntoPruning: true, DisableStructurePruning: true},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDS(rng)
+		if err := ds.Validate(); err != nil {
+			return true // skip rare degenerate draws
+		}
+		for _, c := range ds.G.Categories() {
+			if c == schema.All {
+				continue
+			}
+			want, err := frozen.NaiveSatisfiable(ds.G, ds.Sigma, c)
+			if err != nil {
+				t.Logf("naive error: %v", err)
+				return false
+			}
+			for _, opts := range variants {
+				res, err := Satisfiable(ds, c, opts)
+				if err != nil {
+					t.Logf("dimsat error: %v", err)
+					return false
+				}
+				if res.Satisfiable != want {
+					t.Logf("disagreement on %s (opts %+v): dimsat=%v naive=%v\nschema:\n%s",
+						c, opts, res.Satisfiable, want, ds)
+					return false
+				}
+				if res.Satisfiable {
+					consts := constraint.ConstMap(ds.Sigma)
+					inst, err := res.Witness.ToInstance(ds.G, consts)
+					if err != nil || inst.Validate() != nil || !inst.SatisfiesAll(ds.Sigma) {
+						t.Logf("invalid witness for %s: %v\n%s", c, err, ds)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnumerateAgreesWithNaive: the DIMSAT-driven frozen dimension
+// enumeration finds exactly the frozen dimensions the naive edge-subset
+// enumeration finds.
+func TestEnumerateAgreesWithNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDS(rng)
+		if err := ds.Validate(); err != nil {
+			return true
+		}
+		for _, c := range ds.G.Categories() {
+			if c == schema.All {
+				continue
+			}
+			fast, err := EnumerateFrozen(ds, c, Options{})
+			if err != nil {
+				return false
+			}
+			slow, err := frozen.EnumerateFrozen(ds.G, ds.Sigma, c)
+			if err != nil {
+				return false
+			}
+			if len(fast) != len(slow) {
+				t.Logf("enumeration mismatch for %s: dimsat=%d naive=%d\n%s",
+					c, len(fast), len(slow), ds)
+				return false
+			}
+			for i := range fast {
+				if fast[i].Key() != slow[i].Key() {
+					t.Logf("frozen %d differs: %s vs %s", i, fast[i], slow[i])
+					return false
+				}
+				// Every enumerated frozen dimension is a valid Definition 7
+				// subhierarchy, acyclic and shortcut-free.
+				if err := fast[i].G.Validate(ds.G); err != nil {
+					t.Logf("frozen %d invalid: %v", i, err)
+					return false
+				}
+				if !fast[i].G.Acyclic() || !fast[i].G.ShortcutFree() {
+					t.Logf("frozen %d has a cycle or shortcut: %s", i, fast[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	n := 80
+	if testing.Short() {
+		n = 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImpliesConsistency: Theorem 2 sanity on random schemas — for any
+// constraint alpha over a satisfiable root, exactly one of "alpha implied"
+// and "¬alpha satisfiable together with Σ" holds; and implication is
+// reflexive on Σ members.
+func TestImpliesConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDS(rng)
+		if err := ds.Validate(); err != nil {
+			return true
+		}
+		// Σ members are always implied.
+		for _, e := range ds.Sigma {
+			implied, _, err := Implies(ds, e, Options{})
+			if err != nil {
+				continue
+			}
+			if !implied {
+				root, _ := constraint.Root(e)
+				res, _ := Satisfiable(ds, root, Options{})
+				// A Σ member can only be "not implied" if never vacuous…
+				// it cannot: d ⊨ Σ includes e. Fail.
+				t.Logf("sigma member %s not implied (root %s sat=%v)\n%s",
+					e, root, res.Satisfiable, ds)
+				return false
+			}
+		}
+		return true
+	}
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSigmaOrderInvariance: satisfiability does not depend on the order of
+// the constraints in Σ (the search explores subsets deterministically, but
+// the verdict must be order independent).
+func TestSigmaOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDS(rng)
+		if err := ds.Validate(); err != nil || len(ds.Sigma) < 2 {
+			return true
+		}
+		shuffled := append([]constraint.Expr(nil), ds.Sigma...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		ds2 := NewDimensionSchema(ds.G, shuffled...)
+		for _, c := range ds.G.Categories() {
+			if c == schema.All {
+				continue
+			}
+			a, err := Satisfiable(ds, c, Options{})
+			if err != nil {
+				return false
+			}
+			b, err := Satisfiable(ds2, c, Options{})
+			if err != nil {
+				return false
+			}
+			if a.Satisfiable != b.Satisfiable {
+				t.Logf("order dependence on %s:\n%s", c, ds)
+				return false
+			}
+		}
+		return true
+	}
+	n := 80
+	if testing.Short() {
+		n = 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}

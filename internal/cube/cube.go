@@ -1,0 +1,359 @@
+// Package cube implements the multidimensional data model the paper's
+// introduction presupposes: "data are viewed as points in a
+// multidimensional space; for example, a sale of a particular item in a
+// particular store of a retail chain can be viewed as a point in a space
+// whose dimensions are items, stores, and time".
+//
+// A Space bundles several dimension instances; a Table holds facts at base
+// granularity (one base member per dimension); a View is a datacube node:
+// the facts aggregated to one category per dimension. Views form the
+// classical datacube lattice, and a View rewrites exactly from a finer
+// View iff, dimension by dimension, the coarser category is summarizable
+// from the finer one (Theorem 1 of the paper applied per dimension) — the
+// Navigator uses exactly that test, so heterogeneous dimensions like the
+// paper's location dimension are handled safely where classical lattice
+// navigation silently miscounts.
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+)
+
+// Dimension is one axis of the space: a named dimension instance.
+type Dimension struct {
+	Name string
+	Inst *instance.Instance
+}
+
+// Space is an ordered list of dimensions.
+type Space struct {
+	dims []Dimension
+}
+
+// NewSpace builds a space; dimension names must be unique and non-empty.
+func NewSpace(dims ...Dimension) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("cube: a space needs at least one dimension")
+	}
+	seen := map[string]bool{}
+	for _, d := range dims {
+		if d.Name == "" || d.Inst == nil {
+			return nil, fmt.Errorf("cube: dimension needs a name and an instance")
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("cube: duplicate dimension %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return &Space{dims: dims}, nil
+}
+
+// Dims returns the dimensions in order.
+func (s *Space) Dims() []Dimension { return s.dims }
+
+// NumDims returns the dimensionality of the space.
+func (s *Space) NumDims() int { return len(s.dims) }
+
+// Group addresses one node of the datacube lattice: one category per
+// dimension, aligned with the space's dimension order. Using All for a
+// dimension collapses it entirely.
+type Group []string
+
+// Validate checks the group against the space.
+func (s *Space) Validate(g Group) error {
+	if len(g) != len(s.dims) {
+		return fmt.Errorf("cube: group has %d categories, space has %d dimensions", len(g), len(s.dims))
+	}
+	for i, c := range g {
+		if !s.dims[i].Inst.Schema().HasCategory(c) {
+			return fmt.Errorf("cube: dimension %s has no category %q", s.dims[i].Name, c)
+		}
+	}
+	return nil
+}
+
+// BaseGroup returns the finest group of a space whose dimensions each have
+// a single bottom category; it errors on multi-bottom dimensions, where no
+// single lattice node holds all facts.
+func (s *Space) BaseGroup() (Group, error) {
+	g := make(Group, len(s.dims))
+	for i, d := range s.dims {
+		bottoms := d.Inst.Schema().Bottoms()
+		if len(bottoms) != 1 {
+			return nil, fmt.Errorf("cube: dimension %s has %d bottom categories", d.Name, len(bottoms))
+		}
+		g[i] = bottoms[0]
+	}
+	return g, nil
+}
+
+func (g Group) String() string { return "(" + strings.Join(g, ", ") + ")" }
+
+// Key returns the canonical form for map indexing.
+func (g Group) Key() string { return strings.Join(g, "\x1f") }
+
+// Fact is one point of the space with a measure: Coords holds one base
+// member per dimension, aligned with the space's dimension order.
+type Fact struct {
+	Coords []string
+	M      int64
+}
+
+// Table is a multidimensional fact table.
+type Table struct {
+	Space *Space
+	Facts []Fact
+}
+
+// NewTable returns an empty fact table over the space.
+func NewTable(s *Space) *Table { return &Table{Space: s} }
+
+// Add appends a fact after checking its arity and that every coordinate is
+// a member of its dimension.
+func (t *Table) Add(m int64, coords ...string) error {
+	if len(coords) != t.Space.NumDims() {
+		return fmt.Errorf("cube: fact has %d coordinates, space has %d dimensions",
+			len(coords), t.Space.NumDims())
+	}
+	for i, x := range coords {
+		if _, ok := t.Space.dims[i].Inst.Category(x); !ok {
+			return fmt.Errorf("cube: dimension %s has no member %q", t.Space.dims[i].Name, x)
+		}
+	}
+	t.Facts = append(t.Facts, Fact{Coords: append([]string(nil), coords...), M: m})
+	return nil
+}
+
+// View is one node of the datacube lattice: the table aggregated to one
+// category per dimension.
+type View struct {
+	Space *Space
+	Group Group
+	Agg   olap.AggFunc
+	// Cells maps the joined cell key to the aggregate; Keys recovers the
+	// member tuple.
+	Cells map[string]int64
+}
+
+func cellKey(members []string) string { return strings.Join(members, "\x1f") }
+
+// Keys splits a cell key back into its member tuple.
+func Keys(key string) []string { return strings.Split(key, "\x1f") }
+
+type accumulator struct {
+	f     olap.AggFunc
+	seen  bool
+	value int64
+}
+
+func (a *accumulator) add(m int64) {
+	switch a.f {
+	case olap.Sum:
+		a.value += m
+	case olap.Count:
+		a.value++
+	case olap.Min:
+		if !a.seen || m < a.value {
+			a.value = m
+		}
+	case olap.Max:
+		if !a.seen || m > a.value {
+			a.value = m
+		}
+	}
+	a.seen = true
+}
+
+// Compute evaluates the view directly from the fact table: each coordinate
+// rolls up to its dimension's category; facts with any non-rolling
+// coordinate are dropped by the rollup join.
+func Compute(t *Table, g Group, af olap.AggFunc) (*View, error) {
+	if err := t.Space.Validate(g); err != nil {
+		return nil, err
+	}
+	// Memoize per-dimension ancestor lookups.
+	memo := make([]map[string]string, t.Space.NumDims())
+	for i := range memo {
+		memo[i] = map[string]string{}
+	}
+	accs := map[string]*accumulator{}
+	members := make([]string, t.Space.NumDims())
+	for _, f := range t.Facts {
+		ok := true
+		for i, x := range f.Coords {
+			target, hit := memo[i][x]
+			if !hit {
+				target, _ = t.Space.dims[i].Inst.AncestorIn(x, g[i])
+				memo[i][x] = target
+			}
+			if target == "" {
+				ok = false
+				break
+			}
+			members[i] = target
+		}
+		if !ok {
+			continue
+		}
+		k := cellKey(members)
+		a := accs[k]
+		if a == nil {
+			a = &accumulator{f: af}
+			accs[k] = a
+		}
+		a.add(f.M)
+	}
+	cells := make(map[string]int64, len(accs))
+	for k, a := range accs {
+		cells[k] = a.value
+	}
+	return &View{Space: t.Space, Group: g, Agg: af, Cells: cells}, nil
+}
+
+// RollupFrom computes the view at the coarser group from a finer view: the
+// multidimensional analogue of Definition 6, mapping each cell key
+// member-by-member through the per-dimension rollup mappings and merging
+// with the companion aggregate af^c. The result equals Compute(t, to, af)
+// exactly when, for every dimension i, to[i] is summarizable from
+// {from[i]} in that dimension instance (Theorem 1 per dimension) — use
+// Rewritable to test that before trusting the result.
+func RollupFrom(v *View, to Group) (*View, error) {
+	if err := v.Space.Validate(to); err != nil {
+		return nil, err
+	}
+	comb := v.Agg.Combine()
+	// Per-dimension rollup mappings from the view's categories.
+	maps := make([]map[string]string, v.Space.NumDims())
+	for i := range maps {
+		maps[i] = v.Space.dims[i].Inst.RollupMapping(v.Group[i], to[i])
+	}
+	accs := map[string]*accumulator{}
+	keys := make([]string, 0, len(v.Cells))
+	for k := range v.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	target := make([]string, v.Space.NumDims())
+	for _, k := range keys {
+		members := Keys(k)
+		ok := true
+		for i, m := range members {
+			t, hit := maps[i][m]
+			if !hit {
+				ok = false
+				break
+			}
+			target[i] = t
+		}
+		if !ok {
+			continue
+		}
+		tk := cellKey(target)
+		a := accs[tk]
+		if a == nil {
+			a = &accumulator{f: comb}
+			accs[tk] = a
+		}
+		a.add(v.Cells[k])
+	}
+	cells := make(map[string]int64, len(accs))
+	for k, a := range accs {
+		cells[k] = a.value
+	}
+	return &View{Space: v.Space, Group: to, Agg: v.Agg, Cells: cells}, nil
+}
+
+// Equal reports whether two views agree on group, aggregate and cells.
+func Equal(a, b *View) bool {
+	if a.Group.Key() != b.Group.Key() || a.Agg != b.Agg || len(a.Cells) != len(b.Cells) {
+		return false
+	}
+	for k, v := range a.Cells {
+		if w, ok := b.Cells[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff reports the first differing cell ("" when equal).
+func Diff(a, b *View) string {
+	if a.Group.Key() != b.Group.Key() {
+		return fmt.Sprintf("group %s vs %s", a.Group, b.Group)
+	}
+	if a.Agg != b.Agg {
+		return fmt.Sprintf("aggregate %s vs %s", a.Agg, b.Agg)
+	}
+	all := map[string]bool{}
+	for k := range a.Cells {
+		all[k] = true
+	}
+	for k := range b.Cells {
+		all[k] = true
+	}
+	keys := make([]string, 0, len(all))
+	for k := range all {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		va, oka := a.Cells[k]
+		vb, okb := b.Cells[k]
+		cell := strings.Join(Keys(k), ",")
+		switch {
+		case !oka:
+			return fmt.Sprintf("cell (%s): missing vs %d", cell, vb)
+		case !okb:
+			return fmt.Sprintf("cell (%s): %d vs missing", cell, va)
+		case va != vb:
+			return fmt.Sprintf("cell (%s): %d vs %d", cell, va, vb)
+		}
+	}
+	return ""
+}
+
+// String renders the view deterministically.
+func (v *View) String() string {
+	keys := make([]string, 0, len(v.Cells))
+	for k := range v.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s by %s:", v.Agg, v.Group)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " (%s)=%d", strings.Join(Keys(k), ","), v.Cells[k])
+	}
+	return b.String()
+}
+
+// Dominates reports whether the group g is at or below h on every
+// dimension of the lattice: each g[i] reaches h[i] in the dimension's
+// hierarchy schema. Domination is necessary for rewriting h from g but
+// not sufficient — see Rewritable.
+func (s *Space) Dominates(g, h Group) bool {
+	for i := range s.dims {
+		if !s.dims[i].Inst.Schema().Reaches(g[i], h[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rewritable reports whether the view at group "to" is exactly computable
+// from the view at group "from": for every dimension, to[i] must be
+// summarizable from {from[i]} according to that dimension's oracle
+// (Theorem 1). Oracles are aligned with the space's dimensions.
+func Rewritable(oracles []olap.Oracle, from, to Group) bool {
+	for i, o := range oracles {
+		if !o.Summarizable(to[i], []string{from[i]}) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,428 @@
+package cube
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"olapdim/internal/gen"
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+	"olapdim/internal/schema"
+)
+
+// productDim builds a small heterogeneous product dimension: branded
+// products roll up through Brand, generic ones directly to Maker.
+func productDim(t testing.TB) *instance.Instance {
+	t.Helper()
+	g := schema.New("product")
+	for _, e := range [][2]string{
+		{"Product", "Brand"}, {"Brand", "Maker"}, {"Product", "Maker"}, {"Maker", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := instance.New(g)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Product", "cola"))
+	must(d.AddMember("Product", "soda"))
+	must(d.AddMember("Product", "beans"))
+	must(d.AddMember("Brand", "Fizz"))
+	must(d.AddMember("Maker", "AcmeCo"))
+	must(d.AddMember("Maker", "FarmCo"))
+	must(d.AddLink("cola", "Fizz"))
+	must(d.AddLink("soda", "Fizz"))
+	must(d.AddLink("Fizz", "AcmeCo"))
+	must(d.AddLink("beans", "FarmCo")) // generic: skips Brand
+	must(d.AddLink("AcmeCo", instance.AllMember))
+	must(d.AddLink("FarmCo", instance.AllMember))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// salesSpace is the paper's motivating space: stores × products.
+func salesSpace(t testing.TB) (*Space, *Table) {
+	t.Helper()
+	loc := paper.LocationInstance()
+	prod := productDim(t)
+	s, err := NewSpace(Dimension{"location", loc}, Dimension{"product", prod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(s)
+	add := func(m int64, store, product string) {
+		t.Helper()
+		if err := tbl.Add(m, store, product); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(10, "s1", "cola")
+	add(20, "s1", "beans")
+	add(40, "s3", "soda")
+	add(80, "s4", "cola")
+	add(160, "s5", "beans") // the Washington store
+	add(320, "s6", "soda")
+	add(5, "s2", "cola")
+	return s, tbl
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	loc := paper.LocationInstance()
+	if _, err := NewSpace(); err == nil {
+		t.Error("empty space accepted")
+	}
+	if _, err := NewSpace(Dimension{"", loc}); err == nil {
+		t.Error("unnamed dimension accepted")
+	}
+	if _, err := NewSpace(Dimension{"a", loc}, Dimension{"a", loc}); err == nil {
+		t.Error("duplicate dimension accepted")
+	}
+}
+
+func TestTableAddErrors(t *testing.T) {
+	s, _ := salesSpace(t)
+	tbl := NewTable(s)
+	if err := tbl.Add(1, "s1"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := tbl.Add(1, "s1", "ghost"); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+func TestBaseGroup(t *testing.T) {
+	s, _ := salesSpace(t)
+	g, err := s.BaseGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Key() != (Group{"Store", "Product"}).Key() {
+		t.Errorf("base group = %s", g)
+	}
+}
+
+func TestComputePinned(t *testing.T) {
+	_, tbl := salesSpace(t)
+	v, err := Compute(tbl, Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		cellKey([]string{"Canada", "AcmeCo"}): 15,  // s1 cola 10 + s2 cola 5
+		cellKey([]string{"Canada", "FarmCo"}): 20,  // s1 beans
+		cellKey([]string{"Mexico", "AcmeCo"}): 40,  // s3 soda
+		cellKey([]string{"USA", "AcmeCo"}):    400, // s4 cola + s6 soda
+		cellKey([]string{"USA", "FarmCo"}):    160, // s5 beans
+	}
+	if len(v.Cells) != len(want) {
+		t.Fatalf("cells = %v", v.Cells)
+	}
+	for k, x := range want {
+		if v.Cells[k] != x {
+			t.Errorf("cell %q = %d, want %d", strings.ReplaceAll(k, "\x1f", ","), v.Cells[k], x)
+		}
+	}
+}
+
+func TestComputeDropsNonRolling(t *testing.T) {
+	_, tbl := salesSpace(t)
+	// Brand: the generic product "beans" has no Brand ancestor, so its
+	// facts vanish from the Brand × Country view.
+	v, err := Compute(tbl, Group{paper.Country, "Brand"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, x := range v.Cells {
+		total += x
+	}
+	if total != 10+40+80+320+5 {
+		t.Errorf("brand view total = %d", total)
+	}
+}
+
+func TestCollapseWithAll(t *testing.T) {
+	_, tbl := salesSpace(t)
+	v, err := Compute(tbl, Group{schema.All, schema.All}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Cells) != 1 {
+		t.Fatalf("cells = %v", v.Cells)
+	}
+	if got := v.Cells[cellKey([]string{"all", "all"})]; got != 635 {
+		t.Errorf("grand total = %d, want 635", got)
+	}
+}
+
+func TestRollupFromExact(t *testing.T) {
+	_, tbl := salesSpace(t)
+	for _, af := range olap.Funcs {
+		fine, err := Compute(tbl, Group{paper.City, "Maker"}, af)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := Compute(tbl, Group{paper.Country, "Maker"}, af)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rolled, err := RollupFrom(fine, Group{paper.Country, "Maker"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := Diff(direct, rolled); diff != "" {
+			t.Errorf("%s: %s", af, diff)
+		}
+	}
+}
+
+func TestRollupFromUndercount(t *testing.T) {
+	// Per-dimension failure: Country is not summarizable from {State}
+	// (Washington), so rewriting (State, Maker) -> (Country, Maker) loses
+	// s5's fact.
+	_, tbl := salesSpace(t)
+	fine, err := Compute(tbl, Group{paper.State, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Compute(tbl, Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rolled, err := RollupFrom(fine, Group{paper.Country, "Maker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Equal(direct, rolled) {
+		t.Fatal("expected undercount")
+	}
+	if got := rolled.Cells[cellKey([]string{"USA", "FarmCo"})]; got != 0 {
+		t.Errorf("USA/FarmCo = %d, want missing (Washington lost)", got)
+	}
+	// Canada vanishes entirely: Canadian stores have no State ancestor.
+	if _, ok := rolled.Cells[cellKey([]string{"Canada", "AcmeCo"})]; ok {
+		t.Error("Canada should be missing from the State-based rewrite")
+	}
+}
+
+func TestRewritable(t *testing.T) {
+	loc := paper.LocationInstance()
+	prod := productDim(t)
+	oracles := []olap.Oracle{olap.InstanceOracle{D: loc}, olap.InstanceOracle{D: prod}}
+	if !Rewritable(oracles, Group{paper.City, "Maker"}, Group{paper.Country, "Maker"}) {
+		t.Error("City->Country per-dimension rewrite should be certified")
+	}
+	if Rewritable(oracles, Group{paper.State, "Maker"}, Group{paper.Country, "Maker"}) {
+		t.Error("State->Country must be refused (Washington)")
+	}
+	if Rewritable(oracles, Group{paper.City, "Brand"}, Group{paper.Country, "Maker"}) {
+		t.Error("Brand->Maker must be refused (generic products skip Brand)")
+	}
+	if !Rewritable(oracles, Group{paper.City, "Product"}, Group{paper.Country, schema.All}) {
+		t.Error("collapsing to All is always certified")
+	}
+}
+
+func TestNavigator(t *testing.T) {
+	s, tbl := salesSpace(t)
+	loc := s.Dims()[0].Inst
+	prod := s.Dims()[1].Inst
+	nav, err := NewNavigator(tbl, []olap.Oracle{
+		olap.InstanceOracle{D: loc}, olap.InstanceOracle{D: prod},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nav.Materialize(Group{paper.City, "Maker"}, olap.Sum); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nav.Materialize(Group{paper.State, "Maker"}, olap.Sum); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact hit.
+	_, plan, err := nav.Query(Group{paper.City, "Maker"}, olap.Sum)
+	if err != nil || plan.FromBase || plan.Source.Key() != (Group{paper.City, "Maker"}).Key() {
+		t.Errorf("exact hit plan = %s (%v)", plan, err)
+	}
+
+	// Certified rewrite: Country×Maker from City×Maker (the State view is
+	// smaller but uncertified — the navigator must skip it).
+	v, plan, err := nav.Query(Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FromBase || plan.Source.Key() != (Group{paper.City, "Maker"}).Key() {
+		t.Errorf("plan = %s, want rewrite from (City, Maker)", plan)
+	}
+	direct, err := Compute(tbl, Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := Diff(direct, v); diff != "" {
+		t.Errorf("navigator answer differs: %s", diff)
+	}
+
+	// No certified source: Province×Brand only reachable from base.
+	_, plan, err = nav.Query(Group{paper.Province, "Brand"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.FromBase {
+		t.Errorf("plan = %s, want base scan", plan)
+	}
+
+	// Unknown category errors.
+	if _, _, err := nav.Query(Group{"Nope", "Maker"}, olap.Sum); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if _, err := NewNavigator(tbl, nil); err == nil {
+		t.Error("oracle arity mismatch accepted")
+	}
+}
+
+// TestRewritableImpliesExact is the multidimensional safety property: on
+// random 2-D spaces and random fact tables, every rewrite the per-dimension
+// Theorem 1 oracles certify agrees with direct computation, under all four
+// aggregates.
+func TestRewritableImpliesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d1, err := gen.RandomInstance(gen.SchemaSpec{
+			Seed: seed, Categories: 4, Levels: 2 + rng.Intn(2), ExtraEdgeProb: 0.3,
+		}, 1+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		d2, err := gen.RandomInstance(gen.SchemaSpec{
+			Seed: seed + 9999, Categories: 4, Levels: 2, ExtraEdgeProb: 0.4,
+		}, 1+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		s, err := NewSpace(Dimension{"d1", d1}, Dimension{"d2", d2})
+		if err != nil {
+			return false
+		}
+		tbl := NewTable(s)
+		b1, b2 := d1.BaseMembers(), d2.BaseMembers()
+		for i := 0; i < 30; i++ {
+			x1 := b1[rng.Intn(len(b1))]
+			x2 := b2[rng.Intn(len(b2))]
+			if err := tbl.Add(rng.Int63n(100), x1, x2); err != nil {
+				return false
+			}
+		}
+		oracles := []olap.Oracle{olap.InstanceOracle{D: d1}, olap.InstanceOracle{D: d2}}
+		cats1 := d1.Schema().SortedCategories()
+		cats2 := d2.Schema().SortedCategories()
+		for trial := 0; trial < 6; trial++ {
+			from := Group{cats1[rng.Intn(len(cats1))], cats2[rng.Intn(len(cats2))]}
+			to := Group{cats1[rng.Intn(len(cats1))], cats2[rng.Intn(len(cats2))]}
+			if !Rewritable(oracles, from, to) {
+				continue
+			}
+			for _, af := range olap.Funcs {
+				fine, err := Compute(tbl, from, af)
+				if err != nil {
+					return false
+				}
+				direct, err := Compute(tbl, to, af)
+				if err != nil {
+					return false
+				}
+				rolled, err := RollupFrom(fine, to)
+				if err != nil {
+					return false
+				}
+				if diff := Diff(direct, rolled); diff != "" {
+					t.Logf("certified rewrite %s -> %s wrong under %s: %s", from, to, af, diff)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	n := 80
+	if testing.Short() {
+		n = 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewStringAndKeys(t *testing.T) {
+	_, tbl := salesSpace(t)
+	v, err := Compute(tbl, Group{paper.Country, schema.All}, olap.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := v.String()
+	if !strings.Contains(s, "COUNT by (Country, All)") {
+		t.Errorf("rendering: %s", s)
+	}
+	k := cellKey([]string{"USA", "all"})
+	if got := Keys(k); len(got) != 2 || got[0] != "USA" {
+		t.Errorf("Keys = %v", got)
+	}
+}
+
+func TestViewEqualAndPlan(t *testing.T) {
+	_, tbl := salesSpace(t)
+	a, err := Compute(tbl, Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(tbl, Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, b) {
+		t.Error("identical views unequal")
+	}
+	c, err := Compute(tbl, Group{paper.Country, "Maker"}, olap.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Equal(a, c) {
+		t.Error("different aggregates equal")
+	}
+	d, err := Compute(tbl, Group{paper.City, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Equal(a, d) {
+		t.Error("different groups equal")
+	}
+	b.Cells[cellKey([]string{"Canada", "AcmeCo"})]++
+	if Equal(a, b) {
+		t.Error("changed cell missed")
+	}
+	// Plan rendering.
+	p := Plan{Target: Group{paper.Country, "Maker"}, FromBase: true}
+	if !strings.Contains(p.String(), "base facts") {
+		t.Errorf("plan = %s", p)
+	}
+	p = Plan{Target: Group{paper.Country, "Maker"}, Source: Group{paper.City, "Maker"}}
+	if !strings.Contains(p.String(), "(City, Maker)") {
+		t.Errorf("plan = %s", p)
+	}
+	// Group validation errors.
+	if err := tbl.Space.Validate(Group{paper.Country}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tbl.Space.Validate(Group{"Nope", "Maker"}); err == nil {
+		t.Error("unknown category accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"olapdim/internal/olap"
+)
+
+// Navigator answers datacube queries from materialized lattice views,
+// certifying every rewrite dimension-by-dimension with the summarizability
+// oracles (Theorem 1 of the paper) and falling back to the base fact
+// table. It is the multidimensional analogue of olap.Navigator.
+type Navigator struct {
+	table   *Table
+	oracles []olap.Oracle
+	views   map[olap.AggFunc]map[string]*View
+}
+
+// NewNavigator builds a navigator; oracles align with the space's
+// dimensions (use olap.InstanceOracle for instance-level guarantees or
+// olap.SchemaOracle for schema-level ones).
+func NewNavigator(t *Table, oracles []olap.Oracle) (*Navigator, error) {
+	if len(oracles) != t.Space.NumDims() {
+		return nil, fmt.Errorf("cube: %d oracles for %d dimensions", len(oracles), t.Space.NumDims())
+	}
+	return &Navigator{table: t, oracles: oracles, views: map[olap.AggFunc]map[string]*View{}}, nil
+}
+
+// Materialize computes and stores the view for (g, af).
+func (n *Navigator) Materialize(g Group, af olap.AggFunc) (*View, error) {
+	v, err := Compute(n.table, g, af)
+	if err != nil {
+		return nil, err
+	}
+	if n.views[af] == nil {
+		n.views[af] = map[string]*View{}
+	}
+	n.views[af][g.Key()] = v
+	return v, nil
+}
+
+// Plan describes how a query was answered.
+type Plan struct {
+	Target Group
+	// Source is the materialized group used; nil when scanning base facts.
+	Source Group
+	// FromBase reports a base-table scan.
+	FromBase bool
+}
+
+func (p Plan) String() string {
+	if p.FromBase {
+		return fmt.Sprintf("%s from base facts", p.Target)
+	}
+	return fmt.Sprintf("%s from %s", p.Target, p.Source)
+}
+
+// Query answers the view for (g, af): an exact materialized hit if
+// present; otherwise the smallest certified materialized view; otherwise
+// the base table. Candidate views are certified per dimension with the
+// oracles, so heterogeneous rollup structure never silently corrupts the
+// answer.
+func (n *Navigator) Query(g Group, af olap.AggFunc) (*View, Plan, error) {
+	if err := n.table.Space.Validate(g); err != nil {
+		return nil, Plan{}, err
+	}
+	if v, ok := n.views[af][g.Key()]; ok {
+		return v, Plan{Target: g, Source: g}, nil
+	}
+	// Candidates sorted by cell count (smallest first) for the cheapest
+	// certified rewrite.
+	type cand struct {
+		key  string
+		view *View
+	}
+	var cands []cand
+	for k, v := range n.views[af] {
+		cands = append(cands, cand{k, v})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i].view.Cells) != len(cands[j].view.Cells) {
+			return len(cands[i].view.Cells) < len(cands[j].view.Cells)
+		}
+		return cands[i].key < cands[j].key
+	})
+	for _, c := range cands {
+		if !n.table.Space.Dominates(c.view.Group, g) {
+			continue
+		}
+		if !Rewritable(n.oracles, c.view.Group, g) {
+			continue
+		}
+		v, err := RollupFrom(c.view, g)
+		if err != nil {
+			return nil, Plan{}, err
+		}
+		return v, Plan{Target: g, Source: c.view.Group}, nil
+	}
+	v, err := Compute(n.table, g, af)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	return v, Plan{Target: g, FromBase: true}, nil
+}

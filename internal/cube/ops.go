@@ -1,0 +1,97 @@
+package cube
+
+import "fmt"
+
+// dimIndex resolves a dimension name to its position.
+func (s *Space) dimIndex(name string) (int, error) {
+	for i, d := range s.dims {
+		if d.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cube: no dimension %q", name)
+}
+
+// Slice restricts the fact table to the subcube under one member: facts
+// whose coordinate on the named dimension does not roll up to the member
+// are dropped. The classical OLAP slice — "sales of the USA", "sales of
+// brand Fizz" — at any granularity of the dimension.
+func (t *Table) Slice(dim, member string) (*Table, error) {
+	i, err := t.Space.dimIndex(dim)
+	if err != nil {
+		return nil, err
+	}
+	d := t.Space.dims[i].Inst
+	if _, ok := d.Category(member); !ok {
+		return nil, fmt.Errorf("cube: dimension %s has no member %q", dim, member)
+	}
+	out := NewTable(t.Space)
+	memo := map[string]bool{}
+	for _, f := range t.Facts {
+		x := f.Coords[i]
+		keep, hit := memo[x]
+		if !hit {
+			keep = d.Leq(x, member)
+			memo[x] = keep
+		}
+		if keep {
+			out.Facts = append(out.Facts, f)
+		}
+	}
+	return out, nil
+}
+
+// Dice restricts the fact table to facts whose coordinate on the named
+// dimension rolls up to any of the given members — the classical OLAP dice
+// ("sales of Canada or Mexico").
+func (t *Table) Dice(dim string, members ...string) (*Table, error) {
+	i, err := t.Space.dimIndex(dim)
+	if err != nil {
+		return nil, err
+	}
+	d := t.Space.dims[i].Inst
+	for _, m := range members {
+		if _, ok := d.Category(m); !ok {
+			return nil, fmt.Errorf("cube: dimension %s has no member %q", dim, m)
+		}
+	}
+	out := NewTable(t.Space)
+	memo := map[string]bool{}
+	for _, f := range t.Facts {
+		x := f.Coords[i]
+		keep, hit := memo[x]
+		if !hit {
+			for _, m := range members {
+				if d.Leq(x, m) {
+					keep = true
+					break
+				}
+			}
+			memo[x] = keep
+		}
+		if keep {
+			out.Facts = append(out.Facts, f)
+		}
+	}
+	return out, nil
+}
+
+// SliceView restricts a computed view to the cells whose member on the
+// named dimension rolls up to the given member, keeping the group.
+func (v *View) SliceView(dim, member string) (*View, error) {
+	i, err := v.Space.dimIndex(dim)
+	if err != nil {
+		return nil, err
+	}
+	d := v.Space.dims[i].Inst
+	if _, ok := d.Category(member); !ok {
+		return nil, fmt.Errorf("cube: dimension %s has no member %q", dim, member)
+	}
+	cells := map[string]int64{}
+	for k, val := range v.Cells {
+		if d.Leq(Keys(k)[i], member) {
+			cells[k] = val
+		}
+	}
+	return &View{Space: v.Space, Group: v.Group, Agg: v.Agg, Cells: cells}, nil
+}

@@ -1,0 +1,176 @@
+package cube
+
+import (
+	"testing"
+
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+)
+
+func TestSlice(t *testing.T) {
+	_, tbl := salesSpace(t)
+	usa, err := tbl.Slice("location", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// USA facts: s4 (80), s5 (160), s6 (320).
+	if len(usa.Facts) != 3 {
+		t.Fatalf("facts = %v", usa.Facts)
+	}
+	v, err := Compute(usa, Group{paper.Country, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cells[cellKey([]string{"USA", "AcmeCo"})] != 400 {
+		t.Errorf("cells = %v", v.Cells)
+	}
+	if _, ok := v.Cells[cellKey([]string{"Canada", "AcmeCo"})]; ok {
+		t.Error("slice leaked Canadian facts")
+	}
+	// Slicing at a finer member works too.
+	fizz, err := tbl.Slice("product", "Fizz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, f := range fizz.Facts {
+		total += f.M
+	}
+	if total != 10+40+80+320+5 {
+		t.Errorf("brand slice total = %d", total)
+	}
+	// Errors.
+	if _, err := tbl.Slice("nope", "USA"); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+	if _, err := tbl.Slice("location", "ghost"); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+func TestDice(t *testing.T) {
+	_, tbl := salesSpace(t)
+	northAmericaSouth, err := tbl.Dice("location", "Canada", "Mexico")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, f := range northAmericaSouth.Facts {
+		total += f.M
+	}
+	if total != 10+20+5+40 {
+		t.Errorf("dice total = %d", total)
+	}
+	if _, err := tbl.Dice("location", "ghost"); err == nil {
+		t.Error("unknown member accepted")
+	}
+	if _, err := tbl.Dice("nope", "USA"); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	_, tbl := salesSpace(t)
+	v, err := Compute(tbl, Group{paper.City, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usaOnly, err := v.SliceView("location", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range usaOnly.Cells {
+		city := Keys(k)[0]
+		if city == "Toronto" || city == "Ottawa" || city == "Monterrey" {
+			t.Errorf("non-US city %s survived the slice", city)
+		}
+	}
+	if len(usaOnly.Cells) == 0 {
+		t.Error("slice dropped everything")
+	}
+	if _, err := v.SliceView("location", "ghost"); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+// TestSliceCommutesWithCompute: slicing facts then aggregating equals
+// aggregating then slicing the view, for groups at or above the slice
+// member's category.
+func TestSliceCommutesWithCompute(t *testing.T) {
+	_, tbl := salesSpace(t)
+	sliced, err := tbl.Slice("location", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Compute(sliced, Group{paper.City, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Compute(tbl, Group{paper.City, "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := full.SliceView("location", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := Diff(a, b); diff != "" {
+		t.Errorf("slice does not commute: %s", diff)
+	}
+}
+
+// TestSliceDiceProperties: randomized slice/dice laws over the sales
+// fixture — slice(m) == dice(m); dice(a,b) facts = union of slices;
+// slicing twice by nested members equals slicing by the finer one.
+func TestSliceDiceProperties(t *testing.T) {
+	_, tbl := salesSpace(t)
+	members := []string{"USA", "Canada", "Mexico", "SRWest", "Texas", "Washington", "s1"}
+	sum := func(tb *Table) int64 {
+		var out int64
+		for _, f := range tb.Facts {
+			out += f.M
+		}
+		return out
+	}
+	for _, m := range members {
+		s1, err := tbl.Slice("location", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := tbl.Dice("location", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum(s1) != sum(d1) || len(s1.Facts) != len(d1.Facts) {
+			t.Errorf("slice(%s) != dice(%s)", m, m)
+		}
+	}
+	// Disjoint dice splits totals.
+	ca, err := tbl.Dice("location", "Canada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mxUs, err := tbl.Dice("location", "Mexico", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(ca)+sum(mxUs) != sum(tbl) {
+		t.Errorf("disjoint dice does not partition: %d + %d != %d", sum(ca), sum(mxUs), sum(tbl))
+	}
+	// Nested slices: USA then Texas == Texas.
+	usa, err := tbl.Slice("location", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	usaTexas, err := usa.Slice("location", "Texas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	texas, err := tbl.Slice("location", "Texas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(usaTexas) != sum(texas) {
+		t.Errorf("nested slice differs: %d vs %d", sum(usaTexas), sum(texas))
+	}
+}

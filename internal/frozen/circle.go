@@ -1,0 +1,75 @@
+package frozen
+
+import (
+	"olapdim/internal/constraint"
+)
+
+// circleDecider resolves path, rollup and through atoms against the
+// subhierarchy g (Definition 8(a)) and maps equality and order atoms whose
+// attribute category is unreachable from their root in g to false
+// (Definition 8(b)). Atoms over reachable categories stay undecided and
+// survive into the residual expression handed to the c-assignment solver.
+func circleDecider(g *Subhierarchy) constraint.Decider {
+	return func(a constraint.Atom) (bool, bool) {
+		switch a := a.(type) {
+		case constraint.PathAtom:
+			return g.IsPath(a.Cats), true
+		case constraint.RollupAtom:
+			return g.Reaches(a.RootCat, a.Cat), true
+		case constraint.ThroughAtom:
+			return g.Reaches(a.RootCat, a.Via) && g.Reaches(a.Via, a.Cat), true
+		case constraint.EqAtom:
+			if !g.Reaches(a.RootCat, a.Cat) {
+				return false, true
+			}
+			return false, false
+		case constraint.CmpAtom:
+			if !g.Reaches(a.RootCat, a.Cat) {
+				return false, true
+			}
+			return false, false
+		}
+		return false, false
+	}
+}
+
+// Circle computes Σ∘g (Definition 8) with constant folding, skipping
+// constraints whose root category is not in g: Definition 4 makes such
+// constraints vacuously true on the induced frozen dimension (deviation 1
+// in DESIGN.md). The residual expressions mention only equality atoms over
+// categories of g. ok is false when some constraint folded to false, in
+// which case g induces no frozen dimension regardless of c-assignment.
+func Circle(sigma []constraint.Expr, g *Subhierarchy) (residual []constraint.Expr, ok bool) {
+	d := circleDecider(g)
+	for _, e := range sigma {
+		root, err := constraint.Root(e)
+		if err != nil {
+			return nil, false
+		}
+		if root != "" && !g.HasCategory(root) {
+			continue
+		}
+		r := constraint.Reduce(e, d)
+		if _, isFalse := r.(constraint.False); isFalse {
+			return nil, false
+		}
+		if _, isTrue := r.(constraint.True); isTrue {
+			continue
+		}
+		residual = append(residual, r)
+	}
+	return residual, true
+}
+
+// CircleVerbatim computes Σ∘g exactly as Definition 8 states it, replacing
+// atoms by the constants true/false without folding or dropping vacuous
+// constraints. It reproduces the right column of Figure 5 of the paper and
+// exists for documentation and golden tests; the solver uses Circle.
+func CircleVerbatim(sigma []constraint.Expr, g *Subhierarchy) []constraint.Expr {
+	d := circleDecider(g)
+	out := make([]constraint.Expr, len(sigma))
+	for i, e := range sigma {
+		out[i] = constraint.Substitute(e, d)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package frozen
+
+import (
+	"fmt"
+
+	"olapdim/internal/instance"
+)
+
+// ConeOf extracts the ancestor cone of member x in instance d as a frozen
+// dimension: the subhierarchy formed by the categories of x's ancestors
+// (one member each, by partitioning C2) with x's direct-link structure,
+// and the c-assignment mapping each category to its ancestor's name when
+// that name is a constant of the schema (consts), or NK otherwise.
+//
+// By the construction behind Theorem 3, the cone of any member of a valid
+// instance over ds is a frozen dimension of ds with root category(x) —
+// `TestConesAreFrozenDimensions` checks this correspondence against the
+// enumerated frozen dimensions.
+func ConeOf(d *instance.Instance, x string, consts map[string][]string) (*Frozen, error) {
+	root, ok := d.Category(x)
+	if !ok {
+		return nil, fmt.Errorf("frozen: unknown member %q", x)
+	}
+	g := NewSubhierarchy(root)
+	assign := Assignment{}
+	anc := d.Ancestors(x)
+	constSet := map[string]map[string]bool{}
+	for c, vs := range consts {
+		constSet[c] = map[string]bool{}
+		for _, v := range vs {
+			constSet[c][v] = true
+		}
+	}
+	for y := range anc {
+		cy, _ := d.Category(y)
+		for _, p := range d.Parents(y) {
+			if !anc[p] {
+				continue
+			}
+			cp, _ := d.Category(p)
+			g.AddEdge(cy, cp)
+		}
+		if set, ok := constSet[cy]; ok && set[d.Name(y)] {
+			assign[cy] = d.Name(y)
+		} else {
+			assign[cy] = NK
+		}
+	}
+	return &Frozen{G: g, Assign: assign}, nil
+}

@@ -1,0 +1,364 @@
+package frozen
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/schema"
+)
+
+// diamondSchema: A -> {B, C} -> D -> All with shortcut edge A -> D.
+func diamondSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	g := schema.New("diamond")
+	for _, e := range [][2]string{
+		{"A", "B"}, {"A", "C"}, {"A", "D"}, {"B", "D"}, {"C", "D"}, {"D", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func sub(edges ...[2]string) *Subhierarchy {
+	g := NewSubhierarchy("A")
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestSubhierarchyBasics(t *testing.T) {
+	g := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	if g.Root() != "A" {
+		t.Errorf("Root = %q", g.Root())
+	}
+	if !g.HasCategory("B") || g.HasCategory("C") {
+		t.Error("category membership wrong")
+	}
+	if !g.HasEdge("A", "B") || g.HasEdge("A", "D") {
+		t.Error("edge membership wrong")
+	}
+	if !g.Reaches("A", schema.All) || g.Reaches("D", "A") {
+		t.Error("reachability wrong")
+	}
+	if !g.Reaches("A", "A") {
+		t.Error("reachability must be reflexive")
+	}
+	if !g.IsPath([]string{"A", "B", "D"}) {
+		t.Error("A,B,D is a path")
+	}
+	if g.IsPath([]string{"A", "D"}) {
+		t.Error("A,D is not a path")
+	}
+	if g.IsPath(nil) {
+		t.Error("empty path accepted")
+	}
+	if g.NumCategories() != 4 {
+		t.Errorf("NumCategories = %d", g.NumCategories())
+	}
+}
+
+func TestSubhierarchyValidate(t *testing.T) {
+	G := diamondSchema(t)
+	good := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	if err := good.Validate(G); err != nil {
+		t.Errorf("valid subhierarchy rejected: %v", err)
+	}
+	// Missing All.
+	noAll := sub([2]string{"A", "B"}, [2]string{"B", "D"})
+	if err := noAll.Validate(G); err == nil {
+		t.Error("subhierarchy without All accepted")
+	}
+	// Category not reachable from root.
+	floating := sub([2]string{"A", "D"}, [2]string{"D", schema.All}, [2]string{"B", "D"})
+	if err := floating.Validate(G); err == nil {
+		t.Error("category unreachable from root accepted")
+	}
+	// Edge not in schema.
+	bogus := sub([2]string{"A", "B"}, [2]string{"B", "C"}, [2]string{"C", "D"}, [2]string{"D", schema.All})
+	if err := bogus.Validate(G); err == nil {
+		t.Error("edge outside schema accepted")
+	}
+}
+
+func TestAcyclicAndShortcutFree(t *testing.T) {
+	ok := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	if !ok.Acyclic() || !ok.ShortcutFree() {
+		t.Error("clean subhierarchy misclassified")
+	}
+	cyc := sub([2]string{"A", "B"}, [2]string{"B", "A"})
+	if cyc.Acyclic() {
+		t.Error("cycle not detected")
+	}
+	sc := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"A", "D"}, [2]string{"D", schema.All})
+	if sc.ShortcutFree() {
+		t.Error("shortcut not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := sub([2]string{"A", "B"})
+	c := g.Clone()
+	c.AddEdge("B", "D")
+	if g.HasCategory("D") {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestKeyAndString(t *testing.T) {
+	g := sub([2]string{"B", "D"}, [2]string{"A", "B"})
+	if got := g.String(); got != "A->B; B->D" {
+		t.Errorf("String = %q", got)
+	}
+	empty := NewSubhierarchy("A")
+	if got := empty.String(); got != "{A}" {
+		t.Errorf("String = %q", got)
+	}
+	if sub([2]string{"A", "B"}).Key() == sub([2]string{"A", "C"}).Key() {
+		t.Error("distinct subhierarchies share a key")
+	}
+}
+
+func TestCircleDecidesPathAtoms(t *testing.T) {
+	g := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	sigma := []constraint.Expr{
+		constraint.NewPath("A", "B"), // true in g
+		constraint.NewOr(constraint.NewPath("A", "C"), constraint.NewPath("A", "B")), // true
+		constraint.RollupAtom{RootCat: "A", Cat: "D"},                                // reachable
+		constraint.ThroughAtom{RootCat: "A", Via: "B", Cat: "D"},
+	}
+	residual, ok := Circle(sigma, g)
+	if !ok {
+		t.Fatal("satisfiable circle reported failure")
+	}
+	if len(residual) != 0 {
+		t.Errorf("residual = %v, want empty", residual)
+	}
+	// A false path atom fails the circle.
+	_, ok = Circle([]constraint.Expr{constraint.NewPath("A", "C")}, g)
+	if ok {
+		t.Error("false path atom did not fail")
+	}
+}
+
+func TestCircleSkipsRootsOutsideG(t *testing.T) {
+	g := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	// Constraint rooted at C, which is not in g: vacuously true
+	// (deviation 1 in DESIGN.md).
+	sigma := []constraint.Expr{constraint.NewPath("C", "D")}
+	residual, ok := Circle(sigma, g)
+	if !ok || len(residual) != 0 {
+		t.Errorf("vacuous constraint not skipped: %v %v", residual, ok)
+	}
+}
+
+func TestCircleKeepsReachableEqAtoms(t *testing.T) {
+	g := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	sigma := []constraint.Expr{
+		constraint.EqAtom{RootCat: "A", Cat: "D", Val: "k"},                    // D reachable: kept
+		constraint.Not{X: constraint.EqAtom{RootCat: "A", Cat: "C", Val: "k"}}, // C unreachable: ⊥, so ¬⊥ = ⊤
+	}
+	residual, ok := Circle(sigma, g)
+	if !ok {
+		t.Fatal("unexpected failure")
+	}
+	if len(residual) != 1 || residual[0].String() != `A.D="k"` {
+		t.Errorf("residual = %v", residual)
+	}
+	// Unreachable equality atom asserted positively fails the circle.
+	_, ok = Circle([]constraint.Expr{constraint.EqAtom{RootCat: "A", Cat: "C", Val: "k"}}, g)
+	if ok {
+		t.Error("unreachable equality atom did not fail")
+	}
+}
+
+func TestCircleVerbatim(t *testing.T) {
+	g := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	sigma := []constraint.Expr{
+		constraint.Iff{
+			A: constraint.EqAtom{RootCat: "A", Cat: "A", Val: "x"},
+			B: constraint.NewPath("A", "C"),
+		},
+	}
+	got := CircleVerbatim(sigma, g)
+	want := `A="x" <-> false`
+	if len(got) != 1 || got[0].String() != want {
+		t.Errorf("CircleVerbatim = %v, want %q", got, want)
+	}
+}
+
+func TestFindAssignment(t *testing.T) {
+	consts := map[string][]string{"D": {"k1", "k2"}, "B": {"x"}}
+	// D must be k1, B must not be x.
+	residual := []constraint.Expr{
+		constraint.EqAtom{RootCat: "A", Cat: "D", Val: "k1"},
+		constraint.Not{X: constraint.EqAtom{RootCat: "A", Cat: "B", Val: "x"}},
+	}
+	a, ok := FindAssignment(residual, consts)
+	if !ok {
+		t.Fatal("no assignment found")
+	}
+	if a.Get("D") != "k1" {
+		t.Errorf("D = %q", a.Get("D"))
+	}
+	if a.Get("B") != NK {
+		t.Errorf("B = %q, want NK", a.Get("B"))
+	}
+	// Contradiction: D = k1 and D = k2.
+	bad := []constraint.Expr{
+		constraint.EqAtom{RootCat: "A", Cat: "D", Val: "k1"},
+		constraint.EqAtom{RootCat: "A", Cat: "D", Val: "k2"},
+	}
+	if _, ok := FindAssignment(bad, consts); ok {
+		t.Error("contradictory assignment found")
+	}
+}
+
+func TestEnumerateAssignments(t *testing.T) {
+	consts := map[string][]string{"D": {"k1", "k2"}}
+	// D may be anything but k2: NK or k1.
+	residual := []constraint.Expr{
+		constraint.Not{X: constraint.EqAtom{RootCat: "A", Cat: "D", Val: "k2"}},
+	}
+	as := EnumerateAssignments(residual, consts)
+	if len(as) != 2 {
+		t.Fatalf("got %d assignments, want 2: %v", len(as), as)
+	}
+	var reprs []string
+	for _, a := range as {
+		reprs = append(reprs, a.String())
+	}
+	joined := strings.Join(reprs, " ")
+	if !strings.Contains(joined, "D=nk") || !strings.Contains(joined, "D=k1") {
+		t.Errorf("assignments = %v", reprs)
+	}
+}
+
+func TestInducesAndMaterialize(t *testing.T) {
+	G := diamondSchema(t)
+	sigma := []constraint.Expr{
+		constraint.NewPath("A", "B"),
+		constraint.EqAtom{RootCat: "A", Cat: "D", Val: "hot"},
+	}
+	consts := constraint.ConstMap(sigma)
+	g := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"D", schema.All})
+	f, ok := Induces(g, sigma, consts)
+	if !ok {
+		t.Fatal("expected induction")
+	}
+	if f.Assign.Get("D") != "hot" {
+		t.Errorf("assignment D = %q", f.Assign.Get("D"))
+	}
+	d, err := f.ToInstance(G, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("materialized frozen dimension invalid: %v", err)
+	}
+	if !d.SatisfiesAll(sigma) {
+		t.Error("materialized frozen dimension violates sigma")
+	}
+	if d.Name(Phi("D")) != "hot" {
+		t.Errorf("Name(φD) = %q", d.Name(Phi("D")))
+	}
+	// Cyclic or shortcut subhierarchies never induce.
+	scut := sub([2]string{"A", "B"}, [2]string{"B", "D"}, [2]string{"A", "D"}, [2]string{"D", schema.All})
+	if _, ok := Induces(scut, sigma, consts); ok {
+		t.Error("shortcut subhierarchy induced a frozen dimension")
+	}
+}
+
+func TestFreshNK(t *testing.T) {
+	consts := map[string][]string{"D": {"nk", "nk'"}}
+	nk := FreshNK(consts)
+	if nk == "nk" || nk == "nk'" {
+		t.Errorf("FreshNK returned used constant %q", nk)
+	}
+}
+
+func TestNaiveSatisfiable(t *testing.T) {
+	G := diamondSchema(t)
+	sigma := []constraint.Expr{constraint.NewPath("A", "B")}
+	ok, err := NaiveSatisfiable(G, sigma, "A")
+	if err != nil || !ok {
+		t.Fatalf("A should be satisfiable: %v %v", ok, err)
+	}
+	// Force contradiction: A must and must not have a parent in B.
+	sigma2 := append(sigma, constraint.Not{X: constraint.NewPath("A", "B")})
+	ok, err = NaiveSatisfiable(G, sigma2, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("contradictory schema satisfiable")
+	}
+	// All is always satisfiable (Proposition 1).
+	ok, err = NaiveSatisfiable(G, sigma2, schema.All)
+	if err != nil || !ok {
+		t.Errorf("All must be satisfiable: %v %v", ok, err)
+	}
+	// B remains satisfiable: the contradiction only constrains A.
+	ok, err = NaiveSatisfiable(G, sigma2, "B")
+	if err != nil || !ok {
+		t.Errorf("B should be satisfiable: %v %v", ok, err)
+	}
+	if _, err := NaiveSatisfiable(G, sigma, "nope"); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestEnumerateFrozenDiamond(t *testing.T) {
+	G := diamondSchema(t)
+	// A must go through B or C (not directly to D), exactly one of them.
+	sigma := []constraint.Expr{
+		constraint.NewOne(constraint.NewPath("A", "B"), constraint.NewPath("A", "C")),
+		constraint.Not{X: constraint.NewPath("A", "D")},
+	}
+	fs, err := EnumerateFrozen(G, sigma, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		for _, f := range fs {
+			t.Logf("frozen: %s", f)
+		}
+		t.Fatalf("got %d frozen dimensions, want 2", len(fs))
+	}
+}
+
+func TestC7ForcesEdges(t *testing.T) {
+	// Example 11 analogue: forbidding the only outgoing edge of a category
+	// makes it unsatisfiable because condition C7 needs a parent.
+	g := schema.New("c7")
+	for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"C", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sigma := []constraint.Expr{constraint.Not{X: constraint.NewPath("B", "C")}}
+	ok, err := NaiveSatisfiable(g, sigma, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("B should be unsatisfiable: C7 requires B_C")
+	}
+	// A is likewise unsatisfiable: every instance with a member in A
+	// forces a member in B.
+	ok, err = NaiveSatisfiable(g, sigma, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("A should be unsatisfiable")
+	}
+	// C is unconstrained.
+	ok, err = NaiveSatisfiable(g, sigma, "C")
+	if err != nil || !ok {
+		t.Errorf("C should be satisfiable: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,175 @@
+package frozen
+
+import (
+	"fmt"
+	"sort"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/schema"
+)
+
+// maxNaiveEdges bounds the brute-force enumeration of edge subsets.
+const maxNaiveEdges = 30
+
+// candidateEdges returns the schema edges whose source is reachable from
+// root in G — the only edges a subhierarchy with that root can use.
+func candidateEdges(G *schema.Schema, root string) [][2]string {
+	reach := G.ReachableFrom(root)
+	var out [][2]string
+	for _, c := range G.Categories() {
+		if !reach[c] {
+			continue
+		}
+		for _, p := range G.Out(c) {
+			out = append(out, [2]string{c, p})
+		}
+	}
+	return out
+}
+
+// subhierarchyFromEdges assembles a candidate subhierarchy and checks
+// Definition 7 (root and All present, every category reachable from the
+// root and reaching All). It returns nil when the edge set is not a valid
+// subhierarchy.
+func subhierarchyFromEdges(root string, edges [][2]string, mask uint64) *Subhierarchy {
+	g := NewSubhierarchy(root)
+	for i, e := range edges {
+		if mask&(1<<uint(i)) != 0 {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	if !g.cats[schema.All] {
+		return nil
+	}
+	for c := range g.cats {
+		if !g.Reaches(root, c) || !g.Reaches(c, schema.All) {
+			return nil
+		}
+	}
+	return g
+}
+
+// forEachSubhierarchy enumerates every valid subhierarchy of G with the
+// given root by brute force over edge subsets, calling fn until it returns
+// false. It errors when the candidate edge count exceeds maxNaiveEdges.
+func forEachSubhierarchy(G *schema.Schema, root string, fn func(*Subhierarchy) bool) error {
+	edges := candidateEdges(G, root)
+	if len(edges) > maxNaiveEdges {
+		return fmt.Errorf("frozen: naive enumeration over %d candidate edges exceeds limit %d",
+			len(edges), maxNaiveEdges)
+	}
+	for mask := uint64(0); mask < 1<<uint(len(edges)); mask++ {
+		g := subhierarchyFromEdges(root, edges, mask)
+		if g == nil {
+			continue
+		}
+		if !fn(g) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// NaiveSatisfiable decides category satisfiability by the construction in
+// the proof of Theorem 3: enumerate every candidate frozen dimension (all
+// edge subsets × all constant selections), materialize each as an instance
+// and check conditions (C1)–(C7) plus Σ directly. It is exponentially
+// slower than DIMSAT and deliberately shares no pruning or circle-operator
+// code with it, serving as a correctness oracle and the baseline of
+// experiment E7.
+func NaiveSatisfiable(G *schema.Schema, sigma []constraint.Expr, c string) (bool, error) {
+	if c == schema.All {
+		// Proposition 1: the instance with the single member all is over
+		// any dimension schema, so All is always satisfiable.
+		return true, nil
+	}
+	if !G.HasCategory(c) {
+		return false, fmt.Errorf("frozen: unknown category %q", c)
+	}
+	consts := constraint.ValueDomains(sigma)
+	found := false
+	err := forEachSubhierarchy(G, c, func(g *Subhierarchy) bool {
+		if naiveInduces(g, G, sigma, consts) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
+}
+
+// naiveInduces checks whether some candidate frozen dimension over g is a
+// dimension instance over (G, sigma), enumerating full c-assignments over
+// every category of g that carries constants.
+func naiveInduces(g *Subhierarchy, G *schema.Schema, sigma []constraint.Expr, consts map[string][]string) bool {
+	var cats []string
+	for _, c := range g.Categories() {
+		if len(consts[c]) > 0 && c != schema.All {
+			cats = append(cats, c)
+		}
+	}
+	a := Assignment{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(cats) {
+			f := &Frozen{G: g, Assign: a}
+			d, err := f.ToInstance(G, consts)
+			if err != nil {
+				return false
+			}
+			return d.Validate() == nil && d.SatisfiesAll(sigma)
+		}
+		c := cats[i]
+		for _, v := range append([]string{NK}, consts[c]...) {
+			a[c] = v
+			if rec(i + 1) {
+				return true
+			}
+			delete(a, c)
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// EnumerateFrozen returns every frozen dimension of (G, sigma) with the
+// given root, canonicalized: assignments are restricted to the categories
+// mentioned by surviving equality atoms, with all other names standing for
+// nk. This reproduces the presentation of Figure 4 of the paper. The
+// result is sorted by Key and enumerated by brute force, so it is intended
+// for small schemas.
+func EnumerateFrozen(G *schema.Schema, sigma []constraint.Expr, root string) ([]*Frozen, error) {
+	if !G.HasCategory(root) {
+		return nil, fmt.Errorf("frozen: unknown category %q", root)
+	}
+	consts := constraint.ValueDomains(sigma)
+	relevant := constraint.SigmaFor(sigma, G, root)
+	seen := map[string]bool{}
+	var out []*Frozen
+	err := forEachSubhierarchy(G, root, func(g *Subhierarchy) bool {
+		if !g.Acyclic() || !g.ShortcutFree() {
+			return true
+		}
+		residual, ok := Circle(relevant, g)
+		if !ok {
+			return true
+		}
+		for _, a := range EnumerateAssignments(residual, consts) {
+			f := &Frozen{G: g, Assign: a}
+			if !seen[f.Key()] {
+				seen[f.Key()] = true
+				out = append(out, f)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortFrozen(out)
+	return out, nil
+}
+
+func sortFrozen(fs []*Frozen) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Key() < fs[j].Key() })
+}

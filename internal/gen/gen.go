@@ -1,0 +1,164 @@
+// Package gen provides deterministic pseudo-random generators for the
+// benchmark harness: layered heterogeneous dimension schemas with tunable
+// size, constant density and into-constraint density (experiments E1-E4 and
+// E6-E7 of DESIGN.md), dimension instances assembled from frozen
+// dimensions, random valid instances for property tests, scaled variants of
+// the paper's location dimension, and fact tables.
+//
+// All generators are seeded and stdlib-only (math/rand), so every
+// experiment is reproducible bit for bit.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/olap"
+	"olapdim/internal/schema"
+)
+
+// SchemaSpec parameterizes the random schema generator. Categories are
+// arranged in levels; every category has at least one parent on the next
+// level (so Definition 1 holds by construction), and heterogeneity arises
+// from categories with several alternative parents plus constraints that
+// force members to choose among them.
+type SchemaSpec struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Categories is the number of categories excluding All. Minimum 2.
+	Categories int
+	// Levels is the number of levels below All. Minimum 2; categories are
+	// distributed round-robin over levels.
+	Levels int
+	// ExtraEdgeProb is the probability of each additional cross-level
+	// edge (beyond the spanning parent), producing multi-parent
+	// heterogeneous categories and shortcuts.
+	ExtraEdgeProb float64
+	// ChoiceProb is the probability that a multi-parent category receives
+	// a one(...) constraint forcing its members to pick exactly one
+	// parent path.
+	ChoiceProb float64
+	// Constants is N_K: the number of constants attached to the top-level
+	// category referenced by conditional constraints. Zero disables
+	// equality atoms.
+	Constants int
+	// CondProb is the probability that a multi-parent category receives a
+	// conditional constraint tying a constant of the top category to one
+	// of its parent edges.
+	CondProb float64
+	// IntoFrac is the fraction of categories that receive an explicit
+	// into constraint on one of their parent edges (the Section 5 pruning
+	// heuristic feeds on these: the paper expects "most of the edges of
+	// the schema associated with into constraints" in practice, with
+	// heterogeneity as the exception). For multi-parent categories the
+	// forced edge halves the subset space DIMSAT explores.
+	IntoFrac float64
+}
+
+// CategoryName returns the generated name of category i.
+func CategoryName(i int) string { return fmt.Sprintf("C%d", i) }
+
+// ConstName returns the generated name of constant k.
+func ConstName(k int) string { return fmt.Sprintf("k%d", k) }
+
+// Schema generates a dimension schema from the spec. The result is always
+// a valid hierarchy schema; its constraints may or may not leave every
+// category satisfiable, which is what the satisfiability benchmarks probe.
+func Schema(spec SchemaSpec) *core.DimensionSchema {
+	if spec.Categories < 2 {
+		spec.Categories = 2
+	}
+	if spec.Levels < 2 {
+		spec.Levels = 2
+	}
+	if spec.Levels > spec.Categories {
+		spec.Levels = spec.Categories
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := schema.New(fmt.Sprintf("rand%d", spec.Seed))
+
+	// Distribute categories over levels: level 0 is the bottom.
+	levels := make([][]string, spec.Levels)
+	for i := 0; i < spec.Categories; i++ {
+		l := i % spec.Levels
+		levels[l] = append(levels[l], CategoryName(i))
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	// Spanning edges: every category gets one parent on the next level
+	// (All above the top level).
+	for l, cats := range levels {
+		for _, c := range cats {
+			if l == len(levels)-1 {
+				must(g.AddEdge(c, schema.All))
+				continue
+			}
+			parent := levels[l+1][rng.Intn(len(levels[l+1]))]
+			must(g.AddEdge(c, parent))
+		}
+	}
+	// Extra edges to any strictly higher level (or All), adding
+	// heterogeneity and shortcuts.
+	for l, cats := range levels {
+		for _, c := range cats {
+			for l2 := l + 1; l2 < len(levels); l2++ {
+				for _, p := range levels[l2] {
+					if !g.HasEdge(c, p) && rng.Float64() < spec.ExtraEdgeProb {
+						must(g.AddEdge(c, p))
+					}
+				}
+			}
+		}
+	}
+
+	ds := core.NewDimensionSchema(g)
+	top := levels[len(levels)-1][0]
+
+	for i := 0; i < spec.Categories; i++ {
+		c := CategoryName(i)
+		if c == top {
+			continue
+		}
+		parents := g.Out(c)
+		if len(parents) >= 2 {
+			if rng.Float64() < spec.ChoiceProb {
+				xs := make([]constraint.Expr, len(parents))
+				for j, p := range parents {
+					xs[j] = constraint.NewPath(c, p)
+				}
+				ds.Sigma = append(ds.Sigma, constraint.One{Xs: xs})
+			}
+			if spec.Constants > 0 && rng.Float64() < spec.CondProb && g.Reaches(c, top) {
+				k := ConstName(rng.Intn(spec.Constants))
+				p := parents[rng.Intn(len(parents))]
+				ds.Sigma = append(ds.Sigma, constraint.Implies{
+					A: constraint.EqAtom{RootCat: c, Cat: top, Val: k},
+					B: constraint.NewPath(c, p),
+				})
+			}
+		}
+		if rng.Float64() < spec.IntoFrac {
+			ds.Sigma = append(ds.Sigma, constraint.NewPath(c, parents[rng.Intn(len(parents))]))
+		}
+	}
+	return ds
+}
+
+// Facts generates a fact table with n random facts spread uniformly over
+// the given base members, with measures in [0, maxMeasure).
+func Facts(baseMembers []string, n int, maxMeasure int64, seed int64) *olap.FactTable {
+	rng := rand.New(rand.NewSource(seed))
+	f := &olap.FactTable{Name: fmt.Sprintf("facts%d", seed)}
+	if len(baseMembers) == 0 {
+		return f
+	}
+	for i := 0; i < n; i++ {
+		f.Add(baseMembers[rng.Intn(len(baseMembers))], rng.Int63n(maxMeasure))
+	}
+	return f
+}

@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/schema"
+)
+
+func TestSchemaDeterministic(t *testing.T) {
+	spec := SchemaSpec{Seed: 42, Categories: 10, Levels: 3, ExtraEdgeProb: 0.3, ChoiceProb: 0.5, Constants: 2, CondProb: 0.5, IntoFrac: 0.5}
+	a := Schema(spec)
+	b := Schema(spec)
+	if a.String() != b.String() {
+		t.Error("same seed produced different schemas")
+	}
+	if len(a.Sigma) != len(b.Sigma) {
+		t.Error("same seed produced different constraint counts")
+	}
+	for i := range a.Sigma {
+		if a.Sigma[i].String() != b.Sigma[i].String() {
+			t.Errorf("constraint %d differs", i)
+		}
+	}
+	c := Schema(SchemaSpec{Seed: 43, Categories: 10, Levels: 3, ExtraEdgeProb: 0.3})
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical schemas")
+	}
+}
+
+func TestSchemaValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		spec := SchemaSpec{
+			Seed: seed, Categories: 4 + int(seed%10), Levels: 2 + int(seed%3),
+			ExtraEdgeProb: 0.4, ChoiceProb: 0.6, Constants: 3, CondProb: 0.5, IntoFrac: 0.4,
+		}
+		ds := Schema(spec)
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid schema: %v", seed, err)
+		}
+		if ds.G.NumCategories() != spec.Categories+1 {
+			t.Errorf("seed %d: %d categories, want %d", seed, ds.G.NumCategories(), spec.Categories+1)
+		}
+		if ds.G.HasCycle() {
+			t.Errorf("seed %d: layered schema has a cycle", seed)
+		}
+	}
+}
+
+func TestSchemaSpecClamping(t *testing.T) {
+	ds := Schema(SchemaSpec{Seed: 1, Categories: 0, Levels: 0})
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("clamped spec invalid: %v", err)
+	}
+	ds = Schema(SchemaSpec{Seed: 1, Categories: 2, Levels: 99})
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("levels > categories invalid: %v", err)
+	}
+}
+
+func TestRandomInstanceValid(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		spec := SchemaSpec{Seed: seed, Categories: 5, Levels: 3, ExtraEdgeProb: 0.4}
+		d, err := RandomInstance(spec, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid instance: %v", seed, err)
+		}
+		if d.NumMembers() < 5 {
+			t.Errorf("seed %d: too few members", seed)
+		}
+	}
+}
+
+func TestInstanceFromFrozenSatisfiesSigma(t *testing.T) {
+	ds := Schema(SchemaSpec{
+		Seed: 7, Categories: 6, Levels: 3,
+		ExtraEdgeProb: 0.5, ChoiceProb: 0.8, Constants: 2, CondProb: 0.5,
+	})
+	root := CategoryName(0)
+	res, err := core.Satisfiable(ds, root, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Skip("seed yields unsatisfiable root; adjust seed")
+	}
+	d, err := InstanceFromFrozen(ds, root, 12, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v", err)
+	}
+	if !d.SatisfiesAll(ds.Sigma) {
+		t.Error("stamped instance violates sigma")
+	}
+	if len(d.Members(root)) != 12 {
+		t.Errorf("%d members in root, want 12", len(d.Members(root)))
+	}
+}
+
+func TestInstanceFromFrozenUnsatisfiableRoot(t *testing.T) {
+	ds := Schema(SchemaSpec{Seed: 3, Categories: 4, Levels: 2})
+	c0 := CategoryName(0)
+	p := ds.G.Out(c0)[0]
+	if p == schema.All {
+		t.Skip("degenerate layout")
+	}
+	// Make c0 unsatisfiable by contradiction.
+	ds2 := core.NewDimensionSchema(ds.G,
+		constraint.NewPath(c0, p),
+		constraint.Not{X: constraint.NewPath(c0, p)},
+	)
+	if _, err := InstanceFromFrozen(ds2, c0, 3, core.Options{}); err == nil {
+		t.Error("unsatisfiable root accepted")
+	}
+}
+
+func TestFactsGenerator(t *testing.T) {
+	base := []string{"a", "b", "c"}
+	f := Facts(base, 100, 50, 9)
+	if len(f.Facts) != 100 {
+		t.Fatalf("facts = %d", len(f.Facts))
+	}
+	for _, fact := range f.Facts {
+		if fact.M < 0 || fact.M >= 50 {
+			t.Fatalf("measure %d out of range", fact.M)
+		}
+		found := false
+		for _, b := range base {
+			if fact.Base == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unknown base member %q", fact.Base)
+		}
+	}
+	g := Facts(base, 100, 50, 9)
+	for i := range f.Facts {
+		if f.Facts[i] != g.Facts[i] {
+			t.Fatal("same seed produced different facts")
+		}
+	}
+	if empty := Facts(nil, 10, 5, 1); len(empty.Facts) != 0 {
+		t.Error("facts over no base members")
+	}
+}
+
+func TestTimeDimension(t *testing.T) {
+	d, err := TimeDimension(365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("time dimension invalid: %v", err)
+	}
+	if got := len(d.Members("Day")); got != 365 {
+		t.Errorf("days = %d", got)
+	}
+	if got := len(d.Members("Month")); got != 13 { // ceil(365/30)
+		t.Errorf("months = %d", got)
+	}
+	if got := len(d.Members("Year")); got != 2 { // ceil(13/12)
+		t.Errorf("years = %d", got)
+	}
+	// Homogeneous: every day reaches Year.
+	for _, day := range d.Members("Day") {
+		if _, ok := d.AncestorIn(day, "Year"); !ok {
+			t.Fatalf("day %s misses its year", day)
+		}
+	}
+	// Summarizability is total in a homogeneous chain.
+	if !core.SummarizableInInstance(d, "Year", []string{"Month"}) {
+		t.Error("Year should be summarizable from {Month}")
+	}
+	if !core.SummarizableInInstance(d, "Year", []string{"Day"}) {
+		t.Error("Year should be summarizable from {Day}")
+	}
+	if _, err := TimeDimension(0); err == nil {
+		t.Error("zero days accepted")
+	}
+}

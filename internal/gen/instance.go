@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/frozen"
+	"olapdim/internal/instance"
+	"olapdim/internal/schema"
+)
+
+// InstanceFromFrozen builds a dimension instance over ds by stamping out
+// disjoint copies of the schema's frozen dimensions with the given root:
+// copy j of frozen dimension f contributes one member per category of f,
+// linked exactly as f's subhierarchy, named by f's c-assignment (nk
+// categories get per-copy fresh names). The result is a valid instance
+// satisfying Σ — each member's ancestor structure mirrors a frozen
+// dimension — with copies*|frozen| members per populated category chain.
+// Copies are distributed round-robin over the frozen dimensions.
+func InstanceFromFrozen(ds *core.DimensionSchema, root string, copies int, opts core.Options) (*instance.Instance, error) {
+	fs, err := core.EnumerateFrozen(ds, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("gen: category %q unsatisfiable, no frozen dimensions", root)
+	}
+	d := instance.New(ds.G)
+	consts := constraint.ValueDomains(ds.Sigma)
+	for j := 0; j < copies; j++ {
+		f := fs[j%len(fs)]
+		if err := stampFrozen(d, f, consts, j); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// stampFrozen adds one copy of frozen dimension f to d with member ids
+// suffixed by the copy index.
+func stampFrozen(d *instance.Instance, f *frozen.Frozen, consts map[string][]string, j int) error {
+	nk := frozen.FreshNK(consts)
+	memberOf := func(c string) string {
+		if c == schema.All {
+			return instance.AllMember
+		}
+		return fmt.Sprintf("%s#%d", c, j)
+	}
+	for _, c := range f.G.Categories() {
+		if c == schema.All {
+			continue
+		}
+		x := memberOf(c)
+		if err := d.AddMember(c, x); err != nil {
+			return err
+		}
+		name := f.Assign.Get(c)
+		if name == frozen.NK {
+			// Per-copy fresh name: never equal to a Σ constant.
+			name = fmt.Sprintf("%s-%s-%d", nk, c, j)
+		}
+		if err := d.SetName(x, name); err != nil {
+			return err
+		}
+	}
+	for _, e := range f.G.Edges() {
+		if err := d.AddLink(memberOf(e[0]), memberOf(e[1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RandomInstance generates a random valid dimension instance over a fresh
+// layered hierarchy schema (no constraints): membersPerCat members in each
+// category, each linked to one random parent member in a random parent
+// category. It is the workload for the Theorem 1 ⇔ Definition 6 property test
+// (experiment T1), where heterogeneity comes from members choosing
+// different parent categories.
+func RandomInstance(spec SchemaSpec, membersPerCat int) (*instance.Instance, error) {
+	ds := Schema(spec)
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	d := instance.New(ds.G)
+
+	// Create members level by level so parents exist before children link.
+	order := topoOrder(ds.G)
+	for _, c := range order {
+		if c == schema.All {
+			continue
+		}
+		for m := 0; m < membersPerCat; m++ {
+			x := fmt.Sprintf("%s-m%d", c, m)
+			if err := d.AddMember(c, x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Link bottom-up: order is children-before-parents by construction of
+	// topoOrder, so iterate and link each member to a random member of a
+	// random parent category.
+	for _, c := range order {
+		if c == schema.All {
+			continue
+		}
+		parents := ds.G.Out(c)
+		for m := 0; m < membersPerCat; m++ {
+			x := fmt.Sprintf("%s-m%d", c, m)
+			p := parents[rng.Intn(len(parents))]
+			if p == schema.All {
+				if err := d.AddLink(x, instance.AllMember); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			y := fmt.Sprintf("%s-m%d", p, rng.Intn(membersPerCat))
+			if err := d.AddLink(x, y); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		// Random single-parent linking over an acyclic layered schema
+		// cannot violate the conditions; surface the bug loudly.
+		return nil, fmt.Errorf("gen: generated invalid instance: %v", err)
+	}
+	return d, nil
+}
+
+// topoOrder returns the categories of an acyclic schema children first
+// (every category appears after the categories below it). Schemas from
+// Schema are layered and acyclic; cyclic schemas make topoOrder panic.
+func topoOrder(g *schema.Schema) []string {
+	visited := map[string]int{}
+	var out []string
+	var visit func(c string)
+	visit = func(c string) {
+		switch visited[c] {
+		case 2:
+			return
+		case 1:
+			panic("gen: cycle in schema passed to topoOrder")
+		}
+		visited[c] = 1
+		for _, below := range g.In(c) {
+			visit(below)
+		}
+		visited[c] = 2
+		out = append(out, c)
+	}
+	for _, c := range g.Categories() {
+		visit(c)
+	}
+	return out
+}

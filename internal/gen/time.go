@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"fmt"
+
+	"olapdim/internal/instance"
+	"olapdim/internal/schema"
+)
+
+// TimeDimension builds a deterministic homogeneous time dimension
+// Day -> Month -> Year -> All covering the given number of days starting
+// at day 0 of month 0 of year 0, with 30-day months and 12-month years.
+// Time dimensions are homogeneous, so they need no constraints — every
+// category is summarizable from any category below it — making them the
+// benign axis in multidimensional benchmarks.
+func TimeDimension(days int) (*instance.Instance, error) {
+	if days < 1 {
+		return nil, fmt.Errorf("gen: time dimension needs at least one day")
+	}
+	g := schema.New("time")
+	for _, e := range [][2]string{{"Day", "Month"}, {"Month", "Year"}, {"Year", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	d := instance.New(g)
+	const (
+		daysPerMonth  = 30
+		monthsPerYear = 12
+	)
+	months := (days + daysPerMonth - 1) / daysPerMonth
+	years := (months + monthsPerYear - 1) / monthsPerYear
+	for y := 0; y < years; y++ {
+		yid := fmt.Sprintf("y%d", y)
+		if err := d.AddMember("Year", yid); err != nil {
+			return nil, err
+		}
+		if err := d.AddLink(yid, instance.AllMember); err != nil {
+			return nil, err
+		}
+	}
+	for m := 0; m < months; m++ {
+		mid := fmt.Sprintf("m%d", m)
+		if err := d.AddMember("Month", mid); err != nil {
+			return nil, err
+		}
+		if err := d.AddLink(mid, fmt.Sprintf("y%d", m/monthsPerYear)); err != nil {
+			return nil, err
+		}
+	}
+	for day := 0; day < days; day++ {
+		did := fmt.Sprintf("d%d", day)
+		if err := d.AddMember("Day", did); err != nil {
+			return nil, err
+		}
+		if err := d.AddLink(did, fmt.Sprintf("m%d", day/daysPerMonth)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

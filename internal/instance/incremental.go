@@ -1,0 +1,103 @@
+package instance
+
+import "fmt"
+
+// CheckLink reports whether adding the child/parent pair x < y would keep
+// the instance a valid dimension instance, examining only the affected
+// members instead of re-validating everything: condition (C1) on the new
+// pair, and conditions (C2), (C5), (C6) over the descendants of x and the
+// ancestors of y — the only relations the new link creates. ((C3), (C4)
+// hold by construction and (C7) cannot be weakened by adding a link.)
+// A nil result means AddLink would succeed and Validate would still pass.
+func (d *Instance) CheckLink(x, y string) error {
+	cx, ok := d.catOf[x]
+	if !ok {
+		return fmt.Errorf("instance: unknown member %q", x)
+	}
+	cy, ok := d.catOf[y]
+	if !ok {
+		return fmt.Errorf("instance: unknown member %q", y)
+	}
+	for _, p := range d.parents[x] {
+		if p == y {
+			return nil // duplicate link: AddLink is a no-op
+		}
+	}
+	// (C1) connectivity.
+	if !d.g.HasEdge(cx, cy) {
+		return violation("C1", "link %s < %s has no schema edge %s -> %s", x, y, cx, cy)
+	}
+	// The new relations are exactly below × above.
+	below := d.selfAndDescendants(x)
+	above := d.Ancestors(y) // includes y
+
+	// Cycles and stratification (C6): no member below x may share a
+	// category with (or be) a member above y.
+	for u := range below {
+		if above[u] {
+			return violation("C6", "link %s < %s closes a cycle through %s", x, y, u)
+		}
+	}
+	perCatAbove := map[string]string{}
+	for v := range above {
+		perCatAbove[d.catOf[v]] = v
+	}
+	for u := range below {
+		if v, clash := perCatAbove[d.catOf[u]]; clash {
+			return violation("C6", "members %s and %s of category %s would satisfy %s ≪ %s",
+				u, v, d.catOf[u], u, v)
+		}
+	}
+	// Partitioning (C2): every member below x must agree with the new
+	// ancestors on each category it already reaches.
+	for u := range below {
+		for w := range d.Ancestors(u) {
+			if w == u {
+				continue
+			}
+			if v, ok := perCatAbove[d.catOf[w]]; ok && v != w {
+				return violation("C2", "member %s would roll up to both %s and %s in category %s",
+					u, w, v, d.catOf[w])
+			}
+		}
+	}
+	// Shortcuts (C5): the new link must not duplicate an existing path
+	// x ≪ y, and no existing direct link u < v with u ≤ x, y ≤ v may be
+	// duplicated by the longer chain through the new link.
+	if d.properlyBelow(x, y) {
+		return violation("C5", "link %s < %s duplicates an existing chain", x, y)
+	}
+	for u := range below {
+		for _, v := range d.parents[u] {
+			if above[v] && !(u == x && v == y) {
+				return violation("C5", "link %s < %s makes %s < %s a shortcut", x, y, u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// AddLinkChecked adds x < y only if CheckLink accepts it.
+func (d *Instance) AddLinkChecked(x, y string) error {
+	if err := d.CheckLink(x, y); err != nil {
+		return err
+	}
+	return d.AddLink(x, y)
+}
+
+// selfAndDescendants returns {u : u ≤ x}.
+func (d *Instance) selfAndDescendants(x string) map[string]bool {
+	seen := map[string]bool{x: true}
+	stack := []string{x}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range d.children[cur] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,216 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"olapdim/internal/schema"
+)
+
+func TestCheckLinkBasics(t *testing.T) {
+	d := chainInstance(t)
+	// Unknown members.
+	if err := d.CheckLink("ghost", "b1"); err == nil {
+		t.Error("unknown child accepted")
+	}
+	if err := d.CheckLink("a1", "ghost"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	// Duplicate is a no-op, not an error.
+	if err := d.CheckLink("a1", "b1"); err != nil {
+		t.Errorf("duplicate link rejected: %v", err)
+	}
+	// No schema edge A -> C.
+	if err := d.CheckLink("a1", "c1"); err == nil {
+		t.Error("C1 violation accepted")
+	}
+}
+
+func TestCheckLinkC2(t *testing.T) {
+	g := schema.New("d")
+	for _, e := range [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"C", "D"}, {"D", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(g)
+	for _, m := range []struct{ c, x string }{
+		{"A", "a"}, {"B", "b"}, {"C", "c"}, {"D", "d1"}, {"D", "d2"},
+	} {
+		if err := d.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "d1"}, {"c", "d2"}, {"d1", AllMember}, {"d2", AllMember}} {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a already reaches d1 via b; linking a < c would add d2 too.
+	if err := d.CheckLink("a", "c"); err == nil {
+		t.Error("C2 violation accepted")
+	}
+	// But after d2 is out of the picture: c -> d1 instead keeps C2, so
+	// check the diagnostics name the right condition.
+	err := d.CheckLink("a", "c")
+	var ce *ConditionError
+	if !asCondition(err, &ce) || ce.Condition != "C2" {
+		t.Errorf("condition = %v, want C2", err)
+	}
+}
+
+func asCondition(err error, out **ConditionError) bool {
+	ce, ok := err.(*ConditionError)
+	if ok {
+		*out = ce
+	}
+	return ok
+}
+
+func TestCheckLinkC5AndC6(t *testing.T) {
+	g := schema.New("s")
+	for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"A", "C"}, {"C", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(g)
+	for _, m := range []struct{ c, x string }{{"A", "a"}, {"B", "b"}, {"C", "c"}} {
+		if err := d.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", AllMember}} {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a -> c directly would be a shortcut of a -> b -> c.
+	err := d.CheckLink("a", "c")
+	var ce *ConditionError
+	if !asCondition(err, &ce) || ce.Condition != "C5" {
+		t.Errorf("condition = %v, want C5", err)
+	}
+	// Cycles are C6 territory: schema with B <-> C cycle.
+	g2 := schema.New("cyc")
+	for _, e := range [][2]string{{"B", "C"}, {"C", "B"}, {"B", schema.All}, {"C", schema.All}} {
+		if err := g2.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2 := New(g2)
+	for _, m := range []struct{ c, x string }{{"B", "b"}, {"C", "c"}} {
+		if err := d2.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"b", "c"}, {"c", AllMember}} {
+		if err := d2.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = d2.CheckLink("c", "b")
+	if !asCondition(err, &ce) || ce.Condition != "C6" {
+		t.Errorf("condition = %v, want C6", err)
+	}
+}
+
+func TestAddLinkChecked(t *testing.T) {
+	d := chainInstance(t)
+	if err := d.AddMember("A", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddLinkChecked("a2", "b1"); err != nil {
+		t.Fatalf("legal link rejected: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("instance invalid after checked add: %v", err)
+	}
+	if err := d.AddLinkChecked("a2", "c1"); err == nil {
+		t.Error("illegal link accepted")
+	}
+}
+
+// TestCheckLinkAgreesWithValidate: on random instances and random
+// candidate links, the incremental check accepts exactly the links whose
+// addition leaves Validate passing.
+func TestCheckLinkAgreesWithValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := schema.New("prop")
+		// Random small schema, possibly with shortcuts.
+		names := []string{"A", "B", "C", "D"}
+		for i, c := range names {
+			later := names[i+1:]
+			if len(later) == 0 {
+				g.AddEdge(c, schema.All)
+				continue
+			}
+			g.AddEdge(c, later[rng.Intn(len(later))])
+			for _, p := range later {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(c, p)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				g.AddEdge(c, schema.All)
+			}
+		}
+		d := randomChainInstance(g, rng)
+		if d.Validate() != nil {
+			return false
+		}
+		members := d.AllMembers()
+		for trial := 0; trial < 12; trial++ {
+			x := members[rng.Intn(len(members))]
+			y := members[rng.Intn(len(members))]
+			if x == AllMember {
+				continue
+			}
+			incremental := d.CheckLink(x, y)
+			// Ground truth: clone, add, validate fully.
+			clone := cloneInstance(d)
+			full := clone.AddLink(x, y)
+			if full == nil {
+				full = clone.Validate()
+			}
+			if (incremental == nil) != (full == nil) {
+				t.Logf("disagreement on %s < %s: incremental=%v full=%v\n%s",
+					x, y, incremental, full, d)
+				return false
+			}
+		}
+		return true
+	}
+	n := 150
+	if testing.Short() {
+		n = 40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cloneInstance deep-copies an instance for the oracle comparison.
+func cloneInstance(d *Instance) *Instance {
+	out := New(d.Schema())
+	for _, c := range d.Schema().Categories() {
+		if c == schema.All {
+			continue
+		}
+		for _, x := range d.Members(c) {
+			if err := out.AddMember(c, x); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, x := range d.AllMembers() {
+		for _, p := range d.Parents(x) {
+			if err := out.AddLink(x, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package instance implements dimension instances as defined in Section 2.2
+// of Hurtado & Mendelzon, "OLAP Dimension Constraints" (PODS 2002).
+//
+// A dimension instance d = (G, MembSet, <, Name) assigns to each category of
+// a hierarchy schema a set of members, relates members by a child/parent
+// relation <, and names members through the attribute function Name. The
+// seven conditions (C1)–(C7) of Figure 2 of the paper are checked by
+// Validate; the satisfaction relation d ⊨ α of Definition 4 is implemented
+// by Satisfies.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"olapdim/internal/schema"
+)
+
+// AllMember is the unique member of the category All (condition C4).
+const AllMember = "all"
+
+// Instance is a dimension instance over a hierarchy schema. Build instances
+// with New, AddMember and AddLink; call Validate before relying on the
+// (C1)–(C7) invariants.
+type Instance struct {
+	g *schema.Schema
+
+	// members[c] lists the members of category c in insertion order.
+	members map[string][]string
+	// catOf maps each member to its category (disjointness C3 holds by
+	// construction).
+	catOf map[string]string
+	// parents[x] lists the direct parents of x in insertion order.
+	parents map[string][]string
+	// children[x] lists the direct children of x in insertion order.
+	children map[string][]string
+	// names holds explicit Name values; members absent from the map are
+	// named by their identifier (Name = identity, as in Figure 1).
+	names map[string]string
+}
+
+// New returns an empty instance over g containing only the member all.
+func New(g *schema.Schema) *Instance {
+	d := &Instance{
+		g:        g,
+		members:  map[string][]string{},
+		catOf:    map[string]string{},
+		parents:  map[string][]string{},
+		children: map[string][]string{},
+		names:    map[string]string{},
+	}
+	d.members[schema.All] = []string{AllMember}
+	d.catOf[AllMember] = schema.All
+	return d
+}
+
+// Schema returns the hierarchy schema of the instance.
+func (d *Instance) Schema() *schema.Schema { return d.g }
+
+// AddMember adds member x to category c. Members are global identifiers:
+// adding the same identifier to two categories violates disjointness (C3)
+// and is rejected immediately.
+func (d *Instance) AddMember(c, x string) error {
+	if !d.g.HasCategory(c) {
+		return fmt.Errorf("instance: unknown category %q", c)
+	}
+	if c == schema.All {
+		return fmt.Errorf("instance: category All admits only the member %q (C4)", AllMember)
+	}
+	if x == "" {
+		return fmt.Errorf("instance: empty member identifier")
+	}
+	if prev, ok := d.catOf[x]; ok {
+		if prev == c {
+			return nil
+		}
+		return fmt.Errorf("instance: member %q already in category %q (C3)", x, prev)
+	}
+	d.catOf[x] = c
+	d.members[c] = append(d.members[c], x)
+	return nil
+}
+
+// SetName sets Name(x) = name. Unnamed members default to their identifier.
+func (d *Instance) SetName(x, name string) error {
+	if _, ok := d.catOf[x]; !ok {
+		return fmt.Errorf("instance: unknown member %q", x)
+	}
+	d.names[x] = name
+	return nil
+}
+
+// Name returns Name(x); members without an explicit name are named by
+// their identifier.
+func (d *Instance) Name(x string) string {
+	if n, ok := d.names[x]; ok {
+		return n
+	}
+	return x
+}
+
+// AddLink records the child/parent pair x < y. Both members must exist.
+// Duplicate links are ignored.
+func (d *Instance) AddLink(x, y string) error {
+	if _, ok := d.catOf[x]; !ok {
+		return fmt.Errorf("instance: unknown member %q", x)
+	}
+	if _, ok := d.catOf[y]; !ok {
+		return fmt.Errorf("instance: unknown member %q", y)
+	}
+	for _, p := range d.parents[x] {
+		if p == y {
+			return nil
+		}
+	}
+	d.parents[x] = append(d.parents[x], y)
+	d.children[y] = append(d.children[y], x)
+	return nil
+}
+
+// RemoveLink deletes the child/parent pair x < y if present.
+func (d *Instance) RemoveLink(x, y string) {
+	d.parents[x] = removeString(d.parents[x], y)
+	d.children[y] = removeString(d.children[y], x)
+}
+
+func removeString(xs []string, x string) []string {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}
+
+// Category returns the category of member x and whether x exists.
+func (d *Instance) Category(x string) (string, bool) {
+	c, ok := d.catOf[x]
+	return c, ok
+}
+
+// Members returns the members of category c in insertion order.
+// The returned slice must not be modified.
+func (d *Instance) Members(c string) []string { return d.members[c] }
+
+// SortedMembers returns the members of category c sorted lexicographically.
+func (d *Instance) SortedMembers(c string) []string {
+	out := append([]string(nil), d.members[c]...)
+	sort.Strings(out)
+	return out
+}
+
+// AllMembers returns every member of the instance, sorted.
+func (d *Instance) AllMembers() []string {
+	out := make([]string, 0, len(d.catOf))
+	for x := range d.catOf {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumMembers returns the total number of members including all.
+func (d *Instance) NumMembers() int { return len(d.catOf) }
+
+// NumLinks returns the size of the child/parent relation.
+func (d *Instance) NumLinks() int {
+	n := 0
+	for _, ps := range d.parents {
+		n += len(ps)
+	}
+	return n
+}
+
+// Parents returns the direct parents of x in insertion order.
+func (d *Instance) Parents(x string) []string { return d.parents[x] }
+
+// Children returns the direct children of x in insertion order.
+func (d *Instance) Children(x string) []string { return d.children[x] }
+
+// Ancestors returns the set of members y with x ≤ y (reflexive-transitive
+// closure of <), including x itself.
+func (d *Instance) Ancestors(x string) map[string]bool {
+	seen := map[string]bool{}
+	if _, ok := d.catOf[x]; !ok {
+		return seen
+	}
+	seen[x] = true
+	stack := []string{x}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range d.parents[cur] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Leq reports x ≤ y: x rolls up to y.
+func (d *Instance) Leq(x, y string) bool {
+	return d.Ancestors(x)[y]
+}
+
+// AncestorIn returns the unique member of category c that x rolls up to,
+// if any. Uniqueness holds on instances satisfying partitioning (C2);
+// on invalid instances the first ancestor found is returned.
+func (d *Instance) AncestorIn(x, c string) (string, bool) {
+	for y := range d.Ancestors(x) {
+		if d.catOf[y] == c {
+			return y, true
+		}
+	}
+	return "", false
+}
+
+// RollupMapping computes Γ_{c1}^{c2} d: the pairs (x1, x2) with
+// x1 ∈ MembSet_{c1}, x2 ∈ MembSet_{c2}, x1 ≤ x2, as a map keyed by x1.
+// Partitioning (C2) guarantees the mapping is single-valued.
+func (d *Instance) RollupMapping(c1, c2 string) map[string]string {
+	out := map[string]string{}
+	for _, x := range d.members[c1] {
+		if y, ok := d.AncestorIn(x, c2); ok {
+			out[x] = y
+		}
+	}
+	return out
+}
+
+// BaseMembers returns the members of all bottom categories of the schema,
+// sorted. These carry the facts in cube views (Section 3.3).
+func (d *Instance) BaseMembers() []string {
+	var out []string
+	for _, c := range d.g.Bottoms() {
+		out = append(out, d.members[c]...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the instance deterministically: members by category, then
+// links sorted.
+func (d *Instance) String() string {
+	var b strings.Builder
+	for _, c := range d.g.SortedCategories() {
+		ms := d.SortedMembers(c)
+		if len(ms) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:", c)
+		for _, x := range ms {
+			if n := d.Name(x); n != x {
+				fmt.Fprintf(&b, " %s(%s)", x, n)
+			} else {
+				fmt.Fprintf(&b, " %s", x)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	var links []string
+	for x, ps := range d.parents {
+		for _, p := range ps {
+			links = append(links, x+" < "+p)
+		}
+	}
+	sort.Strings(links)
+	for _, l := range links {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package instance
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"olapdim/internal/schema"
+)
+
+// chainSchema builds A -> B -> C -> All.
+func chainSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	g := schema.New("chain")
+	for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"C", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// chainInstance builds a1 < b1 < c1 < all over chainSchema.
+func chainInstance(t *testing.T) *Instance {
+	t.Helper()
+	d := New(chainSchema(t))
+	for _, m := range []struct{ c, x string }{{"A", "a1"}, {"B", "b1"}, {"C", "c1"}} {
+		if err := d.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"a1", "b1"}, {"b1", "c1"}, {"c1", AllMember}} {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestValidChain(t *testing.T) {
+	d := chainInstance(t)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestAddMemberErrors(t *testing.T) {
+	d := New(chainSchema(t))
+	if err := d.AddMember("Z", "x"); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if err := d.AddMember(schema.All, "x"); err == nil {
+		t.Error("member added to All")
+	}
+	if err := d.AddMember("A", ""); err == nil {
+		t.Error("empty member accepted")
+	}
+	if err := d.AddMember("A", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddMember("A", "x"); err != nil {
+		t.Errorf("re-adding to same category should be a no-op: %v", err)
+	}
+	if err := d.AddMember("B", "x"); err == nil {
+		t.Error("disjointness (C3) violation accepted at construction")
+	}
+}
+
+func TestNames(t *testing.T) {
+	d := chainInstance(t)
+	if got := d.Name("a1"); got != "a1" {
+		t.Errorf("default name = %q, want identity", got)
+	}
+	if err := d.SetName("a1", "Toronto"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Name("a1"); got != "Toronto" {
+		t.Errorf("name = %q", got)
+	}
+	if err := d.SetName("ghost", "x"); err == nil {
+		t.Error("naming unknown member accepted")
+	}
+}
+
+func condition(t *testing.T, err error) string {
+	t.Helper()
+	var ce *ConditionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ConditionError, got %v", err)
+	}
+	return ce.Condition
+}
+
+func TestViolationC1(t *testing.T) {
+	d := chainInstance(t)
+	// a2 < c1 has no schema edge A -> C.
+	if err := d.AddMember("A", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddLink("a2", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := condition(t, d.Validate()); got != "C1" {
+		t.Errorf("condition = %s, want C1", got)
+	}
+}
+
+func TestViolationC2(t *testing.T) {
+	// Diamond schema where a member reaches two members of one category.
+	g := schema.New("d")
+	for _, e := range [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"C", "D"}, {"D", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(g)
+	for _, m := range []struct{ c, x string }{
+		{"A", "a"}, {"B", "b"}, {"C", "c"}, {"D", "d1"}, {"D", "d2"},
+	} {
+		if err := d.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{
+		{"a", "b"}, {"a", "c"}, {"b", "d1"}, {"c", "d2"},
+		{"d1", AllMember}, {"d2", AllMember},
+	} {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := condition(t, d.Validate()); got != "C2" {
+		t.Errorf("condition = %s, want C2", got)
+	}
+}
+
+func TestViolationC4(t *testing.T) {
+	// C4 holds by construction (MembSet_All is fixed at {all}); validate
+	// the guard that All never accepts another member.
+	d := New(chainSchema(t))
+	if err := d.AddMember(schema.All, "other"); err == nil {
+		t.Error("second member of All accepted")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("fresh instance should satisfy C4: %v", err)
+	}
+}
+
+func TestViolationC5(t *testing.T) {
+	// Schema with shortcut A -> C allows instance shortcut a < c plus
+	// a < b < c.
+	g := schema.New("s")
+	for _, e := range [][2]string{{"A", "B"}, {"B", "C"}, {"A", "C"}, {"C", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(g)
+	for _, m := range []struct{ c, x string }{{"A", "a"}, {"B", "b"}, {"C", "c"}} {
+		if err := d.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}, {"c", AllMember}} {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := condition(t, d.Validate()); got != "C5" {
+		t.Errorf("condition = %s, want C5", got)
+	}
+}
+
+func TestViolationC6(t *testing.T) {
+	// Cyclic schema (legal) with two members of one category ordered by ≪.
+	g := schema.New("c")
+	for _, e := range [][2]string{{"A", "B"}, {"B", "A"}, {"B", schema.All}, {"A", schema.All}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(g)
+	for _, m := range []struct{ c, x string }{{"A", "a1"}, {"B", "b1"}, {"A", "a2"}} {
+		if err := d.AddMember(m.c, m.x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"a1", "b1"}, {"b1", "a2"}, {"a2", AllMember}, {"b1", AllMember}} {
+		if err := d.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a1 ≪ a2 within category A.
+	if got := condition(t, d.Validate()); got != "C6" {
+		t.Errorf("condition = %s, want C6", got)
+	}
+}
+
+func TestViolationC7(t *testing.T) {
+	d := chainInstance(t)
+	if err := d.AddMember("A", "orphan"); err != nil {
+		t.Fatal(err)
+	}
+	if got := condition(t, d.Validate()); got != "C7" {
+		t.Errorf("condition = %s, want C7", got)
+	}
+}
+
+func TestAncestorsAndLeq(t *testing.T) {
+	d := chainInstance(t)
+	anc := d.Ancestors("a1")
+	for _, x := range []string{"a1", "b1", "c1", AllMember} {
+		if !anc[x] {
+			t.Errorf("Ancestors(a1) missing %s", x)
+		}
+	}
+	if !d.Leq("a1", "c1") || !d.Leq("a1", "a1") || d.Leq("c1", "a1") {
+		t.Error("Leq wrong")
+	}
+}
+
+func TestAncestorInAndRollupMapping(t *testing.T) {
+	d := chainInstance(t)
+	if y, ok := d.AncestorIn("a1", "C"); !ok || y != "c1" {
+		t.Errorf("AncestorIn = %q, %v", y, ok)
+	}
+	if _, ok := d.AncestorIn("c1", "A"); ok {
+		t.Error("descendant reported as ancestor")
+	}
+	got := d.RollupMapping("A", "C")
+	want := map[string]string{"a1": "c1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RollupMapping = %v, want %v", got, want)
+	}
+}
+
+func TestRemoveLink(t *testing.T) {
+	d := chainInstance(t)
+	d.RemoveLink("a1", "b1")
+	if len(d.Parents("a1")) != 0 {
+		t.Error("link not removed")
+	}
+	if len(d.Children("b1")) != 0 {
+		t.Error("reverse link not removed")
+	}
+	d.RemoveLink("a1", "b1") // removing twice is a no-op
+}
+
+func TestBaseMembers(t *testing.T) {
+	d := chainInstance(t)
+	if got := d.BaseMembers(); !reflect.DeepEqual(got, []string{"a1"}) {
+		t.Errorf("BaseMembers = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := chainInstance(t)
+	if err := d.SetName("a1", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	got := d.String()
+	want := "A: a1(alpha)\nAll: all\nB: b1\nC: c1\na1 < b1\nb1 < c1\nc1 < all\n"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	d := chainInstance(t)
+	if d.NumMembers() != 4 {
+		t.Errorf("NumMembers = %d", d.NumMembers())
+	}
+	if d.NumLinks() != 3 {
+		t.Errorf("NumLinks = %d", d.NumLinks())
+	}
+}

@@ -1,0 +1,114 @@
+package instance
+
+import (
+	"olapdim/internal/constraint"
+)
+
+// memberValuation interprets the atoms of a constraint for one root member
+// x, implementing the FOL translation S(α) of Definition 4.
+type memberValuation struct {
+	d *Instance
+	x string
+}
+
+// Path evaluates a path atom c_c1_..._cn: there exist members
+// x < x1 < ... < xn with xi ∈ MembSet_{ci}.
+func (v memberValuation) Path(a constraint.PathAtom) bool {
+	return v.chainExists(v.x, a.Cats[1:])
+}
+
+// chainExists reports a direct child/parent chain from cur through members
+// of the category sequence cats.
+func (v memberValuation) chainExists(cur string, cats []string) bool {
+	if len(cats) == 0 {
+		return true
+	}
+	for _, p := range v.d.parents[cur] {
+		if v.d.catOf[p] == cats[0] && v.chainExists(p, cats[1:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eq evaluates c.ci≈k: some ancestor y of x (x ≤ y) in ci has Name(y) = k.
+func (v memberValuation) Eq(a constraint.EqAtom) bool {
+	for y := range v.d.Ancestors(v.x) {
+		if v.d.catOf[y] == a.Cat && v.d.Name(y) == a.Val {
+			return true
+		}
+	}
+	return false
+}
+
+// Cmp evaluates an order atom c.ci<k (Section 6 extension): some ancestor
+// y of x in ci has a numeric Name(y) in the stated relation to k.
+// Non-numeric names never satisfy order atoms.
+func (v memberValuation) Cmp(a constraint.CmpAtom) bool {
+	for y := range v.d.Ancestors(v.x) {
+		if v.d.catOf[y] != a.Cat {
+			continue
+		}
+		if f, ok := constraint.NumValue(v.d.Name(y)); ok && a.Op.Holds(f, a.Val) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rollup evaluates the composed atom c.ci: x rolls up to category ci.
+func (v memberValuation) Rollup(a constraint.RollupAtom) bool {
+	_, ok := v.d.AncestorIn(v.x, a.Cat)
+	return ok
+}
+
+// Through evaluates c.ci.cj: there exist xi ∈ ci, xj ∈ cj with
+// x ≤ xi ≤ xj. Evaluating ≤ directly realizes all five cases of the
+// shorthand's definition in Section 3.3 (see constraint.Expand for the
+// syntactic expansion, cross-checked in tests).
+func (v memberValuation) Through(a constraint.ThroughAtom) bool {
+	for xi := range v.d.Ancestors(v.x) {
+		if v.d.catOf[xi] != a.Via {
+			continue
+		}
+		if _, ok := v.d.AncestorIn(xi, a.Cat); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MemberSatisfies reports whether S(α) holds for the member x.
+func (d *Instance) MemberSatisfies(x string, e constraint.Expr) bool {
+	return constraint.Eval(e, memberValuation{d: d, x: x})
+}
+
+// Satisfies reports d ⊨ e (Definition 4): S(e) holds for every member of
+// e's root category. Constraints over an empty member set hold vacuously.
+// Expressions with no atoms (hence no root) are evaluated as propositional
+// constants.
+func (d *Instance) Satisfies(e constraint.Expr) bool {
+	root, err := constraint.Root(e)
+	if err != nil {
+		return false
+	}
+	if root == "" {
+		return constraint.Eval(e, memberValuation{d: d})
+	}
+	for _, x := range d.members[root] {
+		if !d.MemberSatisfies(x, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesAll reports whether d satisfies every constraint in sigma.
+func (d *Instance) SatisfiesAll(sigma []constraint.Expr) bool {
+	for _, e := range sigma {
+		if !d.Satisfies(e) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,310 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/schema"
+)
+
+// hetSchema builds the small heterogeneous schema
+// A -> B -> D -> All, A -> C -> D, plus A -> D (shortcut).
+func hetSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	g := schema.New("het")
+	for _, e := range [][2]string{
+		{"A", "B"}, {"A", "C"}, {"A", "D"}, {"B", "D"}, {"C", "D"}, {"D", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// hetInstance: a1 goes through B, a2 through C, a3 directly to D.
+func hetInstance(t *testing.T) *Instance {
+	t.Helper()
+	d := New(hetSchema(t))
+	add := func(c, x string) {
+		t.Helper()
+		if err := d.AddMember(c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := func(x, y string) {
+		t.Helper()
+		if err := d.AddLink(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("A", "a1")
+	add("A", "a2")
+	add("A", "a3")
+	add("B", "b1")
+	add("C", "c1")
+	add("D", "d1")
+	add("D", "d2")
+	link("a1", "b1")
+	link("b1", "d1")
+	link("a2", "c1")
+	link("c1", "d1")
+	link("a3", "d2")
+	link("d1", AllMember)
+	link("d2", AllMember)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSatisfiesPathAtom(t *testing.T) {
+	d := hetInstance(t)
+	cases := []struct {
+		src  string
+		e    constraint.Expr
+		want bool
+	}{
+		{"A_B holds only for a1", constraint.NewPath("A", "B"), false},
+		{"A_B | A_C | A_D covers all members", constraint.NewOr(
+			constraint.NewPath("A", "B"),
+			constraint.NewPath("A", "C"),
+			constraint.NewPath("A", "D"),
+		), true},
+		{"A_B_D | A_C_D | A_D covers all members", constraint.NewOr(
+			constraint.NewPath("A", "B", "D"),
+			constraint.NewPath("A", "C", "D"),
+			constraint.NewPath("A", "D"),
+		), true},
+		{"exactly one route each", constraint.NewOne(
+			constraint.NewPath("A", "B"),
+			constraint.NewPath("A", "C"),
+			constraint.NewPath("A", "D"),
+		), true},
+		{"B_D holds for the only b", constraint.NewPath("B", "D"), true},
+	}
+	for _, c := range cases {
+		if got := d.Satisfies(c.e); got != c.want {
+			t.Errorf("%s: Satisfies(%s) = %v, want %v", c.src, c.e, got, c.want)
+		}
+	}
+}
+
+func TestMemberSatisfies(t *testing.T) {
+	d := hetInstance(t)
+	if !d.MemberSatisfies("a1", constraint.NewPath("A", "B")) {
+		t.Error("a1 has a parent in B")
+	}
+	if d.MemberSatisfies("a2", constraint.NewPath("A", "B")) {
+		t.Error("a2 has no parent in B")
+	}
+	if !d.MemberSatisfies("a3", constraint.NewPath("A", "D")) {
+		t.Error("a3 links directly to D")
+	}
+	// Path atoms require direct chains: a1 reaches D but not via edge A_D.
+	if d.MemberSatisfies("a1", constraint.NewPath("A", "D")) {
+		t.Error("a1 should not satisfy the direct path A_D")
+	}
+}
+
+func TestSatisfiesRollupAndThrough(t *testing.T) {
+	d := hetInstance(t)
+	if !d.Satisfies(constraint.RollupAtom{RootCat: "A", Cat: "D"}) {
+		t.Error("every member of A rolls up to D")
+	}
+	if d.Satisfies(constraint.RollupAtom{RootCat: "A", Cat: "B"}) {
+		t.Error("only a1 rolls up to B")
+	}
+	// c.c is ⊤.
+	if !d.Satisfies(constraint.RollupAtom{RootCat: "A", Cat: "A"}) {
+		t.Error("A.A must hold")
+	}
+	if !d.MemberSatisfies("a1", constraint.ThroughAtom{RootCat: "A", Via: "B", Cat: "D"}) {
+		t.Error("a1 reaches D through B")
+	}
+	if d.MemberSatisfies("a2", constraint.ThroughAtom{RootCat: "A", Via: "B", Cat: "D"}) {
+		t.Error("a2 does not pass through B")
+	}
+	// Degenerate cases of Section 3.3.
+	if !d.MemberSatisfies("a1", constraint.ThroughAtom{RootCat: "A", Via: "A", Cat: "A"}) {
+		t.Error("c=ci=cj must be true")
+	}
+	if d.MemberSatisfies("a1", constraint.ThroughAtom{RootCat: "A", Via: "B", Cat: "A"}) {
+		t.Error("c=cj!=ci must be false")
+	}
+	if !d.MemberSatisfies("a1", constraint.ThroughAtom{RootCat: "A", Via: "A", Cat: "D"}) {
+		t.Error("c=ci: equivalent to rollup to D")
+	}
+	if !d.MemberSatisfies("a1", constraint.ThroughAtom{RootCat: "A", Via: "B", Cat: "B"}) {
+		t.Error("ci=cj: equivalent to rollup to B")
+	}
+}
+
+func TestSatisfiesEqAtom(t *testing.T) {
+	d := hetInstance(t)
+	if err := d.SetName("d1", "North"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MemberSatisfies("a1", constraint.EqAtom{RootCat: "A", Cat: "D", Val: "North"}) {
+		t.Error("a1.D has name North")
+	}
+	if d.MemberSatisfies("a3", constraint.EqAtom{RootCat: "A", Cat: "D", Val: "North"}) {
+		t.Error("a3 rolls up to d2, not d1")
+	}
+	// Root-level abbreviation: Name(x) itself.
+	if !d.MemberSatisfies("a1", constraint.EqAtom{RootCat: "A", Cat: "A", Val: "a1"}) {
+		t.Error("a1 is named a1 by default")
+	}
+}
+
+func TestSatisfiesVacuous(t *testing.T) {
+	d := New(hetSchema(t))
+	// No members in A: every constraint rooted at A holds vacuously.
+	if !d.Satisfies(constraint.False{}) == false {
+		// False has no root; it is just the false proposition.
+		t.Error("bare false must not hold")
+	}
+	if !d.Satisfies(constraint.NewPath("A", "B")) {
+		t.Error("constraint over empty root must hold vacuously")
+	}
+	if !d.SatisfiesAll([]constraint.Expr{
+		constraint.NewPath("A", "B"),
+		constraint.Not{X: constraint.NewPath("A", "B")},
+	}) {
+		t.Error("contradictory constraints hold vacuously over empty roots")
+	}
+}
+
+func TestSatisfiesMixedRootsRejected(t *testing.T) {
+	d := hetInstance(t)
+	mixed := constraint.NewAnd(constraint.NewPath("A", "B"), constraint.NewPath("B", "D"))
+	if d.Satisfies(mixed) {
+		t.Error("mixed-root expression must not be satisfied")
+	}
+}
+
+// TestComposedAtomsAgreeWithExpansion: evaluating rollup/through atoms
+// directly on an instance agrees with the syntactic expansion into path
+// atom disjunctions (Sections 3.1 and 3.3), over randomized instances.
+func TestComposedAtomsAgreeWithExpansion(t *testing.T) {
+	g := schema.New("prop")
+	for _, e := range [][2]string{
+		{"A", "B"}, {"A", "C"}, {"A", "D"}, {"B", "D"}, {"C", "D"},
+		{"B", "E"}, {"D", "E"}, {"E", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cats := []string{"A", "B", "C", "D", "E"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomChainInstance(g, rng)
+		if d.Validate() != nil {
+			return false
+		}
+		for _, ci := range cats {
+			roll := constraint.RollupAtom{RootCat: "A", Cat: ci}
+			if d.Satisfies(roll) != d.Satisfies(constraint.Expand(roll, g)) {
+				t.Logf("rollup mismatch for %s on\n%s", roll, d)
+				return false
+			}
+			for _, cj := range cats {
+				th := constraint.ThroughAtom{RootCat: "A", Via: ci, Cat: cj}
+				if d.Satisfies(th) != d.Satisfies(constraint.Expand(th, g)) {
+					t.Logf("through mismatch for %s on\n%s", th, d)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomChainInstance links each member to exactly one random parent,
+// which always yields a valid instance over an acyclic schema. It works
+// for any schema: all members are created before any links.
+func randomChainInstance(g *schema.Schema, rng *rand.Rand) *Instance {
+	d := New(g)
+	perCat := 1 + rng.Intn(3)
+	var order []string
+	for _, c := range g.Categories() {
+		if c != schema.All {
+			order = append(order, c)
+		}
+	}
+	for _, c := range order {
+		for i := 0; i < perCat; i++ {
+			if err := d.AddMember(c, c+"-"+string(rune('0'+i))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, c := range order {
+		for _, x := range d.Members(c) {
+			parents := g.Out(c)
+			p := parents[rng.Intn(len(parents))]
+			if p == schema.All {
+				if err := d.AddLink(x, AllMember); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			ms := d.Members(p)
+			if err := d.AddLink(x, ms[rng.Intn(len(ms))]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return d
+}
+
+// TestRollupMappingsSingleValued: condition (C2) forces every rollup
+// mapping to be single valued (the remark after Definition 2) — on random
+// valid instances, AncestorIn never has a second choice.
+func TestRollupMappingsSingleValued(t *testing.T) {
+	g := schema.New("prop2")
+	for _, e := range [][2]string{
+		{"A", "B"}, {"A", "C"}, {"B", "D"}, {"C", "D"}, {"B", "E"}, {"D", "E"}, {"E", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomChainInstance(g, rng)
+		if d.Validate() != nil {
+			return false
+		}
+		for _, x := range d.AllMembers() {
+			perCat := map[string]string{}
+			for y := range d.Ancestors(x) {
+				if y == x {
+					continue
+				}
+				c, _ := d.Category(y)
+				if prev, ok := perCat[c]; ok && prev != y {
+					t.Logf("member %s reaches two members of %s: %s, %s", x, c, prev, y)
+					return false
+				}
+				perCat[c] = y
+			}
+			// AncestorIn agrees with the ancestor set per category.
+			for c, y := range perCat {
+				if got, ok := d.AncestorIn(x, c); !ok || got != y {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

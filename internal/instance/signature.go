@@ -1,0 +1,112 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"olapdim/internal/schema"
+)
+
+// Signature is the set of categories a member has ancestors in (its own
+// category excluded, All included), rendered canonically. The paper's
+// notion of heterogeneity is exactly "two members in a given category have
+// ancestors in different categories" — i.e. two distinct signatures.
+type Signature string
+
+// SignatureOf computes the rollup signature of member x.
+func (d *Instance) SignatureOf(x string) Signature {
+	cats := map[string]bool{}
+	for y := range d.Ancestors(x) {
+		if y == x {
+			continue
+		}
+		cats[d.catOf[y]] = true
+	}
+	list := make([]string, 0, len(cats))
+	for c := range cats {
+		list = append(list, c)
+	}
+	sort.Strings(list)
+	return Signature(strings.Join(list, ","))
+}
+
+// Signatures returns the distinct rollup signatures of category c with
+// their member counts.
+func (d *Instance) Signatures(c string) map[Signature]int {
+	out := map[Signature]int{}
+	for _, x := range d.members[c] {
+		out[d.SignatureOf(x)]++
+	}
+	return out
+}
+
+// Heterogeneous reports whether category c is heterogeneous in d: at least
+// two members with ancestors in different category sets (Section 1.1).
+func (d *Instance) Heterogeneous(c string) bool {
+	return len(d.Signatures(c)) > 1
+}
+
+// HeterogeneityReport summarizes the rollup structure of an instance:
+// per-category member counts and distinct signatures.
+type HeterogeneityReport struct {
+	// Categories in sorted order, excluding All.
+	Categories []string
+	// Members counts members per category.
+	Members map[string]int
+	// Signatures lists each category's distinct signatures with counts.
+	Signatures map[string]map[Signature]int
+}
+
+// Heterogeneity computes the report for the whole instance.
+func (d *Instance) Heterogeneity() *HeterogeneityReport {
+	rep := &HeterogeneityReport{
+		Members:    map[string]int{},
+		Signatures: map[string]map[Signature]int{},
+	}
+	for _, c := range d.g.SortedCategories() {
+		if c == schema.All {
+			continue
+		}
+		rep.Categories = append(rep.Categories, c)
+		rep.Members[c] = len(d.members[c])
+		rep.Signatures[c] = d.Signatures(c)
+	}
+	return rep
+}
+
+// HeterogeneousCategories returns the categories with more than one
+// signature, sorted.
+func (r *HeterogeneityReport) HeterogeneousCategories() []string {
+	var out []string
+	for _, c := range r.Categories {
+		if len(r.Signatures[c]) > 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *HeterogeneityReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Categories {
+		sigs := r.Signatures[c]
+		if r.Members[c] == 0 {
+			continue
+		}
+		mark := ""
+		if len(sigs) > 1 {
+			mark = "  [heterogeneous]"
+		}
+		fmt.Fprintf(&b, "%s: %d member(s), %d signature(s)%s\n", c, r.Members[c], len(sigs), mark)
+		keys := make([]string, 0, len(sigs))
+		for s := range sigs {
+			keys = append(keys, string(s))
+		}
+		sort.Strings(keys)
+		for _, s := range keys {
+			fmt.Fprintf(&b, "  {%s}: %d\n", s, sigs[Signature(s)])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package instance
+
+import (
+	"fmt"
+
+	"olapdim/internal/schema"
+)
+
+// ConditionError reports a violated instance condition from Figure 2 of the
+// paper. Condition is one of "C1".."C7".
+type ConditionError struct {
+	Condition string
+	Detail    string
+}
+
+func (e *ConditionError) Error() string {
+	return fmt.Sprintf("instance: condition %s violated: %s", e.Condition, e.Detail)
+}
+
+func violation(cond, format string, args ...any) error {
+	return &ConditionError{Condition: cond, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks conditions (C1)–(C7) of Figure 2. It returns the first
+// violation found, or nil if the instance is a legal dimension instance
+// over its hierarchy schema.
+func (d *Instance) Validate() error {
+	if err := d.checkC1Connectivity(); err != nil {
+		return err
+	}
+	if err := d.checkC4TopCategory(); err != nil {
+		return err
+	}
+	if err := d.checkC6Stratification(); err != nil {
+		return err
+	}
+	if err := d.checkC2Partitioning(); err != nil {
+		return err
+	}
+	if err := d.checkC5Shortcuts(); err != nil {
+		return err
+	}
+	if err := d.checkC7UpConnectivity(); err != nil {
+		return err
+	}
+	// C3 (disjointness) holds by construction: catOf assigns each member a
+	// single category and AddMember rejects reassignment.
+	return nil
+}
+
+// checkC1Connectivity: x < x' requires cat(x) ↗ cat(x').
+func (d *Instance) checkC1Connectivity() error {
+	for x, ps := range d.parents {
+		for _, y := range ps {
+			if !d.g.HasEdge(d.catOf[x], d.catOf[y]) {
+				return violation("C1", "link %s < %s has no schema edge %s -> %s",
+					x, y, d.catOf[x], d.catOf[y])
+			}
+		}
+	}
+	return nil
+}
+
+// checkC2Partitioning: no member reaches two distinct members of one
+// category.
+func (d *Instance) checkC2Partitioning() error {
+	for x := range d.catOf {
+		perCat := map[string]string{}
+		for y := range d.Ancestors(x) {
+			if y == x {
+				continue
+			}
+			c := d.catOf[y]
+			if prev, ok := perCat[c]; ok && prev != y {
+				return violation("C2", "member %s rolls up to both %s and %s in category %s",
+					x, prev, y, c)
+			}
+			perCat[c] = y
+		}
+	}
+	return nil
+}
+
+// checkC4TopCategory: MembSet_All = {all}.
+func (d *Instance) checkC4TopCategory() error {
+	ms := d.members[schema.All]
+	if len(ms) != 1 || ms[0] != AllMember {
+		return violation("C4", "MembSet_All = %v, want [%s]", ms, AllMember)
+	}
+	return nil
+}
+
+// checkC5Shortcuts: no direct link x < y duplicated by a longer chain.
+func (d *Instance) checkC5Shortcuts() error {
+	for x, ps := range d.parents {
+		for _, y := range ps {
+			// Look for x < z ≪ y with z != y.
+			for _, z := range ps {
+				if z == y {
+					continue
+				}
+				if d.properlyBelow(z, y) {
+					return violation("C5", "link %s < %s is shortcut via %s", x, y, z)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// properlyBelow reports x ≪ y (transitive, non-reflexive unless on cycle).
+func (d *Instance) properlyBelow(x, y string) bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), d.parents[x]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == y {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, d.parents[cur]...)
+	}
+	return false
+}
+
+// checkC6Stratification: no two members of one category ordered by ≪
+// (which also implies < is acyclic).
+func (d *Instance) checkC6Stratification() error {
+	for x := range d.catOf {
+		c := d.catOf[x]
+		seen := map[string]bool{}
+		stack := append([]string(nil), d.parents[x]...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if d.catOf[cur] == c {
+				return violation("C6", "members %s and %s of category %s satisfy %s ≪ %s",
+					x, cur, c, x, cur)
+			}
+			stack = append(stack, d.parents[cur]...)
+		}
+	}
+	return nil
+}
+
+// checkC7UpConnectivity: every member outside All has a parent.
+func (d *Instance) checkC7UpConnectivity() error {
+	for x, c := range d.catOf {
+		if c == schema.All {
+			continue
+		}
+		if len(d.parents[x]) == 0 {
+			return violation("C7", "member %s of category %s has no parent", x, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Package olap implements the OLAP substrate of Section 1.2 and Section 3.3
+// of Hurtado & Mendelzon, "OLAP Dimension Constraints" (PODS 2002): fact
+// tables over the bottom categories of a dimension, distributive aggregate
+// functions, single-category cube views, the Definition 6 rewriting of a
+// cube view from precomputed cube views, and an aggregate navigator that
+// uses summarizability to answer queries from materialized views.
+package olap
+
+import "fmt"
+
+// AggFunc is a distributive aggregate function. A distributive aggregate
+// can be computed by partitioning the input, aggregating each part, and
+// combining the partial results with the companion aggregate Combine()
+// (the paper's af^c): COUNT^c = SUM, and SUM, MIN, MAX combine with
+// themselves.
+type AggFunc int
+
+// The distributive SQL aggregate functions (footnote 1 of the paper).
+const (
+	Sum AggFunc = iota
+	Count
+	Min
+	Max
+)
+
+// Funcs lists every distributive aggregate, for exhaustive property tests.
+var Funcs = []AggFunc{Sum, Count, Min, Max}
+
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// Combine returns the companion aggregate af^c used to merge partial
+// aggregates: COUNT^c = SUM; SUM, MIN and MAX are their own companions.
+func (f AggFunc) Combine() AggFunc {
+	if f == Count {
+		return Sum
+	}
+	return f
+}
+
+// accumulator folds measures under one aggregate function.
+type accumulator struct {
+	f     AggFunc
+	seen  bool
+	value int64
+}
+
+func (a *accumulator) add(m int64) {
+	switch a.f {
+	case Sum:
+		a.value += m
+	case Count:
+		a.value++
+	case Min:
+		if !a.seen || m < a.value {
+			a.value = m
+		}
+	case Max:
+		if !a.seen || m > a.value {
+			a.value = m
+		}
+	}
+	a.seen = true
+}

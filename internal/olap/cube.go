@@ -1,0 +1,185 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"olapdim/internal/instance"
+)
+
+// Fact is one row of a fact table: a base member (a member of a bottom
+// category of the dimension) and a measure.
+type Fact struct {
+	Base string
+	M    int64
+}
+
+// FactTable holds facts at the base granularity of a dimension.
+type FactTable struct {
+	Name  string
+	Facts []Fact
+}
+
+// Add appends a fact.
+func (f *FactTable) Add(base string, m int64) {
+	f.Facts = append(f.Facts, Fact{Base: base, M: m})
+}
+
+// CubeView is the single-category cube view CubeView(d, F, c, af(m)):
+// the fact table joined with the rollup mapping to category c, grouped by
+// the members of c, aggregated with af (Section 3.3).
+type CubeView struct {
+	Category string
+	Agg      AggFunc
+	// Cells maps each member of the category to its aggregate value;
+	// members with no contributing facts are absent.
+	Cells map[string]int64
+}
+
+// Compute evaluates the cube view directly from the fact table:
+// Π_{c, af(m)}(F ⋈ Γ_{cb}^{c} d). Facts whose base member does not roll up
+// to the category contribute nothing (the rollup join drops them).
+func Compute(d *instance.Instance, F *FactTable, c string, af AggFunc) *CubeView {
+	accs := map[string]*accumulator{}
+	anc := map[string]string{} // memoized base member -> ancestor in c
+	for _, fact := range F.Facts {
+		target, ok := anc[fact.Base]
+		if !ok {
+			target, _ = d.AncestorIn(fact.Base, c)
+			anc[fact.Base] = target
+		}
+		if target == "" {
+			continue
+		}
+		a := accs[target]
+		if a == nil {
+			a = &accumulator{f: af}
+			accs[target] = a
+		}
+		a.add(fact.M)
+	}
+	cells := make(map[string]int64, len(accs))
+	for m, a := range accs {
+		cells[m] = a.value
+	}
+	return &CubeView{Category: c, Agg: af, Cells: cells}
+}
+
+// RollupFrom computes the cube view for category c from the precomputed
+// cube views of Definition 6:
+//
+//	Π_{c, af^c(m)} ( ⊎_i ( π_{c,m} Γ_{ci}^{c} d ⋈ views_i ) )
+//
+// Each source view is joined with the rollup mapping from its category to
+// c and the partial aggregates are merged with the companion aggregate
+// af^c. The result equals Compute(d, F, c, af) whenever c is summarizable
+// from the source categories in d (Theorem 1); otherwise cells may double
+// count or go missing — exactly the failure the paper's constraints guard
+// against.
+func RollupFrom(d *instance.Instance, views []*CubeView, c string) (*CubeView, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("olap: no source views")
+	}
+	af := views[0].Agg
+	for _, v := range views[1:] {
+		if v.Agg != af {
+			return nil, fmt.Errorf("olap: mixed aggregates %s and %s", af, v.Agg)
+		}
+	}
+	comb := af.Combine()
+	accs := map[string]*accumulator{}
+	for _, v := range views {
+		rollup := d.RollupMapping(v.Category, c)
+		// Deterministic iteration keeps MIN/MAX results reproducible
+		// regardless of map order (they are order independent anyway, but
+		// tests compare cell-by-cell).
+		members := make([]string, 0, len(v.Cells))
+		for m := range v.Cells {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+		for _, m := range members {
+			target, ok := rollup[m]
+			if !ok {
+				continue
+			}
+			a := accs[target]
+			if a == nil {
+				a = &accumulator{f: comb}
+				accs[target] = a
+			}
+			a.add(v.Cells[m])
+		}
+	}
+	cells := make(map[string]int64, len(accs))
+	for m, a := range accs {
+		cells[m] = a.value
+	}
+	return &CubeView{Category: c, Agg: af, Cells: cells}, nil
+}
+
+// Equal reports whether two cube views agree on category, aggregate and
+// every cell.
+func Equal(a, b *CubeView) bool {
+	if a.Category != b.Category || a.Agg != b.Agg || len(a.Cells) != len(b.Cells) {
+		return false
+	}
+	for m, v := range a.Cells {
+		if w, ok := b.Cells[m]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first differing cell of two cube views, for test
+// failure messages; it returns "" when the views are equal.
+func Diff(a, b *CubeView) string {
+	if a.Category != b.Category {
+		return fmt.Sprintf("category %s vs %s", a.Category, b.Category)
+	}
+	if a.Agg != b.Agg {
+		return fmt.Sprintf("aggregate %s vs %s", a.Agg, b.Agg)
+	}
+	keys := map[string]bool{}
+	for m := range a.Cells {
+		keys[m] = true
+	}
+	for m := range b.Cells {
+		keys[m] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for m := range keys {
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+	for _, m := range sorted {
+		va, oka := a.Cells[m]
+		vb, okb := b.Cells[m]
+		switch {
+		case !oka:
+			return fmt.Sprintf("cell %s: missing vs %d", m, vb)
+		case !okb:
+			return fmt.Sprintf("cell %s: %d vs missing", m, va)
+		case va != vb:
+			return fmt.Sprintf("cell %s: %d vs %d", m, va, vb)
+		}
+	}
+	return ""
+}
+
+// String renders the cube view deterministically.
+func (v *CubeView) String() string {
+	members := make([]string, 0, len(v.Cells))
+	for m := range v.Cells {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s by %s:", v.Agg, v.Category)
+	for _, m := range members {
+		fmt.Fprintf(&b, " %s=%d", m, v.Cells[m])
+	}
+	return b.String()
+}

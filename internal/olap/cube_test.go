@@ -1,0 +1,198 @@
+package olap
+
+import (
+	"testing"
+
+	"olapdim/internal/paper"
+)
+
+func locationFacts() *FactTable {
+	f := &FactTable{Name: "sales"}
+	// One distinct measure per store so aggregation errors are visible.
+	f.Add("s1", 10)
+	f.Add("s2", 20)
+	f.Add("s3", 40)
+	f.Add("s4", 80)
+	f.Add("s5", 160)
+	f.Add("s6", 320)
+	f.Add("s1", 5) // second fact for s1
+	return f
+}
+
+func TestAggFuncCombine(t *testing.T) {
+	if Count.Combine() != Sum {
+		t.Error("COUNT^c must be SUM")
+	}
+	for _, f := range []AggFunc{Sum, Min, Max} {
+		if f.Combine() != f {
+			t.Errorf("%s^c must be %s", f, f)
+		}
+	}
+	if Sum.String() != "SUM" || Count.String() != "COUNT" || Min.String() != "MIN" || Max.String() != "MAX" {
+		t.Error("aggregate names wrong")
+	}
+	if AggFunc(42).String() != "AggFunc(42)" {
+		t.Error("unknown aggregate rendering")
+	}
+}
+
+func TestComputeByCountry(t *testing.T) {
+	d := paper.LocationInstance()
+	v := Compute(d, locationFacts(), paper.Country, Sum)
+	want := map[string]int64{
+		"Canada": 35,  // s1: 10+5, s2: 20
+		"Mexico": 40,  // s3
+		"USA":    560, // s4 + s5 + s6
+	}
+	if len(v.Cells) != len(want) {
+		t.Fatalf("cells = %v", v.Cells)
+	}
+	for m, x := range want {
+		if v.Cells[m] != x {
+			t.Errorf("cell %s = %d, want %d", m, v.Cells[m], x)
+		}
+	}
+}
+
+func TestComputeCountMinMax(t *testing.T) {
+	d := paper.LocationInstance()
+	f := locationFacts()
+	count := Compute(d, f, paper.Country, Count)
+	if count.Cells["Canada"] != 3 || count.Cells["USA"] != 3 || count.Cells["Mexico"] != 1 {
+		t.Errorf("count = %v", count.Cells)
+	}
+	min := Compute(d, f, paper.Country, Min)
+	if min.Cells["Canada"] != 5 || min.Cells["USA"] != 80 {
+		t.Errorf("min = %v", min.Cells)
+	}
+	max := Compute(d, f, paper.Country, Max)
+	if max.Cells["Canada"] != 20 || max.Cells["USA"] != 320 {
+		t.Errorf("max = %v", max.Cells)
+	}
+}
+
+func TestComputeDropsNonRollingFacts(t *testing.T) {
+	d := paper.LocationInstance()
+	f := locationFacts()
+	// Province: only Canadian stores roll up to Ontario.
+	v := Compute(d, f, paper.Province, Sum)
+	if len(v.Cells) != 1 || v.Cells["Ontario"] != 35 {
+		t.Errorf("province cells = %v", v.Cells)
+	}
+}
+
+func TestRollupFromCityToCountry(t *testing.T) {
+	d := paper.LocationInstance()
+	f := locationFacts()
+	for _, af := range Funcs {
+		direct := Compute(d, f, paper.Country, af)
+		city := Compute(d, f, paper.City, af)
+		rolled, err := RollupFrom(d, []*CubeView{city}, paper.Country)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := Diff(direct, rolled); diff != "" {
+			t.Errorf("%s: Country from City differs: %s", af, diff)
+		}
+	}
+}
+
+func TestRollupFromSaleRegion(t *testing.T) {
+	d := paper.LocationInstance()
+	f := locationFacts()
+	direct := Compute(d, f, paper.Country, Sum)
+	sr := Compute(d, f, paper.SaleRegion, Sum)
+	rolled, err := RollupFrom(d, []*CubeView{sr}, paper.Country)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := Diff(direct, rolled); diff != "" {
+		t.Errorf("Country from SaleRegion differs: %s", diff)
+	}
+}
+
+func TestRollupFromStateProvinceUndercounts(t *testing.T) {
+	// Example 10: Country is NOT summarizable from {State, Province}; the
+	// Washington store is lost by the rewriting.
+	d := paper.LocationInstance()
+	f := locationFacts()
+	direct := Compute(d, f, paper.Country, Sum)
+	st := Compute(d, f, paper.State, Sum)
+	pr := Compute(d, f, paper.Province, Sum)
+	rolled, err := RollupFrom(d, []*CubeView{st, pr}, paper.Country)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Equal(direct, rolled) {
+		t.Fatal("expected undercount, views equal")
+	}
+	// Exactly Washington's s5 = 160 is missing from USA.
+	if got, want := rolled.Cells["USA"], direct.Cells["USA"]-160; got != want {
+		t.Errorf("USA = %d, want %d", got, want)
+	}
+	if rolled.Cells["Canada"] != direct.Cells["Canada"] {
+		t.Error("Canada should be unaffected")
+	}
+}
+
+func TestRollupFromCityAndSaleRegionDoubleCounts(t *testing.T) {
+	// Using both City and SaleRegion double counts every store.
+	d := paper.LocationInstance()
+	f := locationFacts()
+	direct := Compute(d, f, paper.Country, Sum)
+	city := Compute(d, f, paper.City, Sum)
+	sr := Compute(d, f, paper.SaleRegion, Sum)
+	rolled, err := RollupFrom(d, []*CubeView{city, sr}, paper.Country)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, v := range direct.Cells {
+		if rolled.Cells[m] != 2*v {
+			t.Errorf("cell %s = %d, want doubled %d", m, rolled.Cells[m], 2*v)
+		}
+	}
+}
+
+func TestRollupFromErrors(t *testing.T) {
+	d := paper.LocationInstance()
+	f := locationFacts()
+	if _, err := RollupFrom(d, nil, paper.Country); err == nil {
+		t.Error("empty views accepted")
+	}
+	a := Compute(d, f, paper.City, Sum)
+	b := Compute(d, f, paper.State, Count)
+	if _, err := RollupFrom(d, []*CubeView{a, b}, paper.Country); err == nil {
+		t.Error("mixed aggregates accepted")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a := &CubeView{Category: "C", Agg: Sum, Cells: map[string]int64{"x": 1}}
+	b := &CubeView{Category: "C", Agg: Sum, Cells: map[string]int64{"x": 1}}
+	if !Equal(a, b) || Diff(a, b) != "" {
+		t.Error("equal views misreported")
+	}
+	b.Cells["x"] = 2
+	if Equal(a, b) || Diff(a, b) == "" {
+		t.Error("unequal cells missed")
+	}
+	c := &CubeView{Category: "D", Agg: Sum, Cells: map[string]int64{}}
+	if Equal(a, c) {
+		t.Error("category mismatch missed")
+	}
+	e := &CubeView{Category: "C", Agg: Max, Cells: map[string]int64{"x": 1}}
+	if Equal(a, e) || Diff(a, e) == "" {
+		t.Error("aggregate mismatch missed")
+	}
+	f := &CubeView{Category: "C", Agg: Sum, Cells: map[string]int64{"y": 1}}
+	if Diff(a, f) == "" {
+		t.Error("missing-cell diff empty")
+	}
+}
+
+func TestCubeViewString(t *testing.T) {
+	v := &CubeView{Category: "C", Agg: Sum, Cells: map[string]int64{"b": 2, "a": 1}}
+	if got := v.String(); got != "SUM by C: a=1 b=2" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,59 @@
+package olap
+
+import "fmt"
+
+// AddFacts appends new facts to the navigator's fact table and maintains
+// every materialized cube view incrementally: each fact's measure folds
+// into the affected cell of each view directly, which is valid for all
+// four distributive aggregates under *insertions* (SUM and COUNT fold
+// additively; MIN and MAX can only tighten). Deletions would invalidate
+// MIN/MAX views and are not supported — rebuild with Materialize instead.
+// The update cost is O(#views) per fact, independent of the table size.
+func (n *Navigator) AddFacts(facts ...Fact) error {
+	for _, f := range facts {
+		if _, ok := n.d.Category(f.Base); !ok {
+			return fmt.Errorf("olap: unknown base member %q", f.Base)
+		}
+	}
+	for _, f := range facts {
+		n.f.Facts = append(n.f.Facts, f)
+		for af, views := range n.views {
+			for c, v := range views {
+				target, ok := n.d.AncestorIn(f.Base, c)
+				if !ok {
+					continue
+				}
+				old, exists := v.Cells[target]
+				v.Cells[target] = foldCell(af, old, exists, f.M)
+			}
+		}
+	}
+	return nil
+}
+
+// foldCell merges one measure into an existing cell value under af.
+func foldCell(af AggFunc, old int64, exists bool, m int64) int64 {
+	switch af {
+	case Sum:
+		if !exists {
+			return m
+		}
+		return old + m
+	case Count:
+		if !exists {
+			return 1
+		}
+		return old + 1
+	case Min:
+		if !exists || m < old {
+			return m
+		}
+		return old
+	case Max:
+		if !exists || m > old {
+			return m
+		}
+		return old
+	}
+	return old
+}

@@ -1,0 +1,111 @@
+package olap_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+)
+
+func TestAddFactsMaintainsViews(t *testing.T) {
+	d := paper.LocationInstance()
+	f := &olap.FactTable{}
+	f.Add("s1", 10)
+	f.Add("s3", 20)
+	n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+	for _, af := range olap.Funcs {
+		n.Materialize(paper.Country, af)
+		n.Materialize(paper.City, af)
+	}
+
+	if err := n.AddFacts(olap.Fact{Base: "s5", M: 40}, olap.Fact{Base: "s1", M: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every maintained view equals a fresh recomputation.
+	for _, af := range olap.Funcs {
+		for _, c := range []string{paper.Country, paper.City} {
+			got, plan, err := n.Query(c, af)
+			if err != nil || plan.FromBase {
+				t.Fatalf("query %s/%s: %v %v", c, af, plan, err)
+			}
+			want := olap.Compute(d, f, c, af)
+			if diff := olap.Diff(want, got); diff != "" {
+				t.Errorf("%s by %s after AddFacts: %s", af, c, diff)
+			}
+		}
+	}
+	// New cells appear (s5 is the first USA fact).
+	v, _, err := n.Query(paper.Country, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cells["USA"] != 40 {
+		t.Errorf("USA = %d", v.Cells["USA"])
+	}
+}
+
+func TestAddFactsUnknownMember(t *testing.T) {
+	d := paper.LocationInstance()
+	f := &olap.FactTable{}
+	n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+	if err := n.AddFacts(olap.Fact{Base: "ghost", M: 1}); err == nil {
+		t.Error("unknown base member accepted")
+	}
+	if len(f.Facts) != 0 {
+		t.Error("rejected batch partially applied")
+	}
+}
+
+// TestAddFactsAgreesWithRecompute: random insertion streams leave every
+// materialized view identical to recomputation from scratch, for all four
+// aggregates.
+func TestAddFactsAgreesWithRecompute(t *testing.T) {
+	d := paper.LocationInstance()
+	base := d.BaseMembers()
+	cats := []string{paper.Country, paper.City, paper.SaleRegion, paper.State}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := &olap.FactTable{}
+		// Seed facts before materialization.
+		for i := 0; i < rng.Intn(5); i++ {
+			tbl.Add(base[rng.Intn(len(base))], rng.Int63n(100)-50)
+		}
+		n := olap.NewNavigator(d, tbl, olap.InstanceOracle{D: d})
+		for _, af := range olap.Funcs {
+			for _, c := range cats {
+				n.Materialize(c, af)
+			}
+		}
+		// Stream random insertions.
+		var batch []olap.Fact
+		for i := 0; i < 10+rng.Intn(20); i++ {
+			batch = append(batch, olap.Fact{
+				Base: base[rng.Intn(len(base))],
+				M:    rng.Int63n(200) - 100,
+			})
+		}
+		if err := n.AddFacts(batch...); err != nil {
+			return false
+		}
+		for _, af := range olap.Funcs {
+			for _, c := range cats {
+				got, plan, err := n.Query(c, af)
+				if err != nil || plan.FromBase {
+					return false
+				}
+				want := olap.Compute(d, tbl, c, af)
+				if diff := olap.Diff(want, got); diff != "" {
+					t.Logf("%s by %s diverged: %s", af, c, diff)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

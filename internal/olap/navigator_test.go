@@ -1,0 +1,238 @@
+package olap_test
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/core"
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+)
+
+func navFacts() *olap.FactTable {
+	f := &olap.FactTable{Name: "sales"}
+	for i, s := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
+		f.Add(s, int64(10*(i+1)))
+	}
+	return f
+}
+
+func TestNavigatorUsesMaterializedView(t *testing.T) {
+	d := paper.LocationInstance()
+	f := navFacts()
+	n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+	n.Materialize(paper.City, olap.Sum)
+
+	v, plan, err := n.Query(paper.Country, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FromBase {
+		t.Errorf("plan = %s, want rewrite from City", plan)
+	}
+	if len(plan.Sources) != 1 || plan.Sources[0] != paper.City {
+		t.Errorf("sources = %v", plan.Sources)
+	}
+	direct := olap.Compute(d, f, paper.Country, olap.Sum)
+	if diff := olap.Diff(direct, v); diff != "" {
+		t.Errorf("rewritten view differs: %s", diff)
+	}
+}
+
+func TestNavigatorFallsBackToBase(t *testing.T) {
+	d := paper.LocationInstance()
+	f := navFacts()
+	n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+	// Only State and Province materialized: Country is not summarizable
+	// from any subset (the Washington exception), so the navigator must
+	// scan the base facts.
+	n.Materialize(paper.State, olap.Sum)
+	n.Materialize(paper.Province, olap.Sum)
+
+	v, plan, err := n.Query(paper.Country, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.FromBase {
+		t.Errorf("plan = %s, want base scan", plan)
+	}
+	direct := olap.Compute(d, f, paper.Country, olap.Sum)
+	if diff := olap.Diff(direct, v); diff != "" {
+		t.Errorf("base-scan view differs: %s", diff)
+	}
+}
+
+func TestNavigatorExactHit(t *testing.T) {
+	d := paper.LocationInstance()
+	f := navFacts()
+	n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+	want := n.Materialize(paper.Country, olap.Max)
+	got, plan, err := n.Query(paper.Country, olap.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("exact hit did not return the stored view")
+	}
+	if plan.FromBase || len(plan.Sources) != 1 || plan.Sources[0] != paper.Country {
+		t.Errorf("plan = %s", plan)
+	}
+}
+
+func TestNavigatorPrefersSmallestCertifiedSet(t *testing.T) {
+	d := paper.LocationInstance()
+	f := navFacts()
+	n := olap.NewNavigator(d, f, olap.InstanceOracle{D: d})
+	n.Materialize(paper.State, olap.Sum)
+	n.Materialize(paper.Province, olap.Sum)
+	n.Materialize(paper.SaleRegion, olap.Sum)
+	v, plan, err := n.Query(paper.Country, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {SaleRegion} alone is certified; {State, Province} is not.
+	if plan.FromBase || len(plan.Sources) != 1 || plan.Sources[0] != paper.SaleRegion {
+		t.Errorf("plan = %s, want single-source SaleRegion", plan)
+	}
+	direct := olap.Compute(d, f, paper.Country, olap.Sum)
+	if diff := olap.Diff(direct, v); diff != "" {
+		t.Errorf("view differs: %s", diff)
+	}
+}
+
+func TestNavigatorWithSchemaOracle(t *testing.T) {
+	d := paper.LocationInstance()
+	f := navFacts()
+	oracle := &olap.SchemaOracle{DS: paper.LocationSch()}
+	n := olap.NewNavigator(d, f, oracle)
+	n.Materialize(paper.City, olap.Count)
+	v, plan, err := n.Query(paper.Country, olap.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FromBase {
+		t.Errorf("schema oracle should certify Country from {City}: %s", plan)
+	}
+	direct := olap.Compute(d, f, paper.Country, olap.Count)
+	if diff := olap.Diff(direct, v); diff != "" {
+		t.Errorf("view differs: %s", diff)
+	}
+	// Second query hits the oracle cache; results must be stable.
+	if _, plan2, err := n.Query(paper.Country, olap.Count); err != nil || plan2.String() != plan.String() {
+		t.Errorf("cached plan differs: %s vs %s (%v)", plan2, plan, err)
+	}
+}
+
+func TestSchemaOracleRejectsUncertifiable(t *testing.T) {
+	oracle := &olap.SchemaOracle{DS: paper.LocationSch()}
+	if oracle.Summarizable(paper.Country, []string{paper.State, paper.Province}) {
+		t.Error("schema oracle certified Example 10's negative case")
+	}
+	if !oracle.Summarizable(paper.Country, []string{paper.City}) {
+		t.Error("schema oracle rejected Example 10's positive case")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := olap.Plan{Target: "Country", FromBase: true}
+	if !strings.Contains(p.String(), "base") {
+		t.Errorf("plan = %s", p)
+	}
+	p = olap.Plan{Target: "Country", Sources: []string{"City"}}
+	if !strings.Contains(p.String(), "City") {
+		t.Errorf("plan = %s", p)
+	}
+}
+
+func TestCoreSummarizableSchemaLevel(t *testing.T) {
+	// The schema-level Example 10 results, via core.Summarizable.
+	ds := paper.LocationSch()
+	rep, err := core.Summarizable(ds, paper.Country, []string{paper.City}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summarizable() {
+		t.Error("Country should be schema-summarizable from {City}")
+	}
+	rep, err = core.Summarizable(ds, paper.Country, []string{paper.State, paper.Province}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summarizable() {
+		t.Error("Country should not be schema-summarizable from {State, Province}")
+	}
+	// The failing bottom carries a counterexample frozen dimension.
+	for _, b := range rep.PerBottom {
+		if !b.Implied && b.Counterexample.Witness == nil {
+			t.Error("missing counterexample witness")
+		}
+	}
+}
+
+// TestMultiBottomCubeViews: facts live at two bottom categories
+// (Definition 6's base granularity spans all bottoms); rewriting from the
+// per-branch categories is exact, from one branch it silently loses the
+// other channel.
+func TestMultiBottomCubeViews(t *testing.T) {
+	ds, err := core.Parse(`
+schema channels
+edge PosSale -> Store -> Region -> All
+edge WebSale -> Site -> Region
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := instance.New(ds.G)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Region", "east"))
+	must(d.AddLink("east", instance.AllMember))
+	must(d.AddMember("Store", "st1"))
+	must(d.AddLink("st1", "east"))
+	must(d.AddMember("Site", "webshop"))
+	must(d.AddLink("webshop", "east"))
+	for _, p := range []string{"p1", "p2"} {
+		must(d.AddMember("PosSale", p))
+		must(d.AddLink(p, "st1"))
+	}
+	must(d.AddMember("WebSale", "w1"))
+	must(d.AddLink("w1", "webshop"))
+	must(d.Validate())
+
+	f := &olap.FactTable{}
+	f.Add("p1", 10)
+	f.Add("p2", 20)
+	f.Add("w1", 40)
+
+	direct := olap.Compute(d, f, "Region", olap.Sum)
+	if direct.Cells["east"] != 70 {
+		t.Fatalf("direct = %v", direct.Cells)
+	}
+	store := olap.Compute(d, f, "Store", olap.Sum)
+	site := olap.Compute(d, f, "Site", olap.Sum)
+	exact, err := olap.RollupFrom(d, []*olap.CubeView{store, site}, "Region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := olap.Diff(direct, exact); diff != "" {
+		t.Errorf("two-branch rewrite differs: %s", diff)
+	}
+	lossy, err := olap.RollupFrom(d, []*olap.CubeView{store}, "Region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Cells["east"] != 30 {
+		t.Errorf("one-branch rewrite = %v, want the web channel lost (30)", lossy.Cells)
+	}
+	if !core.SummarizableInInstance(d, "Region", []string{"Store", "Site"}) {
+		t.Error("Theorem 1 should certify {Store, Site}")
+	}
+	if core.SummarizableInInstance(d, "Region", []string{"Store"}) {
+		t.Error("Theorem 1 should reject {Store}")
+	}
+}

@@ -1,0 +1,176 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ViewSelection is the outcome of SelectViews: which cube views to
+// materialize for a query workload, which rewrite covers each query, and
+// which queries still need base-table scans.
+type ViewSelection struct {
+	// Materialize lists the selected categories, sorted.
+	Materialize []string
+	// Covered maps each answerable query category to the certified source
+	// set inside Materialize (the smallest one found).
+	Covered map[string][]string
+	// Uncovered lists the query categories no selection subset certifies.
+	Uncovered []string
+	// EstimatedCells totals the size estimates of the selection.
+	EstimatedCells int
+}
+
+func (s *ViewSelection) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "materialize {%s} (%d cells)", strings.Join(s.Materialize, ", "), s.EstimatedCells)
+	targets := make([]string, 0, len(s.Covered))
+	for c := range s.Covered {
+		targets = append(targets, c)
+	}
+	sort.Strings(targets)
+	for _, c := range targets {
+		fmt.Fprintf(&b, "\n  %s from {%s}", c, strings.Join(s.Covered[c], ", "))
+	}
+	for _, c := range s.Uncovered {
+		fmt.Fprintf(&b, "\n  %s from base facts", c)
+	}
+	return b.String()
+}
+
+// SelectViews greedily chooses cube views to materialize so that as many
+// query categories as possible are answerable from the selection, within a
+// cell budget. It realizes the view-selection role the paper sketches in
+// Section 6: dimension constraints "supply meta-data to support the test
+// of whether a selected set of views is sufficient to compute all the
+// required queries" — here the oracle (Theorem 1 implication) is that
+// test.
+//
+// sizes estimates the cell count of each category's view (for the paper's
+// dimensions, the member count); candidates are its keys. A query is
+// covered when it is selected itself or when some subset of the selection
+// is certified by the oracle (more views are not always better: a superset
+// can double count, so coverage searches subsets smallest-first). The
+// greedy step picks the candidate covering the most uncovered queries,
+// breaking ties towards fewer cells, then lexicographically.
+func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCells int) *ViewSelection {
+	candidates := make([]string, 0, len(sizes))
+	for c := range sizes {
+		candidates = append(candidates, c)
+	}
+	sort.Strings(candidates)
+
+	sel := map[string]bool{}
+	spent := 0
+	remaining := append([]string(nil), queries...)
+	sort.Strings(remaining)
+
+	covered := func(selection map[string]bool, target string) ([]string, bool) {
+		if selection[target] {
+			return []string{target}, true
+		}
+		var list []string
+		for c := range selection {
+			list = append(list, c)
+		}
+		sort.Strings(list)
+		return smallestCertified(oracle, target, list)
+	}
+
+	for len(remaining) > 0 {
+		best := ""
+		bestGain := 0
+		for _, cand := range candidates {
+			if sel[cand] || spent+sizes[cand] > budgetCells {
+				continue
+			}
+			trial := cloneSet(sel)
+			trial[cand] = true
+			gain := 0
+			for _, q := range remaining {
+				if _, ok := covered(trial, q); ok {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && better(cand, best, sizes)) {
+				best, bestGain = cand, gain
+			}
+		}
+		if bestGain == 0 {
+			break
+		}
+		sel[best] = true
+		spent += sizes[best]
+		var still []string
+		for _, q := range remaining {
+			if _, ok := covered(sel, q); !ok {
+				still = append(still, q)
+			}
+		}
+		remaining = still
+	}
+
+	out := &ViewSelection{Covered: map[string][]string{}, EstimatedCells: spent}
+	for c := range sel {
+		out.Materialize = append(out.Materialize, c)
+	}
+	sort.Strings(out.Materialize)
+	seen := map[string]bool{}
+	for _, q := range queries {
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		if src, ok := covered(sel, q); ok {
+			out.Covered[q] = src
+		} else {
+			out.Uncovered = append(out.Uncovered, q)
+		}
+	}
+	sort.Strings(out.Uncovered)
+	return out
+}
+
+func better(cand, best string, sizes map[string]int) bool {
+	if best == "" {
+		return true
+	}
+	if sizes[cand] != sizes[best] {
+		return sizes[cand] < sizes[best]
+	}
+	return cand < best
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// smallestCertified finds the smallest subset of avail certified by the
+// oracle for the target, smallest-first, or reports none.
+func smallestCertified(oracle Oracle, target string, avail []string) ([]string, bool) {
+	for size := 1; size <= len(avail); size++ {
+		if set, ok := certifiedOfSize(oracle, target, avail, nil, 0, size); ok {
+			return set, true
+		}
+	}
+	return nil, false
+}
+
+func certifiedOfSize(oracle Oracle, target string, avail, cur []string, start, size int) ([]string, bool) {
+	if len(cur) == size {
+		if oracle.Summarizable(target, cur) {
+			return append([]string(nil), cur...), true
+		}
+		return nil, false
+	}
+	for i := start; i < len(avail); i++ {
+		if set, ok := certifiedOfSize(oracle, target, avail, append(cur, avail[i]), i+1, size); ok {
+			return set, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,112 @@
+package olap_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+)
+
+// locationSizes approximates per-category view sizes for the location
+// schema (cells ~ member counts at a 1000-store scale).
+func locationSizes() map[string]int {
+	return map[string]int{
+		paper.City:       1000,
+		paper.State:      500,
+		paper.Province:   250,
+		paper.SaleRegion: 600,
+		paper.Country:    3,
+	}
+}
+
+func locationOracle() olap.Oracle {
+	return &olap.SchemaOracle{DS: paper.LocationSch()}
+}
+
+func TestSelectViewsCoversCountry(t *testing.T) {
+	sel := olap.SelectViews(locationOracle(), locationSizes(), []string{paper.Country}, 10000)
+	if len(sel.Uncovered) != 0 {
+		t.Fatalf("Country uncovered: %s", sel)
+	}
+	// The cheapest cover for Country alone is Country itself (3 cells).
+	if !reflect.DeepEqual(sel.Materialize, []string{paper.Country}) {
+		t.Errorf("selection = %v, want [Country]", sel.Materialize)
+	}
+	if sel.EstimatedCells != 3 {
+		t.Errorf("cells = %d", sel.EstimatedCells)
+	}
+}
+
+func TestSelectViewsSharedSource(t *testing.T) {
+	// SaleRegion and Country are both needed. SaleRegion itself (600) also
+	// certifies Country from {SaleRegion}, so one view can cover both.
+	sel := olap.SelectViews(locationOracle(), locationSizes(),
+		[]string{paper.Country, paper.SaleRegion}, 10000)
+	if len(sel.Uncovered) != 0 {
+		t.Fatalf("uncovered: %s", sel)
+	}
+	if !reflect.DeepEqual(sel.Materialize, []string{paper.SaleRegion}) {
+		t.Errorf("selection = %v, want [SaleRegion]", sel.Materialize)
+	}
+	if got := sel.Covered[paper.Country]; !reflect.DeepEqual(got, []string{paper.SaleRegion}) {
+		t.Errorf("Country covered from %v", got)
+	}
+}
+
+func TestSelectViewsBudget(t *testing.T) {
+	// A budget below every candidate leaves everything uncovered.
+	sel := olap.SelectViews(locationOracle(), locationSizes(), []string{paper.Country}, 2)
+	if len(sel.Materialize) != 0 || len(sel.Uncovered) != 1 {
+		t.Errorf("selection under tiny budget = %s", sel)
+	}
+}
+
+func TestSelectViewsUncoverable(t *testing.T) {
+	// Queries outside the size map can only be covered by themselves; with
+	// State and Province as the only candidates, Country stays uncovered
+	// (Example 10's negative result).
+	sizes := map[string]int{paper.State: 500, paper.Province: 250}
+	sel := olap.SelectViews(locationOracle(), sizes, []string{paper.Country}, 10000)
+	if len(sel.Uncovered) != 1 || sel.Uncovered[0] != paper.Country {
+		t.Errorf("selection = %s", sel)
+	}
+	// Nothing useless is materialized.
+	if len(sel.Materialize) != 0 {
+		t.Errorf("materialized useless views: %v", sel.Materialize)
+	}
+}
+
+func TestSelectViewsMultiQuery(t *testing.T) {
+	queries := []string{paper.Country, paper.SaleRegion, paper.State, paper.Province}
+	sel := olap.SelectViews(locationOracle(), locationSizes(), queries, 10000)
+	if len(sel.Uncovered) != 0 {
+		t.Fatalf("uncovered queries: %s", sel)
+	}
+	// Every covered query's certified source set must be inside the
+	// selection.
+	inSel := map[string]bool{}
+	for _, c := range sel.Materialize {
+		inSel[c] = true
+	}
+	for q, src := range sel.Covered {
+		for _, s := range src {
+			if !inSel[s] {
+				t.Errorf("query %s uses unselected source %s", q, s)
+			}
+		}
+	}
+	if !strings.Contains(sel.String(), "materialize") {
+		t.Errorf("rendering: %s", sel)
+	}
+}
+
+func TestSelectViewsDeterministic(t *testing.T) {
+	queries := []string{paper.Country, paper.SaleRegion, paper.City}
+	a := olap.SelectViews(locationOracle(), locationSizes(), queries, 10000)
+	b := olap.SelectViews(locationOracle(), locationSizes(), queries, 10000)
+	if a.String() != b.String() {
+		t.Errorf("nondeterministic selection:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,496 @@
+// Golden reproductions of every figure and worked example of the paper
+// (experiments F1, F3, F4, F5, F7 and Examples 2, 3, 10, 11 of DESIGN.md).
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/frozen"
+	"olapdim/internal/schema"
+)
+
+// TestFigure1Location reproduces Figure 1: the location dimension instance
+// is a valid dimension instance whose members roll up as the paper's
+// narrative describes.
+func TestFigure1Location(t *testing.T) {
+	d := LocationInstance()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Figure 1 instance violates (C1)-(C7): %v", err)
+	}
+	// "All the stores rollup to City, SaleRegion, and Country."
+	for _, s := range d.Members(Store) {
+		for _, c := range []string{City, SaleRegion, Country} {
+			if _, ok := d.AncestorIn(s, c); !ok {
+				t.Errorf("store %s does not roll up to %s", s, c)
+			}
+		}
+	}
+	// "While the stores in Canada rollup to Province, the stores in Mexico
+	// and USA rollup to State."
+	byCountry := d.RollupMapping(Store, Country)
+	for s, country := range byCountry {
+		_, hasProvince := d.AncestorIn(s, Province)
+		_, hasState := d.AncestorIn(s, State)
+		switch country {
+		case "Canada":
+			if !hasProvince || hasState {
+				t.Errorf("Canadian store %s: province=%v state=%v", s, hasProvince, hasState)
+			}
+		case "Mexico":
+			if hasProvince || !hasState {
+				t.Errorf("Mexican store %s: province=%v state=%v", s, hasProvince, hasState)
+			}
+		}
+	}
+	// "The city Washington is an exception… it rolls up directly to
+	// Country without passing through State."
+	if _, hasState := d.AncestorIn("s5", State); hasState {
+		t.Error("Washington store must not reach State")
+	}
+	if c, _ := d.AncestorIn("Washington", Country); c != "USA" {
+		t.Errorf("Washington rolls up to %q, want USA", c)
+	}
+	// Rollup mappings are single valued (C2 / "partitioned").
+	if got := d.RollupMapping(Store, Country); len(got) != 6 {
+		t.Errorf("store->country mapping has %d entries, want 6", len(got))
+	}
+}
+
+// TestFigure1Hierarchy pins the hierarchy schema of Figure 1(A) including
+// the Example 3 shortcut.
+func TestFigure1Hierarchy(t *testing.T) {
+	g := LocationHierarchy()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumCategories(); got != 7 {
+		t.Errorf("categories = %d, want 7", got)
+	}
+	if got := g.NumEdges(); got != 10 {
+		t.Errorf("edges = %d, want 10", got)
+	}
+	if bottoms := g.Bottoms(); len(bottoms) != 1 || bottoms[0] != Store {
+		t.Errorf("bottoms = %v, want [Store]", bottoms)
+	}
+	// Example 3: the categories City and Country form a shortcut.
+	if !g.IsShortcut(City, Country) {
+		t.Error("City -> Country must be a shortcut (Example 3)")
+	}
+	shortcuts := g.Shortcuts()
+	keys := map[string]bool{}
+	for _, sc := range shortcuts {
+		keys[sc[0]+">"+sc[1]] = true
+	}
+	// Store -> SaleRegion is also a schema-level shortcut (via City-State).
+	if !keys["City>Country"] || !keys["Store>SaleRegion"] {
+		t.Errorf("shortcuts = %v", shortcuts)
+	}
+}
+
+// TestFigure3LocationSch reproduces Figure 3: locationSch is well formed,
+// its instance of Figure 1 satisfies every constraint, and the constraints
+// render exactly as in Figure 5 (left).
+func TestFigure3LocationSch(t *testing.T) {
+	ds := LocationSch()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := LocationInstance()
+	for _, e := range ds.Sigma {
+		if !d.Satisfies(e) {
+			t.Errorf("location violates constraint %s", e)
+		}
+	}
+	want := []string{
+		"Store_City",
+		"Store.SaleRegion",
+		`City="Washington" <-> City_Country`,
+		`City="Washington" -> City.Country="USA"`,
+		`State.Country="Mexico" | State.Country="USA"`,
+		`State.Country="Mexico" <-> State_SaleRegion`,
+		`Province.Country="Canada"`,
+	}
+	if len(ds.Sigma) != len(want) {
+		t.Fatalf("got %d constraints, want %d", len(ds.Sigma), len(want))
+	}
+	for i, e := range ds.Sigma {
+		if e.String() != want[i] {
+			t.Errorf("constraint %d = %q, want %q", i, e, want[i])
+		}
+	}
+}
+
+// TestExample2 reproduces Example 2: the hierarchy schema alone cannot
+// certify that Country is summarizable from {City} (a bare schema admits
+// stores reaching Country via SaleRegion without City), while locationSch's
+// constraints do certify it.
+func TestExample2(t *testing.T) {
+	bare := core.NewDimensionSchema(LocationHierarchy())
+	rep, err := core.Summarizable(bare, Country, []string{City}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summarizable() {
+		t.Error("bare hierarchy schema must not certify Country from {City}")
+	}
+	constrained := LocationSch()
+	rep, err = core.Summarizable(constrained, Country, []string{City}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summarizable() {
+		t.Error("locationSch must certify Country from {City}")
+	}
+}
+
+// TestFigure4FrozenDimensions reproduces Figure 4: locationSch has exactly
+// four frozen dimensions with root Store — the Canadian, Mexican, US and
+// Washington store structures.
+func TestFigure4FrozenDimensions(t *testing.T) {
+	ds := LocationSch()
+	fs, err := core.EnumerateFrozen(ds, Store, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range fs {
+		got = append(got, f.String())
+	}
+	want := []string{
+		// Washington: City -> Country directly, sale region from the store.
+		"City->Country; Country->All; SaleRegion->Country; Store->City; Store->SaleRegion [City=Washington, Country=USA]",
+		// Canada: through Province.
+		"City->Province; Country->All; Province->SaleRegion; SaleRegion->Country; Store->City [Country=Canada]",
+		// USA: State -> Country directly, sale region from the store.
+		"City->State; Country->All; SaleRegion->Country; State->Country; Store->City; Store->SaleRegion [Country=USA]",
+		// Mexico: State -> SaleRegion -> Country.
+		"City->State; Country->All; SaleRegion->Country; State->SaleRegion; Store->City [Country=Mexico]",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d frozen dimensions, want 4:\n%s", len(got), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("frozen %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	// The naive Theorem 3 enumeration agrees.
+	naive, err := frozen.EnumerateFrozen(ds.G, ds.Sigma, Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) != 4 {
+		t.Errorf("naive enumeration found %d frozen dimensions, want 4", len(naive))
+	}
+	// Every frozen dimension materializes into a valid instance over
+	// locationSch.
+	consts := constraint.ConstMap(ds.Sigma)
+	for _, f := range fs {
+		inst, err := f.ToInstance(ds.G, consts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Errorf("frozen %s invalid: %v", f, err)
+		}
+		if !inst.SatisfiesAll(ds.Sigma) {
+			t.Errorf("frozen %s violates sigma", f)
+		}
+	}
+}
+
+// figure5Subhierarchy is the subhierarchy g of Example 12: both State and
+// Province present, no City -> Country and no State -> SaleRegion edge.
+func figure5Subhierarchy() *frozen.Subhierarchy {
+	g := frozen.NewSubhierarchy(Store)
+	for _, e := range [][2]string{
+		{Store, City}, {City, State}, {City, Province},
+		{State, Country}, {Province, SaleRegion},
+		{SaleRegion, Country}, {Country, schema.All},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// TestFigure5CircleOperator reproduces Figure 5: applying the circle
+// operator for g to Σ(locationSch, Store) yields exactly the right column.
+func TestFigure5CircleOperator(t *testing.T) {
+	ds := LocationSch()
+	g := figure5Subhierarchy()
+	sigma := constraint.SigmaFor(ds.Sigma, ds.G, Store)
+	if len(sigma) != 7 {
+		t.Fatalf("Σ(locationSch, Store) has %d constraints, want all 7", len(sigma))
+	}
+	got := frozen.CircleVerbatim(sigma, g)
+	want := []string{
+		"true",                        // (a) Store_City is a path in g
+		"true",                        // (b) Store.SaleRegion reachable via Province
+		`City="Washington" <-> false`, // (c)
+		`City="Washington" -> City.Country="USA"`,      // (d) unchanged
+		`State.Country="Mexico" | State.Country="USA"`, // (e) unchanged
+		`State.Country="Mexico" <-> false`,             // (f)
+		`Province.Country="Canada"`,                    // (g) unchanged
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d constraints", len(got))
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("Σ∘g (%c) = %q, want %q", 'a'+i, got[i], want[i])
+		}
+	}
+	// This subhierarchy induces no frozen dimension: (e)+(f) force
+	// Country = USA while (g) forces Country = Canada.
+	if _, ok := frozen.Induces(g, sigma, constraint.ConstMap(ds.Sigma)); ok {
+		t.Error("Figure 5's subhierarchy must not induce a frozen dimension")
+	}
+}
+
+// TestFigure7DimsatTrace reproduces the shape of Figure 7: a DIMSAT run on
+// (locationSch, Store) explores subhierarchies by expanding one top
+// category at a time, checks complete candidates, and stops at the first
+// frozen dimension. The trace is pinned for regression, giving the same
+// kind of execution narrative as the figure.
+func TestFigure7DimsatTrace(t *testing.T) {
+	ds := LocationSch()
+	tr := &core.RecordingTracer{}
+	res, err := core.Satisfiable(ds, Store, core.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("Store must be satisfiable")
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	// The first expansion honours the into constraint (a): Store_City is
+	// forced into every R, so every first-step R contains City.
+	first := tr.Events[0]
+	if first.Kind != "expand" || first.Ctop != Store {
+		t.Fatalf("first event = %+v", first)
+	}
+	hasCity := false
+	for _, r := range first.R {
+		if r == City {
+			hasCity = true
+		}
+	}
+	if !hasCity {
+		t.Errorf("into pruning violated: first R = %v lacks City", first.R)
+	}
+	// The final event is the successful CHECK.
+	last := tr.Events[len(tr.Events)-1]
+	if last.Kind != "check" || !last.Induced {
+		t.Errorf("last event = %+v, want successful check", last)
+	}
+	// Witness is one of the four Figure 4 frozen dimensions.
+	fig4 := map[string]bool{
+		"City->Country; Country->All; SaleRegion->Country; Store->City; Store->SaleRegion":               true,
+		"City->Province; Country->All; Province->SaleRegion; SaleRegion->Country; Store->City":           true,
+		"City->State; Country->All; SaleRegion->Country; State->Country; Store->City; Store->SaleRegion": true,
+		"City->State; Country->All; SaleRegion->Country; State->SaleRegion; Store->City":                 true,
+	}
+	if !fig4[res.Witness.G.String()] {
+		t.Errorf("witness %s is not a Figure 4 frozen dimension", res.Witness.G)
+	}
+	// Into pruning matters: without it the search does strictly more work.
+	resNoInto, err := core.Satisfiable(ds, Store, core.Options{DisableIntoPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resNoInto.Satisfiable {
+		t.Fatal("ablated run must agree")
+	}
+	if resNoInto.Stats.Expansions < res.Stats.Expansions {
+		t.Errorf("into pruning increased work: %d vs %d expansions",
+			res.Stats.Expansions, resNoInto.Stats.Expansions)
+	}
+}
+
+// TestExample10 reproduces Example 10 at both the schema level and the
+// instance level.
+func TestExample10(t *testing.T) {
+	ds := LocationSch()
+	d := LocationInstance()
+
+	// Country is summarizable from {City}.
+	rep, err := core.Summarizable(ds, Country, []string{City}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summarizable() {
+		t.Error("Country should be summarizable from {City}")
+	}
+	if !core.SummarizableInInstance(d, Country, []string{City}) {
+		t.Error("instance-level check disagrees for {City}")
+	}
+	// The instance satisfies the Theorem 1 constraint itself.
+	if !d.Satisfies(core.SummarizabilityConstraint(Store, Country, []string{City})) {
+		t.Error("location ⊭ Store.Country ⊃ Store.City.Country")
+	}
+
+	// Country is not summarizable from {State, Province}: Washington.
+	rep, err = core.Summarizable(ds, Country, []string{State, Province}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summarizable() {
+		t.Error("Country should not be summarizable from {State, Province}")
+	}
+	if core.SummarizableInInstance(d, Country, []string{State, Province}) {
+		t.Error("instance-level check disagrees for {State, Province}")
+	}
+	// The counterexample is the Washington frozen dimension: it has the
+	// direct City -> Country edge.
+	for _, b := range rep.PerBottom {
+		if b.Implied {
+			continue
+		}
+		w := b.Counterexample.Witness
+		if w == nil {
+			t.Fatal("missing counterexample")
+		}
+		if !w.G.HasEdge(City, Country) {
+			t.Errorf("counterexample %s should use the Washington shortcut", w)
+		}
+	}
+}
+
+// TestExample11 reproduces Example 11: adding ¬SaleRegion_Country makes
+// SaleRegion unsatisfiable, because condition (C7) requires
+// SaleRegion_Country.
+func TestExample11(t *testing.T) {
+	ds := LocationSch()
+	res, err := core.Satisfiable(ds, SaleRegion, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("SaleRegion satisfiable before the new constraint")
+	}
+	ds2 := core.NewDimensionSchema(ds.G, append(append([]constraint.Expr(nil), ds.Sigma...),
+		constraint.Not{X: constraint.NewPath(SaleRegion, Country)})...)
+	res, err = core.Satisfiable(ds2, SaleRegion, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Error("SaleRegion must become unsatisfiable (Example 11)")
+	}
+	// Everything that reaches SaleRegion necessarily dies with it… except
+	// categories with alternative structures: Store still has the
+	// Washington/USA structures? No: constraint (b) forces Store.SaleRegion.
+	res, err = core.Satisfiable(ds2, Store, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Error("Store requires SaleRegion (constraint b), so it dies too")
+	}
+	// Country is unaffected.
+	res, err = core.Satisfiable(ds2, Country, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Error("Country must stay satisfiable")
+	}
+}
+
+// TestProposition1 pins satisfiability of every category of locationSch
+// and of the whole schema (every dimension schema is satisfiable).
+func TestProposition1(t *testing.T) {
+	ds := LocationSch()
+	unsat, err := core.UnsatisfiableCategories(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unsat) != 0 {
+		t.Errorf("unsatisfiable categories in locationSch: %v", unsat)
+	}
+}
+
+// TestTheorem2Reduction spot-checks Theorem 2 on locationSch: a constraint
+// is implied iff Σ ∪ {¬α} leaves the root unsatisfiable.
+func TestTheorem2Reduction(t *testing.T) {
+	ds := LocationSch()
+	alphas := []constraint.Expr{
+		constraint.RollupAtom{RootCat: Store, Cat: Country},            // implied
+		core.SummarizabilityConstraint(Store, Country, []string{City}), // implied
+		constraint.NewPath(Store, SaleRegion),                          // not implied
+		constraint.EqAtom{RootCat: Province, Cat: Country, Val: "USA"}, // not implied (contradicts g)
+	}
+	for _, alpha := range alphas {
+		implied, _, err := core.Implies(ds, alpha, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := constraint.Root(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg := core.NewDimensionSchema(ds.G, append(append([]constraint.Expr(nil), ds.Sigma...),
+			constraint.Not{X: alpha})...)
+		res, err := core.Satisfiable(neg, root, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if implied != !res.Satisfiable {
+			t.Errorf("Theorem 2 violated for %s: implied=%v, ¬α-sat=%v", alpha, implied, res.Satisfiable)
+		}
+	}
+	// Pin the expected outcomes.
+	implied, _, _ := core.Implies(ds, constraint.RollupAtom{RootCat: Store, Cat: Country}, core.Options{})
+	if !implied {
+		t.Error("Store.Country should be implied")
+	}
+	implied, _, _ = core.Implies(ds, constraint.NewPath(Store, SaleRegion), core.Options{})
+	if implied {
+		t.Error("Store_SaleRegion should not be implied (Canadian stores)")
+	}
+}
+
+// TestSplitConstraintOnLocation: split constraints (the authors' ICDT'01
+// class, Section 1.3) embed into dimension constraints. locationSch
+// implies that every store rolls up to exactly one of State, Province, or
+// neither (the Washington exception), but not the two-way split without
+// the exception.
+func TestSplitConstraintOnLocation(t *testing.T) {
+	ds := LocationSch()
+	withException, err := constraint.Split(Store, []string{State, Province},
+		[][]string{{State}, {Province}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied, _, err := core.Implies(ds, withException, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !implied {
+		t.Errorf("split with the empty arm should be implied: %s", withException)
+	}
+	twoWay, err := constraint.Split(Store, []string{State, Province},
+		[][]string{{State}, {Province}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied, res, err := core.Implies(ds, twoWay, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implied {
+		t.Error("the two-way split must fail: Washington stores reach neither")
+	}
+	if res.Witness == nil || !res.Witness.G.HasEdge(City, Country) {
+		t.Errorf("counterexample should be the Washington structure: %v", res.Witness)
+	}
+	// The Figure 1 instance satisfies the split with the exception arm.
+	if !LocationInstance().Satisfies(withException) {
+		t.Error("location instance violates the compiled split")
+	}
+}

@@ -1,0 +1,137 @@
+package paper
+
+import (
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/frozen"
+	"olapdim/internal/instance"
+)
+
+// TestHeterogeneitySignatures: the location instance is heterogeneous in
+// exactly the categories the narrative says — Store, City and State mix
+// several rollup structures; Province, SaleRegion and Country are
+// homogeneous.
+func TestHeterogeneitySignatures(t *testing.T) {
+	d := LocationInstance()
+	rep := d.Heterogeneity()
+	het := rep.HeterogeneousCategories()
+	want := map[string]bool{Store: true, City: true, State: true}
+	if len(het) != len(want) {
+		t.Fatalf("heterogeneous categories = %v", het)
+	}
+	for _, c := range het {
+		if !want[c] {
+			t.Errorf("unexpected heterogeneous category %s", c)
+		}
+	}
+	// Stores exhibit only THREE distinct ancestor-category sets even
+	// though Figure 4 shows FOUR structures: the USA and Mexico stores
+	// share the category set {City, State, SaleRegion, Country, All} but
+	// differ in paths. This is exactly the paper's Section 1.3 point that
+	// "heterogeneity would be better captured by possible hierarchy
+	// paths, rather than possible sets of categories" — the limitation of
+	// split constraints that dimension constraints overcome.
+	if got := len(d.Signatures(Store)); got != 3 {
+		t.Errorf("store signatures = %d, want 3 (category sets, coarser than Figure 4's 4 structures)", got)
+	}
+	fs, err := core.EnumerateFrozen(LocationSch(), Store, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 4 {
+		t.Fatalf("frozen dimensions = %d", len(fs))
+	}
+	// Washington's signature lacks State and Province.
+	sig := d.SignatureOf("s5")
+	if sig != "All,City,Country,SaleRegion" {
+		t.Errorf("Washington store signature = %q", sig)
+	}
+	if d.Heterogeneous(Country) {
+		t.Error("Country should be homogeneous")
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// TestConesAreFrozenDimensions: the ancestor cone of every member of the
+// location instance induces a frozen dimension of the schema for that
+// member's category, with the member's own names as the witnessing
+// c-assignment — the minimal-model construction behind Theorem 3,
+// validated member by member.
+func TestConesAreFrozenDimensions(t *testing.T) {
+	ds := LocationSch()
+	d := LocationInstance()
+	domains := constraint.ValueDomains(ds.Sigma)
+
+	for _, x := range d.AllMembers() {
+		if x == instance.AllMember {
+			continue
+		}
+		cone, err := frozen.ConeOf(d, x, domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := d.Category(x)
+		// The cone is a structurally valid subhierarchy…
+		if err := cone.G.Validate(ds.G); err != nil {
+			t.Errorf("cone of %s invalid: %v", x, err)
+			continue
+		}
+		// …that induces a frozen dimension (Proposition 2)…
+		sigma := constraint.SigmaFor(ds.Sigma, ds.G, c)
+		if _, ok := frozen.Induces(cone.G, sigma, domains); !ok {
+			t.Errorf("cone of %s (%s) induces no frozen dimension: %s", x, c, cone.G)
+			continue
+		}
+		// …and the member's own names satisfy the residual constraints.
+		residual, ok := frozen.Circle(sigma, cone.G)
+		if !ok {
+			t.Errorf("cone of %s fails the circle operator", x)
+			continue
+		}
+		if !cone.Assign.Satisfies(residual) {
+			t.Errorf("cone of %s: names %s do not satisfy the residual", x, cone.Assign)
+		}
+	}
+}
+
+// TestConesMatchEnumeratedStores: for the Store members specifically, the
+// cones coincide one-to-one with the Figure 4 frozen dimensions.
+func TestConesMatchEnumeratedStores(t *testing.T) {
+	ds := LocationSch()
+	d := LocationInstance()
+	domains := constraint.ValueDomains(ds.Sigma)
+	fs, err := core.EnumerateFrozen(ds, Store, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, f := range fs {
+		keys[f.Key()] = true
+	}
+	seen := map[string]bool{}
+	for _, s := range d.Members(Store) {
+		cone, err := frozen.ConeOf(d, s, domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !keys[cone.Key()] {
+			t.Errorf("store %s cone %s is not a Figure 4 frozen dimension", s, cone)
+		}
+		seen[cone.Key()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("store cones realize %d of the 4 Figure 4 structures", len(seen))
+	}
+}
+
+// TestConeOfUnknownMember pins the error path.
+func TestConeOfUnknownMember(t *testing.T) {
+	d := LocationInstance()
+	if _, err := frozen.ConeOf(d, "ghost", nil); err == nil {
+		t.Error("unknown member accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package paper provides the running example of Hurtado & Mendelzon,
+// "OLAP Dimension Constraints" (PODS 2002): the location dimension instance
+// of Figure 1 and the dimension schema locationSch of Figure 3. The
+// fixtures are shared by golden tests, examples and benchmarks.
+package paper
+
+import (
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/instance"
+	"olapdim/internal/schema"
+)
+
+// Category names of the location dimension.
+const (
+	Store      = "Store"
+	City       = "City"
+	State      = "State"
+	Province   = "Province"
+	SaleRegion = "SaleRegion"
+	Country    = "Country"
+)
+
+// LocationHierarchy builds the hierarchy schema of Figure 1(A):
+//
+//	Store -> City, Store -> SaleRegion
+//	City -> State, City -> Province, City -> Country (shortcut)
+//	State -> SaleRegion, State -> Country
+//	Province -> SaleRegion
+//	SaleRegion -> Country
+//	Country -> All
+//
+// The pair (City, Country) is the shortcut of Example 3.
+func LocationHierarchy() *schema.Schema {
+	g := schema.New("location")
+	edges := [][2]string{
+		{Store, City},
+		{Store, SaleRegion},
+		{City, State},
+		{City, Province},
+		{City, Country},
+		{State, SaleRegion},
+		{State, Country},
+		{Province, SaleRegion},
+		{SaleRegion, Country},
+		{Country, schema.All},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// LocationSch builds the dimension schema locationSch of Figure 3:
+// the location hierarchy together with the constraints of Figure 5 (left):
+//
+//	(a) Store_City
+//	(b) Store.SaleRegion
+//	(c) City="Washington" <-> City_Country
+//	(d) City="Washington" -> City.Country="USA"
+//	(e) State.Country="Mexico" | State.Country="USA"
+//	(f) State.Country="Mexico" <-> State_SaleRegion
+//	(g) Province.Country="Canada"
+func LocationSch() *core.DimensionSchema {
+	g := LocationHierarchy()
+	sigma := []constraint.Expr{
+		// (a) every store has a parent city.
+		constraint.NewPath(Store, City),
+		// (b) every store rolls up to a sale region.
+		constraint.RollupAtom{RootCat: Store, Cat: SaleRegion},
+		// (c) Washington, and only Washington, rolls up directly to
+		// Country.
+		constraint.Iff{
+			A: constraint.EqAtom{RootCat: City, Cat: City, Val: "Washington"},
+			B: constraint.NewPath(City, Country),
+		},
+		// (d) Washington is in the USA.
+		constraint.Implies{
+			A: constraint.EqAtom{RootCat: City, Cat: City, Val: "Washington"},
+			B: constraint.EqAtom{RootCat: City, Cat: Country, Val: "USA"},
+		},
+		// (e) states belong to Mexico or the USA.
+		constraint.NewOr(
+			constraint.EqAtom{RootCat: State, Cat: Country, Val: "Mexico"},
+			constraint.EqAtom{RootCat: State, Cat: Country, Val: "USA"},
+		),
+		// (f) exactly the Mexican states roll up directly to SaleRegion.
+		constraint.Iff{
+			A: constraint.EqAtom{RootCat: State, Cat: Country, Val: "Mexico"},
+			B: constraint.NewPath(State, SaleRegion),
+		},
+		// (g) provinces belong to Canada.
+		constraint.EqAtom{RootCat: Province, Cat: Country, Val: "Canada"},
+	}
+	return core.NewDimensionSchema(g, sigma...)
+}
+
+// LocationInstance builds the dimension instance of Figure 1(B): stores in
+// Canada, Mexico and the USA, with the Canadian cities rolling up to a
+// province, the Mexican and US cities to states, and the city Washington
+// rolling up directly to Country. Mexican states and the provinces roll up
+// to SaleRegion; US states roll up directly to Country, and US stores reach
+// their sale region directly. The instance satisfies (C1)-(C7) and every
+// constraint of locationSch.
+func LocationInstance() *instance.Instance {
+	d := instance.New(LocationHierarchy())
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	type member struct{ cat, id string }
+	members := []member{
+		{Store, "s1"}, {Store, "s2"}, {Store, "s3"}, {Store, "s4"}, {Store, "s5"}, {Store, "s6"},
+		{City, "Toronto"}, {City, "Ottawa"}, {City, "Monterrey"}, {City, "Houston"}, {City, "Austin"}, {City, "Washington"},
+		{State, "NuevoLeon"}, {State, "Texas"},
+		{Province, "Ontario"},
+		{SaleRegion, "SRNorth"}, {SaleRegion, "SRSouth"}, {SaleRegion, "SRWest"},
+		{Country, "Canada"}, {Country, "Mexico"}, {Country, "USA"},
+	}
+	for _, m := range members {
+		must(d.AddMember(m.cat, m.id))
+	}
+	links := [][2]string{
+		// Canadian stores: via City -> Province -> SaleRegion -> Country.
+		{"s1", "Toronto"}, {"s2", "Ottawa"},
+		{"Toronto", "Ontario"}, {"Ottawa", "Ontario"},
+		{"Ontario", "SRNorth"}, {"SRNorth", "Canada"},
+		// Mexican store: via City -> State -> SaleRegion -> Country.
+		{"s3", "Monterrey"}, {"Monterrey", "NuevoLeon"},
+		{"NuevoLeon", "SRSouth"}, {"SRSouth", "Mexico"},
+		// US stores outside Washington: City -> State -> Country, with the
+		// sale region reached directly from the store.
+		{"s4", "Houston"}, {"s6", "Austin"},
+		{"Houston", "Texas"}, {"Austin", "Texas"}, {"Texas", "USA"},
+		{"s4", "SRWest"}, {"s6", "SRWest"},
+		// The Washington exception: City -> Country directly.
+		{"s5", "Washington"}, {"Washington", "USA"},
+		{"s5", "SRWest"}, {"SRWest", "USA"},
+		// Countries.
+		{"Canada", instance.AllMember}, {"Mexico", instance.AllMember}, {"USA", instance.AllMember},
+	}
+	for _, l := range links {
+		must(d.AddLink(l[0], l[1]))
+	}
+	return d
+}

@@ -1,0 +1,88 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/constraint"
+)
+
+// FuzzParseConstraint checks that the constraint parser never panics and
+// that anything it accepts round-trips through the printer.
+func FuzzParseConstraint(f *testing.F) {
+	seeds := []string{
+		"Store_City",
+		"Store_City_Province",
+		"Store.SaleRegion",
+		"Store.City.Country",
+		`Store.Country="Canada"`,
+		`City="Washington" <-> City_Country`,
+		"Product.Price < 100 <-> Product_Discount",
+		"one(A_B, A_C, A_D)",
+		"!(A_B & A_C) | A_D ^ A_B -> A_C",
+		"true & false",
+		"A.B >= -19.5",
+		"((((A_B))))",
+		"one(one(A_B), !A_B)",
+		"A_B -> A_B -> A_B",
+		"_ . = < > <= >= <-> ->",
+		`"unclosed`,
+		"# only a comment",
+		"A..B",
+		"0one(A_B)",
+		strings.Repeat("(", 50) + "A_B" + strings.Repeat(")", 50),
+		strings.Repeat("!A_B & ", 30) + "A_B",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseConstraint(src)
+		if err != nil {
+			return
+		}
+		text := e.String()
+		e2, err := ParseConstraint(text)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, text, err)
+		}
+		if !constraint.Equal(e, e2) {
+			t.Fatalf("round trip changed %q: %q vs %q", src, text, e2.String())
+		}
+	})
+}
+
+// FuzzParseSchema checks that the schema parser never panics and that any
+// accepted schema re-parses from its formatted rendering.
+func FuzzParseSchema(f *testing.F) {
+	seeds := []string{
+		"edge A -> All",
+		"schema s\nedge A -> B -> All\nconstraint A_B",
+		"category X Y\nedge X -> All\nedge Y -> All",
+		"edge A -> B\nedge B -> A\nedge B -> All",
+		"# nothing",
+		"schema\n",
+		"edge ->",
+		"edge A - > B",
+		"constraint A_B\nedge A -> B -> All",
+		"edge A -> B -> C -> D -> All\nconstraint one(A_B)\nconstraint A.C.D",
+		"edge Store -> SaleRegion -> Country -> All\nconstraint !SaleRegion_Country",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, sigma, err := ParseSchema(src)
+		if err != nil {
+			return
+		}
+		text := FormatSchema(g, sigma)
+		g2, sigma2, err := ParseSchema(text)
+		if err != nil {
+			t.Fatalf("accepted schema but rejected its rendering: %v\n%s", err, text)
+		}
+		if g2.NumCategories() != g.NumCategories() || g2.NumEdges() != g.NumEdges() || len(sigma2) != len(sigma) {
+			t.Fatalf("round trip changed the schema:\n%s", text)
+		}
+	})
+}

@@ -1,0 +1,302 @@
+// Package query provides a small textual query language over the
+// multidimensional datacube, planned through the summarizability-certified
+// navigator. Queries have the shape
+//
+//	sum by store=Country, product=Maker under store=USA, store=Canada
+//
+// — an aggregate, a grouping category per dimension (omitted dimensions
+// collapse to All), and optional slice members. The engine answers from
+// materialized lattice views when the per-dimension oracles certify the
+// rewrite AND the slice filter commutes with the grouping: every member of
+// the grouping category must roll up to the slice member's category (the
+// rollup constraint g.cm evaluated on the instance), which by partitioning
+// (C2) makes filtering cells equal to filtering facts. Otherwise it falls
+// back to slicing the base facts. See slicesCommute for why schema-level
+// reachability would be wrong here.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/cube"
+	"olapdim/internal/olap"
+	"olapdim/internal/schema"
+)
+
+// Query is a parsed cube query.
+type Query struct {
+	// Agg is the distributive aggregate.
+	Agg olap.AggFunc
+	// Group maps dimension name to grouping category; dimensions absent
+	// here collapse to All.
+	Group map[string]string
+	// Slices maps dimension name to the slice members (a fact qualifies
+	// if its coordinate rolls up to any of them).
+	Slices map[string][]string
+}
+
+// Parse parses the query text against a space (dimension names and
+// categories are validated; slice members are validated at execution,
+// since membership lives in the instances).
+func Parse(src string, space *cube.Space) (*Query, error) {
+	text := strings.TrimSpace(src)
+	if text == "" {
+		return nil, fmt.Errorf("query: empty query")
+	}
+	fields := strings.Fields(text)
+	q := &Query{Group: map[string]string{}, Slices: map[string][]string{}}
+	switch strings.ToLower(fields[0]) {
+	case "sum":
+		q.Agg = olap.Sum
+	case "count":
+		q.Agg = olap.Count
+	case "min":
+		q.Agg = olap.Min
+	case "max":
+		q.Agg = olap.Max
+	default:
+		return nil, fmt.Errorf("query: unknown aggregate %q (want sum, count, min or max)", fields[0])
+	}
+	rest := strings.TrimSpace(text[len(fields[0]):])
+	lower := strings.ToLower(rest)
+	if !strings.HasPrefix(lower, "by ") {
+		return nil, fmt.Errorf("query: expected 'by' after the aggregate")
+	}
+	byPart := rest[3:]
+	underPart := ""
+	if i := strings.Index(strings.ToLower(byPart), " under "); i >= 0 {
+		underPart = byPart[i+len(" under "):]
+		byPart = byPart[:i]
+	}
+	dims := map[string]bool{}
+	for _, d := range space.Dims() {
+		dims[d.Name] = true
+	}
+	for _, item := range splitList(byPart) {
+		dim, val, err := splitPair(item)
+		if err != nil {
+			return nil, err
+		}
+		if !dims[dim] {
+			return nil, fmt.Errorf("query: unknown dimension %q", dim)
+		}
+		if _, dup := q.Group[dim]; dup {
+			return nil, fmt.Errorf("query: dimension %q grouped twice", dim)
+		}
+		q.Group[dim] = val
+	}
+	if len(q.Group) == 0 {
+		return nil, fmt.Errorf("query: 'by' needs at least one dim=Category pair")
+	}
+	if underPart != "" {
+		for _, item := range splitList(underPart) {
+			dim, val, err := splitPair(item)
+			if err != nil {
+				return nil, err
+			}
+			if !dims[dim] {
+				return nil, fmt.Errorf("query: unknown dimension %q", dim)
+			}
+			q.Slices[dim] = append(q.Slices[dim], val)
+		}
+	}
+	// Validate grouping categories against the dimensions.
+	for _, d := range space.Dims() {
+		c, ok := q.Group[d.Name]
+		if !ok {
+			continue
+		}
+		if !d.Inst.Schema().HasCategory(c) {
+			return nil, fmt.Errorf("query: dimension %s has no category %q", d.Name, c)
+		}
+	}
+	return q, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitPair(item string) (string, string, error) {
+	parts := strings.SplitN(item, "=", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("query: %q is not dim=Value", item)
+	}
+	dim := strings.TrimSpace(parts[0])
+	val := strings.TrimSpace(parts[1])
+	if dim == "" || val == "" {
+		return "", "", fmt.Errorf("query: %q is not dim=Value", item)
+	}
+	return dim, val, nil
+}
+
+// group assembles the cube.Group, collapsing unmentioned dimensions.
+func (q *Query) group(space *cube.Space) cube.Group {
+	g := make(cube.Group, space.NumDims())
+	for i, d := range space.Dims() {
+		if c, ok := q.Group[d.Name]; ok {
+			g[i] = c
+		} else {
+			g[i] = schema.All
+		}
+	}
+	return g
+}
+
+// Explain reports how a query was answered.
+type Explain struct {
+	// Group is the lattice node queried.
+	Group cube.Group
+	// Plan is the navigator's plan for the aggregation step.
+	Plan cube.Plan
+	// SlicedCells reports that slices were applied to the view's cells
+	// (the fast path); false with slices present means the base facts
+	// were filtered instead.
+	SlicedCells bool
+}
+
+func (e Explain) String() string {
+	s := e.Plan.String()
+	if e.SlicedCells {
+		s += " + cell filter"
+	}
+	return s
+}
+
+// Engine executes queries over one fact table through a certified
+// navigator.
+type Engine struct {
+	tbl *cube.Table
+	nav *cube.Navigator
+}
+
+// NewEngine builds an engine; oracles align with the space's dimensions.
+func NewEngine(tbl *cube.Table, oracles []olap.Oracle) (*Engine, error) {
+	nav, err := cube.NewNavigator(tbl, oracles)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tbl: tbl, nav: nav}, nil
+}
+
+// Materialize precomputes and stores a lattice view for later rewrites.
+func (e *Engine) Materialize(g cube.Group, af olap.AggFunc) (*cube.View, error) {
+	return e.nav.Materialize(g, af)
+}
+
+// Execute runs the query. Without slices the navigator answers directly.
+// With slices, the engine uses the navigator and filters cells when every
+// slice member's category sits at or above the dimension's grouping
+// category (filtering commutes by partitioning); otherwise it slices the
+// fact table and computes directly.
+func (e *Engine) Execute(q *Query) (*cube.View, Explain, error) {
+	space := e.tbl.Space
+	g := q.group(space)
+	if err := space.Validate(g); err != nil {
+		return nil, Explain{}, err
+	}
+	if len(q.Slices) == 0 {
+		v, plan, err := e.nav.Query(g, q.Agg)
+		return v, Explain{Group: g, Plan: plan}, err
+	}
+	if commutes, err := e.slicesCommute(q, g); err != nil {
+		return nil, Explain{}, err
+	} else if commutes {
+		v, plan, err := e.nav.Query(g, q.Agg)
+		if err != nil {
+			return nil, Explain{}, err
+		}
+		filtered, err := e.filterCells(v, q)
+		if err != nil {
+			return nil, Explain{}, err
+		}
+		return filtered, Explain{Group: g, Plan: plan, SlicedCells: true}, nil
+	}
+	// Fallback: filter the facts, then aggregate directly.
+	sliced := e.tbl
+	dims := sortedKeys(q.Slices)
+	for _, dim := range dims {
+		var err error
+		sliced, err = sliced.Dice(dim, q.Slices[dim]...)
+		if err != nil {
+			return nil, Explain{}, err
+		}
+	}
+	v, err := cube.Compute(sliced, g, q.Agg)
+	return v, Explain{Group: g, Plan: cube.Plan{Target: g, FromBase: true}}, err
+}
+
+// slicesCommute checks that filtering cells equals filtering facts: for
+// every sliced dimension, every member of the grouping category must roll
+// up to the slice member's category — the instance must satisfy the
+// rollup constraint g[i].cm. Schema-level reachability is NOT enough in
+// heterogeneous dimensions: a base member can reach the slice member
+// around its grouping ancestor (the paper's location dimension does
+// exactly this — US stores reach their SaleRegion directly, bypassing
+// City), in which case the cell filter would wrongly drop its
+// contribution. Slice members are validated on the way.
+func (e *Engine) slicesCommute(q *Query, g cube.Group) (bool, error) {
+	ok := true
+	for i, d := range e.tbl.Space.Dims() {
+		for _, m := range q.Slices[d.Name] {
+			cm, found := d.Inst.Category(m)
+			if !found {
+				return false, fmt.Errorf("query: dimension %s has no member %q", d.Name, m)
+			}
+			if !d.Inst.Satisfies(constraint.RollupAtom{RootCat: g[i], Cat: cm}) {
+				ok = false // keep validating remaining members
+			}
+		}
+	}
+	return ok, nil
+}
+
+// filterCells keeps the cells whose member on each sliced dimension rolls
+// up to one of the slice members.
+func (e *Engine) filterCells(v *cube.View, q *Query) (*cube.View, error) {
+	out := &cube.View{Space: v.Space, Group: v.Group, Agg: v.Agg, Cells: map[string]int64{}}
+	dims := v.Space.Dims()
+	for k, val := range v.Cells {
+		members := cube.Keys(k)
+		keep := true
+		for i, d := range dims {
+			slice, ok := q.Slices[d.Name]
+			if !ok {
+				continue
+			}
+			hit := false
+			for _, m := range slice {
+				if d.Inst.Leq(members[i], m) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Cells[k] = val
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,326 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/cube"
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+	"olapdim/internal/schema"
+)
+
+// productDim mirrors the cube test fixture: branded products through
+// Brand, generic ones straight to Maker.
+func productDim(t testing.TB) *instance.Instance {
+	t.Helper()
+	g := schema.New("product")
+	for _, e := range [][2]string{
+		{"Product", "Brand"}, {"Brand", "Maker"}, {"Product", "Maker"}, {"Maker", schema.All},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := instance.New(g)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddMember("Product", "cola"))
+	must(d.AddMember("Product", "beans"))
+	must(d.AddMember("Brand", "Fizz"))
+	must(d.AddMember("Maker", "AcmeCo"))
+	must(d.AddMember("Maker", "FarmCo"))
+	must(d.AddLink("cola", "Fizz"))
+	must(d.AddLink("Fizz", "AcmeCo"))
+	must(d.AddLink("beans", "FarmCo"))
+	must(d.AddLink("AcmeCo", instance.AllMember))
+	must(d.AddLink("FarmCo", instance.AllMember))
+	return d
+}
+
+func testEngine(t *testing.T) (*Engine, *cube.Table, *cube.Space) {
+	t.Helper()
+	loc := paper.LocationInstance()
+	prod := productDim(t)
+	space, err := cube.NewSpace(
+		cube.Dimension{Name: "store", Inst: loc},
+		cube.Dimension{Name: "product", Inst: prod},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cube.NewTable(space)
+	add := func(m int64, s, p string) {
+		t.Helper()
+		if err := tbl.Add(m, s, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(10, "s1", "cola")
+	add(20, "s1", "beans")
+	add(40, "s3", "cola")
+	add(80, "s4", "beans")
+	add(160, "s5", "cola") // Washington store
+	add(320, "s6", "beans")
+	e, err := NewEngine(tbl, []olap.Oracle{
+		olap.InstanceOracle{D: loc}, olap.InstanceOracle{D: prod},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, tbl, space
+}
+
+func TestParse(t *testing.T) {
+	_, _, space := testEngine(t)
+	q, err := Parse("sum by store=Country, product=Maker under store=USA", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != olap.Sum || q.Group["store"] != "Country" || q.Group["product"] != "Maker" {
+		t.Errorf("query = %+v", q)
+	}
+	if len(q.Slices["store"]) != 1 || q.Slices["store"][0] != "USA" {
+		t.Errorf("slices = %v", q.Slices)
+	}
+	// Case-insensitive keywords, collapsed dimensions.
+	q, err = Parse("COUNT BY store=City", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != olap.Count || len(q.Group) != 1 {
+		t.Errorf("query = %+v", q)
+	}
+	g := q.group(space)
+	if g[1] != schema.All {
+		t.Errorf("group = %s", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	_, _, space := testEngine(t)
+	bad := []string{
+		"",
+		"avg by store=Country",
+		"sum store=Country",
+		"sum by",
+		"sum by store=Country, store=City",
+		"sum by ghost=Country",
+		"sum by store=Ghost",
+		"sum by store",
+		"sum by store=Country under ghost=USA",
+		"sum by store=Country under store",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, space); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestExecutePlain(t *testing.T) {
+	e, tbl, space := testEngine(t)
+	q, err := Parse("sum by store=Country, product=Maker", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ex, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cube.Compute(tbl, cube.Group{"Country", "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cube.Diff(direct, v); diff != "" {
+		t.Errorf("plain query wrong: %s (%s)", diff, ex)
+	}
+}
+
+func TestExecuteUsesMaterializedView(t *testing.T) {
+	e, _, space := testEngine(t)
+	if _, err := e.Materialize(cube.Group{"City", "Maker"}, olap.Sum); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("sum by store=Country, product=Maker", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ex, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Plan.FromBase {
+		t.Errorf("expected rewrite, got %s", ex)
+	}
+}
+
+func TestExecuteSliceCommutes(t *testing.T) {
+	e, tbl, space := testEngine(t)
+	if _, err := e.Materialize(cube.Group{"City", "Maker"}, olap.Sum); err != nil {
+		t.Fatal(err)
+	}
+	// Slice at Country member while grouping by City: City reaches
+	// Country, so cell filtering applies and the view path stays usable.
+	q, err := Parse("sum by store=City, product=Maker under store=USA", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ex, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.SlicedCells {
+		t.Errorf("expected cell filtering, got %s", ex)
+	}
+	// Ground truth: dice facts, then aggregate.
+	sliced, err := tbl.Slice("store", "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cube.Compute(sliced, cube.Group{"City", "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cube.Diff(direct, v); diff != "" {
+		t.Errorf("sliced query wrong: %s", diff)
+	}
+}
+
+func TestExecuteSliceFallback(t *testing.T) {
+	e, tbl, space := testEngine(t)
+	// Slice at a City member while grouping by Country: Country does not
+	// reach City, so the engine must filter facts instead of cells.
+	q, err := Parse("sum by store=Country, product=Maker under store=Washington", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ex, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.SlicedCells || !ex.Plan.FromBase {
+		t.Errorf("expected fact-table fallback, got %s", ex)
+	}
+	sliced, err := tbl.Slice("store", "Washington")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cube.Compute(sliced, cube.Group{"Country", "Maker"}, olap.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cube.Diff(direct, v); diff != "" {
+		t.Errorf("fallback query wrong: %s", diff)
+	}
+	// Only Washington's fact survives.
+	total := int64(0)
+	for _, x := range v.Cells {
+		total += x
+	}
+	if total != 160 {
+		t.Errorf("total = %d, want 160", total)
+	}
+}
+
+func TestExecuteDiceMultipleMembers(t *testing.T) {
+	e, tbl, space := testEngine(t)
+	q, err := Parse("count by store=Country under store=Canada, store=Mexico", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diced, err := tbl.Dice("store", "Canada", "Mexico")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cube.Compute(diced, cube.Group{"Country", schema.All}, olap.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine groups by (Country, All); ground truth uses the same.
+	if diff := cube.Diff(direct, v); diff != "" {
+		t.Errorf("dice query wrong: %s", diff)
+	}
+}
+
+func TestExecuteUnknownSliceMember(t *testing.T) {
+	e, _, space := testEngine(t)
+	q, err := Parse("sum by store=Country under store=Ghost", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(q); err == nil {
+		t.Error("unknown slice member accepted")
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	ex := Explain{Plan: cube.Plan{Target: cube.Group{"Country"}, FromBase: true}}
+	if !strings.Contains(ex.String(), "base facts") {
+		t.Errorf("explain = %s", ex)
+	}
+	ex.SlicedCells = true
+	if !strings.Contains(ex.String(), "cell filter") {
+		t.Errorf("explain = %s", ex)
+	}
+}
+
+// TestExecuteAgreesWithDirect: on random queries (group levels × slice
+// members × aggregates), the engine's answer equals dicing the facts and
+// aggregating directly, regardless of which plan it picked.
+func TestExecuteAgreesWithDirect(t *testing.T) {
+	e, tbl, space := testEngine(t)
+	if _, err := e.Materialize(cube.Group{"City", "Maker"}, olap.Sum); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Materialize(cube.Group{"City", "Maker"}, olap.Count); err != nil {
+		t.Fatal(err)
+	}
+	storeCats := []string{"Store", "City", "State", "Province", "SaleRegion", "Country", "All"}
+	prodCats := []string{"Product", "Brand", "Maker", "All"}
+	sliceMembers := []string{"", "USA", "Canada", "Washington", "Texas", "SRWest", "s1"}
+	aggs := []string{"sum", "count", "min", "max"}
+	for _, sc := range storeCats {
+		for _, pc := range prodCats {
+			for _, m := range sliceMembers {
+				for _, agg := range aggs {
+					src := agg + " by store=" + sc + ", product=" + pc
+					if m != "" {
+						src += " under store=" + m
+					}
+					q, err := Parse(src, space)
+					if err != nil {
+						t.Fatalf("Parse(%q): %v", src, err)
+					}
+					got, _, err := e.Execute(q)
+					if err != nil {
+						t.Fatalf("Execute(%q): %v", src, err)
+					}
+					ground := tbl
+					if m != "" {
+						ground, err = tbl.Slice("store", m)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					want, err := cube.Compute(ground, cube.Group{sc, pc}, q.Agg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diff := cube.Diff(want, got); diff != "" {
+						t.Errorf("%q: %s", src, diff)
+					}
+				}
+			}
+		}
+	}
+}

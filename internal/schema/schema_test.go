@@ -1,0 +1,342 @@
+package schema
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// build constructs a schema from edge pairs, failing the test on error.
+func build(t *testing.T, edges ...[2]string) *Schema {
+	t.Helper()
+	g := New("test")
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%s, %s): %v", e[0], e[1], err)
+		}
+	}
+	return g
+}
+
+func TestNewContainsAll(t *testing.T) {
+	g := New("empty")
+	if !g.HasCategory(All) {
+		t.Fatal("new schema must contain All")
+	}
+	if g.NumCategories() != 1 {
+		t.Fatalf("NumCategories = %d, want 1", g.NumCategories())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty schema should validate: %v", err)
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New("t")
+	if err := g.AddEdge("A", "A"); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestAddEdgeRejectsEdgeFromAll(t *testing.T) {
+	g := New("t")
+	if err := g.AddEdge(All, "A"); err == nil {
+		t.Fatal("edge out of All accepted")
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	valid := []string{"A", "Store", "C2", "saleRegion9"}
+	for _, c := range valid {
+		if err := CheckName(c); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", c, err)
+		}
+	}
+	invalid := []string{"", "2C", "a_b", "a-b", "a b", "a.b", "ü"}
+	for _, c := range invalid {
+		if err := CheckName(c); err == nil {
+			t.Errorf("CheckName(%q) accepted", c)
+		}
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	g := build(t, [2]string{"A", All}, [2]string{"A", All})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestValidateRequiresReachAll(t *testing.T) {
+	// B -> C -> B is a cycle not reaching All.
+	g := New("t")
+	if err := g.AddEdge("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("C", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("categories not reaching All accepted")
+	}
+	if err := g.AddEdge("C", All); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("after adding C -> All: %v", err)
+	}
+}
+
+func TestBottoms(t *testing.T) {
+	g := build(t,
+		[2]string{"A", "B"}, [2]string{"B", All},
+		[2]string{"X", "B"},
+	)
+	got := g.Bottoms()
+	want := []string{"A", "X"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bottoms = %v, want %v", got, want)
+	}
+}
+
+func TestReaches(t *testing.T) {
+	g := build(t,
+		[2]string{"A", "B"}, [2]string{"B", "C"}, [2]string{"C", All},
+		[2]string{"D", All},
+	)
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"A", "A", true},
+		{"A", "B", true},
+		{"A", "C", true},
+		{"A", All, true},
+		{"B", "A", false},
+		{"A", "D", false},
+		{"D", All, true},
+		{"nope", "A", false},
+		{"A", "nope", false},
+	}
+	for _, c := range cases {
+		if got := g.Reaches(c.from, c.to); got != c.want {
+			t.Errorf("Reaches(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := build(t, [2]string{"A", "B"}, [2]string{"B", All}, [2]string{"C", All})
+	got := g.ReachableFrom("A")
+	for _, c := range []string{"A", "B", All} {
+		if !got[c] {
+			t.Errorf("ReachableFrom(A) missing %s", c)
+		}
+	}
+	if got["C"] {
+		t.Error("ReachableFrom(A) should not contain C")
+	}
+}
+
+func TestShortcuts(t *testing.T) {
+	// A -> B -> C plus the shortcut A -> C.
+	g := build(t,
+		[2]string{"A", "B"}, [2]string{"B", "C"}, [2]string{"C", All},
+		[2]string{"A", "C"},
+	)
+	if !g.IsShortcut("A", "C") {
+		t.Error("A -> C should be a shortcut")
+	}
+	if g.IsShortcut("A", "B") {
+		t.Error("A -> B should not be a shortcut")
+	}
+	if g.IsShortcut("B", "C") {
+		t.Error("B -> C should not be a shortcut")
+	}
+	sc := g.Shortcuts()
+	if len(sc) != 1 || sc[0] != [2]string{"A", "C"} {
+		t.Errorf("Shortcuts = %v, want [[A C]]", sc)
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	acyclic := build(t, [2]string{"A", "B"}, [2]string{"B", All})
+	if acyclic.HasCycle() {
+		t.Error("acyclic schema reported cyclic")
+	}
+	// Example 4 of the paper: SaleDistrict <-> City.
+	cyclic := build(t,
+		[2]string{"SaleDistrict", "City"},
+		[2]string{"City", "SaleDistrict"},
+		[2]string{"City", All},
+	)
+	if !cyclic.HasCycle() {
+		t.Error("cyclic schema reported acyclic")
+	}
+	if err := cyclic.Validate(); err != nil {
+		t.Errorf("cycles are legal in hierarchy schemas: %v", err)
+	}
+}
+
+func TestSimplePaths(t *testing.T) {
+	g := build(t,
+		[2]string{"A", "B"}, [2]string{"A", "C"},
+		[2]string{"B", "D"}, [2]string{"C", "D"},
+		[2]string{"D", All},
+	)
+	paths := g.SimplePaths("A", "D")
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	keys := map[string]bool{}
+	for _, p := range paths {
+		keys[strings.Join(p, ">")] = true
+	}
+	if !keys["A>B>D"] || !keys["A>C>D"] {
+		t.Errorf("paths = %v", paths)
+	}
+	if got := g.SimplePaths("A", "A"); len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("SimplePaths(A, A) = %v, want [[A]]", got)
+	}
+	if got := g.SimplePaths("D", "A"); got != nil {
+		t.Errorf("SimplePaths(D, A) = %v, want nil", got)
+	}
+}
+
+func TestSimplePathsWithCycle(t *testing.T) {
+	g := build(t,
+		[2]string{"A", "B"}, [2]string{"B", "A"},
+		[2]string{"B", "C"}, [2]string{"C", All},
+	)
+	paths := g.SimplePaths("A", "C")
+	if len(paths) != 1 {
+		t.Fatalf("got %v, want single path A>B>C", paths)
+	}
+}
+
+func TestIsSimplePath(t *testing.T) {
+	g := build(t, [2]string{"A", "B"}, [2]string{"B", "C"}, [2]string{"C", All})
+	cases := []struct {
+		path []string
+		want bool
+	}{
+		{[]string{"A", "B", "C"}, true},
+		{[]string{"A"}, true},
+		{[]string{"A", "C"}, false},
+		{[]string{"A", "B", "A"}, false}, // repeated category and no edge
+		{[]string{}, false},
+		{[]string{"A", "nope"}, false},
+	}
+	for _, c := range cases {
+		if got := g.IsSimplePath(c.path); got != c.want {
+			t.Errorf("IsSimplePath(%v) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := build(t, [2]string{"A", "B"}, [2]string{"B", All})
+	c := g.Clone()
+	if err := c.AddEdge("A", All); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge("A", All) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.HasEdge("A", "B") {
+		t.Error("clone lost edge")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	g := build(t, [2]string{"B", All}, [2]string{"A", "B"})
+	want := "schema test\ncategories A All B\nedge A -> B\nedge B -> All\n"
+	if got := g.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// randomSchema builds a random layered schema for property tests.
+func randomSchema(rng *rand.Rand) *Schema {
+	g := New("prop")
+	n := 2 + rng.Intn(6)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	// Every category gets an edge to a later category or All.
+	for i, c := range names {
+		later := names[i+1:]
+		if len(later) == 0 || rng.Intn(3) == 0 {
+			g.AddEdge(c, All)
+			continue
+		}
+		g.AddEdge(c, later[rng.Intn(len(later))])
+		// Extra random edges.
+		for _, p := range later {
+			if rng.Intn(4) == 0 {
+				g.AddEdge(c, p)
+			}
+		}
+	}
+	return g
+}
+
+// TestReachesAgreesWithSimplePaths: c reaches c' (c != c') iff there is at
+// least one simple path between them.
+func TestReachesAgreesWithSimplePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomSchema(r)
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		cats := g.Categories()
+		for _, a := range cats {
+			for _, b := range cats {
+				if a == b {
+					continue
+				}
+				hasPath := len(g.SimplePaths(a, b)) > 0
+				if g.Reaches(a, b) != hasPath {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortcutIffMultiplePathStructure: every reported shortcut pair has a
+// direct edge and an alternative longer simple path.
+func TestShortcutProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomSchema(r)
+		for _, sc := range g.Shortcuts() {
+			if !g.HasEdge(sc[0], sc[1]) {
+				return false
+			}
+			longer := false
+			for _, p := range g.SimplePaths(sc[0], sc[1]) {
+				if len(p) > 2 {
+					longer = true
+				}
+			}
+			if !longer {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

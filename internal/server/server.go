@@ -1,0 +1,233 @@
+// Package server exposes the dimension-constraint reasoner over HTTP as a
+// small JSON API, so OLAP middleware (query rewriters, view advisors) can
+// consult summarizability without linking Go code. One server instance
+// hosts one dimension schema; all endpoints are read-only and safe for
+// concurrent use.
+//
+//	GET  /schema                         the schema in .dims syntax
+//	GET  /categories                     categories with satisfiability
+//	GET  /sat?category=Store             category satisfiability + witness
+//	POST /implies        {"constraint": "Store.Country"}
+//	POST /summarizable   {"target": "Country", "from": ["City"]}
+//	GET  /frozen?root=Store              frozen dimensions
+//	GET  /matrix                         single-source summarizability
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"olapdim/internal/core"
+	"olapdim/internal/parser"
+)
+
+// Server hosts one dimension schema.
+type Server struct {
+	ds   *core.DimensionSchema
+	opts core.Options
+	mux  *http.ServeMux
+}
+
+// New builds a server for a validated dimension schema.
+func New(ds *core.DimensionSchema, opts core.Options) (*Server, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{ds: ds, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /schema", s.handleSchema)
+	s.mux.HandleFunc("GET /categories", s.handleCategories)
+	s.mux.HandleFunc("GET /sat", s.handleSat)
+	s.mux.HandleFunc("POST /implies", s.handleImplies)
+	s.mux.HandleFunc("POST /summarizable", s.handleSummarizable)
+	s.mux.HandleFunc("GET /frozen", s.handleFrozen)
+	s.mux.HandleFunc("GET /matrix", s.handleMatrix)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.ds.Format())
+}
+
+type categoryInfo struct {
+	Name        string `json:"name"`
+	Satisfiable bool   `json:"satisfiable"`
+	Bottom      bool   `json:"bottom"`
+}
+
+func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
+	bottoms := map[string]bool{}
+	for _, b := range s.ds.G.Bottoms() {
+		bottoms[b] = true
+	}
+	var out []categoryInfo
+	for _, c := range s.ds.G.SortedCategories() {
+		res, err := core.Satisfiable(s.ds, c, s.opts)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		out = append(out, categoryInfo{Name: c, Satisfiable: res.Satisfiable, Bottom: bottoms[c]})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type satResponse struct {
+	Category    string `json:"category"`
+	Satisfiable bool   `json:"satisfiable"`
+	Witness     string `json:"witness,omitempty"`
+	Expansions  int    `json:"expansions"`
+	Checks      int    `json:"checks"`
+}
+
+func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
+	c := r.URL.Query().Get("category")
+	if c == "" {
+		writeErr(w, http.StatusBadRequest, "missing category parameter")
+		return
+	}
+	res, err := core.Satisfiable(s.ds, c, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := satResponse{
+		Category:    c,
+		Satisfiable: res.Satisfiable,
+		Expansions:  res.Stats.Expansions,
+		Checks:      res.Stats.Checks,
+	}
+	if res.Witness != nil {
+		resp.Witness = res.Witness.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type impliesRequest struct {
+	Constraint string `json:"constraint"`
+}
+
+type impliesResponse struct {
+	Constraint     string `json:"constraint"`
+	Implied        bool   `json:"implied"`
+	Counterexample string `json:"counterexample,omitempty"`
+}
+
+func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
+	var req impliesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	alpha, err := parser.ParseConstraint(req.Constraint)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	implied, res, err := core.Implies(s.ds, alpha, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := impliesResponse{Constraint: alpha.String(), Implied: implied}
+	if !implied && res.Witness != nil {
+		resp.Counterexample = res.Witness.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type summarizableRequest struct {
+	Target string   `json:"target"`
+	From   []string `json:"from"`
+}
+
+type summarizableResponse struct {
+	Target       string         `json:"target"`
+	From         []string       `json:"from"`
+	Summarizable bool           `json:"summarizable"`
+	PerBottom    []bottomResult `json:"perBottom"`
+}
+
+type bottomResult struct {
+	Bottom         string `json:"bottom"`
+	Constraint     string `json:"constraint"`
+	Implied        bool   `json:"implied"`
+	Counterexample string `json:"counterexample,omitempty"`
+}
+
+func (s *Server) handleSummarizable(w http.ResponseWriter, r *http.Request) {
+	var req summarizableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	rep, err := core.Summarizable(s.ds, req.Target, req.From, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := summarizableResponse{
+		Target:       req.Target,
+		From:         req.From,
+		Summarizable: rep.Summarizable(),
+	}
+	for _, b := range rep.PerBottom {
+		br := bottomResult{Bottom: b.Bottom, Constraint: b.Constraint.String(), Implied: b.Implied}
+		if !b.Implied && b.Counterexample.Witness != nil {
+			br.Counterexample = b.Counterexample.Witness.String()
+		}
+		resp.PerBottom = append(resp.PerBottom, br)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFrozen(w http.ResponseWriter, r *http.Request) {
+	root := r.URL.Query().Get("root")
+	if root == "" {
+		writeErr(w, http.StatusBadRequest, "missing root parameter")
+		return
+	}
+	fs, err := core.EnumerateFrozen(s.ds, root, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type matrixResponse struct {
+	Categories []string                   `json:"categories"`
+	From       map[string]map[string]bool `json:"from"`
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	m, err := core.SummarizabilityMatrix(s.ds, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, matrixResponse{Categories: m.Categories, From: m.From})
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"olapdim/internal/core"
+	"olapdim/internal/paper"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := New(paper.LocationSch(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "schema location") || !strings.Contains(text, "constraint Store_City") {
+		t.Errorf("schema body:\n%s", text)
+	}
+}
+
+func TestCategoriesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var cats []struct {
+		Name        string `json:"name"`
+		Satisfiable bool   `json:"satisfiable"`
+		Bottom      bool   `json:"bottom"`
+	}
+	if code := get(t, ts, "/categories", &cats); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(cats) != 7 {
+		t.Fatalf("categories = %d", len(cats))
+	}
+	for _, c := range cats {
+		if !c.Satisfiable {
+			t.Errorf("category %s unsatisfiable", c.Name)
+		}
+		if c.Bottom != (c.Name == "Store") {
+			t.Errorf("category %s bottom = %v", c.Name, c.Bottom)
+		}
+	}
+}
+
+func TestSatEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp satResponse
+	if code := get(t, ts, "/sat?category=Store", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Satisfiable || resp.Witness == "" || resp.Expansions == 0 {
+		t.Errorf("response = %+v", resp)
+	}
+	if code := get(t, ts, "/sat?category=Ghost", nil); code != 400 {
+		t.Errorf("unknown category status %d", code)
+	}
+	if code := get(t, ts, "/sat", nil); code != 400 {
+		t.Errorf("missing category status %d", code)
+	}
+}
+
+func TestImpliesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp impliesResponse
+	if code := post(t, ts, "/implies", `{"constraint": "Store.Country"}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Implied {
+		t.Error("Store.Country should be implied")
+	}
+	resp = impliesResponse{}
+	if code := post(t, ts, "/implies", `{"constraint": "Store_SaleRegion"}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Implied || resp.Counterexample == "" {
+		t.Errorf("response = %+v", resp)
+	}
+	if code := post(t, ts, "/implies", `{"constraint": "("}`, nil); code != 400 {
+		t.Errorf("bad constraint status %d", code)
+	}
+	if code := post(t, ts, "/implies", `{`, nil); code != 400 {
+		t.Errorf("bad JSON status %d", code)
+	}
+}
+
+func TestSummarizableEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp summarizableResponse
+	if code := post(t, ts, "/summarizable", `{"target":"Country","from":["City"]}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Summarizable || len(resp.PerBottom) != 1 {
+		t.Errorf("response = %+v", resp)
+	}
+	resp = summarizableResponse{}
+	if code := post(t, ts, "/summarizable", `{"target":"Country","from":["State","Province"]}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Summarizable {
+		t.Error("Example 10's negative case certified")
+	}
+	if resp.PerBottom[0].Counterexample == "" {
+		t.Error("missing counterexample")
+	}
+	if code := post(t, ts, "/summarizable", `{"target":"Ghost","from":["City"]}`, nil); code != 400 {
+		t.Errorf("unknown target status %d", code)
+	}
+}
+
+func TestFrozenEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var fs []string
+	if code := get(t, ts, "/frozen?root=Store", &fs); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(fs) != 4 {
+		t.Errorf("frozen = %v", fs)
+	}
+	if code := get(t, ts, "/frozen", nil); code != 400 {
+		t.Errorf("missing root status %d", code)
+	}
+}
+
+func TestMatrixEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp matrixResponse
+	if code := get(t, ts, "/matrix", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Categories) != 6 {
+		t.Errorf("categories = %v", resp.Categories)
+	}
+	if !resp.From["Country"]["City"] || resp.From["Country"]["State"] {
+		t.Errorf("matrix = %v", resp.From["Country"])
+	}
+}
+
+func TestNewRejectsInvalidSchema(t *testing.T) {
+	if _, err := New(core.NewDimensionSchema(nil), core.Options{}); err == nil {
+		t.Error("invalid schema accepted")
+	}
+}
+
+// TestConcurrentRequests hammers the read-only endpoints from several
+// goroutines; run with -race this validates the documented concurrency
+// safety of the service.
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				var resp *http.Response
+				var err error
+				if j%2 == 0 {
+					resp, err = http.Get(ts.URL + "/sat?category=Store")
+				} else {
+					resp, err = http.Post(ts.URL+"/summarizable", "application/json",
+						strings.NewReader(`{"target":"Country","from":["City"]}`))
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

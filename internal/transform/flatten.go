@@ -1,0 +1,172 @@
+// Package transform implements the two related-work baselines discussed in
+// Section 1.3 of Hurtado & Mendelzon, "OLAP Dimension Constraints"
+// (PODS 2002):
+//
+//   - the dimensional-normal-form flattening of Lehner, Albrecht and
+//     Wedekind, which turns a heterogeneous dimension into a flat
+//     denormalized dimension table, demoting the categories that cause
+//     heterogeneity to attributes outside the hierarchy; and
+//   - the null-member padding of Pedersen and Jensen, which homogenizes a
+//     dimension by inserting placeholder members for missing parents.
+//
+// Both transformations trade away information or space that dimension
+// constraints preserve; experiment E9 quantifies the trade on the paper's
+// location dimension.
+package transform
+
+import (
+	"sort"
+
+	"olapdim/internal/instance"
+	"olapdim/internal/olap"
+	"olapdim/internal/schema"
+)
+
+// FlatDimension is a dimension in dimensional normal form: a single
+// denormalized table keyed by base member, one column per category.
+// Hierarchy columns are total (every base member has a value); attribute
+// columns are the categories that caused heterogeneity, kept as nullable
+// attributes outside the hierarchy, exactly as Lehner et al. prescribe.
+type FlatDimension struct {
+	// Base lists the base members (rows), sorted.
+	Base []string
+	// Columns maps category -> base member -> ancestor member; missing
+	// entries are nulls.
+	Columns map[string]map[string]string
+	// Hierarchy lists the total columns (the flattened homogeneous
+	// hierarchy), sorted by increasing member count (finer first).
+	Hierarchy []string
+	// Attributes lists the heterogeneous categories demoted to nullable
+	// attributes, sorted.
+	Attributes []string
+}
+
+// Flatten computes the dimensional-normal-form flattening of a dimension
+// instance: each category becomes a column of the base-member table; the
+// categories reached by every base member form the retained homogeneous
+// hierarchy, the rest become attributes.
+func Flatten(d *instance.Instance) *FlatDimension {
+	base := d.BaseMembers()
+	f := &FlatDimension{
+		Base:    base,
+		Columns: map[string]map[string]string{},
+	}
+	for _, c := range d.Schema().SortedCategories() {
+		if c == schema.All {
+			continue
+		}
+		col := map[string]string{}
+		for _, x := range base {
+			if y, ok := d.AncestorIn(x, c); ok {
+				col[x] = y
+			}
+		}
+		if len(col) == 0 {
+			continue
+		}
+		f.Columns[c] = col
+		if len(col) == len(base) {
+			f.Hierarchy = append(f.Hierarchy, c)
+		} else {
+			f.Attributes = append(f.Attributes, c)
+		}
+	}
+	sort.Slice(f.Hierarchy, func(i, j int) bool {
+		ni, nj := f.distinct(f.Hierarchy[i]), f.distinct(f.Hierarchy[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return f.Hierarchy[i] < f.Hierarchy[j]
+	})
+	sort.Strings(f.Attributes)
+	return f
+}
+
+// distinct counts the distinct values of a column.
+func (f *FlatDimension) distinct(c string) int {
+	seen := map[string]bool{}
+	for _, v := range f.Columns[c] {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// CubeBy aggregates a fact table grouped by the column of category c,
+// the flat-table analogue of a cube view. Facts whose base member has a
+// null in the column are dropped, which is how flattening "limits
+// summarizability in the dimension instance" (Section 1.3): attribute
+// columns silently lose facts.
+func (f *FlatDimension) CubeBy(F *olap.FactTable, c string, af olap.AggFunc) *olap.CubeView {
+	col := f.Columns[c]
+	accs := map[string]*cell{}
+	for _, fact := range F.Facts {
+		v, ok := col[fact.Base]
+		if !ok {
+			continue
+		}
+		a := accs[v]
+		if a == nil {
+			a = &cell{}
+			accs[v] = a
+		}
+		a.add(af, fact.M)
+	}
+	cells := make(map[string]int64, len(accs))
+	for m, a := range accs {
+		cells[m] = a.value
+	}
+	return &olap.CubeView{Category: c, Agg: af, Cells: cells}
+}
+
+type cell struct {
+	seen  bool
+	value int64
+}
+
+func (a *cell) add(af olap.AggFunc, m int64) {
+	switch af {
+	case olap.Sum:
+		a.value += m
+	case olap.Count:
+		a.value++
+	case olap.Min:
+		if !a.seen || m < a.value {
+			a.value = m
+		}
+	case olap.Max:
+		if !a.seen || m > a.value {
+			a.value = m
+		}
+	}
+	a.seen = true
+}
+
+// FunctionalDeps returns the pairs (c1, c2) of hierarchy columns where the
+// value of c1 determines the value of c2 — the only summarizable pairs the
+// flattened dimension retains.
+func (f *FlatDimension) FunctionalDeps() [][2]string {
+	var out [][2]string
+	for _, c1 := range f.Hierarchy {
+		for _, c2 := range f.Hierarchy {
+			if c1 == c2 {
+				continue
+			}
+			if f.determines(c1, c2) {
+				out = append(out, [2]string{c1, c2})
+			}
+		}
+	}
+	return out
+}
+
+func (f *FlatDimension) determines(c1, c2 string) bool {
+	seen := map[string]string{}
+	for _, x := range f.Base {
+		v1, v2 := f.Columns[c1][x], f.Columns[c2][x]
+		if prev, ok := seen[v1]; ok && prev != v2 {
+			return false
+		}
+		seen[v1] = v2
+	}
+	return true
+}

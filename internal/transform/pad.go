@@ -1,0 +1,265 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"olapdim/internal/instance"
+	"olapdim/internal/schema"
+)
+
+// PadReport summarizes a null-padding homogenization run.
+type PadReport struct {
+	// NullMembers counts the placeholder members inserted, per category.
+	NullMembers map[string]int
+	// RelinkedEdges counts original links replaced by null chains.
+	RelinkedEdges int
+	// Violation is non-nil when the padded instance violates one of the
+	// conditions (C1)-(C7): the Pedersen–Jensen transformation handles
+	// only a restricted class of heterogeneous dimensions (Section 1.3),
+	// and this field witnesses an input outside that class.
+	Violation error
+}
+
+// TotalNulls returns the total number of inserted placeholder members.
+func (r *PadReport) TotalNulls() int {
+	n := 0
+	for _, v := range r.NullMembers {
+		n += v
+	}
+	return n
+}
+
+func (r *PadReport) String() string {
+	cats := make([]string, 0, len(r.NullMembers))
+	for c := range r.NullMembers {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	var parts []string
+	for _, c := range cats {
+		parts = append(parts, fmt.Sprintf("%s:%d", c, r.NullMembers[c]))
+	}
+	s := fmt.Sprintf("%d null members (%s), %d links replaced",
+		r.TotalNulls(), strings.Join(parts, ", "), r.RelinkedEdges)
+	if r.Violation != nil {
+		s += fmt.Sprintf("; transformation left instance invalid: %v", r.Violation)
+	}
+	return s
+}
+
+// NullName returns the identifier of the placeholder member of category c
+// joining to ancestor member join.
+func NullName(c, join string) string { return "null:" + c + ":" + join }
+
+// PadWithNulls homogenizes a dimension instance in the style of Pedersen
+// and Jensen: whenever a member x of category c has no ancestor in a
+// category c' directly above c, a chain of placeholder members is inserted
+// from x through c' up to x's nearest real ancestor (or to all). Direct
+// links that skip categories (such as the Washington -> USA shortcut of
+// Figure 1) are replaced by null chains through the skipped categories.
+//
+// The transformation inflates the instance — the paper notes the "waste of
+// memory and computational effort due to the increased sparsity" — and is
+// sound only for a restricted class of dimensions: when the input is
+// outside that class the padded instance violates (C1)-(C7) and the
+// violation is recorded in the report rather than silently ignored.
+// The input instance is not modified.
+func PadWithNulls(d *instance.Instance) (*instance.Instance, *PadReport) {
+	g := d.Schema()
+	out := clone(d)
+	rep := &PadReport{NullMembers: map[string]int{}}
+
+	// ensureNull creates (once) the placeholder member of category c that
+	// rolls up to the real member join of category jc, chaining further
+	// placeholders along a shortest category path from c to jc.
+	var ensureNull func(c, jc, join string) string
+	ensureNull = func(c, jc, join string) string {
+		id := NullName(c, join)
+		if _, ok := out.Category(id); ok {
+			return id
+		}
+		if err := out.AddMember(c, id); err != nil {
+			return id
+		}
+		rep.NullMembers[c]++
+		// Link towards join: directly when c ↗ jc, otherwise through a
+		// further placeholder on a shortest path.
+		path := shortestPath(g, c, jc)
+		if len(path) < 2 {
+			return id
+		}
+		next := path[1]
+		if next == jc {
+			target := join
+			if jc == schema.All {
+				target = instance.AllMember
+			}
+			_ = out.AddLink(id, target)
+			return id
+		}
+		mid := ensureNull(next, jc, join)
+		_ = out.AddLink(id, mid)
+		return id
+	}
+
+	// Pad members category by category, children before parents, so that
+	// newly inserted placeholders are themselves above the frontier.
+	for _, c := range bottomUpCategories(g) {
+		if c == schema.All {
+			continue
+		}
+		for _, x := range append([]string(nil), out.Members(c)...) {
+			if strings.HasPrefix(x, "null:") {
+				continue
+			}
+			for _, cp := range g.Out(c) {
+				if cp == schema.All {
+					continue
+				}
+				if _, ok := out.AncestorIn(x, cp); ok {
+					continue
+				}
+				// Find the nearest category above cp holding a real
+				// ancestor of x to join the null chain to.
+				jc, join := nearestJoin(g, out, x, cp)
+				n := ensureNull(cp, jc, join)
+				// Replace any direct link from x that skips cp into the
+				// join's chain (shortcut avoidance).
+				if join != "" && out.Leq(x, join) {
+					for _, p := range append([]string(nil), out.Parents(x)...) {
+						pc, _ := out.Category(p)
+						if p == join || (pc != "" && g.Reaches(cp, pc) && out.Leq(p, join) && p != n) {
+							if isOnNullChainTarget(g, pc, cp) {
+								out.RemoveLink(x, p)
+								rep.RelinkedEdges++
+							}
+						}
+					}
+				}
+				_ = out.AddLink(x, n)
+			}
+		}
+	}
+	rep.Violation = out.Validate()
+	return out, rep
+}
+
+// isOnNullChainTarget reports whether a direct parent in category pc would
+// duplicate the inserted chain through cp (pc strictly above cp).
+func isOnNullChainTarget(g *schema.Schema, pc, cp string) bool {
+	return pc != "" && pc != cp && g.Reaches(cp, pc)
+}
+
+// nearestJoin finds the category above cp (in schema distance) in which x
+// already has a real ancestor, returning (All, "") when none exists.
+func nearestJoin(g *schema.Schema, d *instance.Instance, x, cp string) (string, string) {
+	type item struct {
+		cat  string
+		dist int
+	}
+	queue := []item{{cp, 0}}
+	seen := map[string]bool{cp: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.cat != cp {
+			if y, ok := d.AncestorIn(x, cur.cat); ok {
+				return cur.cat, y
+			}
+		}
+		for _, p := range g.Out(cur.cat) {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, item{p, cur.dist + 1})
+			}
+		}
+	}
+	return schema.All, ""
+}
+
+// shortestPath returns a shortest category path from c to target in g.
+func shortestPath(g *schema.Schema, c, target string) []string {
+	if c == target {
+		return []string{c}
+	}
+	prev := map[string]string{}
+	seen := map[string]bool{c: true}
+	queue := []string{c}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Out(cur) {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			prev[p] = cur
+			if p == target {
+				var path []string
+				for at := target; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == c {
+						return path
+					}
+				}
+			}
+			queue = append(queue, p)
+		}
+	}
+	return nil
+}
+
+// clone deep-copies a dimension instance.
+func clone(d *instance.Instance) *instance.Instance {
+	out := instance.New(d.Schema())
+	for _, c := range d.Schema().Categories() {
+		if c == schema.All {
+			continue
+		}
+		for _, x := range d.Members(c) {
+			if err := out.AddMember(c, x); err != nil {
+				panic(err)
+			}
+			if n := d.Name(x); n != x {
+				if err := out.SetName(x, n); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	for _, x := range d.AllMembers() {
+		for _, p := range d.Parents(x) {
+			if err := out.AddLink(x, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}
+
+// bottomUpCategories orders categories children-first for acyclic schemas;
+// for schemas with cycles it falls back to insertion order.
+func bottomUpCategories(g *schema.Schema) []string {
+	if g.HasCycle() {
+		return g.Categories()
+	}
+	visited := map[string]bool{}
+	var out []string
+	var visit func(c string)
+	visit = func(c string) {
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		for _, below := range g.In(c) {
+			visit(below)
+		}
+		out = append(out, c)
+	}
+	for _, c := range g.Categories() {
+		visit(c)
+	}
+	return out
+}

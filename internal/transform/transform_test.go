@@ -1,0 +1,178 @@
+package transform
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"olapdim/internal/olap"
+	"olapdim/internal/paper"
+)
+
+func locationFacts() *olap.FactTable {
+	f := &olap.FactTable{Name: "sales"}
+	for i, s := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
+		f.Add(s, int64(1<<uint(i)))
+	}
+	return f
+}
+
+func TestFlattenLocation(t *testing.T) {
+	d := paper.LocationInstance()
+	f := Flatten(d)
+	if len(f.Base) != 6 {
+		t.Fatalf("base = %v", f.Base)
+	}
+	// Every store rolls up to City, SaleRegion and Country — those stay in
+	// the hierarchy. Store itself is trivially total.
+	wantHierarchy := map[string]bool{"Store": true, "City": true, "SaleRegion": true, "Country": true}
+	for _, c := range f.Hierarchy {
+		if !wantHierarchy[c] {
+			t.Errorf("unexpected hierarchy column %s", c)
+		}
+		delete(wantHierarchy, c)
+	}
+	for c := range wantHierarchy {
+		t.Errorf("missing hierarchy column %s", c)
+	}
+	// State and Province become attributes (only some stores reach them):
+	// the flattening demotes the heterogeneous categories.
+	if !reflect.DeepEqual(f.Attributes, []string{"Province", "State"}) {
+		t.Errorf("attributes = %v", f.Attributes)
+	}
+	// Hierarchy columns are sorted finer-first (distinct-value count
+	// descending, name ascending on ties): the six cities and six stores
+	// precede the three countries and three sale regions.
+	if !reflect.DeepEqual(f.Hierarchy, []string{"City", "Store", "Country", "SaleRegion"}) {
+		t.Errorf("hierarchy order = %v", f.Hierarchy)
+	}
+}
+
+func TestFlattenColumns(t *testing.T) {
+	d := paper.LocationInstance()
+	f := Flatten(d)
+	if f.Columns["Country"]["s5"] != "USA" {
+		t.Errorf("s5 country = %q", f.Columns["Country"]["s5"])
+	}
+	if _, ok := f.Columns["State"]["s1"]; ok {
+		t.Error("Canadian store should have null State")
+	}
+	if f.Columns["Province"]["s1"] != "Ontario" {
+		t.Errorf("s1 province = %q", f.Columns["Province"]["s1"])
+	}
+}
+
+func TestFlattenCubeMatchesDirectOnTotalColumns(t *testing.T) {
+	d := paper.LocationInstance()
+	f := Flatten(d)
+	F := locationFacts()
+	for _, c := range f.Hierarchy {
+		for _, af := range olap.Funcs {
+			direct := olap.Compute(d, F, c, af)
+			flat := f.CubeBy(F, c, af)
+			if diff := olap.Diff(direct, flat); diff != "" {
+				t.Errorf("%s by %s: %s", af, c, diff)
+			}
+		}
+	}
+}
+
+func TestFlattenLosesFactsOnAttributeColumns(t *testing.T) {
+	// The documented drawback: grouping by a demoted category silently
+	// drops the facts with null attribute values.
+	d := paper.LocationInstance()
+	f := Flatten(d)
+	F := locationFacts()
+	flat := f.CubeBy(F, "State", olap.Count)
+	total := int64(0)
+	for _, v := range flat.Cells {
+		total += v
+	}
+	if total >= int64(len(F.Facts)) {
+		t.Errorf("state cube counted %d of %d facts; expected losses", total, len(F.Facts))
+	}
+}
+
+func TestFunctionalDeps(t *testing.T) {
+	d := paper.LocationInstance()
+	f := Flatten(d)
+	deps := map[string]bool{}
+	for _, p := range f.FunctionalDeps() {
+		deps[p[0]+">"+p[1]] = true
+	}
+	// Store determines everything total; City determines Country.
+	for _, want := range []string{"Store>City", "Store>Country", "City>Country", "SaleRegion>Country"} {
+		if !deps[want] {
+			t.Errorf("missing functional dependency %s (got %v)", want, deps)
+		}
+	}
+	// Country does not determine City.
+	if deps["Country>City"] {
+		t.Error("Country should not determine City")
+	}
+}
+
+func TestPadWithNullsLocation(t *testing.T) {
+	d := paper.LocationInstance()
+	padded, rep := PadWithNulls(d)
+	if rep.TotalNulls() == 0 {
+		t.Fatal("no null members inserted")
+	}
+	// Null members are the memory-waste drawback the paper cites; the
+	// location dimension needs placeholder States and Provinces at least.
+	if rep.NullMembers["State"] == 0 {
+		t.Errorf("no null states inserted: %s", rep)
+	}
+	if rep.NullMembers["Province"] == 0 {
+		t.Errorf("no null provinces inserted: %s", rep)
+	}
+	// Original instance untouched.
+	if _, ok := d.Category(NullName("State", "SRNorth")); ok {
+		t.Error("input instance mutated")
+	}
+	if padded.NumMembers() <= d.NumMembers() {
+		t.Error("padded instance should be strictly larger")
+	}
+	if !strings.Contains(rep.String(), "null members") {
+		t.Errorf("report rendering: %s", rep)
+	}
+}
+
+func TestPadWithNullsPreservesCountryTotals(t *testing.T) {
+	// Whatever placeholders are inserted, real facts must still aggregate
+	// to the same country totals when the padded instance is valid for
+	// the rollup in question.
+	d := paper.LocationInstance()
+	padded, _ := PadWithNulls(d)
+	F := locationFacts()
+	direct := olap.Compute(d, F, "Country", olap.Sum)
+	after := olap.Compute(padded, F, "Country", olap.Sum)
+	if diff := olap.Diff(direct, after); diff != "" {
+		t.Errorf("country totals changed: %s", diff)
+	}
+}
+
+func TestPadWithNullsMakesStateTotalForStores(t *testing.T) {
+	d := paper.LocationInstance()
+	padded, rep := PadWithNulls(d)
+	if rep.Violation != nil {
+		t.Logf("padding reported violation (restricted-class input): %v", rep.Violation)
+	}
+	// Every store must now roll up to some member of State (real or null).
+	for _, s := range padded.Members("Store") {
+		if _, ok := padded.AncestorIn(s, "State"); !ok {
+			t.Errorf("store %s still has no State ancestor", s)
+		}
+	}
+}
+
+func TestCloneFidelity(t *testing.T) {
+	d := paper.LocationInstance()
+	c := clone(d)
+	if c.String() != d.String() {
+		t.Error("clone differs from original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package olapdim reasons about heterogeneous OLAP dimensions with
+// dimension constraints, implementing Hurtado & Mendelzon, "OLAP Dimension
+// Constraints" (PODS 2002).
+//
+// A dimension schema is a hierarchy graph of categories (Store -> City ->
+// Country -> All) plus dimension constraints: Boolean combinations of path
+// atoms (Store_City_Province), composed rollup atoms (Store.SaleRegion),
+// through atoms (Store.City.Country) and equality atoms
+// (Store.Country="Canada"). The package answers three questions about such
+// schemas, each valid for every dimension instance the schema admits:
+//
+//   - Satisfiable: can a category ever hold members? (Theorem 3: yes iff a
+//     frozen dimension with that root exists; found by the DIMSAT
+//     backtracking search of Section 5.)
+//   - Implies: does every instance satisfy a given constraint?
+//     (Theorem 2: yes iff the root is unsatisfiable with the negation.)
+//   - Summarizable: can the cube view for a category be computed exactly
+//     from precomputed cube views of other categories? (Theorem 1 reduces
+//     this to constraint implication.)
+//
+// # Quick start
+//
+//	ds, err := olapdim.Parse(`
+//	    schema location
+//	    edge Store -> City -> Country -> All
+//	    constraint Store_City
+//	`)
+//	res, err := olapdim.Satisfiable(ds, "Store", olapdim.Options{})
+//	rep, err := olapdim.Summarizable(ds, "Country", []string{"City"}, olapdim.Options{})
+//
+// The subpackages under internal implement the full system: hierarchy
+// schemas, dimension instances with the (C1)-(C7) conditions, the
+// constraint language and parser, frozen dimensions, DIMSAT, an OLAP
+// substrate (fact tables, cube views, aggregate navigation), related-work
+// baseline transformations, and workload generators. This root package is
+// the stable facade.
+package olapdim
+
+import (
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/frozen"
+	"olapdim/internal/parser"
+	"olapdim/internal/schema"
+)
+
+// DimensionSchema is a dimension schema ds = (G, Σ): a hierarchy schema
+// plus dimension constraints.
+type DimensionSchema = core.DimensionSchema
+
+// Options configure the DIMSAT search; the zero value enables every
+// heuristic.
+type Options = core.Options
+
+// Result reports a satisfiability or implication outcome with its witness
+// frozen dimension and search statistics.
+type Result = core.Result
+
+// Stats counts DIMSAT search effort.
+type Stats = core.Stats
+
+// SummarizabilityReport details a summarizability test per bottom
+// category.
+type SummarizabilityReport = core.SummarizabilityReport
+
+// Constraint is a dimension constraint expression.
+type Constraint = constraint.Expr
+
+// Frozen is a frozen dimension: a minimal homogeneous instance structure
+// admitted by a schema (Section 3.2 of the paper).
+type Frozen = frozen.Frozen
+
+// HierarchySchema is the category graph of a dimension.
+type HierarchySchema = schema.Schema
+
+// All is the distinguished top category of every hierarchy schema.
+const All = schema.All
+
+// Parse builds a validated dimension schema from the textual syntax
+// (see DESIGN.md: schema/category/edge/constraint lines).
+func Parse(src string) (*DimensionSchema, error) { return core.Parse(src) }
+
+// ParseConstraint parses a single dimension constraint expression, e.g.
+// `City="Washington" <-> City_Country`.
+func ParseConstraint(src string) (Constraint, error) { return parser.ParseConstraint(src) }
+
+// NewHierarchy returns an empty hierarchy schema containing only All.
+func NewHierarchy(name string) *HierarchySchema { return schema.New(name) }
+
+// NewDimensionSchema bundles a hierarchy schema with constraints.
+func NewDimensionSchema(g *HierarchySchema, sigma ...Constraint) *DimensionSchema {
+	return core.NewDimensionSchema(g, sigma...)
+}
+
+// Satisfiable decides category satisfiability with DIMSAT.
+func Satisfiable(ds *DimensionSchema, category string, opts Options) (Result, error) {
+	return core.Satisfiable(ds, category, opts)
+}
+
+// Implies decides whether every instance of ds satisfies alpha
+// (Theorem 2 reduction to category satisfiability).
+func Implies(ds *DimensionSchema, alpha Constraint, opts Options) (bool, Result, error) {
+	return core.Implies(ds, alpha, opts)
+}
+
+// Summarizable tests whether the cube view for target can be computed from
+// the cube views for the categories in from, in every instance of ds
+// (Theorem 1).
+func Summarizable(ds *DimensionSchema, target string, from []string, opts Options) (*SummarizabilityReport, error) {
+	return core.Summarizable(ds, target, from, opts)
+}
+
+// EnumerateFrozen lists every frozen dimension of ds with the given root,
+// the structures Figure 4 of the paper depicts.
+func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*Frozen, error) {
+	return core.EnumerateFrozen(ds, root, opts)
+}
+
+// UnsatisfiableCategories returns the categories no instance of ds can
+// populate; the paper recommends dropping them at design time.
+func UnsatisfiableCategories(ds *DimensionSchema) ([]string, error) {
+	return core.UnsatisfiableCategories(ds)
+}
+
+// Matrix records single-source summarizability between every category
+// pair.
+type Matrix = core.Matrix
+
+// SummarizabilityMatrix computes single-source summarizability between
+// every pair of categories — the design-stage overview of Section 6.
+func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
+	return core.SummarizabilityMatrix(ds, opts)
+}
+
+// LintReport collects design-stage findings: dead categories, redundant
+// constraints, shortcuts, cycles.
+type LintReport = core.LintReport
+
+// Lint analyzes a dimension schema for design problems.
+func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
+	return core.Lint(ds, opts)
+}
+
+// SplitConstraint compiles a split constraint (the authors' earlier
+// constraint class, Section 1.3) into a dimension constraint: members of
+// root must roll up to exactly one of the allowed category sets within the
+// universe.
+func SplitConstraint(root string, universe []string, allowed [][]string) (Constraint, error) {
+	return constraint.Split(root, universe, allowed)
+}

@@ -1,0 +1,107 @@
+package olapdim_test
+
+import (
+	"testing"
+
+	"olapdim"
+)
+
+// TestFacade exercises the public facade end to end on a fresh schema.
+func TestFacade(t *testing.T) {
+	ds, err := olapdim.Parse(`
+schema shop
+edge Item -> Brand -> All
+edge Item -> Kind -> All
+constraint one(Item_Brand, Item_Kind)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := olapdim.Satisfiable(ds, "Item", olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable || res.Witness == nil {
+		t.Fatal("Item should be satisfiable")
+	}
+	fs, err := olapdim.EnumerateFrozen(ds, "Item", olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("frozen dimensions = %d, want 2 (Brand xor Kind)", len(fs))
+	}
+	alpha, err := olapdim.ParseConstraint("Item.All")
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied, _, err := olapdim.Implies(ds, alpha, olapdim.Options{})
+	if err != nil || !implied {
+		t.Fatalf("Item.All should be implied: %v %v", implied, err)
+	}
+	rep, err := olapdim.Summarizable(ds, olapdim.All, []string{"Brand", "Kind"}, olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Summarizable() {
+		t.Error("All should be summarizable from {Brand, Kind}: each item takes exactly one route")
+	}
+	rep, err = olapdim.Summarizable(ds, olapdim.All, []string{"Brand"}, olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summarizable() {
+		t.Error("All is not summarizable from {Brand} alone")
+	}
+	unsat, err := olapdim.UnsatisfiableCategories(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unsat) != 0 {
+		t.Errorf("unexpected unsatisfiable categories: %v", unsat)
+	}
+}
+
+// TestFacadeBuilderAPI builds a schema programmatically.
+func TestFacadeBuilderAPI(t *testing.T) {
+	g := olapdim.NewHierarchy("built")
+	if err := g.AddEdge("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("B", olapdim.All); err != nil {
+		t.Fatal(err)
+	}
+	e, err := olapdim.ParseConstraint("A_B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := olapdim.NewDimensionSchema(g, e)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := olapdim.Satisfiable(ds, "A", olapdim.Options{})
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("A should be satisfiable: %v %v", res.Satisfiable, err)
+	}
+}
+
+func TestSplitConstraintFacade(t *testing.T) {
+	e, err := olapdim.SplitConstraint("A", []string{"B", "C"}, [][]string{{"B"}, {"C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := olapdim.Parse("edge A -> B -> All\nedge A -> C -> All\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddConstraint(e); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := olapdim.EnumerateFrozen(ds, "A", olapdim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Errorf("frozen dimensions = %d, want 2", len(fs))
+	}
+}
