@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test check race vet bench experiments clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full test suite
+# under the race detector (the concurrency surfaces — SatCache, the matrix
+# worker pool, dimsatd — are only meaningfully tested with -race on).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+experiments:
+	$(GO) run ./cmd/olapbench -run all
+
+clean:
+	$(GO) clean ./...

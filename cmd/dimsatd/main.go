@@ -3,15 +3,26 @@
 // implication and summarizability as a service (see internal/server for
 // the endpoint list).
 //
-//	dimsatd -addr :8080 schema.dims
+// The daemon is built for sustained traffic: every reasoning request runs
+// under a per-request timeout and an optional expansion budget, so one
+// adversarial schema query cannot wedge a goroutine; all requests share a
+// satisfiability cache (inspect it at /stats); and SIGINT/SIGTERM drain
+// in-flight requests before exit.
+//
+//	dimsatd -addr :8080 -timeout 10s -budget 1000000 schema.dims
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"olapdim/internal/core"
 	"olapdim/internal/server"
@@ -19,8 +30,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request reasoning timeout (0 disables)")
+	budget := flag.Int("budget", 0, "max DIMSAT expansions per search (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "worker pool size for batch endpoints (0 = GOMAXPROCS)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Second, "HTTP read timeout")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dimsatd [-addr host:port] <schema.dims>")
+		fmt.Fprintln(os.Stderr, "usage: dimsatd [flags] <schema.dims>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,15 +52,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(ds, core.Options{})
+	handler, err := server.NewWithConfig(ds, server.Config{
+		Options: core.Options{
+			MaxExpansions: *budget,
+			Parallelism:   *parallelism,
+			Cache:         core.NewSatCache(),
+		},
+		RequestTimeout: *timeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The write timeout must outlast the reasoning timeout or slow
+	// searches would be cut off mid-response.
+	writeTimeout := 30 * time.Second
+	if *timeout > 0 && *timeout+5*time.Second > writeTimeout {
+		writeTimeout = *timeout + 5*time.Second
+	}
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      handler,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: writeTimeout,
+		IdleTimeout:  120 * time.Second,
+	}
+
 	name := ds.G.Name()
 	if name == "" {
 		name = flag.Arg(0)
 	}
-	log.Printf("dimsatd: serving schema %s (%d categories, %d constraints) on %s",
-		name, ds.G.NumCategories(), len(ds.Sigma), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Printf("dimsatd: serving schema %s (%d categories, %d constraints) on %s (timeout %s, budget %d)",
+		name, ds.G.NumCategories(), len(ds.Sigma), *addr, *timeout, *budget)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("dimsatd: shutting down, draining in-flight requests (grace %s)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dimsatd: shutdown: %v", err)
+	}
+	log.Printf("dimsatd: bye")
 }

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"time"
 
 	"olapdim/internal/core"
 	"olapdim/internal/paper"
@@ -20,7 +21,14 @@ import (
 )
 
 func main() {
-	srv, err := server.New(paper.LocationSch(), core.Options{})
+	// Production posture: every reasoning request gets a 5 s deadline and
+	// an expansion budget (DIMSAT is NP-complete — unbounded requests are
+	// a denial-of-service invitation), and verdicts are memoized across
+	// requests in a shared cache.
+	srv, err := server.NewWithConfig(paper.LocationSch(), server.Config{
+		Options:        core.Options{MaxExpansions: 100000, Cache: core.NewSatCache()},
+		RequestTimeout: 5 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +74,21 @@ func main() {
 		postJSON(ts.URL+"/summarizable", body, &sum)
 		fmt.Printf("POST /summarizable %s -> %v\n", body, sum.Summarizable)
 	}
+	fmt.Println()
+
+	// Operational telemetry: request counts, cache effectiveness, and the
+	// cumulative DIMSAT work the service has done.
+	var stats struct {
+		Requests     int64   `json:"requests"`
+		CacheHits    uint64  `json:"cacheHits"`
+		CacheMisses  uint64  `json:"cacheMisses"`
+		CacheHitRate float64 `json:"cacheHitRate"`
+		Expansions   int     `json:"expansions"`
+	}
+	getJSON(ts.URL+"/stats", &stats)
+	fmt.Printf("GET /stats: %d requests, cache %d/%d (%.0f%% hits), %d expansions total\n",
+		stats.Requests, stats.CacheHits, stats.CacheHits+stats.CacheMisses,
+		100*stats.CacheHitRate, stats.Expansions)
 }
 
 func getJSON(url string, out any) {

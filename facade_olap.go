@@ -1,6 +1,8 @@
 package olapdim
 
 import (
+	"context"
+
 	"olapdim/internal/cube"
 	"olapdim/internal/instance"
 	"olapdim/internal/olap"
@@ -59,11 +61,17 @@ func SummarizableIn(d *Instance, target string, from []string) bool {
 // selection.
 type Oracle = olap.Oracle
 
+// ContextOracle is an Oracle whose probes carry a context, so
+// cancellation and budget errors propagate out of navigation and view
+// selection. SchemaOracle implements it.
+type ContextOracle = olap.ContextOracle
+
 // InstanceOracle certifies rewrites against one concrete instance.
 type InstanceOracle = olap.InstanceOracle
 
 // SchemaOracle certifies rewrites against a dimension schema — valid for
-// every instance — memoizing DIMSAT results.
+// every instance — memoizing DIMSAT results behind a mutex, so one oracle
+// may serve concurrent goroutines.
 type SchemaOracle = olap.SchemaOracle
 
 // Navigator answers cube-view queries from materialized views when a
@@ -83,6 +91,13 @@ type ViewSelection = olap.ViewSelection
 // (the Section 6 view-selection application).
 func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCells int) *ViewSelection {
 	return olap.SelectViews(oracle, sizes, queries, budgetCells)
+}
+
+// SelectViewsContext is SelectViews under a context: when the oracle is a
+// ContextOracle (e.g. SchemaOracle), every certification probe carries
+// ctx and the first cancellation or budget error aborts the selection.
+func SelectViewsContext(ctx context.Context, oracle Oracle, sizes map[string]int, queries []string, budgetCells int) (*ViewSelection, error) {
+	return olap.SelectViewsContext(ctx, oracle, sizes, queries, budgetCells)
 }
 
 // Multidimensional datacube types (the Section 1 "points in a

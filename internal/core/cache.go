@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// SatCache memoizes satisfiability results across DIMSAT calls, keyed by
+// (schema fingerprint, root category). It is safe for concurrent use and
+// deduplicates in-flight work: concurrent calls for the same key block on
+// a single search instead of racing to repeat it, so repeated roots are
+// solved once across a summarizability matrix and across HTTP requests.
+//
+// Failed runs (canceled contexts, exhausted budgets) are never retained —
+// a later call with a larger budget recomputes. Cached Results share their
+// witness frozen dimension; witnesses are immutable after construction.
+type SatCache struct {
+	mu      sync.Mutex
+	entries map[satCacheKey]*satCacheEntry
+	hits    uint64
+	misses  uint64
+	// work accumulates the search effort of every computed (non-hit) run,
+	// the figure the dimsatd /stats endpoint reports.
+	work Stats
+}
+
+type satCacheKey struct {
+	schema string
+	root   string
+}
+
+// satCacheEntry is a singleflight slot: res and err are written exactly
+// once, before done is closed; waiters read them only after <-done.
+type satCacheEntry struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// NewSatCache returns an empty satisfiability cache.
+func NewSatCache() *SatCache {
+	return &SatCache{entries: map[satCacheKey]*satCacheEntry{}}
+}
+
+// CacheStats is a point-in-time snapshot of a SatCache.
+type CacheStats struct {
+	// Hits counts calls answered from a cached or in-flight entry.
+	Hits uint64
+	// Misses counts calls that ran a DIMSAT search.
+	Misses uint64
+	// Entries is the number of retained results.
+	Entries int
+	// Work accumulates the search effort of every computed run.
+	Work Stats
+}
+
+// HitRate is Hits / (Hits + Misses), 0 when no calls were made.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *SatCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Work: c.work}
+}
+
+// satisfiable answers (fingerprint(ds), root) from the cache, running
+// compute under singleflight on a miss. A compute that fails is not
+// cached and wakes any waiters to retry (they may carry larger budgets);
+// a waiter whose own context expires returns its ctx.Err without waiting
+// further.
+func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root string, compute func() (Result, error)) (Result, error) {
+	key := satCacheKey{schema: schemaFingerprint(ds), root: root}
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+			if e.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return e.res, nil
+			}
+			// The computing call failed and removed its entry before
+			// closing done; retry under our own budget.
+			continue
+		}
+		e := &satCacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+
+		res, err := compute()
+		c.mu.Lock()
+		if err != nil {
+			delete(c.entries, key)
+		} else {
+			c.misses++
+			c.work.Add(res.Stats)
+		}
+		c.mu.Unlock()
+		e.res, e.err = res, err
+		close(e.done)
+		return res, err
+	}
+}
+
+// schemaFingerprint canonically identifies a dimension schema by hashing
+// its textual rendering (hierarchy plus constraints in order).
+func schemaFingerprint(ds *DimensionSchema) string {
+	sum := sha256.Sum256([]byte(ds.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSatCacheAgreesWithUncached(t *testing.T) {
+	ds := parse(t, diamondSrc+"constraint !A_D\n")
+	cache := NewSatCache()
+	for _, c := range []string{"A", "B", "C", "D"} {
+		plain, err := Satisfiable(ds, c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := Satisfiable(ds, c, Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Satisfiable != cached.Satisfiable {
+			t.Errorf("%s: cached = %v, uncached = %v", c, cached.Satisfiable, plain.Satisfiable)
+		}
+	}
+}
+
+// TestSatCacheConcurrentSingleflight hammers one cache from many
+// goroutines (run under -race) and checks that every key is computed
+// exactly once: misses == unique (schema, root) keys, everything else a
+// hit.
+func TestSatCacheConcurrentSingleflight(t *testing.T) {
+	ds := parse(t, diamondSrc+"constraint one(A_B, A_C)\n")
+	cats := []string{"A", "B", "C", "D"}
+	cache := NewSatCache()
+	const goroutines = 16
+	const rounds = 8
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, c := range cats {
+					res, err := SatisfiableContext(context.Background(), ds, c, Options{Cache: cache})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !res.Satisfiable {
+						errs <- errors.New(c + " reported unsatisfiable")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cs := cache.Stats()
+	wantMisses := uint64(len(cats))
+	if cs.Misses != wantMisses {
+		t.Errorf("misses = %d, want %d (one compute per key)", cs.Misses, wantMisses)
+	}
+	total := uint64(goroutines * rounds * len(cats))
+	if cs.Hits != total-wantMisses {
+		t.Errorf("hits = %d, want %d", cs.Hits, total-wantMisses)
+	}
+	if cs.Entries != len(cats) {
+		t.Errorf("entries = %d, want %d", cs.Entries, len(cats))
+	}
+	if cs.Work.Expansions == 0 {
+		t.Error("cache recorded no search work")
+	}
+	if rate := cs.HitRate(); rate <= 0.9 {
+		t.Errorf("hit rate = %f, want > 0.9", rate)
+	}
+}
+
+func TestSatCacheDoesNotCacheFailures(t *testing.T) {
+	ds := parse(t, hardUnsatSrc(3, 2))
+	cache := NewSatCache()
+	_, err := SatisfiableContext(context.Background(), ds, "C0", Options{Cache: cache, MaxExpansions: 5})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if cs := cache.Stats(); cs.Entries != 0 {
+		t.Fatalf("failed run was cached: %+v", cs)
+	}
+	// A later, unbudgeted call must recompute and succeed.
+	res, err := SatisfiableContext(context.Background(), ds, "C0", Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Error("contradictory schema reported satisfiable")
+	}
+	if cs := cache.Stats(); cs.Entries != 1 || cs.Misses != 1 {
+		t.Errorf("cache after retry = %+v, want 1 entry / 1 miss", cs)
+	}
+}
+
+func TestSatCacheDistinguishesSchemas(t *testing.T) {
+	free := parse(t, diamondSrc)
+	dead := parse(t, diamondSrc+"constraint !A_D\nconstraint A_D\n")
+	cache := NewSatCache()
+	r1, err := Satisfiable(free, "A", Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Satisfiable(dead, "A", Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Satisfiable || r2.Satisfiable {
+		t.Errorf("fingerprint collision: free = %v, dead = %v", r1.Satisfiable, r2.Satisfiable)
+	}
+	if cs := cache.Stats(); cs.Entries != 2 {
+		t.Errorf("entries = %d, want 2 distinct schema keys", cs.Entries)
+	}
+}
+
+func TestMatrixParallelMatchesSerial(t *testing.T) {
+	ds := parse(t, diamondSrc+"constraint one(A_B, A_C)\nconstraint !A_D\n")
+	serial, err := SummarizabilityMatrix(ds, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SummarizabilityMatrixContext(context.Background(), ds, Options{Parallelism: 8, Cache: NewSatCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("matrices differ:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+func TestMinimalSourcesParallelMatchesSerial(t *testing.T) {
+	ds := parse(t, diamondSrc+"constraint one(A_B, A_C)\n")
+	serial, err := MinimalSources(ds, "D", 2, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MinimalSourcesContext(context.Background(), ds, "D", 2, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial = %v, parallel = %v", serial, parallel)
+	}
+	for i := range serial {
+		if len(serial[i]) != len(parallel[i]) {
+			t.Fatalf("order differs at %d: serial = %v, parallel = %v", i, serial, parallel)
+		}
+		for j := range serial[i] {
+			if serial[i][j] != parallel[i][j] {
+				t.Fatalf("order differs at %d: serial = %v, parallel = %v", i, serial, parallel)
+			}
+		}
+	}
+}
+
+func TestLintParallelMatchesSerial(t *testing.T) {
+	ds := parse(t, diamondSrc+"constraint A_B | A_C | A_D\nconstraint !A_B\n")
+	serial, err := Lint(ds, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LintContext(context.Background(), ds, Options{Parallelism: 8, Cache: NewSatCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("lint reports differ:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

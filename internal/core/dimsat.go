@@ -1,16 +1,26 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"olapdim/internal/constraint"
 	"olapdim/internal/frozen"
 	"olapdim/internal/schema"
 )
 
+// ErrBudgetExceeded reports that a DIMSAT run hit its Options.MaxExpansions
+// budget before deciding the query. The Result returned alongside it
+// carries the partial Stats of the truncated search. Test with errors.Is.
+var ErrBudgetExceeded = errors.New("core: DIMSAT expansion budget exceeded")
+
 // Options configure the DIMSAT search. The zero value enables every
-// heuristic; the ablation switches exist for experiment E6.
+// heuristic, runs without budget or shared cache, and sizes worker pools
+// to GOMAXPROCS — exactly the pre-context behavior. The ablation switches
+// exist for experiment E6.
 type Options struct {
 	// DisableIntoPruning turns off the Section 5 heuristic that forces
 	// into-constrained edges into every expansion, shrinking the subset
@@ -20,8 +30,31 @@ type Options struct {
 	// pruning of EXPAND; candidate subhierarchies are then rejected only
 	// at CHECK time (Proposition 2 still guarantees correctness).
 	DisableStructurePruning bool
-	// Tracer, when non-nil, observes every EXPAND and CHECK step.
+	// Tracer, when non-nil, observes every EXPAND and CHECK step. A
+	// tracer forces sequential execution on the batch surfaces and
+	// bypasses the shared cache, since cache hits would skip the steps
+	// the tracer wants to see.
 	Tracer Tracer
+
+	// MaxExpansions bounds the EXPAND steps of a single DIMSAT run;
+	// 0 means unlimited. A run that exhausts the budget returns
+	// ErrBudgetExceeded with the partial Stats accumulated so far.
+	MaxExpansions int
+	// Deadline, when non-zero, bounds the wall-clock time of a single
+	// call: the search context is derived with this deadline and the run
+	// returns context.DeadlineExceeded once it passes. Prefer passing a
+	// context with a deadline to the ...Context entry points; this knob
+	// exists for callers of the non-context wrappers.
+	Deadline time.Time
+	// Parallelism caps the worker pool of the batch surfaces
+	// (SummarizabilityMatrix, MinimalSources, UnsatisfiableCategories,
+	// Lint): 0 means GOMAXPROCS, 1 forces serial execution.
+	Parallelism int
+	// Cache, when non-nil, memoizes satisfiability results across calls,
+	// keyed by (schema fingerprint, root category). Safe for concurrent
+	// use; share one cache across goroutines and requests to solve
+	// repeated roots once.
+	Cache *SatCache
 }
 
 // Tracer observes a DIMSAT execution; used to reproduce the Figure 7 trace
@@ -44,6 +77,13 @@ type Stats struct {
 	DeadEnds int
 }
 
+// Add accumulates t into s; used to aggregate effort across runs.
+func (s *Stats) Add(t Stats) {
+	s.Expansions += t.Expansions
+	s.Checks += t.Checks
+	s.DeadEnds += t.DeadEnds
+}
+
 // Result reports the outcome of a satisfiability or implication query.
 type Result struct {
 	// Satisfiable reports whether the queried category is satisfiable
@@ -61,7 +101,20 @@ type Result struct {
 // rooted at c, pruning with into constraints, and tests each complete
 // subhierarchy with CHECK (Proposition 2). By Theorem 3, c is satisfiable
 // iff some subhierarchy induces a frozen dimension.
+//
+// Satisfiable is SatisfiableContext with a background context.
 func Satisfiable(ds *DimensionSchema, c string, opts Options) (Result, error) {
+	return SatisfiableContext(context.Background(), ds, c, opts)
+}
+
+// SatisfiableContext is Satisfiable under a context: the search checks
+// cancellation and the Options budget before every EXPAND step, so a
+// canceled context or an exhausted MaxExpansions budget aborts the run
+// within one step, returning ctx.Err() or ErrBudgetExceeded together with
+// the partial Stats accumulated so far. With opts.Cache set (and no
+// Tracer), results are memoized by (schema fingerprint, root category) and
+// concurrent calls for the same key solve it once.
+func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts Options) (Result, error) {
 	if !ds.G.HasCategory(c) {
 		return Result{}, fmt.Errorf("core: unknown category %q", c)
 	}
@@ -70,20 +123,56 @@ func Satisfiable(ds *DimensionSchema, c string, opts Options) (Result, error) {
 		g := frozen.NewSubhierarchy(schema.All)
 		return Result{Satisfiable: true, Witness: &frozen.Frozen{G: g, Assign: frozen.Assignment{}}}, nil
 	}
-	s := newSearch(ds, c, opts)
+	ctx, cancel := withOptionsDeadline(ctx, opts)
+	defer cancel()
+	if opts.Cache != nil && opts.Tracer == nil {
+		return opts.Cache.satisfiable(ctx, ds, c, func() (Result, error) {
+			return runSatisfiable(ctx, ds, c, opts)
+		})
+	}
+	return runSatisfiable(ctx, ds, c, opts)
+}
+
+// runSatisfiable executes one uncached DIMSAT search.
+func runSatisfiable(ctx context.Context, ds *DimensionSchema, c string, opts Options) (Result, error) {
+	s := newSearch(ctx, ds, c, opts)
 	s.walk(frozen.NewSubhierarchy(c), s.check)
-	return Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}, nil
+	res := Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}
+	if s.err != nil {
+		return Result{Stats: s.stats}, s.err
+	}
+	return res, nil
+}
+
+// withOptionsDeadline derives a context carrying opts.Deadline when set.
+// The returned cancel func is always non-nil.
+func withOptionsDeadline(ctx context.Context, opts Options) (context.Context, context.CancelFunc) {
+	if opts.Deadline.IsZero() {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, opts.Deadline)
 }
 
 // EnumerateFrozen lists every frozen dimension of ds with the given root
 // using the DIMSAT search (pruned, hence much faster than the naive
 // enumeration in package frozen). Assignments are canonicalized to the
 // categories mentioned by surviving equality atoms.
+//
+// EnumerateFrozen is EnumerateFrozenContext with a background context.
 func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*frozen.Frozen, error) {
+	return EnumerateFrozenContext(context.Background(), ds, root, opts)
+}
+
+// EnumerateFrozenContext is EnumerateFrozen under a context and the
+// Options budget; a truncated enumeration returns the error with nil
+// results.
+func EnumerateFrozenContext(ctx context.Context, ds *DimensionSchema, root string, opts Options) ([]*frozen.Frozen, error) {
 	if !ds.G.HasCategory(root) {
 		return nil, fmt.Errorf("core: unknown category %q", root)
 	}
-	s := newSearch(ds, root, opts)
+	ctx, cancel := withOptionsDeadline(ctx, opts)
+	defer cancel()
+	s := newSearch(ctx, ds, root, opts)
 	seen := map[string]bool{}
 	var out []*frozen.Frozen
 	s.walk(frozen.NewSubhierarchy(root), func(g *frozen.Subhierarchy) bool {
@@ -104,6 +193,9 @@ func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*frozen.
 		}
 		return true
 	})
+	if s.err != nil {
+		return nil, s.err
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out, nil
 }
@@ -111,6 +203,7 @@ func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*frozen.
 // search carries the immutable inputs and mutable statistics of one DIMSAT
 // run.
 type search struct {
+	ctx    context.Context
 	ds     *DimensionSchema
 	root   string
 	sigma  []constraint.Expr
@@ -120,10 +213,14 @@ type search struct {
 
 	stats   Stats
 	witness *frozen.Frozen
+	// err records why the search aborted early (context cancellation or
+	// budget exhaustion); nil for completed searches.
+	err error
 }
 
-func newSearch(ds *DimensionSchema, root string, opts Options) *search {
+func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Options) *search {
 	s := &search{
+		ctx:    ctx,
 		ds:     ds,
 		root:   root,
 		sigma:  constraint.SigmaFor(ds.Sigma, ds.G, root),
@@ -134,6 +231,24 @@ func newSearch(ds *DimensionSchema, root string, opts Options) *search {
 		s.into = intoEdgesIn(ds)
 	}
 	return s
+}
+
+// overBudget consults the context and the expansion budget; it is called
+// before every EXPAND step so an abort takes effect within one step. The
+// abort reason is recorded in s.err and the whole search unwinds.
+func (s *search) overBudget() bool {
+	if s.err != nil {
+		return true
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return true
+	}
+	if s.opts.MaxExpansions > 0 && s.stats.Expansions >= s.opts.MaxExpansions {
+		s.err = fmt.Errorf("%w after %d expansions", ErrBudgetExceeded, s.stats.Expansions)
+		return true
+	}
+	return false
 }
 
 // intoEdgesIn extracts the forced edges implied by into constraints,
@@ -169,6 +284,9 @@ func tops(g *frozen.Subhierarchy) []string {
 // false to abort the whole search. The subhierarchy passed to onComplete
 // is reused across calls; callers that retain it must Clone it.
 func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarchy) bool) bool {
+	if s.overBudget() {
+		return false
+	}
 	t := tops(g)
 	if len(t) == 1 && t[0] == schema.All {
 		return onComplete(g)
@@ -255,6 +373,9 @@ func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarc
 		if reachableOf != nil && conflictingPair(R, reachableOf) {
 			s.stats.DeadEnds++
 			continue
+		}
+		if s.overBudget() {
+			return false
 		}
 		newCat = newCat[:0]
 		for _, p := range R {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"olapdim/internal/constraint"
@@ -14,7 +15,17 @@ import (
 // dimension violating alpha) when implication fails, and the search stats
 // either way. Constraints with no atoms are propositional constants and
 // are decided directly.
+//
+// Implies is ImpliesContext with a background context.
 func Implies(ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Result, error) {
+	return ImpliesContext(context.Background(), ds, alpha, opts)
+}
+
+// ImpliesContext is Implies under a context and the Options budget; the
+// underlying DIMSAT run aborts within one EXPAND step of cancellation,
+// returning ctx.Err() or ErrBudgetExceeded with the partial Stats in the
+// Result.
+func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Result, error) {
 	if err := constraint.Validate(alpha, ds.G); err != nil {
 		return false, Result{}, err
 	}
@@ -30,9 +41,9 @@ func Implies(ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Re
 		G:     ds.G,
 		Sigma: append(append([]constraint.Expr(nil), ds.Sigma...), constraint.Not{X: alpha}),
 	}
-	res, err := Satisfiable(neg, root, opts)
+	res, err := SatisfiableContext(ctx, neg, root, opts)
 	if err != nil {
-		return false, Result{}, err
+		return false, res, err
 	}
 	return !res.Satisfiable, res, nil
 }
@@ -74,7 +85,15 @@ func (r *SummarizabilityReport) Summarizable() bool {
 // Summarizable tests whether category c is summarizable from the set S in
 // every dimension instance over ds, by testing for each bottom category cb
 // the implication ds ⊨ cb.c ⊃ ⊙_{ci ∈ S} cb.ci.c (Theorem 1).
+//
+// Summarizable is SummarizableContext with a background context.
 func Summarizable(ds *DimensionSchema, c string, S []string, opts Options) (*SummarizabilityReport, error) {
+	return SummarizableContext(context.Background(), ds, c, S, opts)
+}
+
+// SummarizableContext is Summarizable under a context and the Options
+// budget (applied per bottom-category implication).
+func SummarizableContext(ctx context.Context, ds *DimensionSchema, c string, S []string, opts Options) (*SummarizabilityReport, error) {
 	if !ds.G.HasCategory(c) {
 		return nil, fmt.Errorf("core: unknown category %q", c)
 	}
@@ -86,7 +105,7 @@ func Summarizable(ds *DimensionSchema, c string, S []string, opts Options) (*Sum
 	rep := &SummarizabilityReport{Target: c, From: append([]string(nil), S...)}
 	for _, cb := range ds.G.Bottoms() {
 		e := SummarizabilityConstraint(cb, c, S)
-		implied, res, err := Implies(ds, e, opts)
+		implied, res, err := ImpliesContext(ctx, ds, e, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -129,16 +148,62 @@ func CategorySatisfiable(ds *DimensionSchema, c string) (bool, error) {
 // UnsatisfiableCategories returns the categories of ds that admit no
 // members in any instance. The paper suggests dropping these from the
 // schema for a cleaner representation (Section 4).
+//
+// UnsatisfiableCategories is UnsatisfiableCategoriesContext with a
+// background context and default options.
 func UnsatisfiableCategories(ds *DimensionSchema) ([]string, error) {
+	return UnsatisfiableCategoriesContext(context.Background(), ds, Options{})
+}
+
+// UnsatisfiableCategoriesContext decides satisfiability for every category
+// of ds on a worker pool (sized by opts.Parallelism) and returns the
+// unsatisfiable ones, sorted.
+func UnsatisfiableCategoriesContext(ctx context.Context, ds *DimensionSchema, opts Options) ([]string, error) {
+	cats := ds.G.SortedCategories()
+	sat, err := satisfiabilityOf(ctx, ds, cats, opts)
+	if err != nil {
+		return nil, err
+	}
 	var out []string
-	for _, c := range ds.G.SortedCategories() {
-		res, err := Satisfiable(ds, c, Options{})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Satisfiable {
+	for i, c := range cats {
+		if !sat[i] {
 			out = append(out, c)
 		}
 	}
 	return out, nil
+}
+
+// CategorySatisfiabilityContext decides satisfiability for every category
+// of ds in parallel, returning a map from category to outcome. The
+// dimsatd /categories endpoint and design tooling use it to survey a
+// whole schema in one bounded fan-out.
+func CategorySatisfiabilityContext(ctx context.Context, ds *DimensionSchema, opts Options) (map[string]bool, error) {
+	cats := ds.G.SortedCategories()
+	sat, err := satisfiabilityOf(ctx, ds, cats, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(cats))
+	for i, c := range cats {
+		out[c] = sat[i]
+	}
+	return out, nil
+}
+
+// satisfiabilityOf fans independent per-category DIMSAT calls out over the
+// Options worker pool.
+func satisfiabilityOf(ctx context.Context, ds *DimensionSchema, cats []string, opts Options) ([]bool, error) {
+	sat := make([]bool, len(cats))
+	err := forEachLimit(ctx, len(cats), poolSize(opts), func(ctx context.Context, i int) error {
+		res, err := SatisfiableContext(ctx, ds, cats[i], opts)
+		if err != nil {
+			return err
+		}
+		sat[i] = res.Satisfiable
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sat, nil
 }

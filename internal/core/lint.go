@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -52,7 +53,16 @@ func (r *LintReport) String() string {
 // Lint analyzes a dimension schema for design problems: dead categories,
 // constraints already implied by the rest of Σ (each tested by Theorem 2
 // with the constraint removed), schema shortcuts and cycles.
+//
+// Lint is LintContext with a background context.
 func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
+	return LintContext(context.Background(), ds, opts)
+}
+
+// LintContext is Lint under a context. The per-category satisfiability
+// sweep and the per-constraint redundancy tests are independent DIMSAT
+// queries and run on the Options worker pool.
+func LintContext(ctx context.Context, ds *DimensionSchema, opts Options) (*LintReport, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,20 +71,28 @@ func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
 		Cyclic:    ds.G.HasCycle(),
 	}
 	var err error
-	rep.Unsatisfiable, err = UnsatisfiableCategories(ds)
+	rep.Unsatisfiable, err = UnsatisfiableCategoriesContext(ctx, ds, opts)
 	if err != nil {
 		return nil, err
 	}
-	for i := range ds.Sigma {
+	redundant := make([]bool, len(ds.Sigma))
+	err = forEachLimit(ctx, len(ds.Sigma), poolSize(opts), func(ctx context.Context, i int) error {
 		rest := make([]constraint.Expr, 0, len(ds.Sigma)-1)
 		rest = append(rest, ds.Sigma[:i]...)
 		rest = append(rest, ds.Sigma[i+1:]...)
 		sub := NewDimensionSchema(ds.G, rest...)
-		implied, _, err := Implies(sub, ds.Sigma[i], opts)
+		implied, _, err := ImpliesContext(ctx, sub, ds.Sigma[i], opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if implied {
+		redundant[i] = implied
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ok := range redundant {
+		if ok {
 			rep.Redundant = append(rep.Redundant, i)
 		}
 	}

@@ -1,11 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"olapdim/internal/schema"
 )
@@ -24,10 +23,21 @@ type Matrix struct {
 // SummarizabilityMatrix computes single-source summarizability between
 // every pair of categories of ds. Each cell is one Theorem 1 implication
 // per bottom category, decided by DIMSAT; the N² independent cells are
-// computed on a worker pool sized to GOMAXPROCS (a Tracer in opts forces
-// sequential execution, since tracers are not required to be safe for
-// concurrent use).
+// computed on a worker pool sized by opts.Parallelism (default
+// GOMAXPROCS; a Tracer in opts forces sequential execution, since tracers
+// are not required to be safe for concurrent use).
+//
+// SummarizabilityMatrix is SummarizabilityMatrixContext with a background
+// context.
 func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
+	return SummarizabilityMatrixContext(context.Background(), ds, opts)
+}
+
+// SummarizabilityMatrixContext is SummarizabilityMatrix under a context:
+// cancellation or a per-cell budget error stops the fan-out and returns
+// the first error. Sharing opts.Cache across calls lets repeated cells be
+// answered without re-running DIMSAT.
+func SummarizabilityMatrixContext(ctx context.Context, ds *DimensionSchema, opts Options) (*Matrix, error) {
 	m := &Matrix{From: map[string]map[string]bool{}}
 	for _, c := range ds.G.SortedCategories() {
 		if c != schema.All {
@@ -36,45 +46,25 @@ func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
 	}
 	n := len(m.Categories)
 	results := make([]bool, n*n)
-	errs := make([]error, n*n)
-
-	workers := runtime.GOMAXPROCS(0)
-	if opts.Tracer != nil || workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				target := m.Categories[idx/n]
-				source := m.Categories[idx%n]
-				rep, err := Summarizable(ds, target, []string{source}, opts)
-				if err != nil {
-					errs[idx] = err
-					continue
-				}
-				results[idx] = rep.Summarizable()
-			}
-		}()
-	}
-	for idx := 0; idx < n*n; idx++ {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	for idx, err := range errs {
+	err := forEachLimit(ctx, n*n, poolSize(opts), func(ctx context.Context, idx int) error {
+		target := m.Categories[idx/n]
+		source := m.Categories[idx%n]
+		rep, err := SummarizableContext(ctx, ds, target, []string{source}, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[idx] = rep.Summarizable()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for idx, ok := range results {
 		target := m.Categories[idx/n]
 		if m.From[target] == nil {
 			m.From[target] = map[string]bool{}
 		}
-		m.From[target][m.Categories[idx%n]] = results[idx]
+		m.From[target][m.Categories[idx%n]] = ok
 	}
 	return m, nil
 }
@@ -129,7 +119,18 @@ func (m *Matrix) SummarizableSources(target string) []string {
 // nothing smaller can exist, so it is always the first result when
 // included). Supersets of certified sets are skipped — summarizability is
 // not monotone, but a superset of a certified set is never *minimal*.
+// MinimalSources is MinimalSourcesContext with a background context.
 func MinimalSources(ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
+	return MinimalSourcesContext(context.Background(), ds, target, maxSize, opts)
+}
+
+// MinimalSourcesContext is MinimalSources under a context. The search is
+// level-synchronous: all candidate sets of one size are independent (a
+// certified set cannot be a proper subset of another set of the same
+// size), so each level is tested on the Options worker pool; supersets of
+// smaller certified sets are filtered before the fan-out. Results are
+// identical to the serial enumeration, in the same order.
+func MinimalSourcesContext(ctx context.Context, ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
 	if !ds.G.HasCategory(target) {
 		return nil, fmt.Errorf("core: unknown category %q", target)
 	}
@@ -148,34 +149,37 @@ func MinimalSources(ds *DimensionSchema, target string, maxSize int, opts Option
 		}
 		return false
 	}
-	var err error
-	var rec func(cur []string, start, size int)
-	rec = func(cur []string, start, size int) {
-		if err != nil {
-			return
-		}
-		if len(cur) == size {
-			if isSuperset(cur) {
-				return
-			}
-			rep, e := Summarizable(ds, target, cur, opts)
-			if e != nil {
-				err = e
-				return
-			}
-			if rep.Summarizable() {
-				out = append(out, append([]string(nil), cur...))
-			}
-			return
-		}
-		for i := start; i < len(cands); i++ {
-			rec(append(cur, cands[i]), i+1, size)
-		}
-	}
 	for size := 1; size <= maxSize && size <= len(cands); size++ {
-		rec(nil, 0, size)
+		var level [][]string
+		var rec func(cur []string, start int)
+		rec = func(cur []string, start int) {
+			if len(cur) == size {
+				if !isSuperset(cur) {
+					level = append(level, append([]string(nil), cur...))
+				}
+				return
+			}
+			for i := start; i < len(cands); i++ {
+				rec(append(cur, cands[i]), i+1)
+			}
+		}
+		rec(nil, 0)
+		certified := make([]bool, len(level))
+		err := forEachLimit(ctx, len(level), poolSize(opts), func(ctx context.Context, i int) error {
+			rep, err := SummarizableContext(ctx, ds, target, level[i], opts)
+			if err != nil {
+				return err
+			}
+			certified[i] = rep.Summarizable()
+			return nil
+		})
 		if err != nil {
 			return nil, err
+		}
+		for i, set := range level {
+			if certified[i] {
+				out = append(out, set)
+			}
 		}
 	}
 	return out, nil

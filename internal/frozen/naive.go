@@ -1,6 +1,7 @@
 package frozen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -49,16 +50,29 @@ func subhierarchyFromEdges(root string, edges [][2]string, mask uint64) *Subhier
 	return g
 }
 
+// naiveCancelStride is how many edge-subset masks the brute-force loops
+// scan between context checks; the per-mask work is tiny, so checking on a
+// stride keeps the overhead invisible while still aborting promptly.
+const naiveCancelStride = 1024
+
 // forEachSubhierarchy enumerates every valid subhierarchy of G with the
 // given root by brute force over edge subsets, calling fn until it returns
-// false. It errors when the candidate edge count exceeds maxNaiveEdges.
-func forEachSubhierarchy(G *schema.Schema, root string, fn func(*Subhierarchy) bool) error {
+// false. It errors when the candidate edge count exceeds maxNaiveEdges and
+// returns ctx.Err() if the context is canceled mid-enumeration — the loop
+// is exponential in the edge count, so the baseline is as cancellable as
+// DIMSAT itself.
+func forEachSubhierarchy(ctx context.Context, G *schema.Schema, root string, fn func(*Subhierarchy) bool) error {
 	edges := candidateEdges(G, root)
 	if len(edges) > maxNaiveEdges {
 		return fmt.Errorf("frozen: naive enumeration over %d candidate edges exceeds limit %d",
 			len(edges), maxNaiveEdges)
 	}
 	for mask := uint64(0); mask < 1<<uint(len(edges)); mask++ {
+		if mask%naiveCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		g := subhierarchyFromEdges(root, edges, mask)
 		if g == nil {
 			continue
@@ -77,7 +91,16 @@ func forEachSubhierarchy(G *schema.Schema, root string, fn func(*Subhierarchy) b
 // slower than DIMSAT and deliberately shares no pruning or circle-operator
 // code with it, serving as a correctness oracle and the baseline of
 // experiment E7.
+//
+// NaiveSatisfiable is NaiveSatisfiableContext with a background context.
 func NaiveSatisfiable(G *schema.Schema, sigma []constraint.Expr, c string) (bool, error) {
+	return NaiveSatisfiableContext(context.Background(), G, sigma, c)
+}
+
+// NaiveSatisfiableContext is NaiveSatisfiable under a context; the
+// exponential subset enumeration aborts with ctx.Err() shortly after
+// cancellation.
+func NaiveSatisfiableContext(ctx context.Context, G *schema.Schema, sigma []constraint.Expr, c string) (bool, error) {
 	if c == schema.All {
 		// Proposition 1: the instance with the single member all is over
 		// any dimension schema, so All is always satisfiable.
@@ -88,7 +111,7 @@ func NaiveSatisfiable(G *schema.Schema, sigma []constraint.Expr, c string) (bool
 	}
 	consts := constraint.ValueDomains(sigma)
 	found := false
-	err := forEachSubhierarchy(G, c, func(g *Subhierarchy) bool {
+	err := forEachSubhierarchy(ctx, G, c, func(g *Subhierarchy) bool {
 		if naiveInduces(g, G, sigma, consts) {
 			found = true
 			return false
@@ -138,7 +161,15 @@ func naiveInduces(g *Subhierarchy, G *schema.Schema, sigma []constraint.Expr, co
 // nk. This reproduces the presentation of Figure 4 of the paper. The
 // result is sorted by Key and enumerated by brute force, so it is intended
 // for small schemas.
+//
+// EnumerateFrozen is EnumerateFrozenContext with a background context.
 func EnumerateFrozen(G *schema.Schema, sigma []constraint.Expr, root string) ([]*Frozen, error) {
+	return EnumerateFrozenContext(context.Background(), G, sigma, root)
+}
+
+// EnumerateFrozenContext is EnumerateFrozen under a context; cancellation
+// aborts the brute-force enumeration with ctx.Err().
+func EnumerateFrozenContext(ctx context.Context, G *schema.Schema, sigma []constraint.Expr, root string) ([]*Frozen, error) {
 	if !G.HasCategory(root) {
 		return nil, fmt.Errorf("frozen: unknown category %q", root)
 	}
@@ -146,7 +177,7 @@ func EnumerateFrozen(G *schema.Schema, sigma []constraint.Expr, root string) ([]
 	relevant := constraint.SigmaFor(sigma, G, root)
 	seen := map[string]bool{}
 	var out []*Frozen
-	err := forEachSubhierarchy(G, root, func(g *Subhierarchy) bool {
+	err := forEachSubhierarchy(ctx, G, root, func(g *Subhierarchy) bool {
 		if !g.Acyclic() || !g.ShortcutFree() {
 			return true
 		}

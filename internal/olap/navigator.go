@@ -1,9 +1,11 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"olapdim/internal/core"
 	"olapdim/internal/instance"
@@ -15,6 +17,15 @@ import (
 // dimension schema via DIMSAT, valid for every instance of the schema).
 type Oracle interface {
 	Summarizable(target string, from []string) bool
+}
+
+// ContextOracle is an Oracle that can propagate cancellation and surface
+// budget errors. SchemaOracle implements it; context-aware callers (e.g.
+// SelectViewsContext) type-assert for it and fall back to the plain
+// Oracle method otherwise.
+type ContextOracle interface {
+	Oracle
+	SummarizableContext(ctx context.Context, target string, from []string) (bool, error)
 }
 
 // InstanceOracle tests Theorem 1 directly on a dimension instance.
@@ -29,26 +40,51 @@ func (o InstanceOracle) Summarizable(target string, from []string) bool {
 
 // SchemaOracle tests summarizability at the schema level: the answer is
 // valid for every dimension instance over the schema. Results are memoized
-// since DIMSAT runs are considerably more expensive than map lookups.
+// since DIMSAT runs are considerably more expensive than map lookups; the
+// memo is guarded by a mutex, so one oracle may serve concurrent
+// goroutines (e.g. the navigator behind a request fan-out). Point Opts at
+// a shared core.SatCache to also share the underlying satisfiability
+// results with other oracles and the batch surfaces.
 type SchemaOracle struct {
-	DS    *core.DimensionSchema
-	Opts  core.Options
+	DS   *core.DimensionSchema
+	Opts core.Options
+
+	mu    sync.Mutex
 	cache map[string]bool
 }
 
-// Summarizable implements Oracle.
+// Summarizable implements Oracle with a background context; errors
+// (including budget exhaustion) count as not-certified, keeping the
+// navigator on its safe fallback path.
 func (o *SchemaOracle) Summarizable(target string, from []string) bool {
+	v, _ := o.SummarizableContext(context.Background(), target, from)
+	return v
+}
+
+// SummarizableContext decides summarizability under a context and the
+// oracle's Options budget. Memoized certificates are returned without
+// consulting the context; errors are not memoized, so a call with a
+// larger budget can later settle the question.
+func (o *SchemaOracle) SummarizableContext(ctx context.Context, target string, from []string) (bool, error) {
 	key := target + "<=" + strings.Join(from, ",")
+	o.mu.Lock()
 	if v, ok := o.cache[key]; ok {
-		return v
+		o.mu.Unlock()
+		return v, nil
 	}
-	rep, err := core.Summarizable(o.DS, target, from, o.Opts)
-	v := err == nil && rep.Summarizable()
+	o.mu.Unlock()
+	rep, err := core.SummarizableContext(ctx, o.DS, target, from, o.Opts)
+	if err != nil {
+		return false, err
+	}
+	v := rep.Summarizable()
+	o.mu.Lock()
 	if o.cache == nil {
 		o.cache = map[string]bool{}
 	}
 	o.cache[key] = v
-	return v
+	o.mu.Unlock()
+	return v, nil
 }
 
 // Plan describes how the navigator answered a query.
@@ -131,5 +167,8 @@ func (n *Navigator) Query(c string, af AggFunc) (*CubeView, Plan, error) {
 // first, for one the oracle certifies c summarizable from. Navigators hold
 // few materialized views, so the subset search is cheap in practice.
 func (n *Navigator) bestSource(c string, avail []string) ([]string, bool) {
-	return smallestCertified(n.oracle, c, avail)
+	set, ok, _ := smallestCertified(func(target string, from []string) (bool, error) {
+		return n.oracle.Summarizable(target, from), nil
+	}, c, avail)
+	return set, ok
 }

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,6 +55,34 @@ func (s *ViewSelection) String() string {
 // greedy step picks the candidate covering the most uncovered queries,
 // breaking ties towards fewer cells, then lexicographically.
 func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCells int) *ViewSelection {
+	sel, _ := selectViews(func(target string, from []string) (bool, error) {
+		return oracle.Summarizable(target, from), nil
+	}, sizes, queries, budgetCells)
+	return sel
+}
+
+// SelectViewsContext is SelectViews under a context: when the oracle is a
+// ContextOracle (e.g. SchemaOracle), every certification probe carries ctx
+// and the first cancellation or budget error aborts the selection.
+func SelectViewsContext(ctx context.Context, oracle Oracle, sizes map[string]int, queries []string, budgetCells int) (*ViewSelection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	probe := func(target string, from []string) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if co, ok := oracle.(ContextOracle); ok {
+			return co.SummarizableContext(ctx, target, from)
+		}
+		return oracle.Summarizable(target, from), nil
+	}
+	return selectViews(probe, sizes, queries, budgetCells)
+}
+
+// selectViews runs the greedy selection over an error-aware certification
+// probe.
+func selectViews(probe func(target string, from []string) (bool, error), sizes map[string]int, queries []string, budgetCells int) (*ViewSelection, error) {
 	candidates := make([]string, 0, len(sizes))
 	for c := range sizes {
 		candidates = append(candidates, c)
@@ -65,16 +94,16 @@ func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCe
 	remaining := append([]string(nil), queries...)
 	sort.Strings(remaining)
 
-	covered := func(selection map[string]bool, target string) ([]string, bool) {
+	covered := func(selection map[string]bool, target string) ([]string, bool, error) {
 		if selection[target] {
-			return []string{target}, true
+			return []string{target}, true, nil
 		}
 		var list []string
 		for c := range selection {
 			list = append(list, c)
 		}
 		sort.Strings(list)
-		return smallestCertified(oracle, target, list)
+		return smallestCertified(probe, target, list)
 	}
 
 	for len(remaining) > 0 {
@@ -88,7 +117,11 @@ func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCe
 			trial[cand] = true
 			gain := 0
 			for _, q := range remaining {
-				if _, ok := covered(trial, q); ok {
+				_, ok, err := covered(trial, q)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
 					gain++
 				}
 			}
@@ -103,7 +136,11 @@ func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCe
 		spent += sizes[best]
 		var still []string
 		for _, q := range remaining {
-			if _, ok := covered(sel, q); !ok {
+			_, ok, err := covered(sel, q)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
 				still = append(still, q)
 			}
 		}
@@ -121,14 +158,18 @@ func SelectViews(oracle Oracle, sizes map[string]int, queries []string, budgetCe
 			continue
 		}
 		seen[q] = true
-		if src, ok := covered(sel, q); ok {
+		src, ok, err := covered(sel, q)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			out.Covered[q] = src
 		} else {
 			out.Uncovered = append(out.Uncovered, q)
 		}
 	}
 	sort.Strings(out.Uncovered)
-	return out
+	return out, nil
 }
 
 func better(cand, best string, sizes map[string]int) bool {
@@ -150,27 +191,36 @@ func cloneSet(m map[string]bool) map[string]bool {
 }
 
 // smallestCertified finds the smallest subset of avail certified by the
-// oracle for the target, smallest-first, or reports none.
-func smallestCertified(oracle Oracle, target string, avail []string) ([]string, bool) {
+// probe for the target, smallest-first, or reports none.
+func smallestCertified(probe func(string, []string) (bool, error), target string, avail []string) ([]string, bool, error) {
 	for size := 1; size <= len(avail); size++ {
-		if set, ok := certifiedOfSize(oracle, target, avail, nil, 0, size); ok {
-			return set, true
+		set, ok, err := certifiedOfSize(probe, target, avail, nil, 0, size)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return set, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
-func certifiedOfSize(oracle Oracle, target string, avail, cur []string, start, size int) ([]string, bool) {
+func certifiedOfSize(probe func(string, []string) (bool, error), target string, avail, cur []string, start, size int) ([]string, bool, error) {
 	if len(cur) == size {
-		if oracle.Summarizable(target, cur) {
-			return append([]string(nil), cur...), true
+		ok, err := probe(target, cur)
+		if err != nil {
+			return nil, false, err
 		}
-		return nil, false
+		if ok {
+			return append([]string(nil), cur...), true, nil
+		}
+		return nil, false, nil
 	}
 	for i := start; i < len(avail); i++ {
-		if set, ok := certifiedOfSize(oracle, target, avail, append(cur, avail[i]), i+1, size); ok {
-			return set, true
+		set, ok, err := certifiedOfSize(probe, target, avail, append(cur, avail[i]), i+1, size)
+		if err != nil || ok {
+			return set, ok, err
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }

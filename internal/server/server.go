@@ -4,6 +4,13 @@
 // hosts one dimension schema; all endpoints are read-only and safe for
 // concurrent use.
 //
+// Every reasoning endpoint runs under the request context bounded by the
+// configured per-request timeout, so a canceled client or an adversarial
+// schema cannot wedge a serving goroutine: the DIMSAT search aborts within
+// one EXPAND step and the handler answers 503/504 with the error. All
+// requests share one satisfiability cache, so repeated roots — across a
+// matrix request or across clients — are solved once.
+//
 //	GET  /schema                         the schema in .dims syntax
 //	GET  /categories                     categories with satisfiability
 //	GET  /sat?category=Store             category satisfiability + witness
@@ -11,30 +18,68 @@
 //	POST /summarizable   {"target": "Country", "from": ["City"]}
 //	GET  /frozen?root=Store              frozen dimensions
 //	GET  /matrix                         single-source summarizability
+//	GET  /stats                          cache hit rates, cumulative effort
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"olapdim/internal/core"
 	"olapdim/internal/parser"
 )
 
-// Server hosts one dimension schema.
-type Server struct {
-	ds   *core.DimensionSchema
-	opts core.Options
-	mux  *http.ServeMux
+// Config tunes a Server beyond the core reasoning options.
+type Config struct {
+	// Options are the DIMSAT options applied to every request. When
+	// Options.Cache is nil the server installs its own shared cache.
+	Options core.Options
+	// RequestTimeout bounds each reasoning request; zero means requests
+	// run until the client disconnects.
+	RequestTimeout time.Duration
 }
 
-// New builds a server for a validated dimension schema.
+// Server hosts one dimension schema.
+type Server struct {
+	ds    *core.DimensionSchema
+	opts  core.Options
+	cache *core.SatCache
+	mux   *http.ServeMux
+
+	timeout  time.Duration
+	started  time.Time
+	requests atomic.Int64
+	timeouts atomic.Int64
+}
+
+// New builds a server for a validated dimension schema with default
+// configuration (shared cache, no request timeout).
 func New(ds *core.DimensionSchema, opts core.Options) (*Server, error) {
+	return NewWithConfig(ds, Config{Options: opts})
+}
+
+// NewWithConfig builds a server with explicit configuration.
+func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Server{ds: ds, opts: opts, mux: http.NewServeMux()}
+	opts := cfg.Options
+	if opts.Cache == nil {
+		opts.Cache = core.NewSatCache()
+	}
+	s := &Server{
+		ds:      ds,
+		opts:    opts,
+		cache:   opts.Cache,
+		mux:     http.NewServeMux(),
+		timeout: cfg.RequestTimeout,
+		started: time.Now(),
+	}
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
 	s.mux.HandleFunc("GET /sat", s.handleSat)
@@ -42,11 +87,24 @@ func New(ds *core.DimensionSchema, opts core.Options) (*Server, error) {
 	s.mux.HandleFunc("POST /summarizable", s.handleSummarizable)
 	s.mux.HandleFunc("GET /frozen", s.handleFrozen)
 	s.mux.HandleFunc("GET /matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// requestContext derives the reasoning context for one request, applying
+// the per-request timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -63,6 +121,25 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeReasoningErr maps engine errors to HTTP statuses: deadline and
+// budget exhaustion are service-side limits (504/503), a canceled request
+// context means the client is gone, and anything else is a bad request
+// (unknown category, parse error).
+func (s *Server) writeReasoningErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, "reasoning timed out: %v", err)
+	case errors.Is(err, core.ErrBudgetExceeded):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; nothing useful can be written.
+		writeErr(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.ds.Format())
@@ -75,18 +152,20 @@ type categoryInfo struct {
 }
 
 func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	sat, err := core.CategorySatisfiabilityContext(ctx, s.ds, s.opts)
+	if err != nil {
+		s.writeReasoningErr(w, err)
+		return
+	}
 	bottoms := map[string]bool{}
 	for _, b := range s.ds.G.Bottoms() {
 		bottoms[b] = true
 	}
 	var out []categoryInfo
 	for _, c := range s.ds.G.SortedCategories() {
-		res, err := core.Satisfiable(s.ds, c, s.opts)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		out = append(out, categoryInfo{Name: c, Satisfiable: res.Satisfiable, Bottom: bottoms[c]})
+		out = append(out, categoryInfo{Name: c, Satisfiable: sat[c], Bottom: bottoms[c]})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -105,9 +184,11 @@ func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing category parameter")
 		return
 	}
-	res, err := core.Satisfiable(s.ds, c, s.opts)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := core.SatisfiableContext(ctx, s.ds, c, s.opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeReasoningErr(w, err)
 		return
 	}
 	resp := satResponse{
@@ -143,9 +224,11 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	implied, res, err := core.Implies(s.ds, alpha, s.opts)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	implied, res, err := core.ImpliesContext(ctx, s.ds, alpha, s.opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeReasoningErr(w, err)
 		return
 	}
 	resp := impliesResponse{Constraint: alpha.String(), Implied: implied}
@@ -180,9 +263,11 @@ func (s *Server) handleSummarizable(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	rep, err := core.Summarizable(s.ds, req.Target, req.From, s.opts)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	rep, err := core.SummarizableContext(ctx, s.ds, req.Target, req.From, s.opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeReasoningErr(w, err)
 		return
 	}
 	resp := summarizableResponse{
@@ -206,9 +291,11 @@ func (s *Server) handleFrozen(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing root parameter")
 		return
 	}
-	fs, err := core.EnumerateFrozen(s.ds, root, s.opts)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	fs, err := core.EnumerateFrozenContext(ctx, s.ds, root, s.opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeReasoningErr(w, err)
 		return
 	}
 	out := make([]string, len(fs))
@@ -224,10 +311,48 @@ type matrixResponse struct {
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
-	m, err := core.SummarizabilityMatrix(s.ds, s.opts)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	m, err := core.SummarizabilityMatrixContext(ctx, s.ds, s.opts)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		s.writeReasoningErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, matrixResponse{Categories: m.Categories, From: m.From})
+}
+
+// statsResponse surfaces the server's cumulative reasoning effort and the
+// shared cache's effectiveness, for dashboards and capacity planning.
+type statsResponse struct {
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Requests       int64   `json:"requests"`
+	Timeouts       int64   `json:"timeouts"`
+	CacheHits      uint64  `json:"cacheHits"`
+	CacheMisses    uint64  `json:"cacheMisses"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+	CacheEntries   int     `json:"cacheEntries"`
+	Expansions     int     `json:"expansions"`
+	Checks         int     `json:"checks"`
+	DeadEnds       int     `json:"deadEnds"`
+	RequestTimeout string  `json:"requestTimeout,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Timeouts:      s.timeouts.Load(),
+		CacheHits:     cs.Hits,
+		CacheMisses:   cs.Misses,
+		CacheHitRate:  cs.HitRate(),
+		CacheEntries:  cs.Entries,
+		Expansions:    cs.Work.Expansions,
+		Checks:        cs.Work.Checks,
+		DeadEnds:      cs.Work.DeadEnds,
+	}
+	if s.timeout > 0 {
+		resp.RequestTimeout = s.timeout.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

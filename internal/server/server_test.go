@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"olapdim/internal/core"
 	"olapdim/internal/paper"
@@ -229,5 +230,98 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// Warm the cache: two identical sat queries, the second must hit.
+	if code := get(t, ts, "/sat?category=Store", nil); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if code := get(t, ts, "/sat?category=Store", nil); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var resp statsResponse
+	if code := get(t, ts, "/stats", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Requests < 3 {
+		t.Errorf("requests = %d, want >= 3", resp.Requests)
+	}
+	if resp.CacheMisses != 1 || resp.CacheHits != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", resp.CacheHits, resp.CacheMisses)
+	}
+	if resp.Expansions == 0 {
+		t.Error("no cumulative search effort recorded")
+	}
+	if resp.UptimeSeconds < 0 {
+		t.Errorf("uptime = %f", resp.UptimeSeconds)
+	}
+}
+
+// TestRequestTimeout wires an immediately-expiring per-request deadline
+// and checks that reasoning endpoints answer 504 instead of hanging.
+func TestRequestTimeout(t *testing.T) {
+	s, err := NewWithConfig(paper.LocationSch(), Config{RequestTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	if code := get(t, ts, "/sat?category=Store", nil); code != http.StatusGatewayTimeout {
+		t.Errorf("sat status = %d, want 504", code)
+	}
+	if code := get(t, ts, "/matrix", nil); code != http.StatusGatewayTimeout {
+		t.Errorf("matrix status = %d, want 504", code)
+	}
+	// Non-reasoning endpoints are unaffected by the deadline.
+	if code := get(t, ts, "/stats", nil); code != 200 {
+		t.Errorf("stats status = %d, want 200", code)
+	}
+	var stats statsResponse
+	if code := get(t, ts, "/stats", &stats); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Timeouts < 2 {
+		t.Errorf("timeouts = %d, want >= 2", stats.Timeouts)
+	}
+}
+
+// TestSharedCacheAcrossRequests checks that the matrix endpoint reuses
+// satisfiability results computed by earlier requests.
+func TestSharedCacheAcrossRequests(t *testing.T) {
+	ts := testServer(t)
+	if code := get(t, ts, "/matrix", nil); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var first statsResponse
+	if code := get(t, ts, "/stats", &first); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if code := get(t, ts, "/matrix", nil); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var second statsResponse
+	if code := get(t, ts, "/stats", &second); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if second.CacheMisses != first.CacheMisses {
+		t.Errorf("second matrix recomputed: misses %d -> %d", first.CacheMisses, second.CacheMisses)
+	}
+	if second.CacheHits <= first.CacheHits {
+		t.Errorf("second matrix did not hit the cache: hits %d -> %d", first.CacheHits, second.CacheHits)
+	}
+}
+
+func TestBudgetExceededMapsTo503(t *testing.T) {
+	s, err := NewWithConfig(paper.LocationSch(), Config{Options: core.Options{MaxExpansions: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	if code := get(t, ts, "/sat?category=Store", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", code)
 	}
 }

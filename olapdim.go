@@ -25,8 +25,25 @@
 //	    edge Store -> City -> Country -> All
 //	    constraint Store_City
 //	`)
-//	res, err := olapdim.Satisfiable(ds, "Store", olapdim.Options{})
-//	rep, err := olapdim.Summarizable(ds, "Country", []string{"City"}, olapdim.Options{})
+//	ctx := context.Background()
+//	res, err := olapdim.SatisfiableContext(ctx, ds, "Store", olapdim.Options{})
+//	rep, err := olapdim.SummarizableContext(ctx, ds, "Country", []string{"City"}, olapdim.Options{})
+//
+// # Contexts, budgets and the migration from the context-free API
+//
+// DIMSAT is NP-complete (Theorem 4), so every reasoning entry point has a
+// context-aware variant — SatisfiableContext, ImpliesContext,
+// SummarizableContext, EnumerateFrozenContext, SummarizabilityMatrixContext,
+// MinimalSourcesContext, UnsatisfiableCategoriesContext, LintContext and
+// SelectViewsContext — that checks cancellation before every EXPAND step
+// and honors the Options budget (MaxExpansions, Deadline). A canceled or
+// over-budget run returns ctx.Err() or ErrBudgetExceeded together with the
+// partial search Stats. The original context-free names remain as thin
+// wrappers over context.Background() and behave exactly as before; migrate
+// by switching to the ...Context name and passing your request context.
+// Batch surfaces (matrix, minimal sources, category sweeps, lint) fan out
+// over a worker pool sized by Options.Parallelism, and a shared
+// Options.Cache memoizes satisfiability across calls and goroutines.
 //
 // The subpackages under internal implement the full system: hierarchy
 // schemas, dimension instances with the (C1)-(C7) conditions, the
@@ -37,6 +54,8 @@
 package olapdim
 
 import (
+	"context"
+
 	"olapdim/internal/constraint"
 	"olapdim/internal/core"
 	"olapdim/internal/frozen"
@@ -49,7 +68,8 @@ import (
 type DimensionSchema = core.DimensionSchema
 
 // Options configure the DIMSAT search; the zero value enables every
-// heuristic.
+// heuristic, runs unbudgeted and uncached, and sizes worker pools to
+// GOMAXPROCS.
 type Options = core.Options
 
 // Result reports a satisfiability or implication outcome with its witness
@@ -58,6 +78,22 @@ type Result = core.Result
 
 // Stats counts DIMSAT search effort.
 type Stats = core.Stats
+
+// SatCache memoizes satisfiability results across calls and goroutines,
+// keyed by (schema fingerprint, root category). Install one in
+// Options.Cache to solve repeated roots once.
+type SatCache = core.SatCache
+
+// CacheStats snapshots a SatCache: hit/miss counters and cumulative
+// search effort.
+type CacheStats = core.CacheStats
+
+// NewSatCache returns an empty concurrency-safe satisfiability cache.
+func NewSatCache() *SatCache { return core.NewSatCache() }
+
+// ErrBudgetExceeded reports that a search hit its Options.MaxExpansions
+// budget; test with errors.Is.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
 
 // SummarizabilityReport details a summarizability test per bottom
 // category.
@@ -97,10 +133,22 @@ func Satisfiable(ds *DimensionSchema, category string, opts Options) (Result, er
 	return core.Satisfiable(ds, category, opts)
 }
 
+// SatisfiableContext is Satisfiable under a context: cancellation or an
+// exhausted Options budget aborts the search within one EXPAND step,
+// returning ctx.Err() or ErrBudgetExceeded with partial Stats.
+func SatisfiableContext(ctx context.Context, ds *DimensionSchema, category string, opts Options) (Result, error) {
+	return core.SatisfiableContext(ctx, ds, category, opts)
+}
+
 // Implies decides whether every instance of ds satisfies alpha
 // (Theorem 2 reduction to category satisfiability).
 func Implies(ds *DimensionSchema, alpha Constraint, opts Options) (bool, Result, error) {
 	return core.Implies(ds, alpha, opts)
+}
+
+// ImpliesContext is Implies under a context and the Options budget.
+func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha Constraint, opts Options) (bool, Result, error) {
+	return core.ImpliesContext(ctx, ds, alpha, opts)
 }
 
 // Summarizable tests whether the cube view for target can be computed from
@@ -110,16 +158,35 @@ func Summarizable(ds *DimensionSchema, target string, from []string, opts Option
 	return core.Summarizable(ds, target, from, opts)
 }
 
+// SummarizableContext is Summarizable under a context and the Options
+// budget, applied per bottom-category implication.
+func SummarizableContext(ctx context.Context, ds *DimensionSchema, target string, from []string, opts Options) (*SummarizabilityReport, error) {
+	return core.SummarizableContext(ctx, ds, target, from, opts)
+}
+
 // EnumerateFrozen lists every frozen dimension of ds with the given root,
 // the structures Figure 4 of the paper depicts.
 func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*Frozen, error) {
 	return core.EnumerateFrozen(ds, root, opts)
 }
 
+// EnumerateFrozenContext is EnumerateFrozen under a context and the
+// Options budget.
+func EnumerateFrozenContext(ctx context.Context, ds *DimensionSchema, root string, opts Options) ([]*Frozen, error) {
+	return core.EnumerateFrozenContext(ctx, ds, root, opts)
+}
+
 // UnsatisfiableCategories returns the categories no instance of ds can
 // populate; the paper recommends dropping them at design time.
 func UnsatisfiableCategories(ds *DimensionSchema) ([]string, error) {
 	return core.UnsatisfiableCategories(ds)
+}
+
+// UnsatisfiableCategoriesContext is UnsatisfiableCategories under a
+// context, deciding the per-category satisfiability queries on a worker
+// pool sized by Options.Parallelism.
+func UnsatisfiableCategoriesContext(ctx context.Context, ds *DimensionSchema, opts Options) ([]string, error) {
+	return core.UnsatisfiableCategoriesContext(ctx, ds, opts)
 }
 
 // Matrix records single-source summarizability between every category
@@ -132,6 +199,25 @@ func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
 	return core.SummarizabilityMatrix(ds, opts)
 }
 
+// SummarizabilityMatrixContext is SummarizabilityMatrix under a context:
+// the N² independent cells are decided on a worker pool sized by
+// Options.Parallelism, and cancellation stops the fan-out.
+func SummarizabilityMatrixContext(ctx context.Context, ds *DimensionSchema, opts Options) (*Matrix, error) {
+	return core.SummarizabilityMatrixContext(ctx, ds, opts)
+}
+
+// MinimalSources enumerates every minimal source set (up to maxSize
+// categories) from which target is summarizable in all instances of ds.
+func MinimalSources(ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
+	return core.MinimalSources(ds, target, maxSize, opts)
+}
+
+// MinimalSourcesContext is MinimalSources under a context; each size
+// level of candidate sets is tested on the Options worker pool.
+func MinimalSourcesContext(ctx context.Context, ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
+	return core.MinimalSourcesContext(ctx, ds, target, maxSize, opts)
+}
+
 // LintReport collects design-stage findings: dead categories, redundant
 // constraints, shortcuts, cycles.
 type LintReport = core.LintReport
@@ -139,6 +225,12 @@ type LintReport = core.LintReport
 // Lint analyzes a dimension schema for design problems.
 func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
 	return core.Lint(ds, opts)
+}
+
+// LintContext is Lint under a context; the satisfiability sweep and the
+// per-constraint redundancy tests run on the Options worker pool.
+func LintContext(ctx context.Context, ds *DimensionSchema, opts Options) (*LintReport, error) {
+	return core.LintContext(ctx, ds, opts)
 }
 
 // SplitConstraint compiles a split constraint (the authors' earlier

@@ -1,6 +1,8 @@
 package olapdim_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"olapdim"
@@ -103,5 +105,56 @@ func TestSplitConstraintFacade(t *testing.T) {
 	}
 	if len(fs) != 2 {
 		t.Errorf("frozen dimensions = %d, want 2", len(fs))
+	}
+}
+
+// TestContextFacade exercises the context-aware entry points: plain use,
+// cancellation, budgets, the shared cache, and SelectViewsContext.
+func TestContextFacade(t *testing.T) {
+	ds, err := olapdim.Parse(`
+schema shop
+edge Item -> Brand -> All
+edge Item -> Kind -> All
+constraint one(Item_Brand, Item_Kind)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cache := olapdim.NewSatCache()
+	opts := olapdim.Options{Cache: cache}
+
+	res, err := olapdim.SatisfiableContext(ctx, ds, "Item", opts)
+	if err != nil || !res.Satisfiable {
+		t.Fatalf("SatisfiableContext = %+v, %v", res, err)
+	}
+	rep, err := olapdim.SummarizableContext(ctx, ds, olapdim.All, []string{"Brand", "Kind"}, opts)
+	if err != nil || !rep.Summarizable() {
+		t.Fatalf("SummarizableContext = %v, %v", rep, err)
+	}
+	if _, err := olapdim.SummarizabilityMatrixContext(ctx, ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	sets, err := olapdim.MinimalSourcesContext(ctx, ds, olapdim.All, 2, opts)
+	if err != nil || len(sets) == 0 {
+		t.Fatalf("MinimalSourcesContext = %v, %v", sets, err)
+	}
+	if cs := cache.Stats(); cs.Hits == 0 {
+		t.Errorf("shared cache recorded no hits: %+v", cs)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := olapdim.SatisfiableContext(canceled, ds, "Item", olapdim.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled context: err = %v", err)
+	}
+
+	oracle := &olapdim.SchemaOracle{DS: ds, Opts: opts}
+	sel, err := olapdim.SelectViewsContext(ctx, oracle, map[string]int{"Item": 100, "Brand": 10, "Kind": 10}, []string{"Brand"}, 1000)
+	if err != nil || len(sel.Uncovered) != 0 {
+		t.Fatalf("SelectViewsContext = %v, %v", sel, err)
+	}
+	if _, err := olapdim.SelectViewsContext(canceled, oracle, map[string]int{"Brand": 10}, []string{"Brand"}, 1000); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled selection: err = %v", err)
 	}
 }
