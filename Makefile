@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench experiments clean
+.PHONY: build test check race vet fuzz-smoke bench experiments clean
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis plus the full test suite
-# under the race detector (the concurrency surfaces — SatCache, the matrix
-# worker pool, dimsatd — are only meaningfully tested with -race on).
-check: vet race
+# fuzz-smoke gives each fuzz target a short budget — enough to shake out
+# regressions at the parse boundaries (constraint/schema text, instance
+# and cube documents) without turning check into a long fuzzing session.
+# go test accepts one -fuzz target per invocation, hence the four runs.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseConstraint -fuzztime $(FUZZTIME) ./internal/parser
+	$(GO) test -fuzz=FuzzParseSchema -fuzztime $(FUZZTIME) ./internal/parser
+	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -fuzz=FuzzDecodeCube -fuzztime $(FUZZTIME) ./internal/codec
+
+# check is the pre-merge gate: static analysis, the full test suite under
+# the race detector (the concurrency surfaces — SatCache, the matrix
+# worker pool, dimsatd admission control — are only meaningfully tested
+# with -race on), and a fuzzing smoke pass over the parse boundaries.
+check: vet race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -19,6 +19,16 @@ import (
 	"olapdim/internal/transform"
 )
 
+// mustSchema generates a benchmark schema, aborting on a generator error.
+func mustSchema(tb testing.TB, spec gen.SchemaSpec) *core.DimensionSchema {
+	tb.Helper()
+	ds, err := gen.Schema(spec)
+	if err != nil {
+		tb.Fatalf("gen.Schema: %v", err)
+	}
+	return ds
+}
+
 // impliedAllQuery is the worst-case DIMSAT workload used across the
 // scaling benchmarks: deciding the implied constraint C0.All forces the
 // search to exhaust the pruned subhierarchy space (see EXPERIMENTS.md).
@@ -41,7 +51,7 @@ func impliedAllQuery(b *testing.B, ds *core.DimensionSchema, opts core.Options) 
 // number of categories.
 func BenchmarkDimsatScalingN(b *testing.B) {
 	for _, n := range []int{6, 8, 10, 12, 14} {
-		ds := gen.Schema(gen.SchemaSpec{
+		ds := mustSchema(b, gen.SchemaSpec{
 			Seed: 1, Categories: n, Levels: 3 + n/6, ExtraEdgeProb: 0.25,
 			ChoiceProb: 0.6, Constants: 2, CondProb: 0.3, IntoFrac: 0.3,
 		})
@@ -55,7 +65,7 @@ func BenchmarkDimsatScalingN(b *testing.B) {
 // that into-constraint pruning has a major impact.
 func BenchmarkDimsatIntoDensity(b *testing.B) {
 	for _, frac := range []float64{0, 0.5, 1.0} {
-		ds := gen.Schema(gen.SchemaSpec{
+		ds := mustSchema(b, gen.SchemaSpec{
 			Seed: 1, Categories: 12, Levels: 4, ExtraEdgeProb: 0.25,
 			ChoiceProb: 0.4, IntoFrac: frac,
 		})
@@ -127,7 +137,7 @@ func pigeonholeSchema(nk int) *core.DimensionSchema {
 // Proposition 4, measured by padding Σ with tautologies over a fixed
 // search space.
 func BenchmarkDimsatSigmaSize(b *testing.B) {
-	base := gen.Schema(gen.SchemaSpec{
+	base := mustSchema(b, gen.SchemaSpec{
 		Seed: 11, Categories: 12, Levels: 4, ExtraEdgeProb: 0.3, ChoiceProb: 0.4,
 	})
 	c0 := gen.CategoryName(0)
@@ -182,7 +192,7 @@ func BenchmarkDimsatLocation(b *testing.B) {
 // BenchmarkDimsatAblation is experiment E6: each pruning heuristic's
 // contribution on a fixed heterogeneous workload.
 func BenchmarkDimsatAblation(b *testing.B) {
-	ds := gen.Schema(gen.SchemaSpec{
+	ds := mustSchema(b, gen.SchemaSpec{
 		Seed: 1, Categories: 12, Levels: 4, ExtraEdgeProb: 0.3,
 		ChoiceProb: 0.5, Constants: 2, CondProb: 0.4, IntoFrac: 0.6,
 	})
@@ -207,7 +217,7 @@ func BenchmarkDimsatAblation(b *testing.B) {
 // their search space).
 func BenchmarkNaiveVsDimsat(b *testing.B) {
 	for _, n := range []int{4, 6, 8} {
-		base := gen.Schema(gen.SchemaSpec{
+		base := mustSchema(b, gen.SchemaSpec{
 			Seed: 1, Categories: n, Levels: 2 + n/4,
 			ExtraEdgeProb: 0.3, ChoiceProb: 0.5, IntoFrac: 0.3,
 		})
@@ -349,7 +359,10 @@ func BenchmarkTransformBaselines(b *testing.B) {
 		d := paper.LocationInstance()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			padded, _ := transform.PadWithNulls(d)
+			padded, _, err := transform.PadWithNulls(d)
+			if err != nil {
+				b.Fatal(err)
+			}
 			benchSinkPad = padded.NumMembers()
 		}
 	})

@@ -3,13 +3,18 @@
 // implication and summarizability as a service (see internal/server for
 // the endpoint list).
 //
-// The daemon is built for sustained traffic: every reasoning request runs
-// under a per-request timeout and an optional expansion budget, so one
-// adversarial schema query cannot wedge a goroutine; all requests share a
-// satisfiability cache (inspect it at /stats); and SIGINT/SIGTERM drain
-// in-flight requests before exit.
+// The daemon is built for sustained traffic and graceful degradation:
+// every reasoning request runs under a per-request timeout and an
+// optional expansion budget, so one adversarial schema query cannot wedge
+// a goroutine; reasoning requests pass admission control (a bounded
+// concurrency semaphore with a short wait queue) and are shed with 429 +
+// Retry-After under overload; request bodies are size-limited; panics are
+// contained to the poisoned request; /healthz and /readyz expose liveness
+// and readiness; all requests share a satisfiability cache (inspect it at
+// /stats); and SIGINT/SIGTERM drain in-flight requests before exit. See
+// docs/OPERATIONS.md for the failure model and client retry contract.
 //
-//	dimsatd -addr :8080 -timeout 10s -budget 1000000 schema.dims
+//	dimsatd -addr :8080 -timeout 10s -budget 1000000 -max-concurrent 32 schema.dims
 package main
 
 import (
@@ -35,6 +40,11 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker pool size for batch endpoints (0 = GOMAXPROCS)")
 	readTimeout := flag.Duration("read-timeout", 5*time.Second, "HTTP read timeout")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max reasoning requests executing at once (0 = 4x GOMAXPROCS, -1 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max reasoning requests waiting for a slot (0 = 2x max-concurrent, -1 = none)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max time a queued request waits before shedding with 429")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+	maxBody := flag.Int64("max-body", 1<<20, "max POST body bytes (-1 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dimsatd [flags] <schema.dims>")
 		flag.PrintDefaults()
@@ -59,6 +69,11 @@ func main() {
 			Cache:         core.NewSatCache(),
 		},
 		RequestTimeout: *timeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RetryAfter:     *retryAfter,
+		MaxBodyBytes:   *maxBody,
 	})
 	if err != nil {
 		log.Fatal(err)

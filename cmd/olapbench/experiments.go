@@ -37,7 +37,10 @@ func satWork(spec gen.SchemaSpec, seeds []int64, opts core.Options) (usMed, expM
 	implied := 0
 	for _, seed := range seeds {
 		spec.Seed = seed
-		ds := gen.Schema(spec)
+		ds, err := gen.Schema(spec)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		alpha := constraint.RollupAtom{RootCat: gen.CategoryName(0), Cat: "All"}
 		start := time.Now()
 		ok, res, e := core.Implies(ds, alpha, opts)
@@ -174,7 +177,10 @@ func runE4(w io.Writer, full bool) error {
 		Seed: 11, Categories: 12, Levels: 4, ExtraEdgeProb: 0.3,
 		ChoiceProb: 0.4,
 	}
-	base := gen.Schema(spec)
+	base, err := gen.Schema(spec)
+	if err != nil {
+		return err
+	}
 	alpha := constraint.RollupAtom{RootCat: gen.CategoryName(0), Cat: "All"}
 	c0 := gen.CategoryName(0)
 	p0 := base.G.Out(c0)[0]
@@ -317,7 +323,10 @@ func runE7(w io.Writer, full bool) error {
 				Seed: seed, Categories: n, Levels: 2 + n/4,
 				ExtraEdgeProb: 0.3, ChoiceProb: 0.5, IntoFrac: 0.3,
 			}
-			base := gen.Schema(spec)
+			base, err := gen.Schema(spec)
+			if err != nil {
+				return err
+			}
 			// Unsatisfiable query: both solvers must exhaust their search
 			// space, which is the regime that separates them.
 			c0 := gen.CategoryName(0)
@@ -416,7 +425,10 @@ func runE9(w io.Writer, full bool) error {
 	fmt.Fprintf(w, "  grouping by demoted column State keeps %d of %d facts (losses are silent)\n",
 		counted, len(f.Facts))
 
-	padded, rep := transform.PadWithNulls(d)
+	padded, rep, err := transform.PadWithNulls(d)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "  null padding (Pedersen & Jensen): %s\n", rep)
 	fmt.Fprintf(w, "  members before %d, after %d (+%.0f%%)\n",
 		d.NumMembers(), padded.NumMembers(),
@@ -476,7 +488,10 @@ func matrixPoolComparison(w io.Writer, full bool) error {
 	if full {
 		spec.Categories = 14
 	}
-	big := gen.Schema(spec)
+	big, err := gen.Schema(spec)
+	if err != nil {
+		return err
+	}
 	ctx := context.Background()
 	workers := runtime.GOMAXPROCS(0)
 

@@ -57,7 +57,10 @@ func main() {
 	fmt.Printf("  surviving functional dependencies: %d\n", len(flat.FunctionalDeps()))
 	fmt.Println()
 
-	padded, rep := transform.PadWithNulls(d)
+	padded, rep, err := transform.PadWithNulls(d)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("alternative 2 — null padding (Pedersen & Jensen):")
 	fmt.Printf("  %s\n", rep)
 	fmt.Printf("  members: %d -> %d\n", d.NumMembers(), padded.NumMembers())

@@ -1,7 +1,10 @@
 // Webservice: consume the dimension-constraint reasoner as an HTTP
 // service — the integration path for OLAP middleware that is not written
 // in Go. Starts an in-process server over the paper's schema (the same
-// handler cmd/dimsatd serves) and walks the endpoints with plain HTTP.
+// handler cmd/dimsatd serves) and walks the endpoints with plain HTTP,
+// including the overload contract: requests shed with 429 + Retry-After
+// are retried with backoff until the server admits them (see
+// docs/OPERATIONS.md for the full failure model).
 //
 //	go run ./examples/webservice
 package main
@@ -9,13 +12,16 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"time"
 
 	"olapdim/internal/core"
+	"olapdim/internal/faults"
 	"olapdim/internal/paper"
 	"olapdim/internal/server"
 )
@@ -86,9 +92,90 @@ func main() {
 		Expansions   int     `json:"expansions"`
 	}
 	getJSON(ts.URL+"/stats", &stats)
-	fmt.Printf("GET /stats: %d requests, cache %d/%d (%.0f%% hits), %d expansions total\n",
+	fmt.Printf("GET /stats: %d requests, cache %d/%d (%.0f%% hits), %d expansions total\n\n",
 		stats.Requests, stats.CacheHits, stats.CacheHits+stats.CacheMisses,
 		100*stats.CacheHitRate, stats.Expansions)
+
+	overloadDemo()
+}
+
+// overloadDemo provokes the admission controller and shows the client
+// side of the contract: a well-behaved caller treats 429 as "come back
+// after Retry-After", not as a failure. The server is configured with a
+// single execution slot and no queue, and an injected search stall keeps
+// that slot busy — the same fault harness the robustness tests use.
+func overloadDemo() {
+	srv, err := server.NewWithConfig(paper.LocationSch(), server.Config{
+		MaxConcurrent: 1,
+		MaxQueue:      -1,
+		RetryAfter:    time.Second,
+		Options: core.Options{
+			Faults: faults.New(faults.Rule{
+				Site: faults.SiteExpand, Kind: faults.Latency, On: []int{1}, Delay: 1500 * time.Millisecond,
+			}),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	fmt.Println("overload demo: one execution slot, no queue, a stalled search holding it")
+	slow := make(chan struct{})
+	go func() {
+		defer close(slow)
+		resp, err := http.Get(ts.URL + "/sat?category=Store")
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("  slow request finished with %d\n", resp.StatusCode)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow request take the slot
+
+	var sat struct {
+		Satisfiable bool `json:"satisfiable"`
+	}
+	if err := getJSONRetry(ts.URL+"/sat?category=City", &sat, 5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after retrying: City satisfiable=%v\n", sat.Satisfiable)
+	<-slow
+}
+
+// getJSONRetry is getJSON with the retry contract of docs/OPERATIONS.md:
+// on 429 it waits the server's Retry-After hint (falling back to an
+// exponential backoff when the header is absent) and tries again, up to
+// maxAttempts.
+func getJSONRetry(url string, out any, maxAttempts int) error {
+	backoff := 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := backoff
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt >= maxAttempts {
+				return fmt.Errorf("still shed after %d attempts", attempt)
+			}
+			fmt.Printf("  attempt %d shed with 429, retrying in %s\n", attempt, wait)
+			time.Sleep(wait)
+			backoff *= 2
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
 }
 
 func getJSON(url string, out any) {

@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"olapdim/internal/core"
+	"olapdim/internal/cube"
+	"olapdim/internal/paper"
+)
+
+// encodedLocation renders the paper's location dimension as the canonical
+// well-formed instance document seed.
+func encodedLocation(f *testing.F) []byte {
+	f.Helper()
+	data, err := EncodeInstance(paper.LocationSch(), paper.LocationInstance())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzDecodeInstance checks that the instance codec never panics on
+// arbitrary bytes and that anything it accepts re-encodes and re-decodes
+// to the same instance (the decoder's validation is the parse boundary
+// between untrusted documents and the reasoner's invariants).
+func FuzzDecodeInstance(f *testing.F) {
+	seeds := []string{
+		string(encodedLocation(f)),
+		`{}`,
+		`{"schema": "edge A -> All", "members": {"A": ["a"]}, "links": [["a","all"]]}`,
+		`{"schema": "edge A -> All", "members": {"A": ["a"]}, "links": []}`,
+		`{"schema": "edge A -> B", "members": {}, "links": []}`,
+		`{"schema": "(", "members": {}, "links": []}`,
+		`{"schema": "edge A -> All", "members": {"Z": ["z"]}, "links": []}`,
+		`{"schema": "edge A -> All", "members": {"A": ["a"]}, "names": {"ghost": "x"}, "links": [["a","all"]]}`,
+		`{"schema": "edge A -> All", "members": {"A": ["a","a"]}, "links": [["a","all"],["a","all"]]}`,
+		`[1, 2, 3]`,
+		`{"schema": 7}`,
+		`nul`,
+		strings.Repeat(`{"schema":`, 20),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, d, err := DecodeInstance(data)
+		if err != nil {
+			return
+		}
+		if ds == nil || d == nil {
+			t.Fatal("accepted document decoded to nil")
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted instance fails validation: %v", err)
+		}
+		re, err := EncodeInstance(ds, d)
+		if err != nil {
+			t.Fatalf("accepted instance does not re-encode: %v", err)
+		}
+		_, d2, err := DecodeInstance(re)
+		if err != nil {
+			t.Fatalf("re-encoded instance does not decode: %v", err)
+		}
+		if d2.String() != d.String() {
+			t.Fatalf("round-trip changed the instance:\n%s\nvs\n%s", d, d2)
+		}
+	})
+}
+
+// FuzzDecodeCube checks the cube codec the same way: no panics on
+// arbitrary bytes, and accepted cubes survive an encode/decode round-trip
+// with facts intact.
+func FuzzDecodeCube(f *testing.F) {
+	loc := string(encodedLocation(f))
+	seeds := []string{
+		`{"dimensions": [{"name": "location", "instance": ` + loc + `}],
+		  "facts": [{"m": 10, "coords": ["s1"]}, {"m": 20, "coords": ["s2"]}]}`,
+		`{"dimensions": [{"name": "location", "instance": ` + loc + `}], "facts": []}`,
+		`{"dimensions": [], "facts": []}`,
+		`{}`,
+		`{"dimensions": [{"name": "d", "instance": {}}], "facts": []}`,
+		`{"dimensions": [{"name": "location", "instance": ` + loc + `}],
+		  "facts": [{"m": 1, "coords": ["ghost"]}]}`,
+		`{"dimensions": [{"name": "location", "instance": ` + loc + `}],
+		  "facts": [{"m": 1, "coords": []}]}`,
+		`{"dimensions": [{"name": "a", "instance": ` + loc + `},
+		                 {"name": "a", "instance": ` + loc + `}], "facts": []}`,
+		`[true]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dss, tbl, err := DecodeCube(data)
+		if err != nil {
+			return
+		}
+		if len(dss) == 0 || tbl == nil {
+			t.Fatal("accepted cube decoded to nothing")
+		}
+		re, err := EncodeCube(dss, tbl)
+		if err != nil {
+			t.Fatalf("accepted cube does not re-encode: %v", err)
+		}
+		_, tbl2, err := DecodeCube(re)
+		if err != nil {
+			t.Fatalf("re-encoded cube does not decode: %v", err)
+		}
+		if len(tbl2.Facts) != len(tbl.Facts) {
+			t.Fatalf("round-trip changed fact count: %d vs %d", len(tbl.Facts), len(tbl2.Facts))
+		}
+		for i := range tbl.Facts {
+			if tbl2.Facts[i].M != tbl.Facts[i].M {
+				t.Fatalf("fact %d measure changed", i)
+			}
+		}
+	})
+}
+
+// TestCubeCodecRoundTrip pins the happy path the fuzz seeds rely on: a
+// two-fact cube over the location dimension round-trips exactly.
+func TestCubeCodecRoundTrip(t *testing.T) {
+	ds := paper.LocationSch()
+	loc := paper.LocationInstance()
+	space, err := cube.NewSpace(cube.Dimension{Name: "location", Inst: loc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cube.NewTable(space)
+	if err := tbl.Add(10, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(20, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeCube([]*core.DimensionSchema{ds}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss2, tbl2, err := DecodeCube(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss2) != 1 || len(dss2[0].Sigma) != len(ds.Sigma) {
+		t.Errorf("decoded %d schemas, constraints %d, want 1 schema with %d",
+			len(dss2), len(dss2[0].Sigma), len(ds.Sigma))
+	}
+	if len(tbl2.Facts) != 2 || tbl2.Facts[0].M != 10 || tbl2.Facts[1].M != 20 {
+		t.Errorf("decoded facts = %+v", tbl2.Facts)
+	}
+	if _, err := EncodeCube(nil, tbl); err == nil {
+		t.Error("schema/dimension count mismatch accepted")
+	}
+}

@@ -102,7 +102,7 @@ func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root st
 		c.entries[key] = e
 		c.mu.Unlock()
 
-		res, err := compute()
+		res, err := runCompute(compute)
 		c.mu.Lock()
 		if err != nil {
 			delete(c.entries, key)
@@ -115,6 +115,16 @@ func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root st
 		close(e.done)
 		return res, err
 	}
+}
+
+// runCompute runs a singleflight compute with panic containment: a panic
+// must become an error *before* the entry bookkeeping runs, or the entry's
+// done channel would never close and every waiter on the key would block
+// forever. The recovered panic surfaces as an *InternalError and, like any
+// failed compute, is not cached.
+func runCompute(compute func() (Result, error)) (res Result, err error) {
+	defer recoverAsInternal(&err)
+	return compute()
 }
 
 // schemaFingerprint canonically identifies a dimension schema by hashing

@@ -19,11 +19,14 @@ import (
 func TestSchemaImpliesInstanceSummarizability(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		ds := gen.Schema(gen.SchemaSpec{
+		ds, err := gen.Schema(gen.SchemaSpec{
 			Seed: seed, Categories: 5 + rng.Intn(3), Levels: 3,
 			ExtraEdgeProb: 0.35, ChoiceProb: 0.6, Constants: 2, CondProb: 0.4,
 			IntoFrac: 0.3,
 		})
+		if err != nil {
+			return false
+		}
 		bottoms := ds.G.Bottoms()
 		if len(bottoms) == 0 {
 			return true

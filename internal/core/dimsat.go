@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"olapdim/internal/constraint"
+	"olapdim/internal/faults"
 	"olapdim/internal/frozen"
 	"olapdim/internal/schema"
 )
@@ -55,6 +56,11 @@ type Options struct {
 	// use; share one cache across goroutines and requests to solve
 	// repeated roots once.
 	Cache *SatCache
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// instrumented sites (see package faults): the sat-cache lookup, each
+	// worker-pool task, and each EXPAND step. Nil in production; tests
+	// use it to force exact failure schedules.
+	Faults *faults.Injector
 }
 
 // Tracer observes a DIMSAT execution; used to reproduce the Figure 7 trace
@@ -113,8 +119,10 @@ func Satisfiable(ds *DimensionSchema, c string, opts Options) (Result, error) {
 // within one step, returning ctx.Err() or ErrBudgetExceeded together with
 // the partial Stats accumulated so far. With opts.Cache set (and no
 // Tracer), results are memoized by (schema fingerprint, root category) and
-// concurrent calls for the same key solve it once.
-func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts Options) (Result, error) {
+// concurrent calls for the same key solve it once. A panic anywhere in the
+// search is recovered and returned as an *InternalError (ErrInternal).
+func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts Options) (_ Result, err error) {
+	defer recoverAsInternal(&err)
 	if !ds.G.HasCategory(c) {
 		return Result{}, fmt.Errorf("core: unknown category %q", c)
 	}
@@ -126,6 +134,9 @@ func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts
 	ctx, cancel := withOptionsDeadline(ctx, opts)
 	defer cancel()
 	if opts.Cache != nil && opts.Tracer == nil {
+		if err := opts.Faults.Hit(faults.SiteCacheLookup); err != nil {
+			return Result{}, fmt.Errorf("core: sat-cache: %w", err)
+		}
 		return opts.Cache.satisfiable(ctx, ds, c, func() (Result, error) {
 			return runSatisfiable(ctx, ds, c, opts)
 		})
@@ -166,7 +177,8 @@ func EnumerateFrozen(ds *DimensionSchema, root string, opts Options) ([]*frozen.
 // EnumerateFrozenContext is EnumerateFrozen under a context and the
 // Options budget; a truncated enumeration returns the error with nil
 // results.
-func EnumerateFrozenContext(ctx context.Context, ds *DimensionSchema, root string, opts Options) ([]*frozen.Frozen, error) {
+func EnumerateFrozenContext(ctx context.Context, ds *DimensionSchema, root string, opts Options) (_ []*frozen.Frozen, err error) {
+	defer recoverAsInternal(&err)
 	if !ds.G.HasCategory(root) {
 		return nil, fmt.Errorf("core: unknown category %q", root)
 	}
@@ -233,11 +245,18 @@ func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Optio
 	return s
 }
 
-// overBudget consults the context and the expansion budget; it is called
-// before every EXPAND step so an abort takes effect within one step. The
-// abort reason is recorded in s.err and the whole search unwinds.
+// overBudget consults the fault injector, the context and the expansion
+// budget; it is called before every EXPAND step so an abort takes effect
+// within one step. The abort reason is recorded in s.err and the whole
+// search unwinds. The injector runs first: an injected latency stalls the
+// step and the context check below then observes a passed deadline, which
+// is exactly the "search stalls" scenario robustness tests force.
 func (s *search) overBudget() bool {
 	if s.err != nil {
+		return true
+	}
+	if err := s.opts.Faults.Hit(faults.SiteExpand); err != nil {
+		s.err = err
 		return true
 	}
 	if err := s.ctx.Err(); err != nil {

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrInternal is the sentinel matched (via errors.Is) by every
+// *InternalError: a panic recovered inside the reasoner — a worker-pool
+// task, a cache compute, or an entry point — converted into an error so
+// library consumers and the HTTP server never crash on a poisoned input.
+var ErrInternal = errors.New("core: internal error")
+
+// InternalError wraps a panic recovered at a containment boundary. The
+// original panic value and the goroutine stack at recovery time are
+// retained for diagnosis; Error keeps the message short so HTTP responses
+// do not leak stacks.
+type InternalError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack of the panicking goroutine, from debug.Stack.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: internal error: %v", e.Value)
+}
+
+// Is reports ErrInternal so errors.Is(err, ErrInternal) matches.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoverAsInternal converts an in-flight panic into a *InternalError
+// written to *errp. Deferred at every exported ...Context entry point, in
+// each worker-pool task, and around SatCache computes, so a panic anywhere
+// in the reasoner (e.g. the constraint package's "unknown expression
+// type" family) surfaces as a typed error instead of killing the process.
+func recoverAsInternal(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Value: r, Stack: debug.Stack()}
+	}
+}

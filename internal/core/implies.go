@@ -25,7 +25,8 @@ func Implies(ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Re
 // underlying DIMSAT run aborts within one EXPAND step of cancellation,
 // returning ctx.Err() or ErrBudgetExceeded with the partial Stats in the
 // Result.
-func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Result, error) {
+func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha constraint.Expr, opts Options) (_ bool, _ Result, err error) {
+	defer recoverAsInternal(&err)
 	if err := constraint.Validate(alpha, ds.G); err != nil {
 		return false, Result{}, err
 	}
@@ -93,7 +94,8 @@ func Summarizable(ds *DimensionSchema, c string, S []string, opts Options) (*Sum
 
 // SummarizableContext is Summarizable under a context and the Options
 // budget (applied per bottom-category implication).
-func SummarizableContext(ctx context.Context, ds *DimensionSchema, c string, S []string, opts Options) (*SummarizabilityReport, error) {
+func SummarizableContext(ctx context.Context, ds *DimensionSchema, c string, S []string, opts Options) (_ *SummarizabilityReport, err error) {
+	defer recoverAsInternal(&err)
 	if !ds.G.HasCategory(c) {
 		return nil, fmt.Errorf("core: unknown category %q", c)
 	}
@@ -158,7 +160,8 @@ func UnsatisfiableCategories(ds *DimensionSchema) ([]string, error) {
 // UnsatisfiableCategoriesContext decides satisfiability for every category
 // of ds on a worker pool (sized by opts.Parallelism) and returns the
 // unsatisfiable ones, sorted.
-func UnsatisfiableCategoriesContext(ctx context.Context, ds *DimensionSchema, opts Options) ([]string, error) {
+func UnsatisfiableCategoriesContext(ctx context.Context, ds *DimensionSchema, opts Options) (_ []string, err error) {
+	defer recoverAsInternal(&err)
 	cats := ds.G.SortedCategories()
 	sat, err := satisfiabilityOf(ctx, ds, cats, opts)
 	if err != nil {
@@ -177,7 +180,8 @@ func UnsatisfiableCategoriesContext(ctx context.Context, ds *DimensionSchema, op
 // of ds in parallel, returning a map from category to outcome. The
 // dimsatd /categories endpoint and design tooling use it to survey a
 // whole schema in one bounded fan-out.
-func CategorySatisfiabilityContext(ctx context.Context, ds *DimensionSchema, opts Options) (map[string]bool, error) {
+func CategorySatisfiabilityContext(ctx context.Context, ds *DimensionSchema, opts Options) (_ map[string]bool, err error) {
+	defer recoverAsInternal(&err)
 	cats := ds.G.SortedCategories()
 	sat, err := satisfiabilityOf(ctx, ds, cats, opts)
 	if err != nil {
@@ -194,7 +198,7 @@ func CategorySatisfiabilityContext(ctx context.Context, ds *DimensionSchema, opt
 // Options worker pool.
 func satisfiabilityOf(ctx context.Context, ds *DimensionSchema, cats []string, opts Options) ([]bool, error) {
 	sat := make([]bool, len(cats))
-	err := forEachLimit(ctx, len(cats), poolSize(opts), func(ctx context.Context, i int) error {
+	err := runPool(ctx, len(cats), opts, func(ctx context.Context, i int) error {
 		res, err := SatisfiableContext(ctx, ds, cats[i], opts)
 		if err != nil {
 			return err

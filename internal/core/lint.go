@@ -62,7 +62,8 @@ func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
 // LintContext is Lint under a context. The per-category satisfiability
 // sweep and the per-constraint redundancy tests are independent DIMSAT
 // queries and run on the Options worker pool.
-func LintContext(ctx context.Context, ds *DimensionSchema, opts Options) (*LintReport, error) {
+func LintContext(ctx context.Context, ds *DimensionSchema, opts Options) (_ *LintReport, err error) {
+	defer recoverAsInternal(&err)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,13 +71,12 @@ func LintContext(ctx context.Context, ds *DimensionSchema, opts Options) (*LintR
 		Shortcuts: ds.G.Shortcuts(),
 		Cyclic:    ds.G.HasCycle(),
 	}
-	var err error
 	rep.Unsatisfiable, err = UnsatisfiableCategoriesContext(ctx, ds, opts)
 	if err != nil {
 		return nil, err
 	}
 	redundant := make([]bool, len(ds.Sigma))
-	err = forEachLimit(ctx, len(ds.Sigma), poolSize(opts), func(ctx context.Context, i int) error {
+	err = runPool(ctx, len(ds.Sigma), opts, func(ctx context.Context, i int) error {
 		rest := make([]constraint.Expr, 0, len(ds.Sigma)-1)
 		rest = append(rest, ds.Sigma[:i]...)
 		rest = append(rest, ds.Sigma[i+1:]...)

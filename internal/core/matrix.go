@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,21 @@ type Matrix struct {
 	Categories []string
 	// From[target][source] reports single-source summarizability.
 	From map[string]map[string]bool
+	// Unknown[target][source] marks cells a partial computation could not
+	// decide within its budget or deadline (see
+	// SummarizabilityMatrixPartialContext); nil or empty for complete
+	// matrices. An unknown cell's From value is meaningless.
+	Unknown map[string]map[string]bool
+}
+
+// Complete reports whether every cell was decided.
+func (m *Matrix) Complete() bool {
+	for _, row := range m.Unknown {
+		if len(row) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // SummarizabilityMatrix computes single-source summarizability between
@@ -37,19 +53,13 @@ func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
 // cancellation or a per-cell budget error stops the fan-out and returns
 // the first error. Sharing opts.Cache across calls lets repeated cells be
 // answered without re-running DIMSAT.
-func SummarizabilityMatrixContext(ctx context.Context, ds *DimensionSchema, opts Options) (*Matrix, error) {
-	m := &Matrix{From: map[string]map[string]bool{}}
-	for _, c := range ds.G.SortedCategories() {
-		if c != schema.All {
-			m.Categories = append(m.Categories, c)
-		}
-	}
+func SummarizabilityMatrixContext(ctx context.Context, ds *DimensionSchema, opts Options) (_ *Matrix, err error) {
+	defer recoverAsInternal(&err)
+	m := newMatrixShell(ds)
 	n := len(m.Categories)
 	results := make([]bool, n*n)
-	err := forEachLimit(ctx, n*n, poolSize(opts), func(ctx context.Context, idx int) error {
-		target := m.Categories[idx/n]
-		source := m.Categories[idx%n]
-		rep, err := SummarizableContext(ctx, ds, target, []string{source}, opts)
+	err = runPool(ctx, n*n, opts, func(ctx context.Context, idx int) error {
+		rep, err := SummarizableContext(ctx, ds, m.Categories[idx/n], []string{m.Categories[idx%n]}, opts)
 		if err != nil {
 			return err
 		}
@@ -59,18 +69,88 @@ func SummarizabilityMatrixContext(ctx context.Context, ds *DimensionSchema, opts
 	if err != nil {
 		return nil, err
 	}
+	m.fill(results, nil)
+	return m, nil
+}
+
+// SummarizabilityMatrixPartialContext is the overload-safe variant of
+// SummarizabilityMatrixContext: cells whose DIMSAT run exhausts the
+// Options budget or the deadline are reported as unknown in
+// Matrix.Unknown instead of failing the whole matrix, so a serving tier
+// can degrade one expensive cell rather than the entire response. Other
+// errors (cancellation by the client, contained panics) still abort.
+func SummarizabilityMatrixPartialContext(ctx context.Context, ds *DimensionSchema, opts Options) (_ *Matrix, err error) {
+	defer recoverAsInternal(&err)
+	m := newMatrixShell(ds)
+	n := len(m.Categories)
+	results := make([]bool, n*n)
+	unknown := make([]bool, n*n)
+	decided := make([]bool, n*n)
+	err = runPool(ctx, n*n, opts, func(ctx context.Context, idx int) error {
+		rep, err := SummarizableContext(ctx, ds, m.Categories[idx/n], []string{m.Categories[idx%n]}, opts)
+		switch {
+		case err == nil:
+			results[idx] = rep.Summarizable()
+		case errors.Is(err, ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
+			unknown[idx] = true
+		default:
+			return err
+		}
+		decided[idx] = true
+		return nil
+	})
+	if err != nil {
+		// A passed deadline also stops the fan-out itself; the cells it
+		// never reached are unknown, not a failure.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrBudgetExceeded) {
+			return nil, err
+		}
+	}
+	for idx := range decided {
+		if !decided[idx] {
+			unknown[idx] = true
+		}
+	}
+	m.fill(results, unknown)
+	return m, nil
+}
+
+// newMatrixShell lists the non-All categories of ds into an empty matrix.
+func newMatrixShell(ds *DimensionSchema) *Matrix {
+	m := &Matrix{From: map[string]map[string]bool{}}
+	for _, c := range ds.G.SortedCategories() {
+		if c != schema.All {
+			m.Categories = append(m.Categories, c)
+		}
+	}
+	return m
+}
+
+// fill populates From (and Unknown, when unknown is non-nil) from the
+// row-major cell slices.
+func (m *Matrix) fill(results, unknown []bool) {
+	n := len(m.Categories)
 	for idx, ok := range results {
 		target := m.Categories[idx/n]
 		if m.From[target] == nil {
 			m.From[target] = map[string]bool{}
 		}
 		m.From[target][m.Categories[idx%n]] = ok
+		if unknown != nil && unknown[idx] {
+			if m.Unknown == nil {
+				m.Unknown = map[string]map[string]bool{}
+			}
+			if m.Unknown[target] == nil {
+				m.Unknown[target] = map[string]bool{}
+			}
+			m.Unknown[target][m.Categories[idx%n]] = true
+		}
 	}
-	return m, nil
 }
 
 // String renders the matrix as a table: rows are targets, columns sources,
-// a "+" marking summarizable pairs.
+// a "+" marking summarizable pairs and a "?" marking undecided cells of a
+// partial matrix.
 func (m *Matrix) String() string {
 	width := 6
 	for _, c := range m.Categories {
@@ -90,6 +170,9 @@ func (m *Matrix) String() string {
 			mark := "."
 			if m.From[target][src] {
 				mark = "+"
+			}
+			if m.Unknown[target][src] {
+				mark = "?"
 			}
 			fmt.Fprintf(&b, " %-*s", width, mark)
 		}
@@ -130,7 +213,8 @@ func MinimalSources(ds *DimensionSchema, target string, maxSize int, opts Option
 // size), so each level is tested on the Options worker pool; supersets of
 // smaller certified sets are filtered before the fan-out. Results are
 // identical to the serial enumeration, in the same order.
-func MinimalSourcesContext(ctx context.Context, ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
+func MinimalSourcesContext(ctx context.Context, ds *DimensionSchema, target string, maxSize int, opts Options) (_ [][]string, err error) {
+	defer recoverAsInternal(&err)
 	if !ds.G.HasCategory(target) {
 		return nil, fmt.Errorf("core: unknown category %q", target)
 	}
@@ -165,7 +249,7 @@ func MinimalSourcesContext(ctx context.Context, ds *DimensionSchema, target stri
 		}
 		rec(nil, 0)
 		certified := make([]bool, len(level))
-		err := forEachLimit(ctx, len(level), poolSize(opts), func(ctx context.Context, i int) error {
+		err := runPool(ctx, len(level), opts, func(ctx context.Context, i int) error {
 			rep, err := SummarizableContext(ctx, ds, target, level[i], opts)
 			if err != nil {
 				return err

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"olapdim/internal/faults"
 )
 
 // poolSize resolves the Options.Parallelism knob: 0 means GOMAXPROCS, and
@@ -18,6 +20,22 @@ func poolSize(opts Options) int {
 		return opts.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// runPool is the batch-surface fan-out harness: it sizes the worker pool
+// from opts, applies fault injection at the pool.task site, and contains
+// panics — a task that panics (a poisoned cell, an injected fault) is
+// converted to an *InternalError that cancels the remaining work and
+// propagates, instead of killing the process. All core batch surfaces
+// (matrix, minimal sources, category sweeps, lint) fan out through here.
+func runPool(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) error {
+	return forEachLimit(ctx, n, poolSize(opts), func(ctx context.Context, i int) (err error) {
+		defer recoverAsInternal(&err)
+		if err := opts.Faults.Hit(faults.SitePoolTask); err != nil {
+			return err
+		}
+		return fn(ctx, i)
+	})
 }
 
 // forEachLimit runs fn(ctx, i) for every i in [0, n) on at most workers

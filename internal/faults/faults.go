@@ -1,0 +1,222 @@
+// Package faults provides deterministic, seeded fault injection for
+// robustness tests. An Injector is configured with rules naming an
+// injection site (a stable string constant owned by the instrumented
+// package) and a fault kind — a returned error, an injected latency, or a
+// panic. Production code threads an optional *Injector through its options
+// and calls Hit at each site; a nil injector is free and injects nothing,
+// so the instrumentation can stay compiled into hot paths.
+//
+// Determinism is the point: a rule can fire on exact hit numbers (the 7th
+// task the worker pool runs), on every Nth hit, or with a probability
+// drawn from the injector's own seeded generator — never from global
+// randomness — so a failing schedule replays bit for bit.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Injection sites instrumented by package core. Owned here so tests and
+// instrumentation agree on the spelling.
+const (
+	// SiteCacheLookup fires when a DIMSAT call consults the shared
+	// SatCache (before the lookup), simulating a failing cache tier.
+	SiteCacheLookup = "cache.lookup"
+	// SitePoolTask fires before each task a core worker pool runs
+	// (matrix cells, per-category sweeps, lint probes).
+	SitePoolTask = "pool.task"
+	// SiteExpand fires before each EXPAND step of a DIMSAT search.
+	SiteExpand = "dimsat.expand"
+)
+
+// ErrInjected is the default error returned by an Error rule with no
+// explicit Err. Test with errors.Is.
+var ErrInjected = errors.New("faults: injected error")
+
+// Kind classifies what a matching rule injects.
+type Kind int
+
+const (
+	// Error makes Hit return the rule's Err (ErrInjected by default).
+	Error Kind = iota
+	// Latency makes Hit sleep for the rule's Delay, then continue to any
+	// later rules (a latency rule alone injects no failure).
+	Latency
+	// Panic makes Hit panic with a *PanicValue naming the site and hit.
+	Panic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Latency:
+		return "latency"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule arms one fault at one site. Exactly one of the trigger fields
+// selects when it fires, checked in order: On (exact 1-based hit numbers),
+// Every (every Nth hit), Prob (seeded coin flip per hit). A rule with no
+// trigger fields fires on every hit.
+type Rule struct {
+	// Site is the injection site the rule arms.
+	Site string
+	// Kind selects the fault: Error, Latency or Panic.
+	Kind Kind
+	// On lists exact 1-based hit numbers at which the rule fires.
+	On []int
+	// Every fires the rule on every Every-th hit when positive.
+	Every int
+	// Prob fires the rule with this probability per hit, drawn from the
+	// injector's seeded generator, when positive.
+	Prob float64
+	// Err is returned by Error rules; nil means ErrInjected.
+	Err error
+	// Delay is slept by Latency rules.
+	Delay time.Duration
+}
+
+// fires reports whether the rule triggers on the n-th hit (1-based).
+// rng is consulted only for Prob rules, keeping the draw sequence stable
+// per site regardless of other sites' traffic.
+func (r Rule) fires(n int, rng *rand.Rand) bool {
+	switch {
+	case len(r.On) > 0:
+		for _, k := range r.On {
+			if k == n {
+				return true
+			}
+		}
+		return false
+	case r.Every > 0:
+		return n%r.Every == 0
+	case r.Prob > 0:
+		return rng.Float64() < r.Prob
+	}
+	return true
+}
+
+// PanicValue is the value a Panic rule panics with; recovery layers can
+// type-assert it to recognize injected panics.
+type PanicValue struct {
+	Site string
+	Hit  int
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// Injector evaluates rules at injection sites. All methods are safe for
+// concurrent use and on a nil receiver (a nil *Injector injects nothing).
+type Injector struct {
+	mu    sync.Mutex
+	rules []Rule
+	rngs  map[string]*rand.Rand
+	seed  int64
+	hits  map[string]int
+	fired map[string]int
+}
+
+// New builds an injector with seed 1; see NewSeeded.
+func New(rules ...Rule) *Injector { return NewSeeded(1, rules...) }
+
+// NewSeeded builds an injector whose Prob rules draw from per-site
+// generators derived from seed, so probabilistic schedules are
+// reproducible and independent across sites.
+func NewSeeded(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		rules: rules,
+		seed:  seed,
+		rngs:  map[string]*rand.Rand{},
+		hits:  map[string]int{},
+		fired: map[string]int{},
+	}
+}
+
+// Hit records one pass through site and applies the first matching armed
+// rule: Latency rules sleep and further rules are still consulted (so
+// "slow and then fail" composes from two rules); an Error rule returns its
+// error; a Panic rule panics. Returns nil when nothing fires. Hit on a nil
+// injector is a no-op returning nil.
+func (in *Injector) Hit(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.hits[site]++
+	n := in.hits[site]
+	var sleep time.Duration
+	var ret error
+	var pv *PanicValue
+	for _, r := range in.rules {
+		if r.Site != site || !r.fires(n, in.rng(site)) {
+			continue
+		}
+		in.fired[site]++
+		switch r.Kind {
+		case Latency:
+			sleep += r.Delay
+			continue // latency composes with a later error/panic rule
+		case Error:
+			ret = r.Err
+			if ret == nil {
+				ret = ErrInjected
+			}
+		case Panic:
+			pv = &PanicValue{Site: site, Hit: n}
+		}
+		break
+	}
+	in.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if pv != nil {
+		panic(pv)
+	}
+	return ret
+}
+
+// rng returns the per-site generator; callers hold in.mu.
+func (in *Injector) rng(site string) *rand.Rand {
+	r, ok := in.rngs[site]
+	if !ok {
+		h := int64(0)
+		for _, c := range site {
+			h = h*131 + int64(c)
+		}
+		r = rand.New(rand.NewSource(in.seed ^ h))
+		in.rngs[site] = r
+	}
+	return r
+}
+
+// Hits returns how many times site was passed through.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fired returns how many rule activations occurred at site (latency and
+// failure activations both count).
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}

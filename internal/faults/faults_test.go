@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 3; i++ {
+		if err := in.Hit(SitePoolTask); err != nil {
+			t.Fatalf("nil injector returned %v", err)
+		}
+	}
+	if in.Hits(SitePoolTask) != 0 || in.Fired(SitePoolTask) != 0 {
+		t.Error("nil injector recorded activity")
+	}
+}
+
+func TestOnFiresExactHitsOnce(t *testing.T) {
+	in := New(Rule{Site: SitePoolTask, Kind: Error, On: []int{2, 4}})
+	var got []int
+	for i := 1; i <= 6; i++ {
+		if err := in.Hit(SitePoolTask); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: %v", i, err)
+			}
+			got = append(got, i)
+		}
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("fired on hits %v, want [2 4]", got)
+	}
+	if in.Hits(SitePoolTask) != 6 || in.Fired(SitePoolTask) != 2 {
+		t.Errorf("hits/fired = %d/%d, want 6/2", in.Hits(SitePoolTask), in.Fired(SitePoolTask))
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	in := New(Rule{Site: SiteExpand, Kind: Error, Every: 3})
+	var fired int
+	for i := 1; i <= 9; i++ {
+		if err := in.Hit(SiteExpand); err != nil {
+			if i%3 != 0 {
+				t.Errorf("fired on hit %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3", fired)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(Rule{Site: SiteCacheLookup, Kind: Error, Err: boom})
+	if err := in.Hit(SiteCacheLookup); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	in := New(Rule{Site: SiteCacheLookup, Kind: Error})
+	if err := in.Hit(SitePoolTask); err != nil {
+		t.Errorf("other site fired: %v", err)
+	}
+	if err := in.Hit(SiteCacheLookup); !errors.Is(err, ErrInjected) {
+		t.Errorf("armed site did not fire: %v", err)
+	}
+}
+
+func TestPanicCarriesSiteAndHit(t *testing.T) {
+	in := New(Rule{Site: SitePoolTask, Kind: Panic, On: []int{2}})
+	if err := in.Hit(SitePoolTask); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicValue", r, r)
+		}
+		if pv.Site != SitePoolTask || pv.Hit != 2 {
+			t.Errorf("panic value = %+v", pv)
+		}
+	}()
+	in.Hit(SitePoolTask)
+	t.Fatal("hit 2 did not panic")
+}
+
+func TestLatencyComposesWithError(t *testing.T) {
+	in := New(
+		Rule{Site: SiteExpand, Kind: Latency, Delay: 20 * time.Millisecond},
+		Rule{Site: SiteExpand, Kind: Error},
+	)
+	start := time.Now()
+	err := in.Hit(SiteExpand)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want injected", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("slept %v, want >= 20ms", d)
+	}
+	if in.Fired(SiteExpand) != 2 {
+		t.Errorf("fired = %d, want 2 (latency + error)", in.Fired(SiteExpand))
+	}
+}
+
+func TestLatencyAloneIsNotAFailure(t *testing.T) {
+	in := New(Rule{Site: SiteExpand, Kind: Latency, Delay: time.Millisecond})
+	if err := in.Hit(SiteExpand); err != nil {
+		t.Errorf("latency-only rule returned %v", err)
+	}
+}
+
+// TestProbDeterminism replays a probabilistic schedule with the same seed
+// and checks the firing pattern is identical; a different seed should
+// (for this configuration) give a different pattern.
+func TestProbDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := NewSeeded(seed, Rule{Site: SiteExpand, Kind: Error, Prob: 0.5})
+		var p []bool
+		for i := 0; i < 64; i++ {
+			p = append(p, in.Hit(SiteExpand) != nil)
+		}
+		return p
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	c := pattern(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-hit schedules")
+	}
+}
+
+func TestDefaultRuleFiresAlways(t *testing.T) {
+	in := New(Rule{Site: SiteCacheLookup, Kind: Error})
+	for i := 0; i < 5; i++ {
+		if err := in.Hit(SiteCacheLookup); err == nil {
+			t.Fatalf("hit %d did not fire", i+1)
+		}
+	}
+}

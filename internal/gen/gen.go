@@ -66,7 +66,9 @@ func ConstName(k int) string { return fmt.Sprintf("k%d", k) }
 // Schema generates a dimension schema from the spec. The result is always
 // a valid hierarchy schema; its constraints may or may not leave every
 // category satisfiable, which is what the satisfiability benchmarks probe.
-func Schema(spec SchemaSpec) *core.DimensionSchema {
+// The returned error is a generator invariant violation (an edge the
+// construction should never produce twice) surfaced instead of panicking.
+func Schema(spec SchemaSpec) (*core.DimensionSchema, error) {
 	if spec.Categories < 2 {
 		spec.Categories = 2
 	}
@@ -85,21 +87,20 @@ func Schema(spec SchemaSpec) *core.DimensionSchema {
 		l := i % spec.Levels
 		levels[l] = append(levels[l], CategoryName(i))
 	}
-	must := func(err error) {
-		if err != nil {
-			panic(err)
-		}
-	}
 	// Spanning edges: every category gets one parent on the next level
 	// (All above the top level).
 	for l, cats := range levels {
 		for _, c := range cats {
 			if l == len(levels)-1 {
-				must(g.AddEdge(c, schema.All))
+				if err := g.AddEdge(c, schema.All); err != nil {
+					return nil, fmt.Errorf("gen: spanning edge: %w", err)
+				}
 				continue
 			}
 			parent := levels[l+1][rng.Intn(len(levels[l+1]))]
-			must(g.AddEdge(c, parent))
+			if err := g.AddEdge(c, parent); err != nil {
+				return nil, fmt.Errorf("gen: spanning edge: %w", err)
+			}
 		}
 	}
 	// Extra edges to any strictly higher level (or All), adding
@@ -109,7 +110,9 @@ func Schema(spec SchemaSpec) *core.DimensionSchema {
 			for l2 := l + 1; l2 < len(levels); l2++ {
 				for _, p := range levels[l2] {
 					if !g.HasEdge(c, p) && rng.Float64() < spec.ExtraEdgeProb {
-						must(g.AddEdge(c, p))
+						if err := g.AddEdge(c, p); err != nil {
+							return nil, fmt.Errorf("gen: extra edge: %w", err)
+						}
 					}
 				}
 			}
@@ -146,7 +149,7 @@ func Schema(spec SchemaSpec) *core.DimensionSchema {
 			ds.Sigma = append(ds.Sigma, constraint.NewPath(c, parents[rng.Intn(len(parents))]))
 		}
 	}
-	return ds
+	return ds, nil
 }
 
 // Facts generates a fact table with n random facts spread uniformly over

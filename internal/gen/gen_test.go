@@ -8,10 +8,20 @@ import (
 	"olapdim/internal/schema"
 )
 
+// mustSchema generates a schema, failing the test on a generator error.
+func mustSchema(t *testing.T, spec SchemaSpec) *core.DimensionSchema {
+	t.Helper()
+	ds, err := Schema(spec)
+	if err != nil {
+		t.Fatalf("Schema: %v", err)
+	}
+	return ds
+}
+
 func TestSchemaDeterministic(t *testing.T) {
 	spec := SchemaSpec{Seed: 42, Categories: 10, Levels: 3, ExtraEdgeProb: 0.3, ChoiceProb: 0.5, Constants: 2, CondProb: 0.5, IntoFrac: 0.5}
-	a := Schema(spec)
-	b := Schema(spec)
+	a := mustSchema(t, spec)
+	b := mustSchema(t, spec)
 	if a.String() != b.String() {
 		t.Error("same seed produced different schemas")
 	}
@@ -23,7 +33,7 @@ func TestSchemaDeterministic(t *testing.T) {
 			t.Errorf("constraint %d differs", i)
 		}
 	}
-	c := Schema(SchemaSpec{Seed: 43, Categories: 10, Levels: 3, ExtraEdgeProb: 0.3})
+	c := mustSchema(t, SchemaSpec{Seed: 43, Categories: 10, Levels: 3, ExtraEdgeProb: 0.3})
 	if a.String() == c.String() {
 		t.Error("different seeds produced identical schemas")
 	}
@@ -35,7 +45,7 @@ func TestSchemaValid(t *testing.T) {
 			Seed: seed, Categories: 4 + int(seed%10), Levels: 2 + int(seed%3),
 			ExtraEdgeProb: 0.4, ChoiceProb: 0.6, Constants: 3, CondProb: 0.5, IntoFrac: 0.4,
 		}
-		ds := Schema(spec)
+		ds := mustSchema(t, spec)
 		if err := ds.Validate(); err != nil {
 			t.Fatalf("seed %d: invalid schema: %v", seed, err)
 		}
@@ -49,11 +59,11 @@ func TestSchemaValid(t *testing.T) {
 }
 
 func TestSchemaSpecClamping(t *testing.T) {
-	ds := Schema(SchemaSpec{Seed: 1, Categories: 0, Levels: 0})
+	ds := mustSchema(t, SchemaSpec{Seed: 1, Categories: 0, Levels: 0})
 	if err := ds.Validate(); err != nil {
 		t.Fatalf("clamped spec invalid: %v", err)
 	}
-	ds = Schema(SchemaSpec{Seed: 1, Categories: 2, Levels: 99})
+	ds = mustSchema(t, SchemaSpec{Seed: 1, Categories: 2, Levels: 99})
 	if err := ds.Validate(); err != nil {
 		t.Fatalf("levels > categories invalid: %v", err)
 	}
@@ -76,7 +86,7 @@ func TestRandomInstanceValid(t *testing.T) {
 }
 
 func TestInstanceFromFrozenSatisfiesSigma(t *testing.T) {
-	ds := Schema(SchemaSpec{
+	ds := mustSchema(t, SchemaSpec{
 		Seed: 7, Categories: 6, Levels: 3,
 		ExtraEdgeProb: 0.5, ChoiceProb: 0.8, Constants: 2, CondProb: 0.5,
 	})
@@ -104,7 +114,7 @@ func TestInstanceFromFrozenSatisfiesSigma(t *testing.T) {
 }
 
 func TestInstanceFromFrozenUnsatisfiableRoot(t *testing.T) {
-	ds := Schema(SchemaSpec{Seed: 3, Categories: 4, Levels: 2})
+	ds := mustSchema(t, SchemaSpec{Seed: 3, Categories: 4, Levels: 2})
 	c0 := CategoryName(0)
 	p := ds.G.Out(c0)[0]
 	if p == schema.All {

@@ -80,7 +80,10 @@ func stampFrozen(d *instance.Instance, f *frozen.Frozen, consts map[string][]str
 // (experiment T1), where heterogeneity comes from members choosing
 // different parent categories.
 func RandomInstance(spec SchemaSpec, membersPerCat int) (*instance.Instance, error) {
-	ds := Schema(spec)
+	ds, err := Schema(spec)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 	d := instance.New(ds.G)
 

@@ -45,6 +45,12 @@ func LocationHierarchy() *schema.Schema {
 		{SaleRegion, Country},
 		{Country, schema.All},
 	}
+	// Unreachable-invariant panic: the edge list is a compile-time
+	// constant with no duplicates or self-edges, so AddEdge cannot fail;
+	// a panic here means this file was edited inconsistently, which the
+	// package's own tests catch at development time. Callers (dozens of
+	// tests and examples use these fixtures as plain expressions) are
+	// shielded by the recover boundaries in core and server.
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			panic(err)
@@ -106,6 +112,9 @@ func LocationSch() *core.DimensionSchema {
 // constraint of locationSch.
 func LocationInstance() *instance.Instance {
 	d := instance.New(LocationHierarchy())
+	// Unreachable-invariant panic, as in LocationHierarchy: the member and
+	// link tables below are compile-time constants consistent with the
+	// fixed hierarchy, so AddMember/AddLink cannot fail on them.
 	must := func(err error) {
 		if err != nil {
 			panic(err)

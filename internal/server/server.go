@@ -4,12 +4,19 @@
 // hosts one dimension schema; all endpoints are read-only and safe for
 // concurrent use.
 //
-// Every reasoning endpoint runs under the request context bounded by the
+// The server is built to degrade rather than wedge or die. Every
+// reasoning endpoint runs under the request context bounded by the
 // configured per-request timeout, so a canceled client or an adversarial
-// schema cannot wedge a serving goroutine: the DIMSAT search aborts within
-// one EXPAND step and the handler answers 503/504 with the error. All
-// requests share one satisfiability cache, so repeated roots — across a
-// matrix request or across clients — are solved once.
+// schema cannot hold a serving goroutine: the DIMSAT search aborts within
+// one EXPAND step and the handler answers 503/504. Reasoning requests
+// pass admission control — a bounded-concurrency semaphore with a short
+// wait queue — and are shed with 429 + Retry-After once both are full,
+// keeping latency bounded under overload instead of queueing unboundedly.
+// A panic anywhere below a handler (including one injected by tests via
+// the faults package) is contained: the request answers a structured 500
+// and the process keeps serving. All requests share one satisfiability
+// cache, so repeated roots — across a matrix request or across clients —
+// are solved once.
 //
 //	GET  /schema                         the schema in .dims syntax
 //	GET  /categories                     categories with satisfiability
@@ -19,6 +26,10 @@
 //	GET  /frozen?root=Store              frozen dimensions
 //	GET  /matrix                         single-source summarizability
 //	GET  /stats                          cache hit rates, cumulative effort
+//	GET  /healthz                        liveness (always 200 while serving)
+//	GET  /readyz                         readiness (503 while overloaded)
+//
+// See docs/OPERATIONS.md for the failure model and client retry contract.
 package server
 
 import (
@@ -26,7 +37,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -34,7 +48,9 @@ import (
 	"olapdim/internal/parser"
 )
 
-// Config tunes a Server beyond the core reasoning options.
+// Config tunes a Server beyond the core reasoning options. The zero value
+// yields a serving posture safe for untrusted traffic: bounded admission,
+// bounded request bodies, no request timeout (set one in production).
 type Config struct {
 	// Options are the DIMSAT options applied to every request. When
 	// Options.Cache is nil the server installs its own shared cache.
@@ -42,7 +58,29 @@ type Config struct {
 	// RequestTimeout bounds each reasoning request; zero means requests
 	// run until the client disconnects.
 	RequestTimeout time.Duration
+	// MaxConcurrent caps reasoning requests executing at once. Zero
+	// means 4x GOMAXPROCS; negative disables admission control.
+	MaxConcurrent int
+	// MaxQueue bounds reasoning requests waiting for an execution slot.
+	// Zero means 2x MaxConcurrent; negative means no queue (immediate
+	// shed when all slots are busy).
+	MaxQueue int
+	// QueueWait bounds how long an admitted-to-queue request waits for a
+	// slot before being shed. Zero means 1s.
+	QueueWait time.Duration
+	// RetryAfter is the client backoff hint sent with 429 responses.
+	// Zero means 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds POST request bodies. Zero means 1 MiB;
+	// negative disables the limit.
+	MaxBodyBytes int64
 }
+
+const (
+	defaultQueueWait  = time.Second
+	defaultRetryAfter = time.Second
+	defaultMaxBody    = 1 << 20
+)
 
 // Server hosts one dimension schema.
 type Server struct {
@@ -51,14 +89,27 @@ type Server struct {
 	cache *core.SatCache
 	mux   *http.ServeMux
 
-	timeout  time.Duration
-	started  time.Time
+	timeout time.Duration
+	started time.Time
+
+	// Admission control: sem holds one token per executing reasoning
+	// request (nil disables admission), queued counts waiters.
+	sem        chan struct{}
+	maxQueue   int64
+	queueWait  time.Duration
+	retryAfter time.Duration
+	maxBody    int64
+
+	queued   atomic.Int64
+	inflight atomic.Int64
 	requests atomic.Int64
 	timeouts atomic.Int64
+	panics   atomic.Int64
+	shed     atomic.Int64
 }
 
 // New builds a server for a validated dimension schema with default
-// configuration (shared cache, no request timeout).
+// configuration (shared cache, bounded admission, no request timeout).
 func New(ds *core.DimensionSchema, opts core.Options) (*Server, error) {
 	return NewWithConfig(ds, Config{Options: opts})
 }
@@ -73,28 +124,125 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 		opts.Cache = core.NewSatCache()
 	}
 	s := &Server{
-		ds:      ds,
-		opts:    opts,
-		cache:   opts.Cache,
-		mux:     http.NewServeMux(),
-		timeout: cfg.RequestTimeout,
-		started: time.Now(),
+		ds:         ds,
+		opts:       opts,
+		cache:      opts.Cache,
+		mux:        http.NewServeMux(),
+		timeout:    cfg.RequestTimeout,
+		started:    time.Now(),
+		queueWait:  cfg.QueueWait,
+		retryAfter: cfg.RetryAfter,
+		maxBody:    cfg.MaxBodyBytes,
 	}
+	if s.queueWait <= 0 {
+		s.queueWait = defaultQueueWait
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = defaultRetryAfter
+	}
+	if s.maxBody == 0 {
+		s.maxBody = defaultMaxBody
+	}
+	if cfg.MaxConcurrent >= 0 {
+		n := cfg.MaxConcurrent
+		if n == 0 {
+			n = 4 * runtime.GOMAXPROCS(0)
+		}
+		s.sem = make(chan struct{}, n)
+		switch {
+		case cfg.MaxQueue > 0:
+			s.maxQueue = int64(cfg.MaxQueue)
+		case cfg.MaxQueue == 0:
+			s.maxQueue = int64(2 * n)
+		default:
+			s.maxQueue = 0
+		}
+	}
+	// Reasoning endpoints run expensive DIMSAT searches and pass
+	// admission control; metadata and health endpoints never block.
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
-	s.mux.HandleFunc("GET /categories", s.handleCategories)
-	s.mux.HandleFunc("GET /sat", s.handleSat)
-	s.mux.HandleFunc("POST /implies", s.handleImplies)
-	s.mux.HandleFunc("POST /summarizable", s.handleSummarizable)
-	s.mux.HandleFunc("GET /frozen", s.handleFrozen)
-	s.mux.HandleFunc("GET /matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /categories", s.admit(s.handleCategories))
+	s.mux.HandleFunc("GET /sat", s.admit(s.handleSat))
+	s.mux.HandleFunc("POST /implies", s.admit(s.handleImplies))
+	s.mux.HandleFunc("POST /summarizable", s.admit(s.handleSummarizable))
+	s.mux.HandleFunc("GET /frozen", s.admit(s.handleFrozen))
+	s.mux.HandleFunc("GET /matrix", s.admit(s.handleMatrix))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is the outermost containment
+// boundary: a panic escaping any handler is recovered here, answered as a
+// structured 500, and counted, so one poisoned request can never take the
+// process down.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			log.Printf("server: contained panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			writeErr(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// admit gates h behind the concurrency semaphore: run immediately when a
+// slot is free, otherwise wait in the bounded queue up to queueWait, and
+// shed with 429 + Retry-After when the queue is full or the wait expires.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.sem == nil {
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			h(w, r)
+		}
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			if s.queued.Add(1) > s.maxQueue {
+				s.queued.Add(-1)
+				s.shedRequest(w)
+				return
+			}
+			t := time.NewTimer(s.queueWait)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+				s.queued.Add(-1)
+			case <-t.C:
+				s.queued.Add(-1)
+				s.shedRequest(w)
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				s.queued.Add(-1)
+				writeErr(w, http.StatusServiceUnavailable, "request canceled while queued")
+				return
+			}
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		h(w, r)
+	}
+}
+
+// shedRequest answers 429 with the configured Retry-After hint.
+func (s *Server) shedRequest(w http.ResponseWriter) {
+	s.shed.Add(1)
+	secs := int(s.retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	writeErr(w, http.StatusTooManyRequests, "server overloaded, retry after %ds", secs)
 }
 
 // requestContext derives the reasoning context for one request, applying
@@ -121,12 +269,38 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// decodeBody decodes a bounded JSON request body into v, answering 413
+// for oversized bodies and 400 for malformed JSON. Returns false when a
+// response was already written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
 // writeReasoningErr maps engine errors to HTTP statuses: deadline and
-// budget exhaustion are service-side limits (504/503), a canceled request
+// budget exhaustion are service-side limits (504/503), a contained panic
+// is a structured 500 (the process keeps serving), a canceled request
 // context means the client is gone, and anything else is a bad request
 // (unknown category, parse error).
 func (s *Server) writeReasoningErr(w http.ResponseWriter, err error) {
+	var ie *core.InternalError
 	switch {
+	case errors.As(err, &ie):
+		s.panics.Add(1)
+		log.Printf("server: contained reasoner panic: %v\n%s", ie.Value, ie.Stack)
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
 		writeErr(w, http.StatusGatewayTimeout, "reasoning timed out: %v", err)
@@ -143,6 +317,29 @@ func (s *Server) writeReasoningErr(w http.ResponseWriter, err error) {
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.ds.Format())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readyzResponse reports whether a new reasoning request would be
+// admitted right now.
+type readyzResponse struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"inFlight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{Status: "ready", InFlight: s.inflight.Load(), Queued: s.queued.Load()}
+	status := http.StatusOK
+	if s.sem != nil && len(s.sem) == cap(s.sem) && resp.Queued >= s.maxQueue {
+		resp.Status = "overloaded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 type categoryInfo struct {
@@ -215,8 +412,7 @@ type impliesResponse struct {
 
 func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 	var req impliesRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	alpha, err := parser.ParseConstraint(req.Constraint)
@@ -259,8 +455,7 @@ type bottomResult struct {
 
 func (s *Server) handleSummarizable(w http.ResponseWriter, r *http.Request) {
 	var req summarizableRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -305,28 +500,54 @@ func (s *Server) handleFrozen(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// matrixResponse reports each cell as "yes", "no" or "unknown". Unknown
+// cells are the partial-degradation contract: a cell whose DIMSAT search
+// exhausted the per-request budget or deadline is reported as undecided
+// instead of failing the whole matrix; Complete is false in that case and
+// clients may retry later for a full answer.
 type matrixResponse struct {
-	Categories []string                   `json:"categories"`
-	From       map[string]map[string]bool `json:"from"`
+	Categories []string                     `json:"categories"`
+	From       map[string]map[string]string `json:"from"`
+	Complete   bool                         `json:"complete"`
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	m, err := core.SummarizabilityMatrixContext(ctx, s.ds, s.opts)
+	m, err := core.SummarizabilityMatrixPartialContext(ctx, s.ds, s.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, matrixResponse{Categories: m.Categories, From: m.From})
+	resp := matrixResponse{Categories: m.Categories, From: map[string]map[string]string{}, Complete: m.Complete()}
+	for _, target := range m.Categories {
+		row := map[string]string{}
+		for _, src := range m.Categories {
+			switch {
+			case m.Unknown[target][src]:
+				row[src] = "unknown"
+			case m.From[target][src]:
+				row[src] = "yes"
+			default:
+				row[src] = "no"
+			}
+		}
+		resp.From[target] = row
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// statsResponse surfaces the server's cumulative reasoning effort and the
-// shared cache's effectiveness, for dashboards and capacity planning.
+// statsResponse surfaces the server's cumulative reasoning effort, the
+// shared cache's effectiveness, and the robustness counters (contained
+// panics, shed requests), for dashboards and capacity planning.
 type statsResponse struct {
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
 	Requests       int64   `json:"requests"`
 	Timeouts       int64   `json:"timeouts"`
+	Panics         int64   `json:"panics"`
+	Shed           int64   `json:"shed"`
+	InFlight       int64   `json:"inFlight"`
+	Queued         int64   `json:"queued"`
 	CacheHits      uint64  `json:"cacheHits"`
 	CacheMisses    uint64  `json:"cacheMisses"`
 	CacheHitRate   float64 `json:"cacheHitRate"`
@@ -335,6 +556,7 @@ type statsResponse struct {
 	Checks         int     `json:"checks"`
 	DeadEnds       int     `json:"deadEnds"`
 	RequestTimeout string  `json:"requestTimeout,omitempty"`
+	MaxConcurrent  int     `json:"maxConcurrent,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -343,6 +565,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.requests.Load(),
 		Timeouts:      s.timeouts.Load(),
+		Panics:        s.panics.Load(),
+		Shed:          s.shed.Load(),
+		InFlight:      s.inflight.Load(),
+		Queued:        s.queued.Load(),
 		CacheHits:     cs.Hits,
 		CacheMisses:   cs.Misses,
 		CacheHitRate:  cs.HitRate(),
@@ -353,6 +579,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.timeout > 0 {
 		resp.RequestTimeout = s.timeout.String()
+	}
+	if s.sem != nil {
+		resp.MaxConcurrent = cap(s.sem)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -65,10 +65,15 @@ func NullName(c, join string) string { return "null:" + c + ":" + join }
 // sound only for a restricted class of dimensions: when the input is
 // outside that class the padded instance violates (C1)-(C7) and the
 // violation is recorded in the report rather than silently ignored.
-// The input instance is not modified.
-func PadWithNulls(d *instance.Instance) (*instance.Instance, *PadReport) {
+// The input instance is not modified. The returned error reports an input
+// whose members cannot even be copied (a member filed under a category the
+// schema lacks); such instances are malformed before any padding starts.
+func PadWithNulls(d *instance.Instance) (*instance.Instance, *PadReport, error) {
 	g := d.Schema()
-	out := clone(d)
+	out, err := clone(d)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transform: pad: %w", err)
+	}
 	rep := &PadReport{NullMembers: map[string]int{}}
 
 	// ensureNull creates (once) the placeholder member of category c that
@@ -143,7 +148,7 @@ func PadWithNulls(d *instance.Instance) (*instance.Instance, *PadReport) {
 		}
 	}
 	rep.Violation = out.Validate()
-	return out, rep
+	return out, rep, nil
 }
 
 // isOnNullChainTarget reports whether a direct parent in category pc would
@@ -211,8 +216,10 @@ func shortestPath(g *schema.Schema, c, target string) []string {
 	return nil
 }
 
-// clone deep-copies a dimension instance.
-func clone(d *instance.Instance) *instance.Instance {
+// clone deep-copies a dimension instance. Copying a member or link of a
+// well-formed instance into a fresh instance over the same schema cannot
+// fail, so an error here means the input was malformed.
+func clone(d *instance.Instance) (*instance.Instance, error) {
 	out := instance.New(d.Schema())
 	for _, c := range d.Schema().Categories() {
 		if c == schema.All {
@@ -220,11 +227,11 @@ func clone(d *instance.Instance) *instance.Instance {
 		}
 		for _, x := range d.Members(c) {
 			if err := out.AddMember(c, x); err != nil {
-				panic(err)
+				return nil, err
 			}
 			if n := d.Name(x); n != x {
 				if err := out.SetName(x, n); err != nil {
-					panic(err)
+					return nil, err
 				}
 			}
 		}
@@ -232,11 +239,11 @@ func clone(d *instance.Instance) *instance.Instance {
 	for _, x := range d.AllMembers() {
 		for _, p := range d.Parents(x) {
 			if err := out.AddLink(x, p); err != nil {
-				panic(err)
+				return nil, err
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // bottomUpCategories orders categories children-first for acyclic schemas;

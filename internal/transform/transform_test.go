@@ -114,7 +114,10 @@ func TestFunctionalDeps(t *testing.T) {
 
 func TestPadWithNullsLocation(t *testing.T) {
 	d := paper.LocationInstance()
-	padded, rep := PadWithNulls(d)
+	padded, rep, err := PadWithNulls(d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.TotalNulls() == 0 {
 		t.Fatal("no null members inserted")
 	}
@@ -143,7 +146,10 @@ func TestPadWithNullsPreservesCountryTotals(t *testing.T) {
 	// to the same country totals when the padded instance is valid for
 	// the rollup in question.
 	d := paper.LocationInstance()
-	padded, _ := PadWithNulls(d)
+	padded, _, err := PadWithNulls(d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	F := locationFacts()
 	direct := olap.Compute(d, F, "Country", olap.Sum)
 	after := olap.Compute(padded, F, "Country", olap.Sum)
@@ -154,7 +160,10 @@ func TestPadWithNullsPreservesCountryTotals(t *testing.T) {
 
 func TestPadWithNullsMakesStateTotalForStores(t *testing.T) {
 	d := paper.LocationInstance()
-	padded, rep := PadWithNulls(d)
+	padded, rep, err := PadWithNulls(d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Violation != nil {
 		t.Logf("padding reported violation (restricted-class input): %v", rep.Violation)
 	}
@@ -168,7 +177,10 @@ func TestPadWithNullsMakesStateTotalForStores(t *testing.T) {
 
 func TestCloneFidelity(t *testing.T) {
 	d := paper.LocationInstance()
-	c := clone(d)
+	c, err := clone(d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.String() != d.String() {
 		t.Error("clone differs from original")
 	}

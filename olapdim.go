@@ -45,6 +45,18 @@
 // over a worker pool sized by Options.Parallelism, and a shared
 // Options.Cache memoizes satisfiability across calls and goroutines.
 //
+// # Robustness
+//
+// Every entry point contains panics: a panic anywhere in the search — a
+// worker-pool task, a cache compute, the facade itself — is recovered and
+// returned as an *InternalError matching ErrInternal, so a poisoned input
+// can never crash the caller. SummarizabilityMatrixPartialContext degrades
+// instead of failing: cells whose search exhausts the budget or deadline
+// are reported in Matrix.Unknown. For robustness tests, Options.Faults
+// accepts a deterministic fault injector (NewFaultInjector) that forces
+// errors, latency, or panics at the engine's instrumented sites. See
+// docs/OPERATIONS.md for the serving-tier failure model built on these.
+//
 // The subpackages under internal implement the full system: hierarchy
 // schemas, dimension instances with the (C1)-(C7) conditions, the
 // constraint language and parser, frozen dimensions, DIMSAT, an OLAP
@@ -58,6 +70,7 @@ import (
 
 	"olapdim/internal/constraint"
 	"olapdim/internal/core"
+	"olapdim/internal/faults"
 	"olapdim/internal/frozen"
 	"olapdim/internal/parser"
 	"olapdim/internal/schema"
@@ -94,6 +107,46 @@ func NewSatCache() *SatCache { return core.NewSatCache() }
 // ErrBudgetExceeded reports that a search hit its Options.MaxExpansions
 // budget; test with errors.Is.
 var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// ErrInternal is the sentinel matched by every InternalError: a panic
+// recovered inside the reasoner and converted to an error, so library
+// consumers never crash on a poisoned input. Test with errors.Is.
+var ErrInternal = core.ErrInternal
+
+// InternalError wraps a panic recovered at a containment boundary (a
+// worker-pool task, a cache compute, or a ...Context entry point),
+// carrying the panic value and the goroutine stack.
+type InternalError = core.InternalError
+
+// Fault injection (package internal/faults): seeded, deterministic
+// error/latency/panic injection at the reasoner's instrumented sites, for
+// robustness tests. Install an injector in Options.Faults.
+
+// FaultInjector evaluates fault rules at the instrumented sites; nil
+// injects nothing.
+type FaultInjector = faults.Injector
+
+// FaultRule arms one fault (error, latency or panic) at one site.
+type FaultRule = faults.Rule
+
+// Fault kinds and injection sites.
+const (
+	FaultError       = faults.Error
+	FaultLatency     = faults.Latency
+	FaultPanic       = faults.Panic
+	SiteCacheLookup  = faults.SiteCacheLookup
+	SitePoolTask     = faults.SitePoolTask
+	SiteDimsatExpand = faults.SiteExpand
+)
+
+// NewFaultInjector builds a deterministic fault injector (seed 1).
+func NewFaultInjector(rules ...FaultRule) *FaultInjector { return faults.New(rules...) }
+
+// NewSeededFaultInjector builds a fault injector whose probabilistic
+// rules draw from per-site generators derived from seed.
+func NewSeededFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return faults.NewSeeded(seed, rules...)
+}
 
 // SummarizabilityReport details a summarizability test per bottom
 // category.
@@ -204,6 +257,13 @@ func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
 // Options.Parallelism, and cancellation stops the fan-out.
 func SummarizabilityMatrixContext(ctx context.Context, ds *DimensionSchema, opts Options) (*Matrix, error) {
 	return core.SummarizabilityMatrixContext(ctx, ds, opts)
+}
+
+// SummarizabilityMatrixPartialContext is the overload-safe matrix: cells
+// whose search exhausts the Options budget or deadline are reported in
+// Matrix.Unknown instead of failing the whole computation.
+func SummarizabilityMatrixPartialContext(ctx context.Context, ds *DimensionSchema, opts Options) (*Matrix, error) {
+	return core.SummarizabilityMatrixPartialContext(ctx, ds, opts)
 }
 
 // MinimalSources enumerates every minimal source set (up to maxSize

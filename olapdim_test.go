@@ -158,3 +158,51 @@ constraint one(Item_Brand, Item_Kind)
 		t.Errorf("canceled selection: err = %v", err)
 	}
 }
+
+// TestRobustnessFacade exercises the fault-injection and containment
+// surface exported by the facade: injected panics come back as typed
+// ErrInternal errors, and the partial matrix reports budget-starved cells
+// as unknown instead of failing.
+func TestRobustnessFacade(t *testing.T) {
+	ds, err := olapdim.Parse(`
+schema shop
+edge Item -> Brand -> All
+edge Item -> Kind -> All
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	inj := olapdim.NewFaultInjector(olapdim.FaultRule{
+		Site: olapdim.SiteDimsatExpand, Kind: olapdim.FaultPanic, On: []int{1},
+	})
+	_, err = olapdim.SatisfiableContext(ctx, ds, "Item", olapdim.Options{Faults: inj})
+	if !errors.Is(err, olapdim.ErrInternal) {
+		t.Fatalf("injected panic: err = %v, want ErrInternal", err)
+	}
+	var ie *olapdim.InternalError
+	if !errors.As(err, &ie) || len(ie.Stack) == 0 {
+		t.Fatalf("err = %#v, want *InternalError with stack", err)
+	}
+	if inj.Fired(olapdim.SiteDimsatExpand) != 1 {
+		t.Errorf("fired = %d, want 1", inj.Fired(olapdim.SiteDimsatExpand))
+	}
+
+	m, err := olapdim.SummarizabilityMatrixPartialContext(ctx, ds, olapdim.Options{MaxExpansions: 1})
+	if err != nil {
+		t.Fatalf("partial matrix: %v", err)
+	}
+	if m.Complete() {
+		t.Error("budget-starved partial matrix reported complete")
+	}
+
+	errInj := olapdim.NewSeededFaultInjector(7, olapdim.FaultRule{
+		Site: olapdim.SiteCacheLookup, Kind: olapdim.FaultError,
+	})
+	_, err = olapdim.SatisfiableContext(ctx, ds, "Item",
+		olapdim.Options{Cache: olapdim.NewSatCache(), Faults: errInj})
+	if err == nil {
+		t.Error("injected cache error not surfaced")
+	}
+}
