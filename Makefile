@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz-smoke bench experiments clean
+.PHONY: build test check check-race race vet fuzz-smoke bench experiments clean
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-race:
+# check-race runs the full suite under the race detector; the concurrency
+# surfaces (SatCache singleflight, the matrix worker pool, dimsatd
+# admission control, the durable job store's workers) are only
+# meaningfully tested with -race on.
+check-race:
 	$(GO) test -race ./...
 
+race: check-race
+
 # fuzz-smoke gives each fuzz target a short budget — enough to shake out
-# regressions at the parse boundaries (constraint/schema text, instance
-# and cube documents) without turning check into a long fuzzing session.
-# go test accepts one -fuzz target per invocation, hence the four runs.
+# regressions at the decode boundaries (constraint/schema text, instance
+# and cube documents, search checkpoints, job-store snapshot files)
+# without turning check into a long fuzzing session. go test accepts one
+# -fuzz target per invocation, hence one run per target.
 FUZZTIME ?= 10s
 
 fuzz-smoke:
@@ -25,12 +32,12 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseSchema -fuzztime $(FUZZTIME) ./internal/parser
 	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz=FuzzDecodeCube -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime $(FUZZTIME) ./internal/jobs
 
 # check is the pre-merge gate: static analysis, the full test suite under
-# the race detector (the concurrency surfaces — SatCache, the matrix
-# worker pool, dimsatd admission control — are only meaningfully tested
-# with -race on), and a fuzzing smoke pass over the parse boundaries.
-check: vet race fuzz-smoke
+# the race detector, and a fuzzing smoke pass over the decode boundaries.
+check: vet check-race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -14,7 +14,15 @@
 // /stats); and SIGINT/SIGTERM drain in-flight requests before exit. See
 // docs/OPERATIONS.md for the failure model and client retry contract.
 //
+// With -jobs-dir set, the daemon also serves durable asynchronous jobs
+// (POST /jobs): long searches checkpoint their position to disk every
+// -checkpoint-every EXPAND steps, interrupted jobs are re-enqueued and
+// resumed on the next boot, and job workers share the -max-concurrent
+// admission cap with interactive requests. See docs/OPERATIONS.md for
+// the job lifecycle and recovery semantics.
+//
 //	dimsatd -addr :8080 -timeout 10s -budget 1000000 -max-concurrent 32 schema.dims
+//	dimsatd -addr :8080 -jobs-dir /var/lib/dimsatd/jobs schema.dims
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"olapdim/internal/core"
+	"olapdim/internal/jobs"
 	"olapdim/internal/server"
 )
 
@@ -45,6 +54,9 @@ func main() {
 	queueWait := flag.Duration("queue-wait", time.Second, "max time a queued request waits before shedding with 429")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 	maxBody := flag.Int64("max-body", 1<<20, "max POST body bytes (-1 = unlimited)")
+	jobsDir := flag.String("jobs-dir", "", "directory for durable async jobs (empty disables /jobs)")
+	checkpointEvery := flag.Int("checkpoint-every", 1000, "EXPAND steps between durable job checkpoints (-1 disables)")
+	jobBudget := flag.Int("job-budget", 0, "max cumulative DIMSAT expansions per job across resumes (0 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dimsatd [flags] <schema.dims>")
 		flag.PrintDefaults()
@@ -62,6 +74,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The job store opens (and recovers interrupted jobs) before the
+	// server is built, so the server can install its admission semaphore
+	// as the store's Acquire hook; workers only start once Start runs,
+	// after the wiring is complete.
+	var store *jobs.Store
+	if *jobsDir != "" {
+		store, err = jobs.Open(jobs.Config{
+			Dir:             *jobsDir,
+			Schema:          ds,
+			Options:         core.Options{MaxExpansions: *jobBudget},
+			CheckpointEvery: *checkpointEvery,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c := store.Counters(); c.Recovered > 0 || c.CorruptRejected > 0 {
+			log.Printf("dimsatd: job recovery: %d interrupted jobs re-enqueued, %d corrupt files quarantined",
+				c.Recovered, c.CorruptRejected)
+		}
+	}
 	handler, err := server.NewWithConfig(ds, server.Config{
 		Options: core.Options{
 			MaxExpansions: *budget,
@@ -74,9 +107,13 @@ func main() {
 		QueueWait:      *queueWait,
 		RetryAfter:     *retryAfter,
 		MaxBodyBytes:   *maxBody,
+		Jobs:           store,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if store != nil {
+		store.Start()
 	}
 
 	// The write timeout must outlast the reasoning timeout or slow
@@ -115,6 +152,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("dimsatd: shutdown: %v", err)
+	}
+	if store != nil {
+		// Suspend running jobs: each persists its latest checkpoint and
+		// stays non-terminal, so the next boot resumes it.
+		store.Close()
 	}
 	log.Printf("dimsatd: bye")
 }

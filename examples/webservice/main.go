@@ -12,6 +12,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
@@ -144,6 +145,19 @@ func overloadDemo() {
 	<-slow
 }
 
+// retryJitter spreads a retry wait over [wait, wait*1.5) with a
+// deterministic fraction derived from the request URL and attempt
+// number: clients shed together do not retry in lockstep (no thundering
+// herd on the Retry-After boundary), yet every run of this example
+// replays the identical schedule — the same reproducibility-first stance
+// as the seeded fault injector.
+func retryJitter(wait time.Duration, url string, attempt int) time.Duration {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s#%d", url, attempt)
+	frac := float64(h.Sum32()%1000) / 1000 // [0, 1)
+	return wait + time.Duration(frac*float64(wait)/2)
+}
+
 // getJSONRetry is getJSON with the retry contract of docs/OPERATIONS.md:
 // on 429 it waits the server's Retry-After hint (falling back to an
 // exponential backoff when the header is absent) and tries again, up to
@@ -160,6 +174,7 @@ func getJSONRetry(url string, out any, maxAttempts int) error {
 			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 				wait = time.Duration(secs) * time.Second
 			}
+			wait = retryJitter(wait, url, attempt)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if attempt >= maxAttempts {

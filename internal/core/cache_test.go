@@ -3,8 +3,12 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
+
+	"olapdim/internal/faults"
 )
 
 func TestSatCacheAgreesWithUncached(t *testing.T) {
@@ -178,5 +182,73 @@ func TestLintParallelMatchesSerial(t *testing.T) {
 	}
 	if serial.String() != parallel.String() {
 		t.Errorf("lint reports differ:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestSatCacheWaiterCancellationNoLeak pins the waiter half of the
+// singleflight contract: a waiter whose own context is cancelled while
+// another goroutine holds the compute must return its ctx.Err promptly —
+// not block until the compute finishes — and the episode must leak no
+// goroutines.
+func TestSatCacheWaiterCancellationNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	ds := parse(t, hardUnsatSrc(3, 2))
+	cache := NewSatCache()
+	// The computing call crawls: 5ms of injected latency per EXPAND step
+	// keeps it busy for several seconds unless cancelled.
+	slow := Options{
+		Cache: cache,
+		Faults: faults.New(faults.Rule{
+			Site: faults.SiteExpand, Kind: faults.Latency, Every: 1, Delay: 5 * time.Millisecond,
+		}),
+	}
+	computeCtx, stopCompute := context.WithCancel(context.Background())
+	computing := make(chan struct{})
+	computeDone := make(chan error, 1)
+	go func() {
+		close(computing)
+		_, err := SatisfiableContext(computeCtx, ds, "C0", slow)
+		computeDone <- err
+	}()
+	<-computing
+	// Give the computing goroutine time to install the singleflight
+	// entry, so the waiter below really waits rather than computing.
+	for i := 0; i < 100 && cache.Stats().Entries == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if cache.Stats().Entries == 0 {
+		t.Fatal("compute never installed its cache entry")
+	}
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := SatisfiableContext(waiterCtx, ds, "C0", Options{Cache: cache})
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block on the entry
+	cancelWaiter()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return promptly")
+	}
+
+	stopCompute()
+	if err := <-computeDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("compute returned %v, want context.Canceled", err)
+	}
+
+	// Zero goroutine leaks once both calls have unwound.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d at start, %d after settling", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"olapdim/internal/faults"
+)
+
+// resultsEqual compares the externally visible outcome of two runs,
+// including Stats: the suspend/resume contract is that a resumed search
+// finishes with exactly what the uninterrupted run returns.
+func resultsEqual(a, b Result) bool {
+	if a.Satisfiable != b.Satisfiable || a.Stats != b.Stats {
+		return false
+	}
+	aw, bw := "", ""
+	if a.Witness != nil {
+		aw = a.Witness.String()
+	}
+	if b.Witness != nil {
+		bw = b.Witness.String()
+	}
+	return aw == bw
+}
+
+func TestBudgetAbortCapturesResumableCheckpoint(t *testing.T) {
+	ds := hardSchema(t)
+	res, err := SatisfiableContext(context.Background(), ds, "C0",
+		Options{MaxExpansions: 25, Checkpoint: &Checkpointing{}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	cp := res.Checkpoint
+	if cp == nil {
+		t.Fatal("budget abort with Options.Checkpoint installed captured no checkpoint")
+	}
+	if cp.Stats != res.Stats {
+		t.Errorf("checkpoint stats %+v != result stats %+v", cp.Stats, res.Stats)
+	}
+	if cp.Root != "C0" || cp.Version != CheckpointVersion || !cp.IntoPruning || !cp.StructurePruning {
+		t.Errorf("checkpoint pins wrong: %+v", cp)
+	}
+	// Without Options.Checkpoint the abort stays a plain typed error.
+	res2, err := SatisfiableContext(context.Background(), ds, "C0", Options{MaxExpansions: 25})
+	if !errors.Is(err, ErrBudgetExceeded) || res2.Checkpoint != nil {
+		t.Errorf("uncheckpointed abort: err=%v checkpoint=%v, want error with nil checkpoint", err, res2.Checkpoint)
+	}
+}
+
+func TestResumeAfterBudgetCompletesIdentically(t *testing.T) {
+	ds := hardSchema(t)
+	want, err := Satisfiable(ds, "C0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SatisfiableContext(context.Background(), ds, "C0",
+		Options{MaxExpansions: 25, Checkpoint: &Checkpointing{}})
+	if !errors.Is(err, ErrBudgetExceeded) || res.Checkpoint == nil {
+		t.Fatalf("suspend failed: err=%v cp=%v", err, res.Checkpoint)
+	}
+	got, err := ResumeSatisfiableContext(context.Background(), ds, res.Checkpoint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, want) {
+		t.Errorf("resumed run differs from uninterrupted run:\n  resumed %+v\n  want    %+v", got, want)
+	}
+}
+
+// TestRepeatedSuspendResume drives the search through many small budget
+// increments — suspend, resume, suspend, resume — and checks that Stats
+// grow monotonically and the final Result is identical to one big run.
+func TestRepeatedSuspendResume(t *testing.T) {
+	ds := hardSchema(t)
+	want, err := Satisfiable(ds, "C0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const step = 100
+	budget := step
+	res, err := SatisfiableContext(context.Background(), ds, "C0",
+		Options{MaxExpansions: budget, Checkpoint: &Checkpointing{}})
+	prev := Stats{}
+	attempts := 1
+	for err != nil {
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("attempt %d: err = %v, want ErrBudgetExceeded", attempts, err)
+		}
+		if res.Checkpoint == nil {
+			t.Fatalf("attempt %d aborted without checkpoint", attempts)
+		}
+		st := res.Checkpoint.Stats
+		if st.Expansions < prev.Expansions || st.Checks < prev.Checks || st.DeadEnds < prev.DeadEnds {
+			t.Fatalf("stats regressed across resume: %+v -> %+v", prev, st)
+		}
+		prev = st
+		// MaxExpansions bounds cumulative work, so each resume needs a
+		// higher ceiling to make progress.
+		budget += step
+		attempts++
+		if attempts > 100 {
+			t.Fatal("search did not converge in 100 resume attempts")
+		}
+		res, err = ResumeSatisfiableContext(context.Background(), ds, res.Checkpoint,
+			Options{MaxExpansions: budget, Checkpoint: &Checkpointing{}})
+	}
+	if attempts < 3 {
+		t.Fatalf("hard schema finished in %d attempts; budget step too large to exercise resume", attempts)
+	}
+	if !resultsEqual(res, want) {
+		t.Errorf("after %d suspend/resume cycles result differs:\n  got  %+v\n  want %+v", attempts, res, want)
+	}
+}
+
+// TestResumeFindsSameWitness suspends a satisfiable search before it finds
+// its witness and checks the resumed run returns the same witness as the
+// uninterrupted run.
+func TestResumeFindsSameWitness(t *testing.T) {
+	// The hard layered schema without the contradiction: satisfiable, but
+	// with a constraint so the first witness is not the first check.
+	src := strings.Replace(hardUnsatSrc(3, 2), "constraint C0_L0x0 & !C0_L0x0", "constraint !C0_L0x0", 1)
+	ds := parse(t, src)
+	want, err := Satisfiable(ds, "C0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Satisfiable || want.Witness == nil {
+		t.Fatalf("schema should be satisfiable with a witness, got %+v", want)
+	}
+	res, err := SatisfiableContext(context.Background(), ds, "C0",
+		Options{MaxExpansions: 2, Checkpoint: &Checkpointing{}})
+	if !errors.Is(err, ErrBudgetExceeded) || res.Checkpoint == nil {
+		t.Fatalf("suspend failed: err=%v cp=%v", err, res.Checkpoint)
+	}
+	got, err := ResumeSatisfiableContext(context.Background(), ds, res.Checkpoint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, want) {
+		t.Errorf("resumed witness differs:\n  got  %+v / %v\n  want %+v / %v", got, got.Witness, want, want.Witness)
+	}
+}
+
+func TestCancellationAbortCapturesCheckpoint(t *testing.T) {
+	ds := hardSchema(t)
+	want, err := Satisfiable(ds, "C0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := &cancelAfterTracer{n: 40, cancel: cancel}
+	res, err := SatisfiableContext(ctx, ds, "C0", Options{Tracer: tr, Checkpoint: &Checkpointing{}})
+	if !errors.Is(err, context.Canceled) || res.Checkpoint == nil {
+		t.Fatalf("cancel abort: err=%v cp=%v, want Canceled with checkpoint", err, res.Checkpoint)
+	}
+	got, err := ResumeSatisfiableContext(context.Background(), ds, res.Checkpoint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, want) {
+		t.Errorf("resume after cancellation differs: got %+v want %+v", got, want)
+	}
+}
+
+// TestPeriodicSinkAndCrashResume is the core-level crash story: checkpoints
+// stream to a sink every expansion, the worker is killed mid-search by an
+// injected panic (no final capture possible), and the run resumed from the
+// last sunk checkpoint finishes identically to an uninterrupted run.
+func TestPeriodicSinkAndCrashResume(t *testing.T) {
+	ds := hardSchema(t)
+	want, err := Satisfiable(ds, "C0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sunk []*Checkpoint
+	opts := Options{
+		Checkpoint: &Checkpointing{Every: 1, Sink: func(cp *Checkpoint) error {
+			sunk = append(sunk, cp)
+			return nil
+		}},
+		Faults: faults.New(faults.Rule{Site: faults.SiteExpand, Kind: faults.Panic, On: []int{301}}),
+	}
+	_, err = SatisfiableContext(context.Background(), ds, "C0", opts)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want contained injected panic (ErrInternal)", err)
+	}
+	if len(sunk) == 0 {
+		t.Fatal("no checkpoints reached the sink before the crash")
+	}
+	for i := 1; i < len(sunk); i++ {
+		a, b := sunk[i-1].Stats, sunk[i].Stats
+		if b.Expansions < a.Expansions || b.Checks < a.Checks || b.DeadEnds < a.DeadEnds {
+			t.Fatalf("sink stats regressed: %+v -> %+v", a, b)
+		}
+	}
+	last := sunk[len(sunk)-1]
+	// Round-trip through the wire format, as a durable store would.
+	data, err := last.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResumeSatisfiableContext(context.Background(), ds, cp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, want) {
+		t.Errorf("resume after crash differs:\n  got  %+v\n  want %+v", got, want)
+	}
+}
+
+func TestSinkFailureAbortsSearch(t *testing.T) {
+	ds := hardSchema(t)
+	boom := errors.New("disk full")
+	res, err := SatisfiableContext(context.Background(), ds, "C0",
+		Options{Checkpoint: &Checkpointing{Every: 10, Sink: func(*Checkpoint) error { return boom }}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+	if res.Checkpoint == nil {
+		t.Error("sink failure should still surface the unsaved checkpoint")
+	}
+}
+
+func TestResumeRejectsMismatch(t *testing.T) {
+	ds := hardSchema(t)
+	res, err := SatisfiableContext(context.Background(), ds, "C0",
+		Options{MaxExpansions: 25, Checkpoint: &Checkpointing{}})
+	if !errors.Is(err, ErrBudgetExceeded) || res.Checkpoint == nil {
+		t.Fatalf("suspend failed: err=%v", err)
+	}
+	cp := res.Checkpoint
+
+	other := parse(t, diamondSrc)
+	if _, err := ResumeSatisfiable(other, cp, Options{}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume against wrong schema: err = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := ResumeSatisfiable(ds, cp, Options{DisableIntoPruning: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume with different pruning: err = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := ResumeSatisfiable(ds, nil, Options{}); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("resume with nil checkpoint: err = %v, want ErrBadCheckpoint", err)
+	}
+
+	// A tampered decision stack with an honest fingerprint must be refused
+	// with a typed error, never replayed into a wrong verdict.
+	bad := *cp
+	bad.Path = append(append([]uint64(nil), cp.Path...), 1<<40)
+	if _, err := ResumeSatisfiable(ds, &bad, Options{}); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("resume with tampered path: err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not json":      "hello",
+		"wrong version": `{"version":99,"schema":"ab","root":"C0","intoPruning":true,"structurePruning":true,"next":0,"stats":{}}`,
+		"missing root":  `{"version":1,"schema":"ab","intoPruning":true,"structurePruning":true,"next":0,"stats":{}}`,
+		"unknown field": `{"version":1,"schema":"ab","root":"C0","intoPruning":true,"structurePruning":true,"next":0,"stats":{},"extra":1}`,
+		"trailing":      `{"version":1,"schema":"ab","root":"C0","intoPruning":true,"structurePruning":true,"next":0,"stats":{}} {}`,
+	}
+	for name, src := range cases {
+		if _, err := DecodeCheckpoint([]byte(src)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrBadCheckpoint", name, err)
+		}
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Schema: "abc123", Root: "C0",
+		IntoPruning: true, StructurePruning: true,
+		Path: []uint64{3, 0, 7}, Next: 2,
+		Stats: Stats{Expansions: 10, Checks: 4, DeadEnds: 1},
+	}
+	data, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", cp) {
+		t.Errorf("round trip: got %+v, want %+v", got, cp)
+	}
+}
+
+// FuzzDecodeCheckpoint hardens the checkpoint wire boundary: arbitrary
+// bytes must never panic the decoder, and anything it accepts must
+// re-encode and re-decode to the same value.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	seed := &Checkpoint{Version: CheckpointVersion, Schema: "ab", Root: "C0",
+		IntoPruning: true, StructurePruning: true, Path: []uint64{1, 2}, Next: 3}
+	data, _ := seed.Encode()
+	f.Add(data)
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		enc, err := cp.Encode()
+		if err != nil {
+			t.Fatalf("accepted checkpoint failed to encode: %v", err)
+		}
+		cp2, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fmt.Sprintf("%+v", cp) != fmt.Sprintf("%+v", cp2) {
+			t.Fatalf("round trip changed value: %+v vs %+v", cp, cp2)
+		}
+	})
+}

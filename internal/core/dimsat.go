@@ -61,6 +61,12 @@ type Options struct {
 	// worker-pool task, and each EXPAND step. Nil in production; tests
 	// use it to force exact failure schedules.
 	Faults *faults.Injector
+	// Checkpoint, when non-nil, makes the DIMSAT search durable: its Sink
+	// receives a snapshot of the search position every Every EXPAND steps,
+	// and a run aborted by cancellation, deadline, budget, or an injected
+	// fault error captures its final position in Result.Checkpoint so the
+	// caller can continue it later with ResumeSatisfiableContext.
+	Checkpoint *Checkpointing
 }
 
 // Tracer observes a DIMSAT execution; used to reproduce the Figure 7 trace
@@ -100,6 +106,12 @@ type Result struct {
 	Witness *frozen.Frozen
 	// Stats describes the search effort.
 	Stats Stats
+	// Checkpoint, when non-nil, is the resumable position at which the run
+	// aborted. It is captured only when Options.Checkpoint is installed and
+	// the abort was orderly (context cancellation, deadline, budget, or an
+	// injected fault error — not a panic); pass it to
+	// ResumeSatisfiableContext to continue the search.
+	Checkpoint *Checkpoint
 }
 
 // Satisfiable decides category satisfiability with the DIMSAT algorithm
@@ -150,7 +162,7 @@ func runSatisfiable(ctx context.Context, ds *DimensionSchema, c string, opts Opt
 	s.walk(frozen.NewSubhierarchy(c), s.check)
 	res := Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}
 	if s.err != nil {
-		return Result{Stats: s.stats}, s.err
+		return Result{Stats: s.stats, Checkpoint: s.cp}, s.err
 	}
 	return res, nil
 }
@@ -228,6 +240,17 @@ type search struct {
 	// err records why the search aborted early (context cancellation or
 	// budget exhaustion); nil for completed searches.
 	err error
+	// path is the decision stack: the subset mask of every EXPAND frame
+	// currently on the stack, outermost first. Maintained only so abort
+	// and periodic checkpoints can snapshot the position; push/pop is a
+	// slice append either way, cheap enough to keep unconditional.
+	path []uint64
+	// cp is the final position captured when the search aborts resumably;
+	// surfaced as Result.Checkpoint.
+	cp *Checkpoint
+	// fp memoizes the schema fingerprint for snapshots (checkpointing runs
+	// only; hashing the schema per checkpoint would dominate small Everys).
+	fp string
 }
 
 func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Options) *search {
@@ -242,29 +265,76 @@ func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Optio
 	if !opts.DisableIntoPruning {
 		s.into = intoEdgesIn(ds)
 	}
+	if opts.Checkpoint != nil {
+		s.fp = schemaFingerprint(ds)
+	}
 	return s
+}
+
+// snapshot captures the current search position: the decision stack plus
+// the next mask to try in the innermost frame.
+func (s *search) snapshot(next uint64) *Checkpoint {
+	return &Checkpoint{
+		Version:          CheckpointVersion,
+		Schema:           s.fp,
+		Root:             s.root,
+		IntoPruning:      !s.opts.DisableIntoPruning,
+		StructurePruning: !s.opts.DisableStructurePruning,
+		Path:             append([]uint64(nil), s.path...),
+		Next:             next,
+		Stats:            s.stats,
+	}
+}
+
+// abort records why the search stopped and, when checkpointing is
+// installed, the resumable position it stopped at.
+func (s *search) abort(err error, next uint64) {
+	s.err = err
+	if s.opts.Checkpoint != nil {
+		s.cp = s.snapshot(next)
+	}
+}
+
+// maybeCheckpoint feeds the periodic sink; called right after an EXPAND
+// step is counted, when the position is (s.path, next mask 0). A sink
+// failure aborts the search — durable progress that cannot be persisted is
+// not progress — with the unsaved snapshot in Result.Checkpoint.
+func (s *search) maybeCheckpoint() bool {
+	ck := s.opts.Checkpoint
+	if ck == nil || ck.Sink == nil || ck.Every <= 0 || s.stats.Expansions%ck.Every != 0 {
+		return true
+	}
+	cp := s.snapshot(0)
+	if err := ck.Sink(cp); err != nil {
+		s.err = fmt.Errorf("core: checkpoint sink: %w", err)
+		s.cp = cp
+		return false
+	}
+	return true
 }
 
 // overBudget consults the fault injector, the context and the expansion
 // budget; it is called before every EXPAND step so an abort takes effect
-// within one step. The abort reason is recorded in s.err and the whole
-// search unwinds. The injector runs first: an injected latency stalls the
-// step and the context check below then observes a passed deadline, which
-// is exactly the "search stalls" scenario robustness tests force.
-func (s *search) overBudget() bool {
+// within one step. next is the mask the caller was about to try, completing
+// the checkpointable position. The abort reason is recorded in s.err and
+// the whole search unwinds. The injector runs first: an injected latency
+// stalls the step and the context check below then observes a passed
+// deadline, which is exactly the "search stalls" scenario robustness tests
+// force.
+func (s *search) overBudget(next uint64) bool {
 	if s.err != nil {
 		return true
 	}
 	if err := s.opts.Faults.Hit(faults.SiteExpand); err != nil {
-		s.err = err
+		s.abort(err, next)
 		return true
 	}
 	if err := s.ctx.Err(); err != nil {
-		s.err = err
+		s.abort(err, next)
 		return true
 	}
 	if s.opts.MaxExpansions > 0 && s.stats.Expansions >= s.opts.MaxExpansions {
-		s.err = fmt.Errorf("%w after %d expansions", ErrBudgetExceeded, s.stats.Expansions)
+		s.abort(fmt.Errorf("%w after %d expansions", ErrBudgetExceeded, s.stats.Expansions), next)
 		return true
 	}
 	return false
@@ -303,11 +373,39 @@ func tops(g *frozen.Subhierarchy) []string {
 // false to abort the whole search. The subhierarchy passed to onComplete
 // is reused across calls; callers that retain it must Clone it.
 func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarchy) bool) bool {
-	if s.overBudget() {
+	return s.walkFrom(g, onComplete, nil, 0)
+}
+
+// failResume aborts the search because a checkpoint's decision stack does
+// not replay against this schema: a mask that is out of range, lands on a
+// pruned or empty subset, or descends past a complete subhierarchy. The
+// fingerprint pin makes this unreachable for honest checkpoints; it guards
+// against storage corruption below the checksum layer.
+func (s *search) failResume(format string, args ...any) bool {
+	s.err = fmt.Errorf("%w: %s", ErrBadCheckpoint, fmt.Sprintf(format, args...))
+	return false
+}
+
+// walkFrom is walk with a resume position. replay holds the masks of the
+// expansions between here and the suspended frame, outermost first: each is
+// re-applied silently (edges added, no stats, no tracer, no checkpoints)
+// before the enumeration continues past it. next is the first mask to try
+// in the frame below the last replayed expansion. A fresh walk passes
+// (nil, 0) and behaves exactly as before.
+func (s *search) walkFrom(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarchy) bool, replay []uint64, next uint64) bool {
+	replaying := len(replay) > 0
+	start := next
+	if replaying {
+		start = replay[0]
+	}
+	if s.overBudget(start) {
 		return false
 	}
 	t := tops(g)
 	if len(t) == 1 && t[0] == schema.All {
+		if replaying {
+			return s.failResume("path descends past a complete subhierarchy")
+		}
 		return onComplete(g)
 	}
 	// Choose the lexicographically first unexpanded category (not All) so
@@ -323,6 +421,9 @@ func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarc
 		// Every category has out-edges but All is absent: only reachable
 		// with structure pruning disabled, when a cycle swallowed the
 		// frontier. Dead end.
+		if replaying {
+			return s.failResume("path descends into a cyclic dead end")
+		}
 		s.stats.DeadEnds++
 		return true
 	}
@@ -361,6 +462,9 @@ func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarc
 	// Line (15) of Figure 6: a forced edge that was pruned, or no legal
 	// parents at all, is a dead end.
 	if len(candidates) == 0 || !containsAll(candidates, into) {
+		if replaying {
+			return s.failResume("path descends into a dead end at %s", ctop)
+		}
 		s.stats.DeadEnds++
 		return true
 	}
@@ -378,8 +482,15 @@ func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarc
 	// (walk returning false) skips the revert, which is safe because the
 	// whole search unwinds immediately and any retained witness is cloned.
 	n := len(free)
+	limit := uint64(1) << uint(n)
+	if start >= limit && start > 0 {
+		return s.failResume("mask %d out of range at %s (%d free candidates)", start, ctop, n)
+	}
 	newCat := make([]bool, 0, len(into)+n)
-	for mask := 0; mask < 1<<uint(n); mask++ {
+	for mask := start; mask < limit; mask++ {
+		// The first iteration of a resumed frame replays the recorded
+		// decision silently; every later mask is explored normally.
+		silent := replaying && mask == start
 		R := append([]string(nil), into...)
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {
@@ -387,26 +498,43 @@ func (s *search) walk(g *frozen.Subhierarchy, onComplete func(*frozen.Subhierarc
 			}
 		}
 		if len(R) == 0 {
+			if silent {
+				return s.failResume("path records an empty expansion at %s", ctop)
+			}
 			continue
 		}
 		if reachableOf != nil && conflictingPair(R, reachableOf) {
+			if silent {
+				return s.failResume("path records a pruned expansion at %s", ctop)
+			}
 			s.stats.DeadEnds++
 			continue
 		}
-		if s.overBudget() {
+		if !silent && s.overBudget(mask) {
 			return false
 		}
 		newCat = newCat[:0]
 		for _, p := range R {
 			newCat = append(newCat, g.AddEdgeUndoable(ctop, p))
 		}
-		s.stats.Expansions++
-		if s.opts.Tracer != nil {
-			s.opts.Tracer.Expand(g, ctop, R)
+		s.path = append(s.path, mask)
+		if silent {
+			if !s.walkFrom(g, onComplete, replay[1:], next) {
+				return false
+			}
+		} else {
+			s.stats.Expansions++
+			if s.opts.Tracer != nil {
+				s.opts.Tracer.Expand(g, ctop, R)
+			}
+			if !s.maybeCheckpoint() {
+				return false
+			}
+			if !s.walkFrom(g, onComplete, nil, 0) {
+				return false
+			}
 		}
-		if !s.walk(g, onComplete) {
-			return false
-		}
+		s.path = s.path[:len(s.path)-1]
 		for i := len(R) - 1; i >= 0; i-- {
 			g.RemoveEdge(ctop, R[i], newCat[i])
 		}

@@ -27,26 +27,43 @@ func Implies(ds *DimensionSchema, alpha constraint.Expr, opts Options) (bool, Re
 // Result.
 func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha constraint.Expr, opts Options) (_ bool, _ Result, err error) {
 	defer recoverAsInternal(&err)
-	if err := constraint.Validate(alpha, ds.G); err != nil {
-		return false, Result{}, err
-	}
-	root, err := constraint.Root(alpha)
+	neg, root, verdict, decided, err := ImpliesReduction(ds, alpha)
 	if err != nil {
 		return false, Result{}, err
 	}
-	if root == "" {
-		v := constraint.Eval(alpha, nil)
-		return v, Result{}, nil
-	}
-	neg := &DimensionSchema{
-		G:     ds.G,
-		Sigma: append(append([]constraint.Expr(nil), ds.Sigma...), constraint.Not{X: alpha}),
+	if decided {
+		return verdict, Result{}, nil
 	}
 	res, err := SatisfiableContext(ctx, neg, root, opts)
 	if err != nil {
 		return false, res, err
 	}
 	return !res.Satisfiable, res, nil
+}
+
+// ImpliesReduction builds the Theorem 2 reduction for ds ⊨ alpha without
+// running the search: alpha is implied iff root is unsatisfiable in neg =
+// (G, Σ ∪ {¬alpha}). Constraints with no atoms are propositional constants
+// and come back decided (decided true, verdict the truth value) with no
+// search to run. The reduction is deterministic, so callers that suspend
+// the satisfiability run on neg (checkpointed jobs) can rebuild the same
+// neg schema — same fingerprint — and resume against it.
+func ImpliesReduction(ds *DimensionSchema, alpha constraint.Expr) (neg *DimensionSchema, root string, verdict, decided bool, err error) {
+	if err := constraint.Validate(alpha, ds.G); err != nil {
+		return nil, "", false, false, err
+	}
+	root, err = constraint.Root(alpha)
+	if err != nil {
+		return nil, "", false, false, err
+	}
+	if root == "" {
+		return nil, "", constraint.Eval(alpha, nil), true, nil
+	}
+	neg = &DimensionSchema{
+		G:     ds.G,
+		Sigma: append(append([]constraint.Expr(nil), ds.Sigma...), constraint.Not{X: alpha}),
+	}
+	return neg, root, false, false, nil
 }
 
 // SummarizabilityReport details a schema-level summarizability test: one

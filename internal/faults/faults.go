@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Injection sites instrumented by package core. Owned here so tests and
-// instrumentation agree on the spelling.
+// Injection sites instrumented by packages core and jobs. Owned here so
+// tests and instrumentation agree on the spelling.
 const (
 	// SiteCacheLookup fires when a DIMSAT call consults the shared
 	// SatCache (before the lookup), simulating a failing cache tier.
@@ -31,11 +33,52 @@ const (
 	SitePoolTask = "pool.task"
 	// SiteExpand fires before each EXPAND step of a DIMSAT search.
 	SiteExpand = "dimsat.expand"
+	// SiteJobPersist fires before each durable write the job store makes
+	// (job records and search checkpoints), simulating a failing disk.
+	SiteJobPersist = "jobs.persist"
 )
+
+// knownSites is the registry Check validates rule plans against: a plan
+// naming a site nothing instruments would otherwise arm a fault that never
+// fires, and the test relying on it would silently pass.
+var knownSites = map[string]bool{
+	SiteCacheLookup: true,
+	SitePoolTask:    true,
+	SiteExpand:      true,
+	SiteJobPersist:  true,
+}
+
+// KnownSites returns the registered injection sites, sorted.
+func KnownSites() []string {
+	out := make([]string, 0, len(knownSites))
+	for s := range knownSites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // ErrInjected is the default error returned by an Error rule with no
 // explicit Err. Test with errors.Is.
 var ErrInjected = errors.New("faults: injected error")
+
+// ErrUnknownSite reports a rule plan naming an injection site no
+// instrumented package owns. Test with errors.Is.
+var ErrUnknownSite = errors.New("faults: unknown injection site")
+
+// Check validates a rule plan before installation: every rule must name a
+// registered injection site. It returns an error wrapping ErrUnknownSite
+// for the first offending rule, so a typo in a fault plan fails loudly
+// instead of arming a fault that never fires.
+func Check(rules ...Rule) error {
+	for i, r := range rules {
+		if !knownSites[r.Site] {
+			return fmt.Errorf("%w: rule %d names %q (known sites: %s)",
+				ErrUnknownSite, i, r.Site, strings.Join(KnownSites(), ", "))
+		}
+	}
+	return nil
+}
 
 // Kind classifies what a matching rule injects.
 type Kind int
@@ -131,15 +174,32 @@ func New(rules ...Rule) *Injector { return NewSeeded(1, rules...) }
 
 // NewSeeded builds an injector whose Prob rules draw from per-site
 // generators derived from seed, so probabilistic schedules are
-// reproducible and independent across sites.
+// reproducible and independent across sites. It panics if a rule names an
+// unknown injection site (use NewValidated to get the error instead):
+// these constructors are called from test and harness setup, where an
+// armed-but-unfireable fault is a silent bug.
 func NewSeeded(seed int64, rules ...Rule) *Injector {
+	in, err := NewValidated(seed, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// NewValidated is NewSeeded returning the ErrUnknownSite validation error
+// instead of panicking, for callers assembling rule plans from external
+// input (config files, request bodies).
+func NewValidated(seed int64, rules ...Rule) (*Injector, error) {
+	if err := Check(rules...); err != nil {
+		return nil, err
+	}
 	return &Injector{
 		rules: rules,
 		seed:  seed,
 		rngs:  map[string]*rand.Rand{},
 		hits:  map[string]int{},
 		fired: map[string]int{},
-	}
+	}, nil
 }
 
 // Hit records one pass through site and applies the first matching armed

@@ -154,3 +154,34 @@ func TestDefaultRuleFiresAlways(t *testing.T) {
 		}
 	}
 }
+
+func TestUnknownSiteRejected(t *testing.T) {
+	bad := Rule{Site: "dimsat.expandd", Kind: Error}
+	if err := Check(bad); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("Check = %v, want ErrUnknownSite", err)
+	}
+	if _, err := NewValidated(1, bad); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("NewValidated = %v, want ErrUnknownSite", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted a rule for an unknown site")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrUnknownSite) {
+			t.Fatalf("New panicked with %v, want ErrUnknownSite", r)
+		}
+	}()
+	New(bad)
+}
+
+func TestKnownSitesAccepted(t *testing.T) {
+	for _, site := range KnownSites() {
+		if err := Check(Rule{Site: site, Kind: Error}); err != nil {
+			t.Errorf("Check(%q) = %v", site, err)
+		}
+	}
+	if err := Check(); err != nil {
+		t.Errorf("Check() with no rules = %v", err)
+	}
+}

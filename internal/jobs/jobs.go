@@ -1,0 +1,755 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/faults"
+	"olapdim/internal/parser"
+)
+
+// State is a job lifecycle state. Transitions:
+//
+//	pending → running → done | failed | cancelled
+//	running → checkpointed (suspended with durable progress) → running
+//
+// done, failed and cancelled are terminal. A job found pending, running or
+// checkpointed when the store opens was interrupted by a crash or shutdown
+// and is re-enqueued.
+type State string
+
+const (
+	// StatePending means the job is queued and has not started an attempt.
+	StatePending State = "pending"
+	// StateRunning means a worker is executing the job now.
+	StateRunning State = "running"
+	// StateCheckpointed means the job is suspended with a durable search
+	// checkpoint (store shutdown mid-run); it resumes on the next Start.
+	StateCheckpointed State = "checkpointed"
+	// StateDone means the job finished and Result is populated.
+	StateDone State = "done"
+	// StateFailed means the job ended with an error (in Error).
+	StateFailed State = "failed"
+	// StateCancelled means CancelJob ended the job before completion.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state admits no further transitions.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Kinds of reasoning a job can run.
+const (
+	// KindSat decides satisfiability of Request.Category.
+	KindSat = "sat"
+	// KindImplies decides whether the schema implies Request.Constraint.
+	KindImplies = "implies"
+)
+
+// Request describes the reasoning a job performs.
+type Request struct {
+	// Kind is KindSat or KindImplies.
+	Kind string `json:"kind"`
+	// Category is the root category for KindSat.
+	Category string `json:"category,omitempty"`
+	// Constraint is the constraint source text for KindImplies.
+	Constraint string `json:"constraint,omitempty"`
+	// IdempotencyKey, when non-empty, deduplicates submissions: a second
+	// submit with the same key returns the existing job instead of
+	// creating a new one.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+}
+
+// Result is the outcome of a finished job.
+type Result struct {
+	// Satisfiable is set for KindSat jobs.
+	Satisfiable *bool `json:"satisfiable,omitempty"`
+	// Implied is set for KindImplies jobs.
+	Implied *bool `json:"implied,omitempty"`
+	// Witness renders the frozen dimension witnessing satisfiability (or
+	// the counterexample for a failed implication), when one exists.
+	Witness string `json:"witness,omitempty"`
+}
+
+// Status is a point-in-time snapshot of a job, also the durable record
+// persisted in the store directory.
+type Status struct {
+	ID      string  `json:"id"`
+	Request Request `json:"request"`
+	State   State   `json:"state"`
+	// Attempts counts executions started (1 for an uninterrupted job;
+	// at-least-once semantics mean resumed jobs count each resume).
+	Attempts int `json:"attempts"`
+	// Stats is the cumulative search effort, updated at every durable
+	// checkpoint and on completion; monotonically non-decreasing across
+	// suspend/resume cycles.
+	Stats core.Stats `json:"stats"`
+	// Error carries the failure for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Result is populated for StateDone.
+	Result *Result `json:"result,omitempty"`
+}
+
+// Counters are the store's cumulative counters, surfaced via GET /stats.
+type Counters struct {
+	// Submitted counts jobs accepted (idempotent re-submits excluded).
+	Submitted int64 `json:"submitted"`
+	// Recovered counts interrupted jobs re-enqueued at Open.
+	Recovered int64 `json:"recovered"`
+	// Resumed counts attempts that continued from a durable checkpoint.
+	Resumed int64 `json:"resumed"`
+	// CorruptRejected counts snapshot files refused for failing their
+	// checksum or semantic validation.
+	CorruptRejected int64 `json:"corruptRejected"`
+	// Done, Failed and Cancelled count terminal transitions.
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// ErrUnknownJob reports a job ID the store has no record of.
+var ErrUnknownJob = errors.New("jobs: unknown job")
+
+// ErrJobTerminal reports an operation (cancel) on a finished job.
+var ErrJobTerminal = errors.New("jobs: job already terminal")
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the directory holding job records and checkpoints; created
+	// if missing.
+	Dir string
+	// Schema is the dimension schema all jobs reason over.
+	Schema *core.DimensionSchema
+	// Options are the base search options per attempt. MaxExpansions
+	// bounds the job's cumulative expansions across all attempts (stats
+	// are seeded from the checkpoint on resume); a job that exhausts it
+	// fails. Cache and Tracer are ignored: durable jobs always run the
+	// real search so their checkpoints describe real positions.
+	Options core.Options
+	// CheckpointEvery is the durable checkpoint period in EXPAND steps;
+	// 0 means defaultCheckpointEvery, negative disables periodic
+	// checkpoints (jobs then restart from scratch after a crash).
+	CheckpointEvery int
+	// Acquire, when non-nil, gates each executing job: workers block in
+	// Acquire until a slot frees, and call the returned release when the
+	// attempt ends. The HTTP server installs its admission semaphore
+	// here so jobs and interactive requests share one concurrency cap.
+	Acquire func(ctx context.Context) (release func(), err error)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+const defaultCheckpointEvery = 1000
+
+// Store is a durable job store. All methods are safe for concurrent use.
+type Store struct {
+	cfg    Config
+	dir    string
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	byKey   map[string]string // idempotency key → job ID
+	seq     int
+	started bool
+
+	acquire func(ctx context.Context) (func(), error)
+
+	submitted       atomic.Int64
+	recovered       atomic.Int64
+	resumed         atomic.Int64
+	corruptRejected atomic.Int64
+	done            atomic.Int64
+	failed          atomic.Int64
+	cancelled       atomic.Int64
+}
+
+// job is the in-memory side of one job. st is guarded by the store mutex;
+// cancel tears down the running attempt's context.
+type job struct {
+	st      Status
+	cancel  context.CancelFunc
+	hasCkpt bool
+}
+
+// Open loads (or creates) the store directory, verifies every job record,
+// and re-enqueues interrupted jobs. Records that fail their checksum are
+// renamed aside with a .corrupt suffix and counted, never silently
+// dropped or trusted. Jobs do not execute until Start is called, so the
+// caller can wire Acquire (SetAcquire) between Open and Start.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if cfg.Schema == nil {
+		return nil, errors.New("jobs: Config.Schema is required")
+	}
+	if err := cfg.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = defaultCheckpointEvery
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Store{
+		cfg:     cfg,
+		dir:     cfg.Dir,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    map[string]*job{},
+		byKey:   map[string]string{},
+		acquire: cfg.Acquire,
+	}
+	if err := s.load(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load scans the directory for job records, quarantining corrupt ones and
+// marking interrupted jobs recovered.
+func (s *Store) load() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".job") {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		payload, err := ReadSnapshotFile(path)
+		if err != nil {
+			s.quarantine(path, err)
+			continue
+		}
+		var st Status
+		if err := json.Unmarshal(payload, &st); err != nil || st.ID == "" ||
+			st.ID != strings.TrimSuffix(name, ".job") {
+			s.quarantine(path, fmt.Errorf("%w: bad job record: %v", ErrCorruptSnapshot, err))
+			continue
+		}
+		j := &job{st: st}
+		if _, err := os.Stat(s.ckptPath(st.ID)); err == nil {
+			j.hasCkpt = true
+		}
+		if !st.State.Terminal() {
+			// Interrupted by a crash or shutdown: re-enqueue. With a
+			// durable checkpoint it is suspended work; without one it
+			// starts over.
+			if j.hasCkpt {
+				j.st.State = StateCheckpointed
+			} else {
+				j.st.State = StatePending
+			}
+			s.recovered.Add(1)
+			s.logf("jobs: recovered %s (%s)", st.ID, j.st.State)
+		}
+		s.jobs[st.ID] = j
+		if k := st.Request.IdempotencyKey; k != "" {
+			s.byKey[k] = st.ID
+		}
+		if n := idSeq(st.ID); n >= s.seq {
+			s.seq = n + 1
+		}
+	}
+	return nil
+}
+
+// quarantine renames a snapshot file that failed verification aside so it
+// is preserved for forensics but never loaded again.
+func (s *Store) quarantine(path string, err error) {
+	s.corruptRejected.Add(1)
+	s.logf("jobs: quarantining %s: %v", filepath.Base(path), err)
+	_ = os.Rename(path, path+".corrupt")
+}
+
+// SetAcquire installs the admission hook (see Config.Acquire); call
+// between Open and Start.
+func (s *Store) SetAcquire(f func(ctx context.Context) (func(), error)) {
+	s.mu.Lock()
+	s.acquire = f
+	s.mu.Unlock()
+}
+
+// Start launches workers for every runnable job (recovered or submitted
+// before Start). Submissions after Start launch immediately.
+func (s *Store) Start() {
+	s.mu.Lock()
+	s.started = true
+	var ids []string
+	for id, j := range s.jobs {
+		if !j.st.State.Terminal() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.launch(id)
+	}
+}
+
+// Close suspends the store: running jobs are cancelled, persist their
+// latest position as a durable checkpoint, and stay non-terminal so the
+// next Open recovers them. Blocks until all workers have drained.
+func (s *Store) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Submit validates and enqueues a reasoning job, returning its status and
+// whether it was newly created (false when an idempotency key matched an
+// existing job, whose status is returned instead).
+func (s *Store) Submit(req Request) (Status, bool, error) {
+	switch req.Kind {
+	case KindSat:
+		if !s.cfg.Schema.G.HasCategory(req.Category) {
+			return Status{}, false, fmt.Errorf("jobs: unknown category %q", req.Category)
+		}
+	case KindImplies:
+		alpha, err := parser.ParseConstraint(req.Constraint)
+		if err != nil {
+			return Status{}, false, err
+		}
+		if err := constraint.Validate(alpha, s.cfg.Schema.G); err != nil {
+			return Status{}, false, err
+		}
+	default:
+		return Status{}, false, fmt.Errorf("jobs: unknown kind %q (want %q or %q)", req.Kind, KindSat, KindImplies)
+	}
+	s.mu.Lock()
+	if k := req.IdempotencyKey; k != "" {
+		if id, ok := s.byKey[k]; ok {
+			st := s.jobs[id].st
+			s.mu.Unlock()
+			return st, false, nil
+		}
+	}
+	id := fmt.Sprintf("j%06d", s.seq)
+	s.seq++
+	j := &job{st: Status{ID: id, Request: req, State: StatePending}}
+	s.jobs[id] = j
+	if k := req.IdempotencyKey; k != "" {
+		s.byKey[k] = id
+	}
+	started := s.started
+	st := j.st
+	s.mu.Unlock()
+	if err := s.persistRecord(st); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		if k := req.IdempotencyKey; k != "" {
+			delete(s.byKey, k)
+		}
+		s.mu.Unlock()
+		return Status{}, false, err
+	}
+	s.submitted.Add(1)
+	if started {
+		s.launch(id)
+	}
+	return st, true, nil
+}
+
+// Status returns the current status of a job.
+func (s *Store) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j.st, nil
+}
+
+// Cancel ends a job: a queued or suspended job is cancelled in place, a
+// running job's context is cancelled and its worker finalizes the state.
+// Cancelling a terminal job returns ErrJobTerminal.
+func (s *Store) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if j.st.State.Terminal() {
+		st := j.st
+		s.mu.Unlock()
+		return st, fmt.Errorf("%w: %s is %s", ErrJobTerminal, id, st.State)
+	}
+	j.st.State = StateCancelled
+	cancel := j.cancel
+	st := j.st
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.cancelled.Add(1)
+	if err := s.persistRecord(st); err != nil {
+		s.logf("jobs: persisting cancel of %s: %v", id, err)
+	}
+	s.removeCkpt(id)
+	return st, nil
+}
+
+// Counters returns the store's cumulative counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Submitted:       s.submitted.Load(),
+		Recovered:       s.recovered.Load(),
+		Resumed:         s.resumed.Load(),
+		CorruptRejected: s.corruptRejected.Load(),
+		Done:            s.done.Load(),
+		Failed:          s.failed.Load(),
+		Cancelled:       s.cancelled.Load(),
+	}
+}
+
+// Jobs returns all job statuses, sorted by ID.
+func (s *Store) Jobs() []Status {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// launch starts one worker goroutine for a job attempt.
+func (s *Store) launch(id string) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.run(id)
+	}()
+}
+
+// run executes one attempt of a job: acquire an execution slot, load any
+// durable checkpoint, run (or resume) the search, and finalize.
+func (s *Store) run(id string) {
+	if s.acquire != nil {
+		release, err := s.acquire(s.ctx)
+		if err != nil {
+			// Store shutting down before the job got a slot; it stays
+			// pending/checkpointed on disk and recovers next boot.
+			return
+		}
+		defer release()
+	}
+
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.st.State.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	j.cancel = cancel
+	j.st.State = StateRunning
+	j.st.Attempts++
+	st := j.st
+	hadCkpt := j.hasCkpt
+	s.mu.Unlock()
+	if err := s.persistRecord(st); err != nil {
+		s.fail(id, fmt.Errorf("jobs: persisting state: %w", err))
+		return
+	}
+
+	var cp *core.Checkpoint
+	if hadCkpt {
+		var err error
+		cp, err = s.loadCkpt(id)
+		if err != nil {
+			// A damaged checkpoint is refused with its typed error; the
+			// search position is unknown, so the job fails rather than
+			// risk a wrong answer.
+			s.fail(id, err)
+			return
+		}
+		s.mu.Lock()
+		j.st.Stats = cp.Stats
+		s.mu.Unlock()
+	}
+
+	res, resErr := s.attempt(ctx, id, st.Request, cp)
+
+	// An injected panic is the simulated process kill of the robustness
+	// harness: the worker abandons the job with no state transition —
+	// exactly what a real crash leaves behind — so reopening the store
+	// exercises the genuine recovery path. Real panics fail the job.
+	var ie *core.InternalError
+	if errors.As(resErr, &ie) {
+		if _, injected := ie.Value.(*faults.PanicValue); injected {
+			s.logf("jobs: %s worker killed by injected panic", id)
+			return
+		}
+		s.fail(id, resErr)
+		return
+	}
+
+	s.mu.Lock()
+	cancelled := j.st.State == StateCancelled
+	s.mu.Unlock()
+	if cancelled {
+		return // Cancel already persisted the terminal state.
+	}
+
+	switch {
+	case resErr == nil:
+		s.complete(id, st.Request, res)
+	case errors.Is(resErr, context.Canceled) && s.ctx.Err() != nil:
+		// Store shutdown: suspend with whatever position the search
+		// captured; the record stays non-terminal for recovery.
+		if res.Checkpoint != nil {
+			if err := s.persistCheckpoint(id, res.Checkpoint); err != nil {
+				s.logf("jobs: persisting shutdown checkpoint for %s: %v", id, err)
+			}
+		}
+		s.suspend(id, res.Stats)
+	default:
+		// Budget exhaustion, deadline, injected fault errors, sink
+		// failures: the job's allowance is spent or its storage is
+		// failing — surface the typed error.
+		s.fail(id, resErr)
+	}
+}
+
+// attempt runs or resumes the search for one job. The checkpoint sink
+// persists every position durably before the search moves on. Cache and
+// Tracer are stripped: durable jobs always run the real search so their
+// checkpoints describe real positions.
+func (s *Store) attempt(ctx context.Context, id string, req Request, cp *core.Checkpoint) (core.Result, error) {
+	opts := s.cfg.Options
+	opts.Cache = nil
+	opts.Tracer = nil
+	opts.Checkpoint = s.checkpointing(id)
+	if cp != nil {
+		s.resumed.Add(1)
+	}
+	switch req.Kind {
+	case KindSat:
+		if cp != nil {
+			return core.ResumeSatisfiableContext(ctx, s.cfg.Schema, cp, opts)
+		}
+		return core.SatisfiableContext(ctx, s.cfg.Schema, req.Category, opts)
+	case KindImplies:
+		alpha, err := parser.ParseConstraint(req.Constraint)
+		if err != nil {
+			return core.Result{}, err
+		}
+		neg, root, verdict, decided, err := core.ImpliesReduction(s.cfg.Schema, alpha)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if decided {
+			// Propositional constant: implied iff verdict. Encode as an
+			// unsatisfiable/satisfiable result with no witness.
+			return core.Result{Satisfiable: !verdict}, nil
+		}
+		// The reduction is deterministic, so a resumed search runs
+		// against the identical neg schema (same fingerprint).
+		if cp != nil {
+			return core.ResumeSatisfiableContext(ctx, neg, cp, opts)
+		}
+		return core.SatisfiableContext(ctx, neg, root, opts)
+	default:
+		return core.Result{}, fmt.Errorf("jobs: unknown kind %q", req.Kind)
+	}
+}
+
+// checkpointing builds the Options.Checkpoint installation for a job:
+// periodic durable sinks plus abort capture.
+func (s *Store) checkpointing(id string) *core.Checkpointing {
+	ck := &core.Checkpointing{}
+	if s.cfg.CheckpointEvery > 0 {
+		ck.Every = s.cfg.CheckpointEvery
+		ck.Sink = func(cp *core.Checkpoint) error {
+			return s.persistCheckpoint(id, cp)
+		}
+	}
+	return ck
+}
+
+// complete finalizes a successful attempt.
+func (s *Store) complete(id string, req Request, res core.Result) {
+	r := &Result{}
+	switch req.Kind {
+	case KindSat:
+		sat := res.Satisfiable
+		r.Satisfiable = &sat
+		if res.Witness != nil {
+			r.Witness = res.Witness.String()
+		}
+	case KindImplies:
+		implied := !res.Satisfiable
+		r.Implied = &implied
+		if !implied && res.Witness != nil {
+			r.Witness = res.Witness.String()
+		}
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	j.st.State = StateDone
+	j.st.Stats = res.Stats
+	j.st.Result = r
+	j.st.Error = ""
+	st := j.st
+	s.mu.Unlock()
+	s.done.Add(1)
+	if err := s.persistRecord(st); err != nil {
+		s.logf("jobs: persisting result of %s: %v", id, err)
+	}
+	s.removeCkpt(id)
+}
+
+// fail finalizes a failed attempt.
+func (s *Store) fail(id string, cause error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	j.st.State = StateFailed
+	j.st.Error = cause.Error()
+	st := j.st
+	s.mu.Unlock()
+	s.failed.Add(1)
+	s.logf("jobs: %s failed: %v", id, cause)
+	if err := s.persistRecord(st); err != nil {
+		s.logf("jobs: persisting failure of %s: %v", id, err)
+	}
+}
+
+// suspend parks a job interrupted by shutdown as checkpointed (or pending
+// when no checkpoint was ever captured).
+func (s *Store) suspend(id string, stats core.Stats) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j.hasCkpt {
+		j.st.State = StateCheckpointed
+	} else {
+		j.st.State = StatePending
+	}
+	j.st.Stats = stats
+	st := j.st
+	s.mu.Unlock()
+	if err := s.persistRecord(st); err != nil {
+		s.logf("jobs: persisting suspension of %s: %v", id, err)
+	}
+}
+
+// persistRecord durably writes a job record (with fault injection at
+// faults.SiteJobPersist).
+func (s *Store) persistRecord(st Status) error {
+	if err := s.cfg.Options.Faults.Hit(faults.SiteJobPersist); err != nil {
+		return fmt.Errorf("jobs: persist %s: %w", st.ID, err)
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return WriteSnapshotFile(s.jobPath(st.ID), payload)
+}
+
+// persistCheckpoint durably writes a search checkpoint and mirrors its
+// stats into the job status so observers see progress.
+func (s *Store) persistCheckpoint(id string, cp *core.Checkpoint) error {
+	if id == "" {
+		return errors.New("jobs: checkpoint for unknown job")
+	}
+	if err := s.cfg.Options.Faults.Hit(faults.SiteJobPersist); err != nil {
+		return fmt.Errorf("jobs: persist checkpoint %s: %w", id, err)
+	}
+	payload, err := cp.Encode()
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshotFile(s.ckptPath(id), payload); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		j.hasCkpt = true
+		j.st.Stats = cp.Stats
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// loadCkpt reads and validates a job's durable checkpoint. Corruption is
+// quarantined and returned as ErrCorruptSnapshot; a decodable-but-invalid
+// checkpoint surfaces core.ErrBadCheckpoint.
+func (s *Store) loadCkpt(id string) (*core.Checkpoint, error) {
+	path := s.ckptPath(id)
+	payload, err := ReadSnapshotFile(path)
+	if err != nil {
+		if errors.Is(err, ErrCorruptSnapshot) {
+			s.quarantine(path, err)
+		}
+		return nil, err
+	}
+	cp, err := core.DecodeCheckpoint(payload)
+	if err != nil {
+		s.quarantine(path, err)
+		s.mu.Lock()
+		if j, ok := s.jobs[id]; ok {
+			j.hasCkpt = false
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	return cp, nil
+}
+
+func (s *Store) removeCkpt(id string) {
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		j.hasCkpt = false
+	}
+	s.mu.Unlock()
+	_ = os.Remove(s.ckptPath(id))
+}
+
+func (s *Store) jobPath(id string) string  { return filepath.Join(s.dir, id+".job") }
+func (s *Store) ckptPath(id string) string { return filepath.Join(s.dir, id+".ckpt") }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// idSeq parses the numeric suffix of a generated job ID, so a reopened
+// store continues the sequence past existing IDs.
+func idSeq(id string) int {
+	if len(id) < 2 || id[0] != 'j' {
+		return -1
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

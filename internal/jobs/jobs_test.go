@@ -1,0 +1,480 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"olapdim/internal/core"
+	"olapdim/internal/faults"
+)
+
+const diamondSrc = `
+schema diamond
+edge A -> B -> D -> All
+edge A -> C -> D
+edge A -> D
+`
+
+// hardUnsatSrc mirrors the core package's hard-instance generator: a
+// layered hierarchy whose root is unsatisfiable only by a contradictory
+// constraint, so the search must exhaust the whole subhierarchy space.
+func hardUnsatSrc(width, layers int) string {
+	var b strings.Builder
+	b.WriteString("schema hard\n")
+	name := func(l, i int) string { return fmt.Sprintf("L%dx%d", l, i) }
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "edge C0 -> %s\n", name(0, i))
+	}
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				fmt.Fprintf(&b, "edge %s -> %s\n", name(l, i), name(l+1, j))
+			}
+		}
+	}
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "edge %s -> All\n", name(layers-1, i))
+	}
+	fmt.Fprintf(&b, "constraint C0_%s & !C0_%s\n", name(0, 0), name(0, 0))
+	return b.String()
+}
+
+func parse(t *testing.T, src string) *core.DimensionSchema {
+	t.Helper()
+	ds, err := core.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func open(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// await polls until the job reaches a terminal state.
+func await(t *testing.T, s *Store, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := s.Status(id)
+	t.Fatalf("job %s not terminal after 10s (state %s)", id, st.State)
+	return Status{}
+}
+
+func TestSatJobLifecycle(t *testing.T) {
+	s := open(t, Config{Dir: t.TempDir(), Schema: parse(t, diamondSrc)})
+	s.Start()
+	st, created, err := s.Submit(Request{Kind: KindSat, Category: "A"})
+	if err != nil || !created {
+		t.Fatalf("Submit = %+v, %v, %v", st, created, err)
+	}
+	st = await(t, s, st.ID)
+	if st.State != StateDone || st.Result == nil || st.Result.Satisfiable == nil || !*st.Result.Satisfiable {
+		t.Fatalf("job = %+v, want done and satisfiable", st)
+	}
+	if st.Result.Witness == "" {
+		t.Error("satisfiable job carries no witness")
+	}
+	if st.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", st.Attempts)
+	}
+	if c := s.Counters(); c.Submitted != 1 || c.Done != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestImpliesJob(t *testing.T) {
+	schema := parse(t, diamondSrc)
+	s := open(t, Config{Dir: t.TempDir(), Schema: schema})
+	s.Start()
+	for _, con := range []string{"B.D", "A.B"} {
+		alpha, err := core.ParseConstraint(con)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := core.Implies(schema, alpha, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := s.Submit(Request{Kind: KindImplies, Constraint: con})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = await(t, s, st.ID)
+		if st.State != StateDone || st.Result == nil || st.Result.Implied == nil {
+			t.Fatalf("%s: job = %+v, want done with Implied", con, st)
+		}
+		if *st.Result.Implied != want {
+			t.Errorf("%s: implied = %v, want %v", con, *st.Result.Implied, want)
+		}
+		if !want && st.Result.Witness == "" {
+			t.Errorf("%s: failed implication carries no counterexample", con)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := open(t, Config{Dir: t.TempDir(), Schema: parse(t, diamondSrc)})
+	for _, req := range []Request{
+		{Kind: "nope"},
+		{Kind: KindSat, Category: "Z"},
+		{Kind: KindImplies, Constraint: "("},
+		{Kind: KindImplies, Constraint: "A.Z"},
+	} {
+		if _, _, err := s.Submit(req); err == nil {
+			t.Errorf("Submit(%+v) accepted", req)
+		}
+	}
+	if c := s.Counters(); c.Submitted != 0 {
+		t.Errorf("rejected submissions counted: %+v", c)
+	}
+}
+
+func TestIdempotencyKey(t *testing.T) {
+	s := open(t, Config{Dir: t.TempDir(), Schema: parse(t, diamondSrc)})
+	s.Start()
+	a, created, err := s.Submit(Request{Kind: KindSat, Category: "A", IdempotencyKey: "k1"})
+	if err != nil || !created {
+		t.Fatalf("first submit: %v created=%v", err, created)
+	}
+	b, created, err := s.Submit(Request{Kind: KindSat, Category: "A", IdempotencyKey: "k1"})
+	if err != nil || created {
+		t.Fatalf("second submit: %v created=%v", err, created)
+	}
+	if a.ID != b.ID {
+		t.Errorf("idempotent resubmit made a new job: %s vs %s", a.ID, b.ID)
+	}
+	if c := s.Counters(); c.Submitted != 1 {
+		t.Errorf("Submitted = %d, want 1", c.Submitted)
+	}
+	await(t, s, a.ID)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// Store not started: the job stays pending and Cancel takes it
+	// straight to cancelled.
+	s := open(t, Config{Dir: t.TempDir(), Schema: parse(t, diamondSrc)})
+	st, _, err := s.Submit(Request{Kind: KindSat, Category: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.Cancel(st.ID)
+	if err != nil || st.State != StateCancelled {
+		t.Fatalf("Cancel = %+v, %v", st, err)
+	}
+	if _, err := s.Cancel(st.ID); !errors.Is(err, ErrJobTerminal) {
+		t.Errorf("second Cancel = %v, want ErrJobTerminal", err)
+	}
+	if _, err := s.Cancel("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Cancel unknown = %v, want ErrUnknownJob", err)
+	}
+	s.Start()
+	time.Sleep(10 * time.Millisecond)
+	got, err := s.Status(st.ID)
+	if err != nil || got.State != StateCancelled {
+		t.Fatalf("cancelled job ran after Start: %+v, %v", got, err)
+	}
+}
+
+func TestRecoverPendingJobAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	schema := parse(t, diamondSrc)
+	s1, err := Open(Config{Dir: dir, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "A", IdempotencyKey: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close() // never Started: job persisted pending
+
+	s2 := open(t, Config{Dir: dir, Schema: schema})
+	if c := s2.Counters(); c.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", c.Recovered)
+	}
+	// The idempotency key survives the restart.
+	dup, created, err := s2.Submit(Request{Kind: KindSat, Category: "A", IdempotencyKey: "r1"})
+	if err != nil || created || dup.ID != st.ID {
+		t.Fatalf("resubmit after restart: %+v created=%v err=%v", dup, created, err)
+	}
+	s2.Start()
+	got := await(t, s2, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("recovered job = %+v, want done", got)
+	}
+}
+
+// TestKillAndResume is the proof-of-robustness acceptance test: a worker
+// is killed mid-search by an injected panic (simulating a process crash —
+// no orderly state transition happens), the store is reopened as a process
+// restart would, and the recovered job must resume from its last durable
+// checkpoint and finish with a result identical to an uninterrupted run,
+// with monotonically non-decreasing stats.
+func TestKillAndResume(t *testing.T) {
+	src := hardUnsatSrc(3, 2)
+	schema := parse(t, src)
+
+	// Uninterrupted baseline.
+	baseline, err := core.Satisfiable(parse(t, src), "C0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Satisfiable || baseline.Stats.Expansions < 500 {
+		t.Fatalf("hard instance unsuitable: %+v", baseline.Stats)
+	}
+
+	dir := t.TempDir()
+	const killAt = 301
+	inj := faults.New(faults.Rule{Site: faults.SiteExpand, Kind: faults.Panic, On: []int{killAt}})
+	s1, err := Open(Config{
+		Dir:             dir,
+		Schema:          schema,
+		Options:         core.Options{Faults: inj},
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "C0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the injected kill: the worker dies without any state
+	// transition, exactly like a crashed process.
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.Fired(faults.SiteExpand) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if inj.Fired(faults.SiteExpand) == 0 {
+		t.Fatal("injected panic never fired")
+	}
+	s1.Close()
+	if got, _ := s1.Status(st.ID); got.State.Terminal() {
+		t.Fatalf("killed job reached terminal state %s", got.State)
+	}
+
+	// "Restart the process": a fresh store over the same directory.
+	s2 := open(t, Config{Dir: dir, Schema: parse(t, src), CheckpointEvery: 1})
+	if c := s2.Counters(); c.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", c.Recovered)
+	}
+	got, err := s2.Status(st.ID)
+	if err != nil || got.State != StateCheckpointed {
+		t.Fatalf("recovered job = %+v, %v, want checkpointed", got, err)
+	}
+	s2.Start()
+	final := await(t, s2, st.ID)
+	if final.State != StateDone || final.Result == nil || final.Result.Satisfiable == nil {
+		t.Fatalf("resumed job = %+v, want done", final)
+	}
+	if *final.Result.Satisfiable != baseline.Satisfiable {
+		t.Fatalf("resumed verdict %v != uninterrupted %v", *final.Result.Satisfiable, baseline.Satisfiable)
+	}
+	// With Every=1 the only re-done work is the expansion in flight at
+	// the kill, counted once: cumulative stats match exactly.
+	if final.Stats != baseline.Stats {
+		t.Errorf("resumed stats %+v != uninterrupted %+v", final.Stats, baseline.Stats)
+	}
+	if final.Stats.Expansions < got.Stats.Expansions {
+		t.Errorf("stats went backwards: %d < %d", final.Stats.Expansions, got.Stats.Expansions)
+	}
+	if c := s2.Counters(); c.Resumed != 1 || c.Done != 1 {
+		t.Errorf("counters = %+v, want Resumed=1 Done=1", c)
+	}
+}
+
+// TestFlippedByteCheckpointRejected flips one payload byte in a durable
+// checkpoint and asserts the store refuses it with the typed corruption
+// error — a damaged checkpoint must never yield a wrong answer.
+func TestFlippedByteCheckpointRejected(t *testing.T) {
+	src := hardUnsatSrc(3, 2)
+	dir := t.TempDir()
+	inj := faults.New(faults.Rule{Site: faults.SiteExpand, Kind: faults.Panic, On: []int{200}})
+	s1, err := Open(Config{
+		Dir:             dir,
+		Schema:          parse(t, src),
+		Options:         core.Options{Faults: inj},
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "C0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.Fired(faults.SiteExpand) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	s1.Close()
+
+	ckpt := filepath.Join(dir, st.ID+".ckpt")
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40 // flip a bit inside the JSON payload
+	if err := os.WriteFile(ckpt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, Config{Dir: dir, Schema: parse(t, src), CheckpointEvery: 1})
+	s2.Start()
+	final := await(t, s2, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("job with corrupt checkpoint = %+v, want failed", final)
+	}
+	if !strings.Contains(final.Error, "corrupt") {
+		t.Errorf("Error = %q, want corruption mentioned", final.Error)
+	}
+	if final.Result != nil {
+		t.Errorf("corrupt checkpoint produced a result: %+v", final.Result)
+	}
+	if c := s2.Counters(); c.CorruptRejected == 0 {
+		t.Error("CorruptRejected not counted")
+	}
+	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
+		t.Errorf("corrupt checkpoint not quarantined: %v", err)
+	}
+}
+
+func TestCorruptJobRecordQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	schema := parse(t, diamondSrc)
+	s1, err := Open(Config{Dir: dir, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	path := filepath.Join(dir, st.ID+".job")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, Config{Dir: dir, Schema: schema})
+	if _, err := s2.Status(st.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("corrupt record still loaded: %v", err)
+	}
+	if c := s2.Counters(); c.CorruptRejected != 1 {
+		t.Errorf("CorruptRejected = %d, want 1", c.CorruptRejected)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt record not quarantined: %v", err)
+	}
+}
+
+func TestPersistFaultFailsJob(t *testing.T) {
+	// An error injected at jobs.persist while the sink writes a
+	// checkpoint must abort the search and fail the job: a job that
+	// cannot persist progress must not pretend it is durable.
+	inj := faults.New(faults.Rule{Site: faults.SiteJobPersist, Kind: faults.Error, On: []int{3}})
+	s := open(t, Config{
+		Dir:             t.TempDir(),
+		Schema:          parse(t, hardUnsatSrc(3, 2)),
+		Options:         core.Options{Faults: inj},
+		CheckpointEvery: 1,
+	})
+	s.Start()
+	st, _, err := s.Submit(Request{Kind: KindSat, Category: "C0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := await(t, s, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "injected") {
+		t.Fatalf("job = %+v, want failed with injected persist error", final)
+	}
+}
+
+func TestBudgetExhaustionFailsJob(t *testing.T) {
+	s := open(t, Config{
+		Dir:     t.TempDir(),
+		Schema:  parse(t, hardUnsatSrc(3, 2)),
+		Options: core.Options{MaxExpansions: 25},
+	})
+	s.Start()
+	st, _, err := s.Submit(Request{Kind: KindSat, Category: "C0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := await(t, s, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "budget") {
+		t.Fatalf("job = %+v, want failed on budget", final)
+	}
+}
+
+func TestCloseSuspendsRunningJob(t *testing.T) {
+	// A slow job interrupted by Close must park as checkpointed (durable
+	// progress on disk) and complete after a restart.
+	src := hardUnsatSrc(3, 2)
+	dir := t.TempDir()
+	inj := faults.New(faults.Rule{Site: faults.SiteExpand, Kind: faults.Latency, Every: 1, Delay: time.Millisecond})
+	s1, err := Open(Config{
+		Dir:             dir,
+		Schema:          parse(t, src),
+		Options:         core.Options{Faults: inj},
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "C0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.Hits(faults.SiteExpand) < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s1.Close()
+	got, err := s1.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCheckpointed {
+		t.Fatalf("suspended job = %+v, want checkpointed", got)
+	}
+
+	s2 := open(t, Config{Dir: dir, Schema: parse(t, src), CheckpointEvery: 1})
+	s2.Start()
+	final := await(t, s2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed job = %+v, want done", final)
+	}
+	if final.Stats.Expansions < got.Stats.Expansions {
+		t.Errorf("stats went backwards across suspend: %d < %d", final.Stats.Expansions, got.Stats.Expansions)
+	}
+}

@@ -1,0 +1,122 @@
+// Package jobs provides a durable, resumable job store for DIMSAT
+// reasoning. A job is an asynchronous satisfiability or implication run
+// over the store's schema; its record and its latest search checkpoint are
+// persisted as atomic, checksummed snapshot files, so a crash at any
+// instant leaves the directory recoverable: on the next Open every
+// non-terminal job is re-enqueued and resumed from its last durable
+// checkpoint. Execution is at-least-once — the work between the last
+// checkpoint and a crash is re-done exactly once on resume — and the
+// deterministic EXPAND enumeration of package core guarantees a resumed
+// job returns exactly what the uninterrupted run would have.
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotMagic heads every snapshot file; the version is part of the
+// magic so a future format change can never be misread.
+const snapshotMagic = "olapdim-snapshot v1 sha256="
+
+// ErrCorruptSnapshot reports a snapshot file whose header or checksum does
+// not verify: truncated, bit-flipped, or not a snapshot at all. The store
+// refuses such files — a damaged checkpoint must surface as this typed
+// error, never as a wrong answer. Test with errors.Is.
+var ErrCorruptSnapshot = errors.New("jobs: corrupt snapshot")
+
+// EncodeSnapshot frames payload with the magic header and its SHA-256.
+func EncodeSnapshot(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	buf.Grow(len(snapshotMagic) + hex.EncodedLen(len(sum)) + 1 + len(payload))
+	buf.WriteString(snapshotMagic)
+	buf.WriteString(hex.EncodeToString(sum[:]))
+	buf.WriteByte('\n')
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// DecodeSnapshot verifies the header and checksum of an encoded snapshot
+// and returns the payload, or ErrCorruptSnapshot.
+func DecodeSnapshot(data []byte) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(snapshotMagic)) {
+		return nil, fmt.Errorf("%w: missing header", ErrCorruptSnapshot)
+	}
+	rest := data[len(snapshotMagic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl != hex.EncodedLen(sha256.Size) {
+		return nil, fmt.Errorf("%w: malformed checksum line", ErrCorruptSnapshot)
+	}
+	want := string(rest[:nl])
+	payload := rest[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	}
+	return payload, nil
+}
+
+// WriteSnapshotFile durably replaces path with the encoded payload:
+// write to a temp file in the same directory, fsync it, rename over path,
+// fsync the directory. A crash at any point leaves either the old complete
+// file or the new complete file, never a torn one.
+func WriteSnapshotFile(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(EncodeSnapshot(payload)); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadSnapshotFile reads and verifies a snapshot file. A missing file is
+// reported as the underlying fs.ErrNotExist; a present-but-damaged file is
+// ErrCorruptSnapshot.
+func ReadSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

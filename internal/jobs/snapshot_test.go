@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), []byte(`{"id":"j000001"}`), bytes.Repeat([]byte{0xff, 0x00}, 4096)} {
+		enc := EncodeSnapshot(payload)
+		got, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", payload, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip changed payload: %q vs %q", got, payload)
+		}
+	}
+}
+
+func TestDecodeSnapshotRejectsDamage(t *testing.T) {
+	enc := EncodeSnapshot([]byte(`{"id":"j000001","state":"running"}`))
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("flipped byte %d accepted (err=%v)", i, err)
+		}
+	}
+	for _, bad := range [][]byte{nil, {}, []byte("not a snapshot"), enc[:len(enc)/2]} {
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("decode(%q) = %v, want ErrCorruptSnapshot", bad, err)
+		}
+	}
+}
+
+func TestWriteSnapshotFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.job")
+	if err := WriteSnapshotFile(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotFile(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+func TestReadSnapshotFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadSnapshotFile(filepath.Join(dir, "missing.job")); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file: %v, want fs.ErrNotExist", err)
+	}
+	bad := filepath.Join(dir, "bad.job")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(bad); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Errorf("garbage file: %v, want ErrCorruptSnapshot", err)
+	}
+}

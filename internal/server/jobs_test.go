@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"olapdim/internal/jobs"
+	"olapdim/internal/paper"
+)
+
+// jobsServer builds a server with a durable job store, started, with the
+// store's workers gated by the server's admission semaphore.
+func jobsServer(t *testing.T, cfg Config) (*httptest.Server, *jobs.Store) {
+	t.Helper()
+	store, err := jobs.Open(jobs.Config{
+		Dir:             t.TempDir(),
+		Schema:          paper.LocationSch(),
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	cfg.Jobs = store
+	s, err := NewWithConfig(paper.LocationSch(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Start()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+type jobViewResp struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	Result   *struct {
+		Satisfiable *bool  `json:"satisfiable,omitempty"`
+		Implied     *bool  `json:"implied,omitempty"`
+		Witness     string `json:"witness,omitempty"`
+	} `json:"result,omitempty"`
+}
+
+// awaitJob polls the HTTP status endpoint until the job is terminal.
+func awaitJob(t *testing.T, ts *httptest.Server, id string) jobViewResp {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var v jobViewResp
+	for time.Now().Before(deadline) {
+		if code := get(t, ts, "/jobs/"+id, &v); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		switch v.State {
+		case "done", "failed", "cancelled":
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal after 10s (state %s)", id, v.State)
+	return v
+}
+
+func TestJobEndpointsLifecycle(t *testing.T) {
+	ts, _ := jobsServer(t, Config{})
+	var v jobViewResp
+	code := post(t, ts, "/jobs", `{"kind": "sat", "category": "Store"}`, &v)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", code)
+	}
+	if v.ID == "" || v.Kind != "sat" {
+		t.Fatalf("job view = %+v", v)
+	}
+	final := awaitJob(t, ts, v.ID)
+	if final.State != "done" || final.Result == nil || final.Result.Satisfiable == nil || !*final.Result.Satisfiable {
+		t.Fatalf("final = %+v, want done and satisfiable", final)
+	}
+
+	// The stats endpoint surfaces the job-store counters.
+	var stats struct {
+		Jobs *jobs.Counters `json:"jobs"`
+	}
+	if code := get(t, ts, "/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if stats.Jobs == nil || stats.Jobs.Submitted != 1 || stats.Jobs.Done != 1 {
+		t.Fatalf("stats.jobs = %+v, want Submitted=1 Done=1", stats.Jobs)
+	}
+}
+
+func TestJobEndpointsIdempotencyAndErrors(t *testing.T) {
+	ts, _ := jobsServer(t, Config{})
+	var a, b jobViewResp
+	if code := post(t, ts, "/jobs", `{"kind": "implies", "constraint": "Store.Country", "idempotencyKey": "k"}`, &a); code != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", code)
+	}
+	if code := post(t, ts, "/jobs", `{"kind": "implies", "constraint": "Store.Country", "idempotencyKey": "k"}`, &b); code != http.StatusOK {
+		t.Fatalf("idempotent POST = %d, want 200", code)
+	}
+	if a.ID != b.ID {
+		t.Errorf("idempotent resubmit created new job: %s vs %s", a.ID, b.ID)
+	}
+	if code := post(t, ts, "/jobs", `{"kind": "sat", "category": "Nope"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad category POST = %d, want 400", code)
+	}
+	if code := post(t, ts, "/jobs", `{"kind": "wat"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad kind POST = %d, want 400", code)
+	}
+	if code := get(t, ts, "/jobs/j999999", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d, want 404", code)
+	}
+	final := awaitJob(t, ts, a.ID)
+	if final.State != "done" || final.Result == nil || final.Result.Implied == nil || !*final.Result.Implied {
+		t.Fatalf("final = %+v, want done and implied (paper Theorem 2 example)", final)
+	}
+}
+
+func TestJobCancelEndpoint(t *testing.T) {
+	ts, _ := jobsServer(t, Config{})
+	var v jobViewResp
+	if code := post(t, ts, "/jobs", `{"kind": "sat", "category": "Store"}`, &v); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	final := awaitJob(t, ts, v.ID)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The job already finished: cancel conflicts.
+	if final.State == "done" && resp.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE terminal job = %d, want 409", resp.StatusCode)
+	}
+	req, err = http.NewRequest(http.MethodDelete, ts.URL+"/jobs/j999999", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobWorkersShareAdmission pins the tentpole wiring requirement: job
+// workers occupy the same execution slots as interactive requests, so a
+// server with MaxConcurrent=1 never runs a job and a request at once.
+func TestJobWorkersShareAdmission(t *testing.T) {
+	ts, store := jobsServer(t, Config{MaxConcurrent: 1, MaxQueue: 8, QueueWait: 5 * time.Second})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		var v jobViewResp
+		body := fmt.Sprintf(`{"kind": "sat", "category": "Store", "idempotencyKey": "adm-%d"}`, i)
+		if code := post(t, ts, "/jobs", body, &v); code != http.StatusAccepted {
+			t.Fatalf("POST %d = %d", i, code)
+		}
+		ids = append(ids, v.ID)
+	}
+	// Interactive traffic interleaves with the job backlog on the single
+	// slot; everything must still complete.
+	var sat struct {
+		Satisfiable bool `json:"satisfiable"`
+	}
+	if code := get(t, ts, "/sat?category=Store", &sat); code != http.StatusOK {
+		t.Fatalf("GET /sat = %d", code)
+	}
+	for _, id := range ids {
+		if v := awaitJob(t, ts, id); v.State != "done" {
+			t.Fatalf("job %s = %+v, want done", id, v)
+		}
+	}
+	if c := store.Counters(); c.Done != 4 {
+		t.Errorf("Done = %d, want 4", c.Done)
+	}
+}

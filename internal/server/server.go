@@ -25,6 +25,10 @@
 //	POST /summarizable   {"target": "Country", "from": ["City"]}
 //	GET  /frozen?root=Store              frozen dimensions
 //	GET  /matrix                         single-source summarizability
+//	POST /jobs           {"kind": "sat", "category": "Store"}   durable async job
+//	GET  /jobs                           all job statuses
+//	GET  /jobs/{id}                      job status and result
+//	DELETE /jobs/{id}                    cancel a job
 //	GET  /stats                          cache hit rates, cumulative effort
 //	GET  /healthz                        liveness (always 200 while serving)
 //	GET  /readyz                         readiness (503 while overloaded)
@@ -45,6 +49,7 @@ import (
 	"time"
 
 	"olapdim/internal/core"
+	"olapdim/internal/jobs"
 	"olapdim/internal/parser"
 )
 
@@ -74,6 +79,14 @@ type Config struct {
 	// MaxBodyBytes bounds POST request bodies. Zero means 1 MiB;
 	// negative disables the limit.
 	MaxBodyBytes int64
+	// Jobs, when non-nil, enables the durable async-job endpoints
+	// (POST /jobs, GET /jobs/{id}, DELETE /jobs/{id}) backed by this
+	// store. The server installs its admission semaphore as the store's
+	// Acquire hook, so job workers count against MaxConcurrent exactly
+	// like interactive reasoning requests. The caller owns the store's
+	// lifecycle: call its Start after the server is constructed and its
+	// Close after HTTP shutdown.
+	Jobs *jobs.Store
 }
 
 const (
@@ -88,6 +101,8 @@ type Server struct {
 	opts  core.Options
 	cache *core.SatCache
 	mux   *http.ServeMux
+
+	jobs *jobs.Store
 
 	timeout time.Duration
 	started time.Time
@@ -170,7 +185,40 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.Jobs != nil {
+		s.jobs = cfg.Jobs
+		// Job workers execute through the same admission semaphore as
+		// interactive requests; the handlers themselves only touch the
+		// store's in-memory state and need no admission.
+		s.jobs.SetAcquire(s.acquireJobSlot)
+		s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+		s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	}
 	return s, nil
+}
+
+// acquireJobSlot is the jobs.Store admission hook: a job worker occupies
+// one execution slot of the reasoning semaphore for the duration of its
+// attempt, so background jobs and interactive requests share one
+// concurrency cap. Unlike interactive admission there is no shed-or-queue
+// bound — a durable job waits as long as the store lives.
+func (s *Server) acquireJobSlot(ctx context.Context) (func(), error) {
+	if s.sem == nil {
+		s.inflight.Add(1)
+		return func() { s.inflight.Add(-1) }, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.inflight.Add(1)
+	return func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}, nil
 }
 
 // ServeHTTP implements http.Handler. It is the outermost containment
@@ -557,6 +605,9 @@ type statsResponse struct {
 	DeadEnds       int     `json:"deadEnds"`
 	RequestTimeout string  `json:"requestTimeout,omitempty"`
 	MaxConcurrent  int     `json:"maxConcurrent,omitempty"`
+	// Jobs carries the durable job-store counters (recovered, resumed,
+	// corrupt-rejected, ...) when the server hosts a job store.
+	Jobs *jobs.Counters `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -583,5 +634,93 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.sem != nil {
 		resp.MaxConcurrent = cap(s.sem)
 	}
+	if s.jobs != nil {
+		c := s.jobs.Counters()
+		resp.Jobs = &c
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobView is the HTTP rendering of a job status.
+type jobView struct {
+	ID       string       `json:"id"`
+	Kind     string       `json:"kind"`
+	Category string       `json:"category,omitempty"`
+	// Constraint echoes the implication constraint source.
+	Constraint string       `json:"constraint,omitempty"`
+	State      string       `json:"state"`
+	Attempts   int          `json:"attempts"`
+	Expansions int          `json:"expansions"`
+	Checks     int          `json:"checks"`
+	Error      string       `json:"error,omitempty"`
+	Result     *jobs.Result `json:"result,omitempty"`
+}
+
+func viewOf(st jobs.Status) jobView {
+	return jobView{
+		ID:         st.ID,
+		Kind:       st.Request.Kind,
+		Category:   st.Request.Category,
+		Constraint: st.Request.Constraint,
+		State:      string(st.State),
+		Attempts:   st.Attempts,
+		Expansions: st.Stats.Expansions,
+		Checks:     st.Stats.Checks,
+		Error:      st.Error,
+		Result:     st.Result,
+	}
+}
+
+// handleJobSubmit accepts a durable reasoning job: 202 with the job view
+// when newly created, 200 when an idempotency key matched an existing job.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	st, created, err := s.jobs.Submit(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, viewOf(st))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	sts := s.jobs.Jobs()
+	out := make([]jobView, len(sts))
+	for i, st := range sts {
+		out[i] = viewOf(st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.jobs.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(st))
+}
+
+// handleJobCancel cancels a job: 200 with the final view, 404 for an
+// unknown ID, 409 when the job already reached a terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, jobs.ErrJobTerminal):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, viewOf(st))
+	}
 }

@@ -72,6 +72,7 @@ import (
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
 	"olapdim/internal/frozen"
+	"olapdim/internal/jobs"
 	"olapdim/internal/parser"
 	"olapdim/internal/schema"
 )
@@ -143,10 +144,95 @@ const (
 func NewFaultInjector(rules ...FaultRule) *FaultInjector { return faults.New(rules...) }
 
 // NewSeededFaultInjector builds a fault injector whose probabilistic
-// rules draw from per-site generators derived from seed.
+// rules draw from per-site generators derived from seed. Both
+// constructors panic on a rule naming an unknown injection site (see
+// CheckFaultRules for the error-returning validation).
 func NewSeededFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
 	return faults.NewSeeded(seed, rules...)
 }
+
+// CheckFaultRules validates a fault plan without installing it: an error
+// wrapping ErrUnknownFaultSite is returned when a rule names an injection
+// site no instrumented package owns.
+func CheckFaultRules(rules ...FaultRule) error { return faults.Check(rules...) }
+
+// ErrUnknownFaultSite reports a fault rule naming an unregistered
+// injection site; test with errors.Is.
+var ErrUnknownFaultSite = faults.ErrUnknownSite
+
+// Durable, resumable search (package internal/core + internal/jobs): a
+// DIMSAT run with Options.Checkpoint installed snapshots its position so
+// it can be suspended — by budget, deadline, cancellation, or a crash —
+// and continued later with ResumeSatisfiableContext; OpenJobStore wraps
+// the whole cycle in a crash-recovering asynchronous job store.
+
+// Checkpoint is a resumable DIMSAT search position: the decision stack of
+// the deterministic EXPAND recursion plus cumulative Stats, pinned to a
+// schema fingerprint and the pruning switches.
+type Checkpoint = core.Checkpoint
+
+// Checkpointing configures durable progress for a DIMSAT run; install in
+// Options.Checkpoint.
+type Checkpointing = core.Checkpointing
+
+// CheckpointSink receives periodic checkpoints during a search.
+type CheckpointSink = core.CheckpointSink
+
+// ErrBadCheckpoint reports a structurally unusable checkpoint (wrong
+// version, missing pins, a decision stack that does not replay); test
+// with errors.Is.
+var ErrBadCheckpoint = core.ErrBadCheckpoint
+
+// ErrCheckpointMismatch reports a well-formed checkpoint presented with a
+// different schema or different search options; test with errors.Is.
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// DecodeCheckpoint parses and validates an encoded checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return core.DecodeCheckpoint(data) }
+
+// ResumeSatisfiable continues a suspended satisfiability search from cp,
+// returning exactly what the uninterrupted run would have returned.
+func ResumeSatisfiable(ds *DimensionSchema, cp *Checkpoint, opts Options) (Result, error) {
+	return core.ResumeSatisfiable(ds, cp, opts)
+}
+
+// ResumeSatisfiableContext is ResumeSatisfiable under a context. The
+// Options budget bounds the cumulative Stats across all attempts, so a
+// resume needs a higher MaxExpansions ceiling than the checkpoint's
+// Stats.Expansions to make progress.
+func ResumeSatisfiableContext(ctx context.Context, ds *DimensionSchema, cp *Checkpoint, opts Options) (Result, error) {
+	return core.ResumeSatisfiableContext(ctx, ds, cp, opts)
+}
+
+// JobStore is a durable, crash-recovering store of asynchronous reasoning
+// jobs: submissions persist before they run, long searches checkpoint
+// their position to disk, and jobs interrupted by a crash or shutdown are
+// re-enqueued and resumed on the next Open.
+type JobStore = jobs.Store
+
+// JobStoreConfig configures a JobStore.
+type JobStoreConfig = jobs.Config
+
+// JobRequest describes the reasoning a job performs (kind "sat" or
+// "implies").
+type JobRequest = jobs.Request
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus = jobs.Status
+
+// JobCounters are a store's cumulative counters (submitted, recovered,
+// resumed, corrupt-rejected, ...).
+type JobCounters = jobs.Counters
+
+// ErrCorruptSnapshot reports a job-store file that failed its checksum;
+// the store quarantines such files rather than trusting them. Test with
+// errors.Is.
+var ErrCorruptSnapshot = jobs.ErrCorruptSnapshot
+
+// OpenJobStore loads (or creates) a durable job store rooted at
+// cfg.Dir, re-enqueuing any jobs a previous process left unfinished.
+// Call Start to begin executing and Close to suspend.
+func OpenJobStore(cfg JobStoreConfig) (*JobStore, error) { return jobs.Open(cfg) }
 
 // SummarizabilityReport details a summarizability test per bottom
 // category.
