@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-race race vet fuzz-smoke bench experiments clean
+.PHONY: build test check check-race race vet metrics-lint smoke-e2e fuzz-smoke bench experiments clean
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,22 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime $(FUZZTIME) ./internal/jobs
 
-# check is the pre-merge gate: static analysis, the full test suite under
-# the race detector, and a fuzzing smoke pass over the decode boundaries.
-check: vet check-race fuzz-smoke
+# metrics-lint instantiates every metric family the server registers and
+# fails on naming-convention violations (snake_case, counters end in
+# _total, time in _seconds). See cmd/metricslint and docs/OBSERVABILITY.md.
+metrics-lint:
+	$(GO) run ./cmd/metricslint -q
+
+# smoke-e2e boots dimsatd with tracing and a pprof listener and curls the
+# observability surface end to end: /metrics families, X-Request-ID ->
+# /debug/traces/{id}, the slow-search log, and /debug/pprof.
+smoke-e2e:
+	./scripts/e2e_smoke.sh
+
+# check is the pre-merge gate: static analysis, the metric naming lint,
+# the full test suite under the race detector, and a fuzzing smoke pass
+# over the decode boundaries.
+check: vet metrics-lint check-race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

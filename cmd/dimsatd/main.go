@@ -21,8 +21,17 @@
 // admission cap with interactive requests. See docs/OPERATIONS.md for
 // the job lifecycle and recovery semantics.
 //
+// The daemon is observable end to end (see docs/OBSERVABILITY.md):
+// GET /metrics serves the Prometheus exposition; -log writes structured
+// JSON request and slow-search lines; -slow-search sets the expansion
+// threshold past which a search is logged slow; -trace-every samples
+// structured EXPAND/CHECK traces into GET /debug/traces/{id}; and
+// -debug-addr starts a second, loopback-only listener with the
+// net/http/pprof profiling handlers.
+//
 //	dimsatd -addr :8080 -timeout 10s -budget 1000000 -max-concurrent 32 schema.dims
 //	dimsatd -addr :8080 -jobs-dir /var/lib/dimsatd/jobs schema.dims
+//	dimsatd -addr :8080 -log - -trace-every 100 -debug-addr 127.0.0.1:6060 schema.dims
 package main
 
 import (
@@ -30,8 +39,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +68,11 @@ func main() {
 	jobsDir := flag.String("jobs-dir", "", "directory for durable async jobs (empty disables /jobs)")
 	checkpointEvery := flag.Int("checkpoint-every", 1000, "EXPAND steps between durable job checkpoints (-1 disables)")
 	jobBudget := flag.Int("job-budget", 0, "max cumulative DIMSAT expansions per job across resumes (0 = unlimited)")
+	logDest := flag.String("log", "", `structured JSON log destination: "-" = stderr, a path = append to file, empty disables`)
+	slowSearch := flag.Int("slow-search", 100000, "expansions at which a search is counted and logged slow (0 disables)")
+	traceEvery := flag.Int("trace-every", 0, "record a structured search trace every N reasoning requests (0 disables; traced requests bypass the cache)")
+	traceRing := flag.Int("trace-ring", 256, "structured traces retained for /debug/traces")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; keep it loopback-only)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dimsatd [flags] <schema.dims>")
 		flag.PrintDefaults()
@@ -73,6 +89,19 @@ func main() {
 	ds, err := core.Parse(string(data))
 	if err != nil {
 		log.Fatal(err)
+	}
+	var logW io.Writer
+	switch *logDest {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*logDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		logW = f
 	}
 	// The job store opens (and recovers interrupted jobs) before the
 	// server is built, so the server can install its admission semaphore
@@ -108,12 +137,31 @@ func main() {
 		RetryAfter:     *retryAfter,
 		MaxBodyBytes:   *maxBody,
 		Jobs:           store,
+
+		Log:                  logW,
+		TraceEvery:           *traceEvery,
+		TraceRing:            *traceRing,
+		SlowSearchExpansions: *slowSearch,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if store != nil {
 		store.Start()
+	}
+
+	// The pprof handlers live on their own listener so profiling stays off
+	// the service port: net/http/pprof registers on http.DefaultServeMux,
+	// which the main server (a custom handler) never serves.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux}
+		go func() {
+			log.Printf("dimsatd: pprof debug listener on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("dimsatd: debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 
 	// The write timeout must outlast the reasoning timeout or slow

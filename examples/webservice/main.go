@@ -4,7 +4,10 @@
 // handler cmd/dimsatd serves) and walks the endpoints with plain HTTP,
 // including the overload contract: requests shed with 429 + Retry-After
 // are retried with backoff until the server admits them (see
-// docs/OPERATIONS.md for the full failure model).
+// docs/OPERATIONS.md for the full failure model). Every response carries
+// an X-Request-ID header; the client logs it so a slow or shed call can
+// be correlated with the server's request log and GET /debug/traces/{id}
+// (see docs/OBSERVABILITY.md).
 //
 //	go run ./examples/webservice
 package main
@@ -131,7 +134,7 @@ func overloadDemo() {
 			log.Fatal(err)
 		}
 		resp.Body.Close()
-		fmt.Printf("  slow request finished with %d\n", resp.StatusCode)
+		fmt.Printf("  slow request %s finished with %d\n", requestID(resp), resp.StatusCode)
 	}()
 	time.Sleep(100 * time.Millisecond) // let the slow request take the slot
 
@@ -180,17 +183,30 @@ func getJSONRetry(url string, out any, maxAttempts int) error {
 			if attempt >= maxAttempts {
 				return fmt.Errorf("still shed after %d attempts", attempt)
 			}
-			fmt.Printf("  attempt %d shed with 429, retrying in %s\n", attempt, wait)
+			// The shed response still carries a request ID: quote it when
+			// reporting so the operator can find the exact request in the
+			// server's JSON log.
+			fmt.Printf("  attempt %d (%s) shed with 429, retrying in %s\n", attempt, requestID(resp), wait)
 			time.Sleep(wait)
 			backoff *= 2
 			continue
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+			return fmt.Errorf("GET %s: status %d (request %s)", url, resp.StatusCode, requestID(resp))
 		}
+		fmt.Printf("  attempt %d (%s) admitted\n", attempt, requestID(resp))
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
+}
+
+// requestID extracts the server-minted correlation ID, the key into the
+// request log and the /debug/traces ring.
+func requestID(resp *http.Response) string {
+	if id := resp.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return "no-request-id"
 }
 
 func getJSON(url string, out any) {

@@ -16,11 +16,27 @@ import (
 // Failed runs (canceled contexts, exhausted budgets) are never retained —
 // a later call with a larger budget recomputes. Cached Results share their
 // witness frozen dimension; witnesses are immutable after construction.
+// A hit returns the memoized verdict with zero Stats: the answering
+// request did no search work, so per-request effort accounting
+// (Options.Effort, serving histograms) records nothing for it — the
+// effort was already attributed to the request that computed the entry.
+//
+// A cache built with NewSatCacheSize is bounded: inserting a computed
+// result beyond the capacity evicts the oldest retained entry (FIFO), so
+// a server fed a stream of distinct schemas holds memory steady. The
+// default NewSatCache is unbounded, the right shape for one schema's
+// category space.
 type SatCache struct {
 	mu      sync.Mutex
 	entries map[satCacheKey]*satCacheEntry
-	hits    uint64
-	misses  uint64
+	// order lists completed (retained) entries oldest-first; in-flight
+	// singleflight slots are not in it.
+	order     []satCacheKey
+	max       int // 0 = unbounded
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	evictions uint64
 	// work accumulates the search effort of every computed (non-hit) run,
 	// the figure the dimsatd /stats endpoint reports.
 	work Stats
@@ -39,9 +55,20 @@ type satCacheEntry struct {
 	err  error
 }
 
-// NewSatCache returns an empty satisfiability cache.
+// NewSatCache returns an empty, unbounded satisfiability cache.
 func NewSatCache() *SatCache {
 	return &SatCache{entries: map[satCacheKey]*satCacheEntry{}}
+}
+
+// NewSatCacheSize returns a cache retaining at most maxEntries computed
+// results, evicting oldest-first past the cap; maxEntries <= 0 means
+// unbounded.
+func NewSatCacheSize(maxEntries int) *SatCache {
+	c := NewSatCache()
+	if maxEntries > 0 {
+		c.max = maxEntries
+	}
+	return c
 }
 
 // CacheStats is a point-in-time snapshot of a SatCache.
@@ -50,6 +77,12 @@ type CacheStats struct {
 	Hits uint64
 	// Misses counts calls that ran a DIMSAT search.
 	Misses uint64
+	// Coalesced counts the subset of hits that arrived while the entry
+	// was still being computed and blocked on the in-flight search
+	// (singleflight deduplication) instead of racing to repeat it.
+	Coalesced uint64
+	// Evictions counts retained entries dropped by the size bound.
+	Evictions uint64
 	// Entries is the number of retained results.
 	Entries int
 	// Work accumulates the search effort of every computed run.
@@ -69,7 +102,11 @@ func (s CacheStats) HitRate() float64 {
 func (c *SatCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Work: c.work}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Coalesced: c.coalesced, Evictions: c.evictions,
+		Entries: len(c.entries), Work: c.work,
+	}
 }
 
 // satisfiable answers (fingerprint(ds), root) from the cache, running
@@ -85,14 +122,27 @@ func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root st
 			c.mu.Unlock()
 			select {
 			case <-e.done:
-			case <-ctx.Done():
-				return Result{}, ctx.Err()
+			default:
+				// The entry is still computing: this call coalesces onto the
+				// in-flight search.
+				c.mu.Lock()
+				c.coalesced++
+				c.mu.Unlock()
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return Result{}, ctx.Err()
+				}
 			}
 			if e.err == nil {
 				c.mu.Lock()
 				c.hits++
 				c.mu.Unlock()
-				return e.res, nil
+				// The memoized verdict with zero Stats: this request did no
+				// search work (see the type comment).
+				res := e.res
+				res.Stats = Stats{}
+				return res, nil
 			}
 			// The computing call failed and removed its entry before
 			// closing done; retry under our own budget.
@@ -109,11 +159,27 @@ func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root st
 		} else {
 			c.misses++
 			c.work.Add(res.Stats)
+			c.retain(key)
 		}
 		c.mu.Unlock()
 		e.res, e.err = res, err
 		close(e.done)
 		return res, err
+	}
+}
+
+// retain records a completed entry in FIFO order and evicts past the
+// size bound; the caller holds c.mu.
+func (c *SatCache) retain(key satCacheKey) {
+	c.order = append(c.order, key)
+	if c.max <= 0 {
+		return
+	}
+	for len(c.order) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.evictions++
 	}
 }
 

@@ -174,6 +174,15 @@ func ResumeSatisfiableContext(ctx context.Context, ds *DimensionSchema, cp *Chec
 	s := newSearch(ctx, ds, cp.Root, opts)
 	s.stats = cp.Stats
 	s.walkFrom(frozen.NewSubhierarchy(cp.Root), s.check, cp.Path, cp.Next)
+	// The sink measures this attempt's own work; the checkpoint's prior
+	// stats were fed to a sink by the attempt that produced them.
+	if opts.Effort != nil {
+		att := s.stats
+		att.Expansions -= cp.Stats.Expansions
+		att.Checks -= cp.Stats.Checks
+		att.DeadEnds -= cp.Stats.DeadEnds
+		opts.Effort.add(att)
+	}
 	if s.err != nil {
 		return Result{Stats: s.stats, Checkpoint: s.cp}, s.err
 	}

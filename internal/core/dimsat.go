@@ -67,6 +67,14 @@ type Options struct {
 	// fault error captures its final position in Result.Checkpoint so the
 	// caller can continue it later with ResumeSatisfiableContext.
 	Checkpoint *Checkpointing
+	// Effort, when non-nil, accumulates the Stats of every DIMSAT run
+	// executed under these options — including batch fan-outs and aborted
+	// runs, excluding cache hits. The server installs one per request to
+	// measure per-request search effort.
+	Effort *EffortSink
+	// Pool, when non-nil, observes the batch-surface worker pool: batch
+	// fan-outs, task starts, and task completions with latency.
+	Pool PoolObserver
 }
 
 // Tracer observes a DIMSAT execution; used to reproduce the Figure 7 trace
@@ -160,6 +168,7 @@ func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts
 func runSatisfiable(ctx context.Context, ds *DimensionSchema, c string, opts Options) (Result, error) {
 	s := newSearch(ctx, ds, c, opts)
 	s.walk(frozen.NewSubhierarchy(c), s.check)
+	opts.Effort.add(s.stats)
 	res := Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}
 	if s.err != nil {
 		return Result{Stats: s.stats, Checkpoint: s.cp}, s.err
@@ -217,6 +226,7 @@ func EnumerateFrozenContext(ctx context.Context, ds *DimensionSchema, root strin
 		}
 		return true
 	})
+	opts.Effort.add(s.stats)
 	if s.err != nil {
 		return nil, s.err
 	}
@@ -237,6 +247,9 @@ type search struct {
 
 	stats   Stats
 	witness *frozen.Frozen
+	// structured is opts.Tracer's StructuredTracer side, resolved once so
+	// the per-step type assertion leaves the hot path.
+	structured StructuredTracer
 	// err records why the search aborted early (context cancellation or
 	// budget exhaustion); nil for completed searches.
 	err error
@@ -268,7 +281,17 @@ func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Optio
 	if opts.Checkpoint != nil {
 		s.fp = schemaFingerprint(ds)
 	}
+	s.structured, _ = opts.Tracer.(StructuredTracer)
 	return s
+}
+
+// deadEnd counts an abandoned branch and reports it to the structured
+// tracer with the heuristic that pruned it.
+func (s *search) deadEnd(ctop, heuristic string) {
+	s.stats.DeadEnds++
+	if s.structured != nil {
+		s.structured.PruneStep(len(s.path), ctop, heuristic)
+	}
 }
 
 // snapshot captures the current search position: the decision stack plus
@@ -424,7 +447,7 @@ func (s *search) walkFrom(g *frozen.Subhierarchy, onComplete func(*frozen.Subhie
 		if replaying {
 			return s.failResume("path descends into a cyclic dead end")
 		}
-		s.stats.DeadEnds++
+		s.deadEnd(schema.All, "cycle-frontier")
 		return true
 	}
 
@@ -465,7 +488,7 @@ func (s *search) walkFrom(g *frozen.Subhierarchy, onComplete func(*frozen.Subhie
 		if replaying {
 			return s.failResume("path descends into a dead end at %s", ctop)
 		}
-		s.stats.DeadEnds++
+		s.deadEnd(ctop, "into")
 		return true
 	}
 
@@ -507,7 +530,7 @@ func (s *search) walkFrom(g *frozen.Subhierarchy, onComplete func(*frozen.Subhie
 			if silent {
 				return s.failResume("path records a pruned expansion at %s", ctop)
 			}
-			s.stats.DeadEnds++
+			s.deadEnd(ctop, "sibling-shortcut")
 			continue
 		}
 		if !silent && s.overBudget(mask) {
@@ -526,6 +549,9 @@ func (s *search) walkFrom(g *frozen.Subhierarchy, onComplete func(*frozen.Subhie
 			s.stats.Expansions++
 			if s.opts.Tracer != nil {
 				s.opts.Tracer.Expand(g, ctop, R)
+			}
+			if s.structured != nil {
+				s.structured.ExpandStep(len(s.path), ctop, R)
 			}
 			if !s.maybeCheckpoint() {
 				return false
@@ -566,6 +592,9 @@ func (s *search) check(g *frozen.Subhierarchy) bool {
 	f, ok := frozen.Induces(g, s.sigma, s.consts)
 	if s.opts.Tracer != nil {
 		s.opts.Tracer.Check(g, ok)
+	}
+	if s.structured != nil {
+		s.structured.CheckStep(len(s.path), ok)
 	}
 	if !ok {
 		return true

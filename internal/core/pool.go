@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"olapdim/internal/faults"
 )
@@ -29,7 +30,23 @@ func poolSize(opts Options) int {
 // propagates, instead of killing the process. All core batch surfaces
 // (matrix, minimal sources, category sweeps, lint) fan out through here.
 func runPool(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) error {
+	po := opts.Pool
+	var started atomic.Int64
+	if po != nil {
+		po.BatchStart(n)
+		// An early abort leaves unstarted tasks behind; reconcile so queue
+		// gauges derived from BatchStart/TaskStart cannot drift.
+		defer func() { po.BatchDone(n - int(started.Load())) }()
+	}
 	return forEachLimit(ctx, n, poolSize(opts), func(ctx context.Context, i int) (err error) {
+		if po != nil {
+			started.Add(1)
+			po.TaskStart()
+			start := time.Now()
+			// Registered before recoverAsInternal so it runs after it and
+			// observes the recovered error of a panicking task.
+			defer func() { po.TaskDone(time.Since(start), err) }()
+		}
 		defer recoverAsInternal(&err)
 		if err := opts.Faults.Hit(faults.SitePoolTask); err != nil {
 			return err

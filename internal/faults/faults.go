@@ -280,3 +280,18 @@ func (in *Injector) Fired(site string) int {
 	defer in.mu.Unlock()
 	return in.fired[site]
 }
+
+// AllFired snapshots the per-site activation counts, for metric scrapes
+// that label a counter by site. Sites never activated are absent.
+func (in *Injector) AllFired() map[string]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int, len(in.fired))
+	for site, n := range in.fired {
+		out[site] = n
+	}
+	return out
+}

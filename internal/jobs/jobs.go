@@ -112,6 +112,9 @@ type Counters struct {
 	// CorruptRejected counts snapshot files refused for failing their
 	// checksum or semantic validation.
 	CorruptRejected int64 `json:"corruptRejected"`
+	// CheckpointWrites counts durable search-checkpoint writes that
+	// reached disk (periodic sinks and shutdown captures).
+	CheckpointWrites int64 `json:"checkpointWrites"`
 	// Done, Failed and Cancelled count terminal transitions.
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
@@ -172,6 +175,7 @@ type Store struct {
 	recovered       atomic.Int64
 	resumed         atomic.Int64
 	corruptRejected atomic.Int64
+	ckptWrites      atomic.Int64
 	done            atomic.Int64
 	failed          atomic.Int64
 	cancelled       atomic.Int64
@@ -414,13 +418,14 @@ func (s *Store) Cancel(id string) (Status, error) {
 // Counters returns the store's cumulative counters.
 func (s *Store) Counters() Counters {
 	return Counters{
-		Submitted:       s.submitted.Load(),
-		Recovered:       s.recovered.Load(),
-		Resumed:         s.resumed.Load(),
-		CorruptRejected: s.corruptRejected.Load(),
-		Done:            s.done.Load(),
-		Failed:          s.failed.Load(),
-		Cancelled:       s.cancelled.Load(),
+		Submitted:        s.submitted.Load(),
+		Recovered:        s.recovered.Load(),
+		Resumed:          s.resumed.Load(),
+		CorruptRejected:  s.corruptRejected.Load(),
+		CheckpointWrites: s.ckptWrites.Load(),
+		Done:             s.done.Load(),
+		Failed:           s.failed.Load(),
+		Cancelled:        s.cancelled.Load(),
 	}
 }
 
@@ -686,6 +691,7 @@ func (s *Store) persistCheckpoint(id string, cp *core.Checkpoint) error {
 	if err := WriteSnapshotFile(s.ckptPath(id), payload); err != nil {
 		return err
 	}
+	s.ckptWrites.Add(1)
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok {
 		j.hasCkpt = true

@@ -1,0 +1,25 @@
+package jobs
+
+import "testing"
+
+// TestCheckpointWritesCounter checks the CheckpointWrites counter: a job
+// run with CheckpointEvery=1 persists at least one checkpoint, and the
+// counter reflects only successful snapshot writes.
+func TestCheckpointWritesCounter(t *testing.T) {
+	s := open(t, Config{Dir: t.TempDir(), Schema: parse(t, diamondSrc), CheckpointEvery: 1})
+	s.Start()
+	if c := s.Counters(); c.CheckpointWrites != 0 {
+		t.Fatalf("fresh store reports %d checkpoint writes", c.CheckpointWrites)
+	}
+	st, _, err := s.Submit(Request{Kind: KindSat, Category: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := await(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	if c := s.Counters(); c.CheckpointWrites == 0 {
+		t.Error("CheckpointEvery=1 job completed without counting a checkpoint write")
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Logger writes structured JSON lines — one object per event — to a
+// single writer, serialized by a mutex so concurrent requests never
+// interleave bytes. Every line carries ts (RFC 3339, UTC) and event;
+// callers add the rest. A nil *Logger discards everything, so logging
+// call sites need no guards.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing JSON lines to w; a nil w yields a
+// nil logger, whose methods are no-ops.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log emits one event line. fields must not contain the reserved keys
+// "ts" and "event" (they would be overwritten). Keys are rendered in
+// sorted order (encoding/json map behavior), so lines are diffable.
+func (l *Logger) Log(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// A field that cannot marshal (a channel, a cycle) is a programmer
+		// error; degrade to a loggable note rather than dropping the event.
+		line, _ = json.Marshal(map[string]any{
+			"ts": time.Now().UTC().Format(time.RFC3339Nano), "event": event,
+			"error": fmt.Sprintf("unloggable fields: %v", err),
+		})
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(line, '\n'))
+}
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID, propagated by
+// the server through every reasoning call so traces, slow-search log
+// lines and access-log lines for one request share one key.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID, "" when none was attached.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// IDSource mints request IDs: a random per-process prefix (so IDs from
+// successive restarts do not collide in aggregated logs) plus an atomic
+// sequence number. Safe for concurrent use.
+type IDSource struct {
+	prefix string
+	seq    atomic.Uint64
+}
+
+// NewIDSource returns an ID source with a fresh random prefix.
+func NewIDSource() *IDSource {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock; uniqueness within the process still holds
+		// via the sequence number.
+		now := time.Now().UnixNano()
+		b = [4]byte{byte(now >> 24), byte(now >> 16), byte(now >> 8), byte(now)}
+	}
+	return &IDSource{prefix: hex.EncodeToString(b[:])}
+}
+
+// Next returns the next request ID, e.g. "9f1c2a3b-000042".
+func (s *IDSource) Next() string {
+	return fmt.Sprintf("%s-%06d", s.prefix, s.seq.Add(1))
+}

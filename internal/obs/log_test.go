@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Log("request", map[string]any{"path": "/sat", "status": 200})
+	l.Log("slow_search", map[string]any{"expansions": 9})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec["event"] != "request" || rec["path"] != "/sat" || rec["status"] != float64(200) {
+		t.Errorf("line 0 = %v", rec)
+	}
+	if rec["ts"] == nil {
+		t.Error("line 0 has no ts")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if rec["event"] != "slow_search" {
+		t.Errorf("line 1 = %v", rec)
+	}
+}
+
+func TestNilLoggerDiscards(t *testing.T) {
+	var l *Logger
+	l.Log("anything", map[string]any{"k": "v"}) // must not panic
+	if NewLogger(nil) != nil {
+		t.Error("NewLogger(nil) != nil")
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Errorf("empty context carries id %q", got)
+	}
+	ctx := WithRequestID(context.Background(), "abc-000001")
+	if got := RequestIDFrom(ctx); got != "abc-000001" {
+		t.Errorf("id = %q", got)
+	}
+}
+
+func TestIDSource(t *testing.T) {
+	s := NewIDSource()
+	a, b := s.Next(), s.Next()
+	if a == b {
+		t.Fatalf("consecutive IDs collide: %s", a)
+	}
+	for _, id := range []string{a, b} {
+		parts := strings.Split(id, "-")
+		if len(parts) != 2 || len(parts[0]) != 8 || len(parts[1]) != 6 {
+			t.Errorf("id %q does not match prefix-seq shape", id)
+		}
+	}
+	if !strings.HasSuffix(a, "-000001") || !strings.HasSuffix(b, "-000002") {
+		t.Errorf("sequence not monotonic: %s, %s", a, b)
+	}
+}

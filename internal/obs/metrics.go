@@ -1,0 +1,442 @@
+// Package obs is the observability layer of the dimension-constraint
+// service: a dependency-free metrics registry with Prometheus text
+// exposition, a structured JSON-lines logger with request-ID propagation,
+// and a bounded in-memory ring of per-request DIMSAT search traces.
+//
+// The registry holds three instrument kinds — atomic counters, gauges and
+// fixed-bucket histograms — optionally split by one label, plus
+// collect-at-scrape functions for counters owned elsewhere (the SatCache,
+// the job store, the fault injector). Everything is safe for concurrent
+// use from serving hot paths; an observation is one or two atomic
+// operations, never an allocation.
+//
+// Metric names are validated at registration (see CheckName) and linted
+// against the serving conventions (see Lint, cmd/metricslint):
+// snake_case, counters end in _total, duration metrics end in _seconds.
+// docs/OBSERVABILITY.md catalogs every metric the server registers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric types as exposed in the Prometheus TYPE comment.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// CheckName validates the basic syntax of a metric or label name:
+// snake_case ASCII, starting with a letter, no consecutive or trailing
+// underscores. Registration panics on violations — metric names are
+// compile-time constants, so a bad one is a programmer error caught by
+// any test that constructs the registry.
+func CheckName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("obs: metric name %q is not snake_case", name)
+	}
+	return nil
+}
+
+// Lint applies the serving naming conventions on top of CheckName:
+// counters must end in _total, non-counters must not, and any metric
+// whose name speaks of time (duration, latency) must be in base seconds
+// (end in _seconds). cmd/metricslint runs this over every family the
+// server registers, so a drive-by metric with a nonconforming name fails
+// `make check` rather than landing on a dashboard.
+func Lint(name, typ string) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	isTotal := strings.HasSuffix(name, "_total")
+	if typ == TypeCounter && !isTotal {
+		return fmt.Errorf("obs: counter %q must end in _total", name)
+	}
+	if typ != TypeCounter && isTotal {
+		return fmt.Errorf("obs: %s %q must not end in _total (counters only)", typ, name)
+	}
+	for _, w := range []string{"duration", "latency"} {
+		if strings.Contains(name, w) && !strings.HasSuffix(name, "_seconds") {
+			return fmt.Errorf("obs: %s %q mentions %q but is not in base seconds (_seconds)", typ, name, w)
+		}
+	}
+	return nil
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta and returns the new value, so callers
+// using the gauge as their own bookkeeping (admission queues) need no
+// shadow atomic.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Buckets are upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest. Observations
+// are lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the cumulative count at each configured upper bound
+// (excluding +Inf), index-aligned with the bounds passed at registration.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.bounds))
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// family is one registered metric family: a fixed name/help/type plus
+// either static series (by label value) or a collect-at-scrape function.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	label  string // label name for vector families, "" otherwise
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]any // label value ("" for plain) -> *Counter/*Gauge/*Histogram
+	// collect, when non-nil, supersedes series: it returns current values
+	// by label value at scrape time (counters and gauges only).
+	collect func() map[string]float64
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Register every family once, at construction time;
+// duplicate or syntactically invalid names panic.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help, typ, label string, bounds []float64, collect func() map[string]float64) *family {
+	if err := CheckName(name); err != nil {
+		panic(err)
+	}
+	if label != "" {
+		if err := CheckName(label); err != nil {
+			panic(err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, typ: typ, label: label, bounds: bounds,
+		series: map[string]any{}, collect: collect}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, TypeCounter, "", nil, nil)
+	c := &Counter{}
+	f.series[""] = c
+	return c
+}
+
+// Gauge registers and returns a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, TypeGauge, "", nil, nil)
+	g := &Gauge{}
+	f.series[""] = g
+	return g
+}
+
+// Histogram registers and returns a plain fixed-bucket histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, "", buckets, nil)
+	h := newHistogram(buckets)
+	f.series[""] = h
+	return h
+}
+
+// CounterVec is a counter family split by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a counter family with one label dimension.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, label, nil, nil)}
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.series[value].(*Counter)
+	if !ok {
+		c = &Counter{}
+		v.f.series[value] = c
+	}
+	return c
+}
+
+// Total sums the counter across all label values.
+func (v *CounterVec) Total() uint64 {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	var total uint64
+	for _, m := range v.f.series {
+		total += m.(*Counter).Value()
+	}
+	return total
+}
+
+// HistogramVec is a histogram family split by one label.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a histogram family with one label dimension.
+// All series share the bucket layout.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	return &HistogramVec{r.register(name, help, TypeHistogram, label, buckets, nil)}
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	h, ok := v.f.series[value].(*Histogram)
+	if !ok {
+		h = newHistogram(v.f.bounds)
+		v.f.series[value] = h
+	}
+	return h
+}
+
+// CounterFunc registers a counter whose value is read at scrape time —
+// for cumulative counts owned by another subsystem (cache hits, job
+// lifecycle transitions). f must be safe for concurrent use and
+// monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(name, help, TypeCounter, "", nil, func() map[string]float64 {
+		return map[string]float64{"": f()}
+	})
+}
+
+// GaugeFunc registers a gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, help, TypeGauge, "", nil, func() map[string]float64 {
+		return map[string]float64{"": f()}
+	})
+}
+
+// CounterVecFunc registers a labeled counter family collected at scrape
+// time: f returns the current value per label value (e.g. fault
+// injections fired per site).
+func (r *Registry) CounterVecFunc(name, help, label string, f func() map[string]float64) {
+	r.register(name, help, TypeCounter, label, nil, f)
+}
+
+// FamilyInfo describes one registered family, for linting and catalogs.
+type FamilyInfo struct {
+	Name  string
+	Type  string
+	Help  string
+	Label string // "" for unlabeled families
+}
+
+// Families lists the registered families sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Help: f.help, Label: f.label})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families and series sorted by name so scrapes
+// are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+	if f.collect != nil {
+		vals := f.collect()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, f.labelPair(k), formatFloat(vals[k]))
+		}
+		return
+	}
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	for i, k := range keys {
+		switch m := series[i].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelPair(k), m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelPair(k), m.Value())
+		case *Histogram:
+			cum := m.Buckets()
+			for j, bound := range m.bounds {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.bucketLabel(k, formatFloat(bound)), cum[j])
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.bucketLabel(k, "+Inf"), m.Count())
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, f.labelPair(k), formatFloat(m.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelPair(k), m.Count())
+		}
+	}
+}
+
+// labelPair renders {label="value"} for vector families, "" otherwise.
+func (f *family) labelPair(value string) string {
+	if f.label == "" {
+		return ""
+	}
+	return fmt.Sprintf(`{%s=%q}`, f.label, value)
+}
+
+// bucketLabel renders the le label, merged with the family label if any.
+func (f *family) bucketLabel(value, le string) string {
+	if f.label == "" {
+		return fmt.Sprintf(`{le=%q}`, le)
+	}
+	return fmt.Sprintf(`{%s=%q,le=%q}`, f.label, value, le)
+}
+
+// formatFloat renders a float like Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// ServeHTTP renders the registry, making it mountable at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+// DurationBuckets is the default latency bucket layout, in seconds:
+// 1ms to ~16s in powers of four, fitting both cache hits and budgeted
+// worst-case searches.
+func DurationBuckets() []float64 {
+	return []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
+}
+
+// EffortBuckets is the default search-effort bucket layout (EXPAND or
+// CHECK steps per request): exponential from 1 to ~1M, the range between
+// a trivially pruned search and an exhausted serving budget.
+func EffortBuckets() []float64 {
+	return []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}

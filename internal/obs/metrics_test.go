@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the text exposition format byte for
+// byte: family and series ordering, HELP/TYPE comments, label rendering,
+// cumulative histogram buckets with the +Inf catch-all, and integer
+// formatting without a decimal point.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_ops_total", "Operations.").Add(3)
+	reg.Gauge("test_depth", "Depth.").Set(-2)
+	h := reg.Histogram("test_size_bytes", "Sizes.", []float64{1, 2.5})
+	h.Observe(0.5)
+	h.Observe(2.5)
+	h.Observe(10)
+	codes := reg.CounterVec("test_reqs_total", "Requests.", "code")
+	codes.With("2xx").Add(2)
+	codes.With("5xx").Inc()
+	reg.GaugeFunc("test_temp", "Temp.", func() float64 { return 36.6 })
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	want := `# HELP test_depth Depth.
+# TYPE test_depth gauge
+test_depth -2
+# HELP test_ops_total Operations.
+# TYPE test_ops_total counter
+test_ops_total 3
+# HELP test_reqs_total Requests.
+# TYPE test_reqs_total counter
+test_reqs_total{code="2xx"} 2
+test_reqs_total{code="5xx"} 1
+# HELP test_size_bytes Sizes.
+# TYPE test_size_bytes histogram
+test_size_bytes_bucket{le="1"} 1
+test_size_bytes_bucket{le="2.5"} 2
+test_size_bytes_bucket{le="+Inf"} 3
+test_size_bytes_sum 13
+test_size_bytes_count 3
+# HELP test_temp Temp.
+# TYPE test_temp gauge
+test_temp 36.6
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-inclusive Prometheus bucket
+// semantics: a sample equal to an upper bound lands in that bound's
+// bucket, one just above spills to the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_h", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.0001, 2, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	// Cumulative: le=1 gets {0,1}, le=2 adds {1.0001,2}, le=4 adds {4}.
+	want := []uint64{2, 4, 5}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[le=%v] = %d, want %d", []float64{1, 2, 4}[i], got[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0+1+1.0001+2+4+4.0001+100 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestGaugeAddReturnsNewValue(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_g", "g")
+	if got := g.Add(3); got != 3 {
+		t.Errorf("Add(3) = %d, want 3", got)
+	}
+	if got := g.Add(-1); got != 2 {
+		t.Errorf("Add(-1) = %d, want 2", got)
+	}
+}
+
+func TestCounterVecTotal(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("test_v_total", "v", "k")
+	v.With("a").Add(2)
+	v.With("b").Add(5)
+	if got := v.Total(); got != 7 {
+		t.Errorf("Total = %d, want 7", got)
+	}
+}
+
+func TestRegistryPanicsOnBadAndDuplicateNames(t *testing.T) {
+	mustPanic := func(name string, f func(reg *Registry)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f(NewRegistry())
+	}
+	mustPanic("camelCase", func(reg *Registry) { reg.Counter("badName", "") })
+	mustPanic("double underscore", func(reg *Registry) { reg.Counter("bad__name", "") })
+	mustPanic("leading digit", func(reg *Registry) { reg.Gauge("9bad", "") })
+	mustPanic("bad label", func(reg *Registry) { reg.CounterVec("ok_total", "", "BadLabel") })
+	mustPanic("duplicate", func(reg *Registry) {
+		reg.Counter("dup_total", "")
+		reg.Gauge("dup_total", "")
+	})
+	mustPanic("non-ascending buckets", func(reg *Registry) {
+		reg.Histogram("h", "", []float64{1, 1})
+	})
+}
+
+func TestLint(t *testing.T) {
+	cases := []struct {
+		name, typ string
+		ok        bool
+	}{
+		{"dimsat_cache_hits_total", TypeCounter, true},
+		{"dimsat_cache_entries", TypeGauge, true},
+		{"dimsat_request_duration_seconds", TypeHistogram, true},
+		{"dimsat_search_expansions", TypeHistogram, true},
+		{"dimsat_cache_hits", TypeCounter, false},            // counter without _total
+		{"dimsat_cache_entries_total", TypeGauge, false},     // gauge with _total
+		{"dimsat_request_duration_ms", TypeHistogram, false}, // time not in seconds
+		{"dimsat_task_latency", TypeHistogram, false},        // time not in seconds
+		{"dimsatCamel_total", TypeCounter, false},            // not snake_case
+	}
+	for _, c := range cases {
+		err := Lint(c.name, c.typ)
+		if c.ok && err != nil {
+			t.Errorf("Lint(%q, %s) = %v, want nil", c.name, c.typ, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Lint(%q, %s) = nil, want error", c.name, c.typ)
+		}
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_ops_total", "ops").Inc()
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_ops_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+// TestRegistryConcurrent hammers every instrument kind from many
+// goroutines while scrapes run — meaningful under -race (make check-race)
+// and a sanity check that concurrent totals are not lost.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_c_total", "")
+	g := reg.Gauge("test_g", "")
+	h := reg.Histogram("test_h", "", DurationBuckets())
+	v := reg.CounterVec("test_v_total", "", "k")
+	hv := reg.HistogramVec("test_hv", "", "k", EffortBuckets())
+
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := []string{"a", "b", "c"}[i%3]
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j) / 1000)
+				v.With(key).Inc()
+				hv.With(key).Observe(float64(j))
+				if j%100 == 0 {
+					var b strings.Builder
+					reg.WritePrometheus(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if v.Total() != goroutines*perG {
+		t.Errorf("vec total = %d, want %d", v.Total(), goroutines*perG)
+	}
+}

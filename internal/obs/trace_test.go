@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"olapdim/internal/core"
+)
+
+// The SearchTracer must satisfy both tracer interfaces of the engine —
+// the narrative core.Tracer and the structured extension the search
+// detects by type assertion.
+var (
+	_ core.Tracer           = (*SearchTracer)(nil)
+	_ core.StructuredTracer = (*SearchTracer)(nil)
+)
+
+// TestRingEviction fills the ring past capacity and checks FIFO
+// eviction, newest-first listing, and duplicate-ID replacement.
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Put(&Trace{ID: fmt.Sprintf("req-%d", i), Expansions: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	for _, gone := range []string{"req-1", "req-2"} {
+		if _, ok := r.Get(gone); ok {
+			t.Errorf("%s survived eviction", gone)
+		}
+	}
+	ids := r.IDs()
+	want := []string{"req-5", "req-4", "req-3"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v (newest first)", ids, want)
+		}
+	}
+	// A duplicate ID replaces in place without consuming a slot.
+	r.Put(&Trace{ID: "req-4", Expansions: 99})
+	if r.Len() != 3 {
+		t.Errorf("len after dup = %d, want 3", r.Len())
+	}
+	if tr, _ := r.Get("req-4"); tr.Expansions != 99 {
+		t.Errorf("dup put did not replace: %+v", tr)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamped to 1", r.Cap())
+	}
+	r.Put(&Trace{ID: "a"})
+	r.Put(&Trace{ID: "b"})
+	if _, ok := r.Get("a"); ok {
+		t.Error("capacity-1 ring retained two traces")
+	}
+}
+
+// TestSearchTracerTruncation checks that the event cap bounds memory:
+// events past the limit only flip Truncated, while Seq keeps counting
+// the search's real length.
+func TestSearchTracerTruncation(t *testing.T) {
+	tr := NewSearchTracer(2)
+	tr.ExpandStep(0, "A", []string{"B"})
+	tr.CheckStep(1, false)
+	tr.PruneStep(1, "C", "into")
+	events, truncated := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2 (capped)", len(events))
+	}
+	if !truncated {
+		t.Error("cap hit but not marked truncated")
+	}
+	if events[0].Kind != "expand" || events[0].Seq != 1 || events[1].Kind != "check" || events[1].Seq != 2 {
+		t.Errorf("unexpected head: %+v", events)
+	}
+}
+
+func TestSearchTracerCountsAndHeuristics(t *testing.T) {
+	tr := NewSearchTracer(100)
+	tr.ExpandStep(0, "A", nil)
+	tr.ExpandStep(1, "B", nil)
+	tr.CheckStep(2, true)
+	tr.PruneStep(1, "C", "into")
+	tr.PruneStep(1, "D", "sibling-shortcut")
+	counts := tr.Counts()
+	if counts["expand"] != 2 || counts["check"] != 1 || counts["prune"] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	hs := tr.Heuristics()
+	if len(hs) != 2 || hs[0] != "into" || hs[1] != "sibling-shortcut" {
+		t.Errorf("heuristics = %v", hs)
+	}
+}

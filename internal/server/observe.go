@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"olapdim/internal/core"
+	"olapdim/internal/obs"
+)
+
+// statusWriter captures the response status so the completion middleware
+// can label the request counter and latency histogram by status class.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// codeClass buckets an HTTP status for the code_class metric label:
+// "2xx", "4xx", "5xx", ...
+func codeClass(status int) string {
+	return fmt.Sprintf("%dxx", status/100)
+}
+
+// reasoning is the per-request observability scope of one reasoning
+// handler: a derived context under the request timeout, a fresh effort
+// sink, and — on sampled requests — a structured search tracer. Handlers
+// call beginReasoning after validating their input, run the engine with
+// rz.ctx and rz.opts, and defer rz.finish, which records the effort
+// histograms, the slow-search log line, and the ring trace.
+type reasoning struct {
+	s      *Server
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	id       string
+	endpoint string
+	// detail carries the request argument (category, root, target); set
+	// by the handler before finish runs.
+	detail string
+	start  time.Time
+
+	opts   core.Options
+	effort *core.EffortSink
+	tracer *obs.SearchTracer
+}
+
+// beginReasoning opens the observability scope for one reasoning
+// request. Every request gets its own EffortSink so per-request search
+// effort lands in the histograms even when the engine answers several
+// sub-searches (matrix cells, per-bottom implications). Every
+// traceEvery-th request additionally carries a SearchTracer; a traced
+// request bypasses the shared cache and runs serially (core semantics
+// for Options.Tracer), which is exactly what makes its EXPAND/CHECK
+// sequence complete — hence sampling rather than always-on tracing.
+func (s *Server) beginReasoning(r *http.Request, endpoint string) *reasoning {
+	ctx, cancel := s.requestContext(r)
+	rz := &reasoning{
+		s:        s,
+		ctx:      ctx,
+		cancel:   cancel,
+		id:       obs.RequestIDFrom(r.Context()),
+		endpoint: endpoint,
+		start:    time.Now(),
+		opts:     s.opts,
+		effort:   &core.EffortSink{},
+	}
+	rz.opts.Effort = rz.effort
+	if s.traceEvery > 0 && (s.traceSeq.Add(1)-1)%int64(s.traceEvery) == 0 {
+		rz.tracer = obs.NewSearchTracer(s.traceEvents)
+		rz.opts.Tracer = rz.tracer
+	}
+	return rz
+}
+
+// finish closes the scope: it cancels the derived context, feeds the
+// request's search effort into the histograms, emits the slow-search
+// log line when the expansion threshold was crossed, and stores the
+// structured trace (when this request was sampled) under the request ID
+// for GET /debug/traces/{id}.
+func (rz *reasoning) finish() {
+	rz.cancel()
+	s := rz.s
+	st := rz.effort.Stats()
+	s.met.searchExpansions.Observe(float64(st.Expansions))
+	s.met.searchChecks.Observe(float64(st.Checks))
+	s.met.searchBacktracks.Observe(float64(st.DeadEnds))
+
+	durMS := float64(time.Since(rz.start)) / float64(time.Millisecond)
+	slow := s.slowExpansions > 0 && st.Expansions >= s.slowExpansions
+	if slow {
+		s.met.slowSearches.Inc()
+		s.logger.Log("slow_search", map[string]any{
+			"requestId":  rz.id,
+			"endpoint":   rz.endpoint,
+			"detail":     rz.detail,
+			"schema":     s.fingerprint,
+			"expansions": st.Expansions,
+			"checks":     st.Checks,
+			"deadEnds":   st.DeadEnds,
+			"durationMs": durMS,
+			"threshold":  s.slowExpansions,
+		})
+	}
+	if rz.tracer != nil && rz.id != "" {
+		events, truncated := rz.tracer.Events()
+		s.ring.Put(&obs.Trace{
+			ID:         rz.id,
+			Endpoint:   rz.endpoint,
+			Detail:     rz.detail,
+			Schema:     s.fingerprint,
+			Start:      rz.start,
+			DurationMS: durMS,
+			Expansions: st.Expansions,
+			Checks:     st.Checks,
+			DeadEnds:   st.DeadEnds,
+			Slow:       slow,
+			Truncated:  truncated,
+			Events:     events,
+		})
+		s.met.tracesRecorded.Inc()
+	}
+}
+
+// traceListResponse is the GET /debug/traces body.
+type traceListResponse struct {
+	Capacity int      `json:"capacity"`
+	Count    int      `json:"count"`
+	// IDs lists retained request IDs, newest first.
+	IDs []string `json:"ids"`
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, traceListResponse{
+		Capacity: s.ring.Cap(), Count: s.ring.Len(), IDs: s.ring.IDs(),
+	})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.ring.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no trace retained for request %q (tracing samples every %d requests)", id, s.traceEvery)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}

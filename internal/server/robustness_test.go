@@ -122,7 +122,7 @@ func TestShedLoadDeterministic(t *testing.T) {
 
 	// Wait until the slow request holds the only slot.
 	deadline := time.Now().Add(2 * time.Second)
-	for s.inflight.Load() != 1 {
+	for s.met.inflight.Value() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("slow request never took the slot")
 		}
@@ -211,7 +211,7 @@ func TestQueueWaitExpiresToShed(t *testing.T) {
 	slow := make(chan int, 1)
 	go func() { slow <- get(t, ts, "/sat?category=Store", nil) }()
 	deadline := time.Now().Add(2 * time.Second)
-	for s.inflight.Load() != 1 {
+	for s.met.inflight.Value() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("slow request never took the slot")
 		}

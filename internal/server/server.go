@@ -18,6 +18,16 @@
 // cache, so repeated roots — across a matrix request or across clients —
 // are solved once.
 //
+// The server is also built to be watched. Every request is assigned an
+// X-Request-ID, logged as a JSON line (Config.Log), and counted into a
+// metrics registry exposed in Prometheus text format at GET /metrics;
+// every reasoning request records its search effort (EXPAND/CHECK/dead
+// ends) into per-request histograms; searches whose expansions cross
+// Config.SlowSearchExpansions land in the slow-search log; and every
+// Config.TraceEvery-th reasoning request records its full structured
+// EXPAND/CHECK/prune sequence into a bounded ring served at
+// GET /debug/traces/{id}. See docs/OBSERVABILITY.md for the catalog.
+//
 //	GET  /schema                         the schema in .dims syntax
 //	GET  /categories                     categories with satisfiability
 //	GET  /sat?category=Store             category satisfiability + witness
@@ -30,6 +40,9 @@
 //	GET  /jobs/{id}                      job status and result
 //	DELETE /jobs/{id}                    cancel a job
 //	GET  /stats                          cache hit rates, cumulative effort
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /debug/traces                   retained structured-trace IDs
+//	GET  /debug/traces/{id}              one request's EXPAND/CHECK trace
 //	GET  /healthz                        liveness (always 200 while serving)
 //	GET  /readyz                         readiness (503 while overloaded)
 //
@@ -41,6 +54,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
@@ -50,6 +64,7 @@ import (
 
 	"olapdim/internal/core"
 	"olapdim/internal/jobs"
+	"olapdim/internal/obs"
 	"olapdim/internal/parser"
 )
 
@@ -58,7 +73,9 @@ import (
 // bounded request bodies, no request timeout (set one in production).
 type Config struct {
 	// Options are the DIMSAT options applied to every request. When
-	// Options.Cache is nil the server installs its own shared cache.
+	// Options.Cache is nil the server installs its own shared cache; when
+	// Options.Pool is nil the server installs its worker-pool metrics
+	// observer.
 	Options core.Options
 	// RequestTimeout bounds each reasoning request; zero means requests
 	// run until the client disconnects.
@@ -87,12 +104,40 @@ type Config struct {
 	// lifecycle: call its Start after the server is constructed and its
 	// Close after HTTP shutdown.
 	Jobs *jobs.Store
+
+	// Metrics is the registry the server registers its instruments in
+	// and serves at GET /metrics; nil means a fresh private registry
+	// (read it back via Registry). Family names are fixed, so one
+	// registry can host at most one server.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives structured JSON lines: one "request"
+	// event per HTTP request and one "slow_search" event per
+	// threshold-crossing search. Nil disables request logging.
+	Log io.Writer
+	// TraceEvery samples every N-th reasoning request for structured
+	// search tracing (1 traces everything); 0 disables tracing. A traced
+	// request bypasses the shared cache and runs serially so its
+	// EXPAND/CHECK sequence is complete — keep the rate low in
+	// production.
+	TraceEvery int
+	// TraceRing bounds how many structured traces are retained for
+	// GET /debug/traces/{id}; zero means 256.
+	TraceRing int
+	// TraceEvents caps the events recorded per trace (the trace is
+	// marked truncated past it); zero means 2048.
+	TraceEvents int
+	// SlowSearchExpansions is the per-request expansion count at or
+	// above which a search is counted slow and logged to the slow-search
+	// log; zero disables slow-search detection.
+	SlowSearchExpansions int
 }
 
 const (
-	defaultQueueWait  = time.Second
-	defaultRetryAfter = time.Second
-	defaultMaxBody    = 1 << 20
+	defaultQueueWait   = time.Second
+	defaultRetryAfter  = time.Second
+	defaultMaxBody     = 1 << 20
+	defaultTraceRing   = 256
+	defaultTraceEvents = 2048
 )
 
 // Server hosts one dimension schema.
@@ -106,21 +151,29 @@ type Server struct {
 
 	timeout time.Duration
 	started time.Time
+	// fingerprint identifies the hosted schema in traces and slow-search
+	// log lines.
+	fingerprint string
+
+	metrics *obs.Registry
+	met     *serverMetrics
+	logger  *obs.Logger
+	ids     *obs.IDSource
+	ring    *obs.Ring
+
+	traceEvery     int
+	traceEvents    int
+	traceSeq       atomic.Int64
+	slowExpansions int
 
 	// Admission control: sem holds one token per executing reasoning
-	// request (nil disables admission), queued counts waiters.
+	// request (nil disables admission); the met.queued and met.inflight
+	// gauges are the bookkeeping.
 	sem        chan struct{}
 	maxQueue   int64
 	queueWait  time.Duration
 	retryAfter time.Duration
 	maxBody    int64
-
-	queued   atomic.Int64
-	inflight atomic.Int64
-	requests atomic.Int64
-	timeouts atomic.Int64
-	panics   atomic.Int64
-	shed     atomic.Int64
 }
 
 // New builds a server for a validated dimension schema with default
@@ -138,17 +191,41 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	if opts.Cache == nil {
 		opts.Cache = core.NewSatCache()
 	}
-	s := &Server{
-		ds:         ds,
-		opts:       opts,
-		cache:      opts.Cache,
-		mux:        http.NewServeMux(),
-		timeout:    cfg.RequestTimeout,
-		started:    time.Now(),
-		queueWait:  cfg.QueueWait,
-		retryAfter: cfg.RetryAfter,
-		maxBody:    cfg.MaxBodyBytes,
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	s := &Server{
+		ds:          ds,
+		opts:        opts,
+		cache:       opts.Cache,
+		mux:         http.NewServeMux(),
+		timeout:     cfg.RequestTimeout,
+		started:     time.Now(),
+		fingerprint: core.Fingerprint(ds),
+		metrics:     reg,
+		met:         newServerMetrics(reg),
+		logger:      obs.NewLogger(cfg.Log),
+		ids:         obs.NewIDSource(),
+		queueWait:   cfg.QueueWait,
+		retryAfter:  cfg.RetryAfter,
+		maxBody:     cfg.MaxBodyBytes,
+
+		traceEvery:     cfg.TraceEvery,
+		traceEvents:    cfg.TraceEvents,
+		slowExpansions: cfg.SlowSearchExpansions,
+	}
+	if s.opts.Pool == nil {
+		s.opts.Pool = poolObserver{s.met}
+	}
+	if s.traceEvents <= 0 {
+		s.traceEvents = defaultTraceEvents
+	}
+	ringSize := cfg.TraceRing
+	if ringSize <= 0 {
+		ringSize = defaultTraceRing
+	}
+	s.ring = obs.NewRing(ringSize)
 	if s.queueWait <= 0 {
 		s.queueWait = defaultQueueWait
 	}
@@ -174,7 +251,8 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 		}
 	}
 	// Reasoning endpoints run expensive DIMSAT searches and pass
-	// admission control; metadata and health endpoints never block.
+	// admission control; metadata, health and observability endpoints
+	// never block.
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("GET /categories", s.admit(s.handleCategories))
 	s.mux.HandleFunc("GET /sat", s.admit(s.handleSat))
@@ -183,6 +261,9 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /frozen", s.admit(s.handleFrozen))
 	s.mux.HandleFunc("GET /matrix", s.admit(s.handleMatrix))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", reg)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.Jobs != nil {
@@ -196,8 +277,13 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 		s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	}
+	s.registerCollectors(reg)
 	return s, nil
 }
+
+// Registry returns the metrics registry the server reports into, for
+// mounting scrapes elsewhere and for cmd/metricslint.
+func (s *Server) Registry() *obs.Registry { return s.metrics }
 
 // acquireJobSlot is the jobs.Store admission hook: a job worker occupies
 // one execution slot of the reasoning semaphore for the duration of its
@@ -206,35 +292,57 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 // bound — a durable job waits as long as the store lives.
 func (s *Server) acquireJobSlot(ctx context.Context) (func(), error) {
 	if s.sem == nil {
-		s.inflight.Add(1)
-		return func() { s.inflight.Add(-1) }, nil
+		s.met.inflight.Add(1)
+		return func() { s.met.inflight.Add(-1) }, nil
 	}
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	s.inflight.Add(1)
+	s.met.inflight.Add(1)
 	return func() {
-		s.inflight.Add(-1)
+		s.met.inflight.Add(-1)
 		<-s.sem
 	}, nil
 }
 
-// ServeHTTP implements http.Handler. It is the outermost containment
-// boundary: a panic escaping any handler is recovered here, answered as a
-// structured 500, and counted, so one poisoned request can never take the
-// process down.
+// ServeHTTP implements http.Handler. It is the outermost containment and
+// observability boundary: every request is assigned an X-Request-ID
+// (propagated via context and echoed as a response header), counted and
+// timed by status class, and logged as one JSON line; a panic escaping
+// any handler is recovered here, answered as a structured 500, and
+// counted, so one poisoned request can never take the process down.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.received.Inc()
+	id := s.ids.Next()
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
 	defer func() {
 		if v := recover(); v != nil {
-			s.panics.Add(1)
+			s.met.panics.Inc()
 			log.Printf("server: contained panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
-			writeErr(w, http.StatusInternalServerError, "internal error")
+			writeErr(sw, http.StatusInternalServerError, "internal error")
 		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		class := codeClass(status)
+		d := time.Since(start)
+		s.met.reqTotal.With(class).Inc()
+		s.met.reqDur.With(class).Observe(d.Seconds())
+		s.logger.Log("request", map[string]any{
+			"requestId":  id,
+			"method":     r.Method,
+			"path":       r.URL.Path,
+			"status":     status,
+			"durationMs": float64(d) / float64(time.Millisecond),
+		})
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 // admit gates h behind the concurrency semaphore: run immediately when a
@@ -243,8 +351,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	if s.sem == nil {
 		return func(w http.ResponseWriter, r *http.Request) {
-			s.inflight.Add(1)
-			defer s.inflight.Add(-1)
+			s.met.inflight.Add(1)
+			defer s.met.inflight.Add(-1)
 			h(w, r)
 		}
 	}
@@ -252,8 +360,8 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			if s.queued.Add(1) > s.maxQueue {
-				s.queued.Add(-1)
+			if s.met.queued.Add(1) > s.maxQueue {
+				s.met.queued.Add(-1)
 				s.shedRequest(w)
 				return
 			}
@@ -261,21 +369,21 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			select {
 			case s.sem <- struct{}{}:
 				t.Stop()
-				s.queued.Add(-1)
+				s.met.queued.Add(-1)
 			case <-t.C:
-				s.queued.Add(-1)
+				s.met.queued.Add(-1)
 				s.shedRequest(w)
 				return
 			case <-r.Context().Done():
 				t.Stop()
-				s.queued.Add(-1)
+				s.met.queued.Add(-1)
 				writeErr(w, http.StatusServiceUnavailable, "request canceled while queued")
 				return
 			}
 		}
-		s.inflight.Add(1)
+		s.met.inflight.Add(1)
 		defer func() {
-			s.inflight.Add(-1)
+			s.met.inflight.Add(-1)
 			<-s.sem
 		}()
 		h(w, r)
@@ -284,7 +392,7 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 
 // shedRequest answers 429 with the configured Retry-After hint.
 func (s *Server) shedRequest(w http.ResponseWriter) {
-	s.shed.Add(1)
+	s.met.shed.Inc()
 	secs := int(s.retryAfter / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -328,6 +436,7 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := json.NewDecoder(body).Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
+			s.met.tooLarge.Inc()
 			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
 		} else {
 			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -346,11 +455,11 @@ func (s *Server) writeReasoningErr(w http.ResponseWriter, err error) {
 	var ie *core.InternalError
 	switch {
 	case errors.As(err, &ie):
-		s.panics.Add(1)
+		s.met.panics.Inc()
 		log.Printf("server: contained reasoner panic: %v\n%s", ie.Value, ie.Stack)
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.timeouts.Add(1)
+		s.met.timeouts.Inc()
 		writeErr(w, http.StatusGatewayTimeout, "reasoning timed out: %v", err)
 	case errors.Is(err, core.ErrBudgetExceeded):
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -381,7 +490,7 @@ type readyzResponse struct {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	resp := readyzResponse{Status: "ready", InFlight: s.inflight.Load(), Queued: s.queued.Load()}
+	resp := readyzResponse{Status: "ready", InFlight: s.met.inflight.Value(), Queued: s.met.queued.Value()}
 	status := http.StatusOK
 	if s.sem != nil && len(s.sem) == cap(s.sem) && resp.Queued >= s.maxQueue {
 		resp.Status = "overloaded"
@@ -397,9 +506,9 @@ type categoryInfo struct {
 }
 
 func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	sat, err := core.CategorySatisfiabilityContext(ctx, s.ds, s.opts)
+	rz := s.beginReasoning(r, "/categories")
+	defer rz.finish()
+	sat, err := core.CategorySatisfiabilityContext(rz.ctx, s.ds, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
@@ -429,9 +538,10 @@ func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing category parameter")
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	res, err := core.SatisfiableContext(ctx, s.ds, c, s.opts)
+	rz := s.beginReasoning(r, "/sat")
+	rz.detail = "category=" + c
+	defer rz.finish()
+	res, err := core.SatisfiableContext(rz.ctx, s.ds, c, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
@@ -468,9 +578,10 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	implied, res, err := core.ImpliesContext(ctx, s.ds, alpha, s.opts)
+	rz := s.beginReasoning(r, "/implies")
+	rz.detail = "constraint=" + alpha.String()
+	defer rz.finish()
+	implied, res, err := core.ImpliesContext(rz.ctx, s.ds, alpha, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
@@ -506,9 +617,10 @@ func (s *Server) handleSummarizable(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	rep, err := core.SummarizableContext(ctx, s.ds, req.Target, req.From, s.opts)
+	rz := s.beginReasoning(r, "/summarizable")
+	rz.detail = fmt.Sprintf("target=%s from=%v", req.Target, req.From)
+	defer rz.finish()
+	rep, err := core.SummarizableContext(rz.ctx, s.ds, req.Target, req.From, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
@@ -534,9 +646,10 @@ func (s *Server) handleFrozen(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing root parameter")
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	fs, err := core.EnumerateFrozenContext(ctx, s.ds, root, s.opts)
+	rz := s.beginReasoning(r, "/frozen")
+	rz.detail = "root=" + root
+	defer rz.finish()
+	fs, err := core.EnumerateFrozenContext(rz.ctx, s.ds, root, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
@@ -560,9 +673,9 @@ type matrixResponse struct {
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	m, err := core.SummarizabilityMatrixPartialContext(ctx, s.ds, s.opts)
+	rz := s.beginReasoning(r, "/matrix")
+	defer rz.finish()
+	m, err := core.SummarizabilityMatrixPartialContext(rz.ctx, s.ds, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
 		return
@@ -587,7 +700,10 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse surfaces the server's cumulative reasoning effort, the
 // shared cache's effectiveness, and the robustness counters (contained
-// panics, shed requests), for dashboards and capacity planning.
+// panics, shed requests), for dashboards and capacity planning. Every
+// figure is a view over the metrics registry (or the cache/job-store
+// snapshots the registry itself scrapes), so /stats and /metrics can
+// never disagree.
 type statsResponse struct {
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
 	Requests       int64   `json:"requests"`
@@ -614,12 +730,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.requests.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Panics:        s.panics.Load(),
-		Shed:          s.shed.Load(),
-		InFlight:      s.inflight.Load(),
-		Queued:        s.queued.Load(),
+		Requests:      int64(s.met.received.Value()),
+		Timeouts:      int64(s.met.timeouts.Value()),
+		Panics:        int64(s.met.panics.Value()),
+		Shed:          int64(s.met.shed.Value()),
+		InFlight:      s.met.inflight.Value(),
+		Queued:        s.met.queued.Value(),
 		CacheHits:     cs.Hits,
 		CacheMisses:   cs.Misses,
 		CacheHitRate:  cs.HitRate(),
@@ -643,9 +759,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // jobView is the HTTP rendering of a job status.
 type jobView struct {
-	ID       string       `json:"id"`
-	Kind     string       `json:"kind"`
-	Category string       `json:"category,omitempty"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Category string `json:"category,omitempty"`
 	// Constraint echoes the implication constraint source.
 	Constraint string       `json:"constraint,omitempty"`
 	State      string       `json:"state"`

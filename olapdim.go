@@ -105,6 +105,30 @@ type CacheStats = core.CacheStats
 // NewSatCache returns an empty concurrency-safe satisfiability cache.
 func NewSatCache() *SatCache { return core.NewSatCache() }
 
+// NewSatCacheSize returns a bounded satisfiability cache retaining at
+// most maxEntries computed results (oldest evicted first); maxEntries
+// <= 0 means unbounded. The right shape for servers fed a stream of
+// distinct schemas.
+func NewSatCacheSize(maxEntries int) *SatCache { return core.NewSatCacheSize(maxEntries) }
+
+// EffortSink accumulates the search Stats of every DIMSAT run made with
+// it installed in Options.Effort — a concurrency-safe per-request or
+// per-batch effort meter. Cache hits contribute nothing: the effort was
+// attributed to the run that computed the entry.
+type EffortSink = core.EffortSink
+
+// StructuredTracer extends Tracer observation with depth- and
+// heuristic-carrying callbacks (EXPAND, CHECK, pruning dead ends).
+// Install any Options.Tracer that also implements this interface — for
+// example the obs package's SearchTracer — and the search feeds both.
+type StructuredTracer = core.StructuredTracer
+
+// SchemaFingerprint canonically identifies a dimension schema by the
+// SHA-256 of its textual rendering — the key used by SatCache,
+// Checkpoint pinning, and the serving layer's traces and slow-search
+// log lines.
+func SchemaFingerprint(ds *DimensionSchema) string { return core.Fingerprint(ds) }
+
 // ErrBudgetExceeded reports that a search hit its Options.MaxExpansions
 // budget; test with errors.Is.
 var ErrBudgetExceeded = core.ErrBudgetExceeded
