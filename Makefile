@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-race race vet metrics-lint smoke-e2e fuzz-smoke bench experiments clean
+.PHONY: build test check check-race race vet metrics-lint smoke-e2e fuzz-smoke bench bench-load bench-diff bench-smoke experiments clean
 
 build:
 	$(GO) build ./...
@@ -48,12 +48,36 @@ smoke-e2e:
 	./scripts/e2e_smoke.sh
 
 # check is the pre-merge gate: static analysis, the metric naming lint,
-# the full test suite under the race detector, and a fuzzing smoke pass
-# over the decode boundaries.
-check: vet metrics-lint check-race fuzz-smoke
+# the full test suite under the race detector, a fuzzing smoke pass over
+# the decode boundaries, and a short seeded load run gated against the
+# committed performance baseline.
+check: vet metrics-lint check-race fuzz-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-load runs the full seeded load pipeline (generate schema, boot
+# dimsatd, drive it with dimsatload) and writes BENCH_dimsat.json. Knobs
+# are environment variables: SEED, DURATION, RATE, MIX, OUT — see
+# scripts/bench_load.sh and docs/BENCHMARKING.md.
+bench-load:
+	./scripts/bench_load.sh
+
+# bench-diff compares a new run record against the committed baseline
+# with the default same-machine thresholds.
+BENCH_BASE ?= BENCH_baseline.json
+BENCH_NEW ?= BENCH_dimsat.json
+
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_NEW)
+
+# bench-smoke is the CI-grade gate: a short seeded run diffed against
+# the committed baseline under generous thresholds, so a slower machine
+# passes but errors, shed requests and vanished metrics still fail.
+bench-smoke:
+	OUT=BENCH_smoke.json DURATION=2s WARMUP=500ms ./scripts/bench_load.sh
+	$(GO) run ./cmd/benchdiff -generous BENCH_baseline.json BENCH_smoke.json
+	rm -f BENCH_smoke.json
 
 experiments:
 	$(GO) run ./cmd/olapbench -run all

@@ -1,0 +1,118 @@
+// Command benchdiff gates performance regressions between two
+// BENCH_*.json run records produced by cmd/dimsatload. It compares
+// client-side latency percentiles per endpoint, throughput, error
+// counts and server-side search-effort deltas under per-metric
+// thresholds, prints one finding per compared metric (regressions
+// first), and exits nonzero when the new run degrades past a threshold:
+//
+//	benchdiff BENCH_baseline.json BENCH_dimsat.json
+//	benchdiff -generous BENCH_baseline.json BENCH_dimsat.json   # CI smoke preset
+//	benchdiff -latency-frac 0.10 -override endpoint/sat/p99_ms=0.50 base.json new.json
+//
+// Exit status: 0 when no metric regresses, 1 on regression, 2 on usage
+// or unreadable/incompatible run files. A metric present in the
+// baseline but missing from the new run is always a regression — a
+// silently vanished endpoint or counter must not pass the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"olapdim/internal/loadgen"
+)
+
+// overrides collects repeatable -override metric=frac pairs.
+type overrides map[string]float64
+
+func (o overrides) String() string { return fmt.Sprint(map[string]float64(o)) }
+
+func (o overrides) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want metric=fraction, got %q", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("bad fraction in %q: %v", s, err)
+	}
+	o[k] = f
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	def := loadgen.DefaultThresholds()
+	generous := flag.Bool("generous", false, "use the CI smoke preset: absorb an order-of-magnitude machine difference, still fail on errors and missing metrics")
+	latFrac := flag.Float64("latency-frac", def.LatencyFrac, "allowed fractional latency-percentile increase")
+	latFloor := flag.Float64("latency-floor-ms", def.LatencyFloorMs, "ignore latency increases below this many ms")
+	tputFrac := flag.Float64("throughput-frac", def.ThroughputFrac, "allowed fractional throughput decrease")
+	effortFrac := flag.Float64("effort-frac", def.EffortFrac, "allowed fractional server effort-counter increase")
+	effortFloor := flag.Float64("effort-floor", def.EffortFloor, "ignore effort increases below this many counts; also the zero-baseline cutoff")
+	errsAllowed := flag.Int64("errors-allowed", def.ErrorsAllowed, "extra errors tolerated over the baseline")
+	quiet := flag.Bool("quiet", false, "print only regressions")
+	ov := overrides{}
+	flag.Var(ov, "override", "per-metric fractional threshold, metric=fraction (repeatable), e.g. endpoint/sat/p99_ms=0.5")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <baseline.json> <new.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return 2
+	}
+
+	base, err := loadgen.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := loadgen.ReadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: new run: %v\n", err)
+		return 2
+	}
+
+	th := loadgen.Thresholds{
+		LatencyFrac:    *latFrac,
+		LatencyFloorMs: *latFloor,
+		ThroughputFrac: *tputFrac,
+		EffortFrac:     *effortFrac,
+		EffortFloor:    *effortFloor,
+		ErrorsAllowed:  *errsAllowed,
+	}
+	if *generous {
+		th = loadgen.GenerousThresholds()
+		th.ErrorsAllowed = *errsAllowed
+	}
+	if len(ov) > 0 {
+		th.Override = ov
+	}
+
+	findings := loadgen.Compare(base, cur, th)
+	regressions := 0
+	for _, f := range findings {
+		if f.Regression {
+			regressions++
+		}
+		if *quiet && !f.Regression {
+			continue
+		}
+		fmt.Println(f)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d metrics regressed (%s vs %s)\n",
+			regressions, len(findings), flag.Arg(0), flag.Arg(1))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: no regressions across %d metrics (%s vs %s)\n",
+		len(findings), flag.Arg(0), flag.Arg(1))
+	return 0
+}

@@ -26,35 +26,35 @@ import (
 // force members to choose among them.
 type SchemaSpec struct {
 	// Seed drives all randomness.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Categories is the number of categories excluding All. Minimum 2.
-	Categories int
+	Categories int `json:"categories"`
 	// Levels is the number of levels below All. Minimum 2; categories are
 	// distributed round-robin over levels.
-	Levels int
+	Levels int `json:"levels"`
 	// ExtraEdgeProb is the probability of each additional cross-level
 	// edge (beyond the spanning parent), producing multi-parent
 	// heterogeneous categories and shortcuts.
-	ExtraEdgeProb float64
+	ExtraEdgeProb float64 `json:"extraEdgeProb"`
 	// ChoiceProb is the probability that a multi-parent category receives
 	// a one(...) constraint forcing its members to pick exactly one
 	// parent path.
-	ChoiceProb float64
+	ChoiceProb float64 `json:"choiceProb"`
 	// Constants is N_K: the number of constants attached to the top-level
 	// category referenced by conditional constraints. Zero disables
 	// equality atoms.
-	Constants int
+	Constants int `json:"constants"`
 	// CondProb is the probability that a multi-parent category receives a
 	// conditional constraint tying a constant of the top category to one
 	// of its parent edges.
-	CondProb float64
+	CondProb float64 `json:"condProb"`
 	// IntoFrac is the fraction of categories that receive an explicit
 	// into constraint on one of their parent edges (the Section 5 pruning
 	// heuristic feeds on these: the paper expects "most of the edges of
 	// the schema associated with into constraints" in practice, with
 	// heterogeneity as the exception). For multi-parent categories the
 	// forced edge halves the subset space DIMSAT explores.
-	IntoFrac float64
+	IntoFrac float64 `json:"intoFrac"`
 }
 
 // CategoryName returns the generated name of category i.

@@ -1,0 +1,272 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Thresholds tunes what Compare counts as a regression. Fractional
+// thresholds are relative to the baseline value; floors suppress noise
+// when the absolute change is too small to mean anything. Override
+// replaces the fractional threshold for a single metric by its finding
+// name (e.g. "endpoint/sat/p99_ms", "server/dimsat_cache_work_expansions_total").
+type Thresholds struct {
+	// LatencyFrac is the allowed fractional increase of any latency
+	// percentile before it counts as a regression.
+	LatencyFrac float64
+	// LatencyFloorMs suppresses latency regressions whose absolute
+	// increase is below this many milliseconds.
+	LatencyFloorMs float64
+	// ThroughputFrac is the allowed fractional decrease in throughput.
+	ThroughputFrac float64
+	// EffortFrac is the allowed fractional increase of a server-side
+	// effort counter delta (expansions, dead ends, shed, timeouts).
+	EffortFrac float64
+	// EffortFloor suppresses effort regressions whose absolute increase
+	// is below this many counts — and is the zero-baseline rule: when
+	// the baseline delta is 0, any new value above the floor regresses.
+	EffortFloor float64
+	// ErrorsAllowed is the absolute number of extra errors (over the
+	// baseline) tolerated before the run regresses.
+	ErrorsAllowed int64
+	// EffortMetrics lists the server counter families to compare, all
+	// with higher-is-worse semantics. Nil means DefaultEffortMetrics.
+	// (Cache hits and similar higher-is-better counters must not be
+	// listed; they are reported informationally, never as regressions.)
+	EffortMetrics []string
+	// Override maps a finding metric name to a replacement fractional
+	// threshold.
+	Override map[string]float64
+}
+
+// DefaultEffortMetrics is the higher-is-worse server-counter set: paper
+// search effort (EXPAND steps, CHECK steps, pruning dead ends), overload
+// shedding, request timeouts and contained panics.
+func DefaultEffortMetrics() []string {
+	return []string{
+		"dimsat_cache_work_expansions_total",
+		"dimsat_cache_work_checks_total",
+		"dimsat_cache_work_dead_ends_total",
+		"dimsat_http_shed_total",
+		"dimsat_http_request_timeouts_total",
+		"dimsat_contained_panics_total",
+		"dimsat_pool_task_errors_total",
+	}
+}
+
+// DefaultThresholds is tuned for same-machine run pairs: 25% latency
+// headroom over a 2ms floor, 20% throughput, 50% search effort.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		LatencyFrac:    0.25,
+		LatencyFloorMs: 2,
+		ThroughputFrac: 0.20,
+		EffortFrac:     0.50,
+		EffortFloor:    100,
+		ErrorsAllowed:  0,
+	}
+}
+
+// GenerousThresholds is the bench-smoke preset: wide enough that a CI
+// worker an order of magnitude slower than the baseline machine still
+// passes, while structural failures (errors, missing endpoints, panics)
+// keep failing.
+func GenerousThresholds() Thresholds {
+	return Thresholds{
+		LatencyFrac:    50,
+		LatencyFloorMs: 250,
+		ThroughputFrac: 0.98,
+		EffortFrac:     50,
+		EffortFloor:    100000,
+		ErrorsAllowed:  0,
+	}
+}
+
+// Finding is one compared metric. Regression findings carry the reason
+// in Note; improvements and in-threshold changes are reported too, so
+// benchdiff output reads as a full run diff, not only the failures.
+type Finding struct {
+	// Metric names the comparison: "throughput_rps", "errors",
+	// "endpoint/<op>/<stat>", "server/<family>".
+	Metric string
+	// Base and New are the compared values (NaN-free; missing metrics
+	// set Missing instead).
+	Base, New float64
+	// Missing marks a metric present in the baseline but absent from
+	// the new run — always a regression (a silently vanished endpoint
+	// must not pass a perf gate).
+	Missing bool
+	// Regression reports whether this finding fails the gate.
+	Regression bool
+	// Note explains the verdict.
+	Note string
+}
+
+func (f Finding) String() string {
+	verdict := "ok"
+	if f.Regression {
+		verdict = "REGRESSION"
+	}
+	if f.Missing {
+		return fmt.Sprintf("%-10s %-52s base=%.4g new=missing (%s)", verdict, f.Metric, f.Base, f.Note)
+	}
+	return fmt.Sprintf("%-10s %-52s base=%.4g new=%.4g (%s)", verdict, f.Metric, f.Base, f.New, f.Note)
+}
+
+// frac returns the fractional change from base, handling base == 0 by
+// convention at the call sites.
+func frac(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (new - base) / base
+}
+
+func (t Thresholds) fracFor(metric string, def float64) float64 {
+	if v, ok := t.Override[metric]; ok {
+		return v
+	}
+	return def
+}
+
+// Compare diffs a new run against a baseline under the thresholds and
+// returns one finding per compared metric, regressions first, then by
+// name. HasRegression reduces the list to the exit code.
+func Compare(base, cur *Report, th Thresholds) []Finding {
+	if th.EffortMetrics == nil {
+		th.EffortMetrics = DefaultEffortMetrics()
+	}
+	var out []Finding
+
+	// Throughput: lower is worse.
+	{
+		m := "throughput_rps"
+		f := Finding{Metric: m, Base: base.ThroughputRPS, New: cur.ThroughputRPS}
+		allowed := th.fracFor(m, th.ThroughputFrac)
+		drop := -frac(base.ThroughputRPS, cur.ThroughputRPS)
+		switch {
+		case base.ThroughputRPS == 0:
+			f.Note = "no baseline throughput"
+		case drop > allowed:
+			f.Regression = true
+			f.Note = fmt.Sprintf("-%.1f%% exceeds the %.0f%% budget", drop*100, allowed*100)
+		case drop < 0:
+			f.Note = fmt.Sprintf("improved %.1f%%", -drop*100)
+		default:
+			f.Note = fmt.Sprintf("-%.1f%% within budget", drop*100)
+		}
+		out = append(out, f)
+	}
+
+	// Errors: absolute budget over the baseline.
+	{
+		f := Finding{Metric: "errors", Base: float64(base.Errors), New: float64(cur.Errors)}
+		extra := cur.Errors - base.Errors
+		if extra > th.ErrorsAllowed {
+			f.Regression = true
+			f.Note = fmt.Sprintf("%d new errors exceed the budget of %d", extra, th.ErrorsAllowed)
+		} else {
+			f.Note = "within budget"
+		}
+		out = append(out, f)
+	}
+
+	// Per-endpoint latency percentiles: higher is worse.
+	var ops []string
+	for op := range base.Endpoints {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		bs := base.Endpoints[op]
+		cs, ok := cur.Endpoints[op]
+		if !ok {
+			out = append(out, Finding{
+				Metric: "endpoint/" + op, Base: float64(bs.Count),
+				Missing: true, Regression: true,
+				Note: "endpoint present in baseline but absent from the new run",
+			})
+			continue
+		}
+		for _, q := range []struct {
+			name      string
+			base, new float64
+		}{
+			{"p50_ms", bs.P50Ms, cs.P50Ms},
+			{"p90_ms", bs.P90Ms, cs.P90Ms},
+			{"p99_ms", bs.P99Ms, cs.P99Ms},
+			{"p999_ms", bs.P999Ms, cs.P999Ms},
+		} {
+			m := fmt.Sprintf("endpoint/%s/%s", op, q.name)
+			f := Finding{Metric: m, Base: q.base, New: q.new}
+			allowed := th.fracFor(m, th.LatencyFrac)
+			rise := q.new - q.base
+			switch {
+			case q.base == 0 && q.new > th.LatencyFloorMs:
+				f.Regression = true
+				f.Note = fmt.Sprintf("zero baseline, new value above the %.3gms floor", th.LatencyFloorMs)
+			case q.base > 0 && frac(q.base, q.new) > allowed && rise > th.LatencyFloorMs:
+				f.Regression = true
+				f.Note = fmt.Sprintf("+%.1f%% exceeds the %.0f%% budget", frac(q.base, q.new)*100, allowed*100)
+			case rise < 0:
+				f.Note = fmt.Sprintf("improved %.1f%%", -frac(q.base, q.new)*100)
+			default:
+				f.Note = "within budget"
+			}
+			out = append(out, f)
+		}
+	}
+
+	// Server-side effort counters: higher is worse.
+	for _, name := range th.EffortMetrics {
+		bv, inBase := base.Server[name]
+		cv, inCur := cur.Server[name]
+		m := "server/" + name
+		if !inBase {
+			// Nothing to gate on; note it so a thinning baseline is visible.
+			out = append(out, Finding{Metric: m, New: cv, Note: "not in baseline"})
+			continue
+		}
+		if !inCur {
+			out = append(out, Finding{
+				Metric: m, Base: bv, Missing: true, Regression: true,
+				Note: "metric present in baseline but absent from the new run",
+			})
+			continue
+		}
+		f := Finding{Metric: m, Base: bv, New: cv}
+		allowed := th.fracFor(m, th.EffortFrac)
+		rise := cv - bv
+		switch {
+		case bv == 0 && cv > th.EffortFloor:
+			f.Regression = true
+			f.Note = fmt.Sprintf("zero baseline, new value above the %.0f floor", th.EffortFloor)
+		case bv > 0 && frac(bv, cv) > allowed && rise > th.EffortFloor:
+			f.Regression = true
+			f.Note = fmt.Sprintf("+%.1f%% exceeds the %.0f%% budget", frac(bv, cv)*100, allowed*100)
+		case rise < 0:
+			f.Note = "improved"
+		default:
+			f.Note = "within budget"
+		}
+		out = append(out, f)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Regression != out[j].Regression {
+			return out[i].Regression
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// HasRegression reports whether any finding fails the gate.
+func HasRegression(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Regression {
+			return true
+		}
+	}
+	return false
+}

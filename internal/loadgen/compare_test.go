@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchPair builds a baseline and an identical copy to mutate per case.
+func benchPair() (*Report, *Report) {
+	mk := func() *Report {
+		return &Report{
+			SchemaVersion: ReportSchemaVersion,
+			ThroughputRPS: 100,
+			Errors:        0,
+			Endpoints: map[string]EndpointStats{
+				"sat":     {Count: 500, P50Ms: 1, P90Ms: 2, P99Ms: 5, P999Ms: 10},
+				"implies": {Count: 300, P50Ms: 2, P90Ms: 4, P99Ms: 8, P999Ms: 16},
+			},
+			Server: map[string]float64{
+				"dimsat_cache_work_expansions_total": 1000,
+				"dimsat_cache_work_checks_total":     5000,
+				"dimsat_cache_work_dead_ends_total":  0,
+				"dimsat_http_shed_total":             0,
+				"dimsat_http_request_timeouts_total": 0,
+				"dimsat_contained_panics_total":      0,
+				"dimsat_pool_task_errors_total":      0,
+			},
+		}
+	}
+	return mk(), mk()
+}
+
+func findingFor(t *testing.T, fs []Finding, metric string) Finding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Metric == metric {
+			return f
+		}
+	}
+	t.Fatalf("no finding for metric %q in %v", metric, fs)
+	return Finding{}
+}
+
+// TestCompareSelf: a run compared against itself must never regress —
+// this is the bench-smoke sanity gate.
+func TestCompareSelf(t *testing.T) {
+	base, cur := benchPair()
+	fs := Compare(base, cur, DefaultThresholds())
+	if HasRegression(fs) {
+		t.Fatalf("self-comparison regressed: %v", fs)
+	}
+	if len(fs) == 0 {
+		t.Fatal("self-comparison produced no findings")
+	}
+}
+
+// TestCompareLatencyRegression: a percentile past both the fraction and
+// the floor regresses; one within the floor does not.
+func TestCompareLatencyRegression(t *testing.T) {
+	base, cur := benchPair()
+	es := cur.Endpoints["sat"]
+	es.P99Ms = 20 // 5 -> 20: +300%, rise 15ms > 2ms floor
+	cur.Endpoints["sat"] = es
+	fs := Compare(base, cur, DefaultThresholds())
+	f := findingFor(t, fs, "endpoint/sat/p99_ms")
+	if !f.Regression {
+		t.Errorf("p99 5->20ms not flagged: %+v", f)
+	}
+	if !fs[0].Regression {
+		t.Error("regressions must sort first")
+	}
+
+	// Same fractional jump under the floor: 0.5 -> 2.0ms rise is 1.5ms < 2ms.
+	base2, cur2 := benchPair()
+	es2 := base2.Endpoints["sat"]
+	es2.P50Ms = 0.5
+	base2.Endpoints["sat"] = es2
+	cs2 := cur2.Endpoints["sat"]
+	cs2.P50Ms = 2.0
+	cur2.Endpoints["sat"] = cs2
+	if f := findingFor(t, Compare(base2, cur2, DefaultThresholds()), "endpoint/sat/p50_ms"); f.Regression {
+		t.Errorf("sub-floor rise flagged: %+v", f)
+	}
+}
+
+// TestCompareImprovement: faster runs are findings, not regressions.
+func TestCompareImprovement(t *testing.T) {
+	base, cur := benchPair()
+	es := cur.Endpoints["sat"]
+	es.P99Ms = 1
+	cur.Endpoints["sat"] = es
+	cur.ThroughputRPS = 200
+	fs := Compare(base, cur, DefaultThresholds())
+	if HasRegression(fs) {
+		t.Fatalf("improvement flagged as regression: %v", fs)
+	}
+	if f := findingFor(t, fs, "endpoint/sat/p99_ms"); !strings.Contains(f.Note, "improved") {
+		t.Errorf("improvement not noted: %+v", f)
+	}
+	if f := findingFor(t, fs, "throughput_rps"); !strings.Contains(f.Note, "improved") {
+		t.Errorf("throughput improvement not noted: %+v", f)
+	}
+}
+
+// TestCompareMissingEndpoint: an endpoint that vanished from the new run
+// is always a regression, whatever its numbers were.
+func TestCompareMissingEndpoint(t *testing.T) {
+	base, cur := benchPair()
+	delete(cur.Endpoints, "implies")
+	fs := Compare(base, cur, DefaultThresholds())
+	f := findingFor(t, fs, "endpoint/implies")
+	if !f.Regression || !f.Missing {
+		t.Errorf("missing endpoint not flagged: %+v", f)
+	}
+}
+
+// TestCompareMissingServerMetric covers both directions: present in
+// baseline but gone (regression — the instrumentation was lost) and new
+// in the current run (informational only).
+func TestCompareMissingServerMetric(t *testing.T) {
+	base, cur := benchPair()
+	delete(cur.Server, "dimsat_cache_work_expansions_total")
+	fs := Compare(base, cur, DefaultThresholds())
+	f := findingFor(t, fs, "server/dimsat_cache_work_expansions_total")
+	if !f.Regression || !f.Missing {
+		t.Errorf("vanished server metric not flagged: %+v", f)
+	}
+
+	base2, cur2 := benchPair()
+	delete(base2.Server, "dimsat_cache_work_checks_total")
+	fs2 := Compare(base2, cur2, DefaultThresholds())
+	f2 := findingFor(t, fs2, "server/dimsat_cache_work_checks_total")
+	if f2.Regression {
+		t.Errorf("metric absent from baseline must not regress: %+v", f2)
+	}
+}
+
+// TestCompareZeroBaseline: with a zero baseline the fractional rule is
+// undefined, so the floor decides.
+func TestCompareZeroBaseline(t *testing.T) {
+	base, cur := benchPair()
+	cur.Server["dimsat_http_shed_total"] = 50 // floor is 100
+	if f := findingFor(t, Compare(base, cur, DefaultThresholds()), "server/dimsat_http_shed_total"); f.Regression {
+		t.Errorf("zero-baseline rise below the floor flagged: %+v", f)
+	}
+	cur.Server["dimsat_http_shed_total"] = 5000
+	if f := findingFor(t, Compare(base, cur, DefaultThresholds()), "server/dimsat_http_shed_total"); !f.Regression {
+		t.Errorf("zero-baseline rise above the floor not flagged: %+v", f)
+	}
+}
+
+// TestCompareErrorsBudget: errors gate on an absolute budget over the
+// baseline, not a fraction (1 error vs 0 is infinite growth).
+func TestCompareErrorsBudget(t *testing.T) {
+	base, cur := benchPair()
+	cur.Errors = 1
+	if f := findingFor(t, Compare(base, cur, DefaultThresholds()), "errors"); !f.Regression {
+		t.Errorf("1 new error with budget 0 not flagged: %+v", f)
+	}
+	th := DefaultThresholds()
+	th.ErrorsAllowed = 2
+	if f := findingFor(t, Compare(base, cur, th), "errors"); f.Regression {
+		t.Errorf("1 new error within budget 2 flagged: %+v", f)
+	}
+}
+
+// TestCompareEffortRegression: a server effort counter past fraction and
+// floor regresses, and the cache-hit family is never gated.
+func TestCompareEffortRegression(t *testing.T) {
+	base, cur := benchPair()
+	cur.Server["dimsat_cache_work_expansions_total"] = 2000 // +100% > 50%, rise 1000 > 100
+	fs := Compare(base, cur, DefaultThresholds())
+	if f := findingFor(t, fs, "server/dimsat_cache_work_expansions_total"); !f.Regression {
+		t.Errorf("doubled expansions not flagged: %+v", f)
+	}
+	for _, f := range fs {
+		if strings.Contains(f.Metric, "cache_hits") {
+			t.Errorf("higher-is-better metric compared: %+v", f)
+		}
+	}
+}
+
+// TestCompareOverride: a per-metric override loosens one gate without
+// touching the others.
+func TestCompareOverride(t *testing.T) {
+	base, cur := benchPair()
+	es := cur.Endpoints["sat"]
+	es.P99Ms = 20
+	cur.Endpoints["sat"] = es
+	th := DefaultThresholds()
+	th.Override = map[string]float64{"endpoint/sat/p99_ms": 10} // allow 1000%
+	fs := Compare(base, cur, th)
+	if f := findingFor(t, fs, "endpoint/sat/p99_ms"); f.Regression {
+		t.Errorf("override ignored: %+v", f)
+	}
+	if HasRegression(fs) {
+		t.Errorf("unexpected regression elsewhere: %v", fs)
+	}
+}
+
+// TestGenerousThresholdsAbsorbSlowMachine: a uniformly 10x-slower run
+// passes the bench-smoke preset, but new errors still fail it.
+func TestGenerousThresholdsAbsorbSlowMachine(t *testing.T) {
+	base, cur := benchPair()
+	for op, es := range cur.Endpoints {
+		es.P50Ms *= 10
+		es.P90Ms *= 10
+		es.P99Ms *= 10
+		es.P999Ms *= 10
+		cur.Endpoints[op] = es
+	}
+	cur.ThroughputRPS = base.ThroughputRPS / 10
+	fs := Compare(base, cur, GenerousThresholds())
+	if HasRegression(fs) {
+		t.Fatalf("10x slower machine failed the generous preset: %v", fs)
+	}
+	cur.Errors = 3
+	if !HasRegression(Compare(base, cur, GenerousThresholds())) {
+		t.Fatal("errors passed the generous preset")
+	}
+}

@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"olapdim/internal/gen"
+	"olapdim/internal/obs"
+)
+
+// ReportSchemaVersion is the BENCH_*.json schema version; bump it on any
+// incompatible change so cmd/benchdiff can refuse mixed comparisons.
+const ReportSchemaVersion = 1
+
+// Report is one load-generation run: the full workload specification
+// (enough to reproduce the run), the client-observed latency percentiles
+// per endpoint, and the server-side counter deltas scraped from
+// GET /metrics around the run. It is the unit `make bench-diff`
+// compares and the record committed as the repository's perf baseline.
+type Report struct {
+	// SchemaVersion is ReportSchemaVersion at encode time.
+	SchemaVersion int `json:"schemaVersion"`
+	// Tool identifies the producer ("dimsatload").
+	Tool string `json:"tool"`
+	// StartedAt is the run start in RFC 3339 UTC.
+	StartedAt string `json:"startedAt"`
+	// Build stamps the client binary's build metadata — the same fields
+	// the server exports as olapdim_build_info.
+	Build obs.BuildInfo `json:"build"`
+	// Machine describes the host the client ran on.
+	Machine Machine `json:"machine"`
+	// Seed is the determinism seed; equal seed and workload means an
+	// identical request stream.
+	Seed int64 `json:"seed"`
+	// Workload echoes the resolved run parameters.
+	Workload Workload `json:"workload"`
+
+	// DurationSeconds is the measured wall time of the issuing phase
+	// (including warmup, excluding the final drain).
+	DurationSeconds float64 `json:"durationSeconds"`
+	// Requests counts measured (post-warmup) requests; WarmupRequests
+	// counts the discarded ones.
+	Requests       int64 `json:"requests"`
+	WarmupRequests int64 `json:"warmupRequests"`
+	// Errors counts measured requests that failed: transport errors and
+	// any status outside 2xx except 429. Shed counts 429 responses.
+	Errors          int64 `json:"errors"`
+	TransportErrors int64 `json:"transportErrors"`
+	Shed            int64 `json:"shed"`
+	// ThroughputRPS is measured requests per post-warmup second.
+	ThroughputRPS float64 `json:"throughputRps"`
+
+	// Endpoints maps each operation to its client-observed statistics.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Server holds the GET /metrics counter deltas (family name →
+	// after−before) covering the whole run including warmup: search
+	// effort (dimsat_cache_work_expansions_total, ..._dead_ends_total),
+	// cache traffic, shed/timeout counts, job checkpoint writes.
+	Server map[string]float64 `json:"server"`
+}
+
+// Machine describes the client host, for reading run files across
+// machines.
+type Machine struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCpu"`
+	GoMaxProcs int    `json:"goMaxProcs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// Workload echoes the resolved spec of a run.
+type Workload struct {
+	// Mode is "open" (fixed rate) or "closed" (fixed concurrency).
+	Mode string `json:"mode"`
+	// Target is the base URL that was driven.
+	Target string `json:"target"`
+	// Mix is the operation blend in ParseMix syntax.
+	Mix string `json:"mix"`
+	// Rate is the open-loop arrival rate (requests/second), 0 in closed
+	// loop.
+	Rate float64 `json:"rate,omitempty"`
+	// Concurrency is the closed-loop worker count / open-loop in-flight cap.
+	Concurrency int `json:"concurrency"`
+	// DurationSeconds and WarmupSeconds echo the configured phases.
+	DurationSeconds float64 `json:"durationSeconds"`
+	WarmupSeconds   float64 `json:"warmupSeconds,omitempty"`
+	// Schema is the generated schema family (with the run seed threaded
+	// in); absent when the run drove an explicit schema file.
+	Schema *gen.SchemaSpec `json:"schema,omitempty"`
+	// SchemaSource notes where an explicit schema came from.
+	SchemaSource string `json:"schemaSource,omitempty"`
+	// SourcesMax is the max source-set size for OpSources requests.
+	SourcesMax int `json:"sourcesMax,omitempty"`
+}
+
+// EndpointStats is the client-observed summary for one operation.
+// Latencies are in milliseconds; percentiles are interpolated from a
+// fixed-bucket histogram (obs.Histogram.Quantile over
+// obs.LatencyBuckets), so p999 carries bucket-resolution error.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors,omitempty"`
+	Shed   int64   `json:"shed,omitempty"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline —
+// the canonical BENCH_*.json bytes (fixed field order, so committed
+// baselines diff cleanly).
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the canonical encoding to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// DecodeReport parses a BENCH_*.json document, rejecting other schema
+// versions — a version mismatch means the comparison semantics changed,
+// and a silent best-effort diff would report nonsense.
+func DecodeReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding report: %w", err)
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		return nil, fmt.Errorf("loadgen: report schema version %d, this tool reads version %d",
+			r.SchemaVersion, ReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadReport reads and decodes a BENCH_*.json file.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodeReport(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

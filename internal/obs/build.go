@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the module version, the Go
+// toolchain that built it, and the VCS revision it was built from. The
+// server exports it as the olapdim_build_info gauge and the load
+// generator stamps it into every BENCH_*.json run record, so a
+// regression diff can always say which build produced which numbers.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain, e.g. "go1.24.3".
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit hash, "unknown" when the build carries
+	// no VCS stamp (go test binaries, go run).
+	Revision string `json:"revision"`
+	// Dirty is true when the build had uncommitted changes.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Labels renders the build info as metric labels for Registry.Info.
+func (b BuildInfo) Labels() map[string]string {
+	return map[string]string{
+		"version":   b.Version,
+		"goversion": b.GoVersion,
+		"revision":  b.Revision,
+	}
+}
+
+// GetBuildInfo reads the binary's build metadata from
+// runtime/debug.ReadBuildInfo. Fields the build did not stamp (no VCS
+// info under go test, no module version outside module builds) degrade
+// to "unknown" rather than empty, so downstream label and JSON values
+// are always present.
+func GetBuildInfo() BuildInfo {
+	out := BuildInfo{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				out.Revision = s.Value
+			}
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}

@@ -126,6 +126,13 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 }
 
+// NewHistogram returns a standalone histogram outside any registry, for
+// callers that aggregate locally and report elsewhere (the load
+// generator's client-side latency capture). Bounds must be ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(bounds)
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
@@ -158,6 +165,42 @@ func (h *Histogram) Buckets() []uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation within the bucket the rank falls
+// into, the same estimate Prometheus's histogram_quantile computes. The
+// lower edge of the first bucket is taken as 0 (observations are
+// non-negative in every layout this package ships); a rank landing in
+// the +Inf bucket is clamped to the highest finite bound, so the
+// estimate is always finite. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+		lower = bound
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // family is one registered metric family: a fixed name/help/type plus
 // either static series (by label value) or a collect-at-scrape function.
 type family struct {
@@ -172,6 +215,10 @@ type family struct {
 	// collect, when non-nil, supersedes series: it returns current values
 	// by label value at scrape time (counters and gauges only).
 	collect func() map[string]float64
+	// info, when non-nil, marks a constant info gauge: one series with
+	// this fixed label set and the constant value 1 (the build_info
+	// convention).
+	info map[string]string
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -300,6 +347,25 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	})
 }
 
+// Info registers a constant info gauge: a single series carrying the
+// given fixed labels with the constant value 1, the Prometheus
+// convention for build and runtime metadata (joins on the labels, value
+// carries nothing). Label names are validated like metric names; label
+// values are free-form.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	for k := range labels {
+		if err := CheckName(k); err != nil {
+			panic(err)
+		}
+	}
+	f := r.register(name, help, TypeGauge, "", nil, nil)
+	copied := make(map[string]string, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	f.info = copied
+}
+
 // CounterVecFunc registers a labeled counter family collected at scrape
 // time: f returns the current value per label value (e.g. fault
 // injections fired per site).
@@ -321,7 +387,16 @@ func (r *Registry) Families() []FamilyInfo {
 	defer r.mu.Unlock()
 	out := make([]FamilyInfo, 0, len(r.families))
 	for _, f := range r.families {
-		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Help: f.help, Label: f.label})
+		label := f.label
+		if f.info != nil {
+			keys := make([]string, 0, len(f.info))
+			for k := range f.info {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			label = strings.Join(keys, ",")
+		}
+		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Help: f.help, Label: label})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -352,6 +427,20 @@ func (f *family) write(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(f.help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+	if f.info != nil {
+		keys := make([]string, 0, len(f.info))
+		for k := range f.info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pairs := make([]string, len(keys))
+		for i, k := range keys {
+			pairs[i] = fmt.Sprintf("%s=%q", k, f.info[k])
+		}
+		fmt.Fprintf(w, "%s{%s} 1\n", f.name, strings.Join(pairs, ","))
+		return
+	}
 
 	if f.collect != nil {
 		vals := f.collect()
@@ -432,6 +521,20 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 // worst-case searches.
 func DurationBuckets() []float64 {
 	return []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
+}
+
+// LatencyBuckets is the fine-grained latency layout used by client-side
+// capture (the load generator), in seconds: powers of two from 100µs to
+// ~26s. Twice the resolution of DurationBuckets keeps the interpolation
+// error of Histogram.Quantile small enough for p99.9 reporting.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 19)
+	b := 0.0001
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
 }
 
 // EffortBuckets is the default search-effort bucket layout (EXPAND or

@@ -160,6 +160,148 @@ func TestRegistryServeHTTP(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile checks the linear-interpolation estimate against
+// distributions whose quantiles are known exactly: one observation per
+// unit bucket makes every quantile land on a computable interpolated
+// point.
+func TestHistogramQuantile(t *testing.T) {
+	// Bounds 1..10, one observation centered in each bucket: the
+	// empirical CDF hits k/10 exactly at bound k, so the q-quantile
+	// interpolates to 10q.
+	h := NewHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.9, 9}, {0.1, 1}, {1, 10}, {0.25, 2.5}, {0.99, 9.9},
+	} {
+		if got := h.Quantile(c.q); got < c.want-1e-9 || got > c.want+1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// All mass in one bucket: every quantile interpolates within it.
+	h2 := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h2.Observe(1.5)
+	}
+	if got := h2.Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("single-bucket Quantile(0.5) = %v, want within (1, 2]", got)
+	}
+
+	// Mass in the +Inf bucket clamps to the highest finite bound.
+	h3 := NewHistogram([]float64{1, 2})
+	h3.Observe(100)
+	if got := h3.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf Quantile(0.99) = %v, want 2", got)
+	}
+
+	// Empty histogram reports 0, never NaN (the value is JSON-encoded).
+	h4 := NewHistogram([]float64{1})
+	if got := h4.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+
+	// Out-of-range q clamps instead of extrapolating.
+	if got := h.Quantile(2); got != 10 {
+		t.Errorf("Quantile(2) = %v, want 10", got)
+	}
+	if got := h.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %v, want 0", got)
+	}
+}
+
+// TestHistogramQuantileSkewed checks interpolation on a skewed load-like
+// distribution: 90 fast observations and 10 slow ones.
+func TestHistogramQuantileSkewed(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // last finite bucket (0.1, 1]
+	}
+	// p50 (rank 50 of 100) is inside the first bucket.
+	if got := h.Quantile(0.5); got <= 0 || got > 0.001 {
+		t.Errorf("Quantile(0.5) = %v, want within (0, 0.001]", got)
+	}
+	// p99 (rank 99) is inside the (0.1, 1] bucket: 0.1 + 0.9*(9/10).
+	want := 0.1 + 0.9*0.9
+	if got := h.Quantile(0.99); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Quantile(0.99) = %v, want %v", got, want)
+	}
+}
+
+// TestInfoGauge pins the constant info-gauge rendering: one series, all
+// labels sorted, value 1.
+func TestInfoGauge(t *testing.T) {
+	reg := NewRegistry()
+	reg.Info("test_build_info", "Build metadata.", map[string]string{
+		"version": "v1.2.3", "goversion": "go1.24", "revision": "abc123",
+	})
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	want := `# HELP test_build_info Build metadata.
+# TYPE test_build_info gauge
+test_build_info{goversion="go1.24",revision="abc123",version="v1.2.3"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("info exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	fams := reg.Families()
+	if len(fams) != 1 || fams[0].Label != "goversion,revision,version" {
+		t.Errorf("Families() = %+v, want one family with the sorted label list", fams)
+	}
+	if err := Lint(fams[0].Name, fams[0].Type); err != nil {
+		t.Errorf("Lint(build_info) = %v", err)
+	}
+}
+
+func TestInfoGaugePanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for a bad label name")
+		}
+	}()
+	NewRegistry().Info("test_info", "", map[string]string{"BadLabel": "x"})
+}
+
+// TestGetBuildInfo checks the degraded defaults: under go test there is
+// no VCS stamp, but every field must still be non-empty so metric labels
+// and BENCH fields are always present.
+func TestGetBuildInfo(t *testing.T) {
+	bi := GetBuildInfo()
+	if bi.Version == "" || bi.GoVersion == "" || bi.Revision == "" {
+		t.Errorf("GetBuildInfo has empty fields: %+v", bi)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go toolchain string", bi.GoVersion)
+	}
+	labels := bi.Labels()
+	for _, k := range []string{"version", "goversion", "revision"} {
+		if labels[k] == "" {
+			t.Errorf("Labels()[%q] empty", k)
+		}
+	}
+}
+
+// TestLatencyBuckets checks the layout is ascending and spans the
+// claimed 100µs..~26s range.
+func TestLatencyBuckets(t *testing.T) {
+	b := LatencyBuckets()
+	if b[0] != 0.0001 {
+		t.Errorf("first bucket = %v, want 0.0001", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v", i, b)
+		}
+	}
+	if last := b[len(b)-1]; last < 16 || last > 64 {
+		t.Errorf("last bucket = %v, want tens of seconds", last)
+	}
+}
+
 // TestRegistryConcurrent hammers every instrument kind from many
 // goroutines while scrapes run — meaningful under -race (make check-race)
 // and a sanity check that concurrent totals are not lost.

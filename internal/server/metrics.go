@@ -125,6 +125,14 @@ func (s *Server) registerCollectors(reg *obs.Registry) {
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.started).Seconds() })
 
+	// Build metadata as a constant info gauge, so a scrape (and any
+	// BENCH_*.json derived from scrape deltas) identifies which binary
+	// produced the numbers. The same fields come from obs.GetBuildInfo in
+	// the load generator's run records.
+	reg.Info("olapdim_build_info",
+		"Build metadata: module version, Go toolchain, VCS revision. Constant 1.",
+		obs.GetBuildInfo().Labels())
+
 	cache := s.cache
 	reg.CounterFunc("dimsat_cache_hits_total",
 		"Satisfiability calls answered from the shared cache.",

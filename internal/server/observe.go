@@ -139,8 +139,8 @@ func (rz *reasoning) finish() {
 
 // traceListResponse is the GET /debug/traces body.
 type traceListResponse struct {
-	Capacity int      `json:"capacity"`
-	Count    int      `json:"count"`
+	Capacity int `json:"capacity"`
+	Count    int `json:"count"`
 	// IDs lists retained request IDs, newest first.
 	IDs []string `json:"ids"`
 }

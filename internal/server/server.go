@@ -35,6 +35,7 @@
 //	POST /summarizable   {"target": "Country", "from": ["City"]}
 //	GET  /frozen?root=Store              frozen dimensions
 //	GET  /matrix                         single-source summarizability
+//	GET  /sources?target=Country&max=2   minimal source sets for a target
 //	POST /jobs           {"kind": "sat", "category": "Store"}   durable async job
 //	GET  /jobs                           all job statuses
 //	GET  /jobs/{id}                      job status and result
@@ -59,6 +60,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -260,6 +262,7 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /summarizable", s.admit(s.handleSummarizable))
 	s.mux.HandleFunc("GET /frozen", s.admit(s.handleFrozen))
 	s.mux.HandleFunc("GET /matrix", s.admit(s.handleMatrix))
+	s.mux.HandleFunc("GET /sources", s.admit(s.handleSources))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", reg)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
@@ -698,6 +701,52 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// maxSourcesSize caps the max parameter of GET /sources: the level-
+// synchronous enumeration tests O(N^size) candidate sets, so an
+// unbounded size would let one request schedule exponential work.
+const maxSourcesSize = 3
+
+// sourcesResponse lists every minimal source set (up to MaxSize
+// categories) from which Target is summarizable in all instances.
+type sourcesResponse struct {
+	Target  string     `json:"target"`
+	MaxSize int        `json:"maxSize"`
+	Sources [][]string `json:"sources"`
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeErr(w, http.StatusBadRequest, "missing target parameter")
+		return
+	}
+	maxSize := 2
+	if q := r.URL.Query().Get("max"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "max must be a positive integer")
+			return
+		}
+		if n > maxSourcesSize {
+			writeErr(w, http.StatusBadRequest, "max exceeds the limit of %d", maxSourcesSize)
+			return
+		}
+		maxSize = n
+	}
+	rz := s.beginReasoning(r, "/sources")
+	rz.detail = fmt.Sprintf("target=%s max=%d", target, maxSize)
+	defer rz.finish()
+	srcs, err := core.MinimalSourcesContext(rz.ctx, s.ds, target, maxSize, rz.opts)
+	if err != nil {
+		s.writeReasoningErr(w, err)
+		return
+	}
+	if srcs == nil {
+		srcs = [][]string{}
+	}
+	writeJSON(w, http.StatusOK, sourcesResponse{Target: target, MaxSize: maxSize, Sources: srcs})
+}
+
 // statsResponse surfaces the server's cumulative reasoning effort, the
 // shared cache's effectiveness, and the robustness counters (contained
 // panics, shed requests), for dashboards and capacity planning. Every
@@ -721,9 +770,41 @@ type statsResponse struct {
 	DeadEnds       int     `json:"deadEnds"`
 	RequestTimeout string  `json:"requestTimeout,omitempty"`
 	MaxConcurrent  int     `json:"maxConcurrent,omitempty"`
+	// LatencySeconds summarizes the 2xx request-latency histogram as
+	// interpolated quantiles (obs.Histogram.Quantile) instead of raw
+	// bucket dumps; absent until the first successful request completes.
+	LatencySeconds *quantileView `json:"latencySeconds,omitempty"`
+	// ExpansionsPerRequest summarizes the per-request search-effort
+	// histogram the same way.
+	ExpansionsPerRequest *quantileView `json:"expansionsPerRequest,omitempty"`
 	// Jobs carries the durable job-store counters (recovered, resumed,
 	// corrupt-rejected, ...) when the server hosts a job store.
 	Jobs *jobs.Counters `json:"jobs,omitempty"`
+}
+
+// quantileView is the /stats rendering of one histogram: interpolated
+// percentiles over everything observed since the server started.
+type quantileView struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// viewQuantiles summarizes h, nil while the histogram is empty so the
+// JSON field stays absent rather than reporting zeros as measurements.
+func viewQuantiles(h *obs.Histogram) *quantileView {
+	if h == nil || h.Count() == 0 {
+		return nil
+	}
+	return &quantileView{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -743,6 +824,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Expansions:    cs.Work.Expansions,
 		Checks:        cs.Work.Checks,
 		DeadEnds:      cs.Work.DeadEnds,
+
+		LatencySeconds:       viewQuantiles(s.met.reqDur.With("2xx")),
+		ExpansionsPerRequest: viewQuantiles(s.met.searchExpansions),
 	}
 	if s.timeout > 0 {
 		resp.RequestTimeout = s.timeout.String()

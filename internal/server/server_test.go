@@ -56,6 +56,111 @@ func post(t *testing.T, ts *httptest.Server, path, body string, out any) int {
 	return resp.StatusCode
 }
 
+func TestSourcesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Target  string     `json:"target"`
+		MaxSize int        `json:"maxSize"`
+		Sources [][]string `json:"sources"`
+	}
+	if code := get(t, ts, "/sources?target=Country&max=1", &resp); code != http.StatusOK {
+		t.Fatalf("/sources = %d", code)
+	}
+	if resp.Target != "Country" || resp.MaxSize != 1 {
+		t.Errorf("response echo = %+v", resp)
+	}
+	// {Country} itself is always a certified singleton source.
+	found := false
+	for _, s := range resp.Sources {
+		if len(s) == 1 && s[0] == "Country" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sources = %v, want to contain [Country]", resp.Sources)
+	}
+
+	for _, c := range []struct {
+		path string
+		code int
+	}{
+		{"/sources", http.StatusBadRequest},             // missing target
+		{"/sources?target=Nope", http.StatusBadRequest}, // unknown category
+		{"/sources?target=Country&max=0", http.StatusBadRequest},
+		{"/sources?target=Country&max=99", http.StatusBadRequest}, // over the cap
+		{"/sources?target=Country&max=x", http.StatusBadRequest},
+	} {
+		if code := get(t, ts, c.path, nil); code != c.code {
+			t.Errorf("GET %s = %d, want %d", c.path, code, c.code)
+		}
+	}
+}
+
+// TestStatsQuantiles checks that /stats reports interpolated latency and
+// effort quantiles once requests have completed, and omits them on a
+// fresh server instead of reporting zeros.
+func TestStatsQuantiles(t *testing.T) {
+	ts := testServer(t)
+	var fresh map[string]json.RawMessage
+	if code := get(t, ts, "/stats", &fresh); code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	if _, ok := fresh["expansionsPerRequest"]; ok {
+		t.Error("fresh /stats already has expansionsPerRequest")
+	}
+
+	if code := get(t, ts, "/sat?category=Store", nil); code != http.StatusOK {
+		t.Fatalf("/sat = %d", code)
+	}
+	var stats struct {
+		LatencySeconds *struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+			P999  float64 `json:"p999"`
+		} `json:"latencySeconds"`
+		ExpansionsPerRequest *struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"expansionsPerRequest"`
+	}
+	if code := get(t, ts, "/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	if stats.LatencySeconds == nil || stats.LatencySeconds.Count == 0 {
+		t.Fatalf("latencySeconds missing after a 2xx request: %+v", stats)
+	}
+	if stats.LatencySeconds.P999 < stats.LatencySeconds.P50 {
+		t.Errorf("p999 %v < p50 %v", stats.LatencySeconds.P999, stats.LatencySeconds.P50)
+	}
+	if stats.ExpansionsPerRequest == nil || stats.ExpansionsPerRequest.Count == 0 {
+		t.Fatalf("expansionsPerRequest missing after a search: %+v", stats)
+	}
+}
+
+// TestBuildInfoMetric checks the olapdim_build_info gauge is exposed
+// with the three metadata labels.
+func TestBuildInfoMetric(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "olapdim_build_info{") {
+		t.Fatalf("/metrics has no olapdim_build_info:\n%s", text[:min(len(text), 400)])
+	}
+	for _, label := range []string{`goversion="go`, `revision="`, `version="`} {
+		if !strings.Contains(text, label) {
+			t.Errorf("olapdim_build_info missing label %s", label)
+		}
+	}
+}
+
 func TestSchemaEndpoint(t *testing.T) {
 	ts := testServer(t)
 	resp, err := http.Get(ts.URL + "/schema")

@@ -29,8 +29,9 @@ fail() {
     exit 1
 }
 
-echo "e2e_smoke: building dimsatd"
+echo "e2e_smoke: building dimsatd and dimsatload"
 go build -o "$TMP/dimsatd" ./cmd/dimsatd
+go build -o "$TMP/dimsatload" ./cmd/dimsatload
 
 echo "e2e_smoke: starting dimsatd on :$PORT (pprof on :$DEBUG_PORT)"
 "$TMP/dimsatd" -addr "127.0.0.1:$PORT" -debug-addr "127.0.0.1:$DEBUG_PORT" \
@@ -79,6 +80,21 @@ grep -q '"event":"slow_search"' "$TMP/requests.jsonl" \
     || fail "no slow_search line in the structured log"
 grep -q "\"requestId\":\"$REQ_ID\"" "$TMP/requests.jsonl" \
     || fail "structured log has no line for $REQ_ID"
+
+echo "e2e_smoke: dimsatload against the live server"
+# A short seeded burst over the served schema (no jobs op: this daemon
+# runs without -jobs-dir) must finish error-free and produce a valid
+# run record with client percentiles and server effort deltas.
+"$TMP/dimsatload" -seed 7 -target "$BASE" -schema "$SCHEMA" \
+    -mix "sat=4,implies=2,summarizable=2,sources=1" \
+    -duration 2s -warmup 200ms -out "$TMP/BENCH_e2e.json" \
+    2>"$TMP/dimsatload.log" \
+    || { sed 's/^/e2e_smoke:   dimsatload: /' "$TMP/dimsatload.log" >&2; \
+         fail "dimsatload run reported errors"; }
+grep -q '"schemaVersion"' "$TMP/BENCH_e2e.json" || fail "run record missing schemaVersion"
+grep -q '"p50Ms"' "$TMP/BENCH_e2e.json" || fail "run record has no client percentiles"
+grep -q '"dimsat_cache_work_expansions_total"' "$TMP/BENCH_e2e.json" \
+    || fail "run record has no server effort deltas"
 
 echo "e2e_smoke: pprof debug listener"
 curl -fsS "http://127.0.0.1:$DEBUG_PORT/debug/pprof/cmdline" >/dev/null \
