@@ -109,13 +109,15 @@ func (c *SatCache) Stats() CacheStats {
 	}
 }
 
-// satisfiable answers (fingerprint(ds), root) from the cache, running
-// compute under singleflight on a miss. A compute that fails is not
+// satisfiable answers (fingerprint, root) from the cache, running
+// compute under singleflight on a miss. The caller supplies the schema
+// fingerprint so callers holding a Compiled schema reuse its memoized
+// hash instead of re-hashing per lookup. A compute that fails is not
 // cached and wakes any waiters to retry (they may carry larger budgets);
 // a waiter whose own context expires returns its ctx.Err without waiting
 // further.
-func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root string, compute func() (Result, error)) (Result, error) {
-	key := satCacheKey{schema: schemaFingerprint(ds), root: root}
+func (c *SatCache) satisfiable(ctx context.Context, fingerprint, root string, compute func() (Result, error)) (Result, error) {
+	key := satCacheKey{schema: fingerprint, root: root}
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
@@ -166,6 +168,38 @@ func (c *SatCache) satisfiable(ctx context.Context, ds *DimensionSchema, root st
 		close(e.done)
 		return res, err
 	}
+}
+
+// peek reports the memoized result for (fingerprint, root) when a
+// completed successful entry exists, without blocking on in-flight
+// computes. ImpliesContext uses it to skip per-call work that only pays
+// off when the search actually runs (deriving the compiled negation
+// schema); a peek hit counts as a cache hit, exactly like answering
+// through satisfiable.
+func (c *SatCache) peek(fingerprint, root string) (Result, bool) {
+	key := satCacheKey{schema: fingerprint, root: root}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return Result{}, false
+	}
+	select {
+	case <-e.done:
+	default:
+		// Still computing: fall through to the singleflight path, which
+		// coalesces onto the in-flight search.
+		return Result{}, false
+	}
+	if e.err != nil {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	res := e.res
+	res.Stats = Stats{}
+	return res, true
 }
 
 // retain records a completed entry in FIFO order and evicts past the

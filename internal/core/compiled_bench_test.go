@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"olapdim/internal/core"
+	"olapdim/internal/gen"
+)
+
+// benchSchema is a heterogeneous schema large enough that a budgeted
+// search runs hundreds of EXPAND steps without completing.
+func benchSchema(tb testing.TB) (*core.DimensionSchema, string) {
+	tb.Helper()
+	ds, err := gen.Schema(gen.SchemaSpec{
+		Seed: 11, Categories: 14, Levels: 4,
+		ExtraEdgeProb: 0.5, ChoiceProb: 0.3, IntoFrac: 0.3,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Pick the root whose budgeted search does the most work. The guard
+	// and benchmarks run with the pruning heuristics off so the subset
+	// enumeration is long enough to measure the per-step cost; the mask
+	// loop exercised is the same code path either way.
+	best, most := "", -1
+	for _, c := range ds.G.SortedCategories() {
+		res, err := core.Satisfiable(ds, c, benchOptions(5000))
+		if err != nil && res.Stats.Expansions == 0 {
+			continue
+		}
+		if res.Stats.Expansions > most {
+			best, most = c, res.Stats.Expansions
+		}
+	}
+	if best == "" {
+		tb.Fatal("no workable root")
+	}
+	return ds, best
+}
+
+func benchOptions(budget int) core.Options {
+	return core.Options{
+		MaxExpansions:           budget,
+		DisableIntoPruning:      true,
+		DisableStructurePruning: true,
+	}
+}
+
+// TestCompiledAllocationCeiling is the allocation-regression guard for
+// the compiled engine: the marginal allocation cost of an EXPAND step
+// must stay near zero. Comparing whole runs at two budgets cancels the
+// fixed setup cost (scratch bitsets, frame pool) and isolates the
+// per-step cost, which pooled frames are supposed to eliminate.
+func TestCompiledAllocationCeiling(t *testing.T) {
+	ds, root := benchSchema(t)
+	cs, err := core.Compile(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo, hi = 200, 1000
+	run := func(budget int) {
+		opts := benchOptions(budget)
+		opts.Compiled = cs
+		res, err := core.Satisfiable(ds, root, opts)
+		if err == nil {
+			t.Fatalf("search finished inside budget %d (%d expansions): pick a bigger schema", budget, res.Stats.Expansions)
+		}
+	}
+	allocsLo := testing.AllocsPerRun(10, func() { run(lo) })
+	allocsHi := testing.AllocsPerRun(10, func() { run(hi) })
+	perStep := (allocsHi - allocsLo) / float64(hi-lo)
+	t.Logf("allocs: %d expansions -> %.1f, %d expansions -> %.1f (%.4f per step)",
+		lo, allocsLo, hi, allocsHi, perStep)
+	// The ceiling leaves room for one-off frame-pool growth at new depths
+	// but fails on any per-step allocation creeping back in.
+	if perStep > 0.05 {
+		t.Fatalf("compiled engine allocates %.4f objects per EXPAND step, want near zero", perStep)
+	}
+}
+
+func benchmarkSat(b *testing.B, compiled bool) {
+	ds, root := benchSchema(b)
+	opts := benchOptions(1000)
+	if compiled {
+		cs, err := core.Compile(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Compiled = cs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Satisfiable(ds, root, opts); err == nil {
+			b.Fatal("expected a budget abort")
+		}
+	}
+}
+
+func BenchmarkInterpretedSat(b *testing.B) { benchmarkSat(b, false) }
+
+func BenchmarkCompiledSat(b *testing.B) { benchmarkSat(b, true) }
+
+// BenchmarkCompile measures the one-time compilation cost being amortized.
+func BenchmarkCompile(b *testing.B) {
+	ds, _ := benchSchema(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImplies compares the full Theorem 2 pipeline per engine,
+// including the Derive cache on the compiled side.
+func BenchmarkImplies(b *testing.B) {
+	ds, _ := benchSchema(b)
+	if len(ds.Sigma) == 0 {
+		b.Skip("no constraints")
+	}
+	cs, err := core.Compile(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"interpreted", core.Options{}},
+		{"compiled", core.Options{Compiled: cs}},
+	} {
+		b.Run(engine.name, func(b *testing.B) {
+			opts := engine.opts
+			opts.MaxExpansions = 1000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				alpha := ds.Sigma[i%len(ds.Sigma)]
+				if _, _, err := core.Implies(ds, alpha, opts); err != nil && !errors.Is(err, core.ErrBudgetExceeded) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,522 @@
+package core_test
+
+// Differential oracle suite: the interpreted DIMSAT engine is the
+// correctness oracle for the compiled bitset engine. Every test here
+// runs the same query on both engines and requires identical results —
+// verdicts, witnesses, Stats, trace event streams at the three
+// dead-end/prune sites, and checkpoints (which must also resume
+// interchangeably across engines).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/core"
+	"olapdim/internal/frozen"
+	"olapdim/internal/gen"
+	"olapdim/internal/paper"
+)
+
+// diffSpecs spans the internal/gen schema families: homogeneous layered
+// schemas, heterogeneous multi-parent schemas, choice (one-of)
+// constraints, conditional equality constraints over constants, and
+// into-heavy schemas that feed the Section 5 pruning heuristic.
+func diffSpecs() []gen.SchemaSpec {
+	return []gen.SchemaSpec{
+		{Seed: 1, Categories: 6, Levels: 3},
+		{Seed: 2, Categories: 8, Levels: 3, ExtraEdgeProb: 0.3},
+		{Seed: 3, Categories: 8, Levels: 2, ExtraEdgeProb: 0.5, ChoiceProb: 0.8},
+		{Seed: 4, Categories: 9, Levels: 3, ExtraEdgeProb: 0.4, Constants: 3, CondProb: 0.7},
+		{Seed: 5, Categories: 10, Levels: 4, ExtraEdgeProb: 0.3, IntoFrac: 0.6},
+		{Seed: 6, Categories: 10, Levels: 3, ExtraEdgeProb: 0.4, ChoiceProb: 0.5, Constants: 2, CondProb: 0.5, IntoFrac: 0.4},
+		{Seed: 7, Categories: 12, Levels: 4, ExtraEdgeProb: 0.25, ChoiceProb: 0.3, Constants: 4, CondProb: 0.3, IntoFrac: 0.3},
+	}
+}
+
+// diffSchemas returns the generated families plus hand-built schemas
+// covering corners the generator does not produce: the paper's location
+// schema and a schema with order (Cmp) atoms, which exercise the valued
+// decider and the c-assignment solver.
+func diffSchemas(t *testing.T) map[string]*core.DimensionSchema {
+	t.Helper()
+	out := map[string]*core.DimensionSchema{}
+	for _, spec := range diffSpecs() {
+		ds, err := gen.Schema(spec)
+		if err != nil {
+			t.Fatalf("gen.Schema(%+v): %v", spec, err)
+		}
+		out[fmt.Sprintf("gen-seed%d", spec.Seed)] = ds
+	}
+	out["paper-location"] = paper.LocationSch()
+	out["cmp-atoms"] = cmpSchema(t)
+	return out
+}
+
+// cmpSchema builds a small heterogeneous schema whose constraints mix
+// order atoms, negation and biconditionals.
+func cmpSchema(t *testing.T) *core.DimensionSchema {
+	t.Helper()
+	ds, err := core.Parse(`schema cmp
+edge Day -> Month -> All
+edge Day -> Week -> All
+constraint Day.Month="jan" -> Day_Month
+constraint Day.Week < 10 -> Day_Week
+constraint !(Day_Month & Day_Week)
+`)
+	if err != nil {
+		t.Fatalf("cmpSchema: %v", err)
+	}
+	return ds
+}
+
+// optionVariants are the pruning ablations both engines must agree
+// under (the compiled engine mirrors the interpreted one per switch).
+func optionVariants() map[string]core.Options {
+	return map[string]core.Options{
+		"default":      {},
+		"no-into":      {DisableIntoPruning: true},
+		"no-structure": {DisableStructurePruning: true},
+		"no-pruning":   {DisableIntoPruning: true, DisableStructurePruning: true},
+	}
+}
+
+func mustCompile(t *testing.T, ds *core.DimensionSchema) *core.Compiled {
+	t.Helper()
+	cs, err := core.Compile(ds)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return cs
+}
+
+// requireSameResult compares everything a Result carries, witnesses by
+// canonical key (edge insertion order differs between engines; Key and
+// String are the canonical forms everything downstream serializes).
+func requireSameResult(t *testing.T, label string, intRes, compRes core.Result, intErr, compErr error) {
+	t.Helper()
+	if (intErr == nil) != (compErr == nil) {
+		t.Fatalf("%s: error mismatch: interpreted=%v compiled=%v", label, intErr, compErr)
+	}
+	if intErr != nil && intErr.Error() != compErr.Error() {
+		t.Fatalf("%s: error text mismatch:\n  interpreted: %v\n  compiled:    %v", label, intErr, compErr)
+	}
+	if intRes.Satisfiable != compRes.Satisfiable {
+		t.Fatalf("%s: verdict mismatch: interpreted=%v compiled=%v", label, intRes.Satisfiable, compRes.Satisfiable)
+	}
+	if intRes.Stats != compRes.Stats {
+		t.Fatalf("%s: stats mismatch: interpreted=%+v compiled=%+v", label, intRes.Stats, compRes.Stats)
+	}
+	if (intRes.Witness == nil) != (compRes.Witness == nil) {
+		t.Fatalf("%s: witness presence mismatch", label)
+	}
+	if intRes.Witness != nil && intRes.Witness.Key() != compRes.Witness.Key() {
+		t.Fatalf("%s: witness mismatch:\n  interpreted: %s\n  compiled:    %s", label, intRes.Witness.Key(), compRes.Witness.Key())
+	}
+	if !reflect.DeepEqual(intRes.Checkpoint, compRes.Checkpoint) {
+		t.Fatalf("%s: checkpoint mismatch:\n  interpreted: %+v\n  compiled:    %+v", label, intRes.Checkpoint, compRes.Checkpoint)
+	}
+}
+
+func TestCompiledMatchesInterpretedSatisfiable(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		cs := mustCompile(t, ds)
+		for vname, opts := range optionVariants() {
+			for _, c := range ds.G.SortedCategories() {
+				label := fmt.Sprintf("%s/%s/%s", name, vname, c)
+				intRes, intErr := core.Satisfiable(ds, c, opts)
+				copts := opts
+				copts.Compiled = cs
+				compRes, compErr := core.Satisfiable(ds, c, copts)
+				requireSameResult(t, label, intRes, compRes, intErr, compErr)
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesInterpretedImplies(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		cs := mustCompile(t, ds)
+		// Test every Σ constraint as an implication query (always implied)
+		// plus summarizability constraints (may go either way).
+		alphas := append([]constraint.Expr(nil), ds.Sigma...)
+		cats := ds.G.SortedCategories()
+		for _, cb := range ds.G.Bottoms() {
+			alphas = append(alphas, core.SummarizabilityConstraint(cb, cats[len(cats)-1], cats[:1]))
+		}
+		for i, alpha := range alphas {
+			label := fmt.Sprintf("%s/alpha%d", name, i)
+			intOK, intRes, intErr := core.Implies(ds, alpha, core.Options{})
+			compOK, compRes, compErr := core.Implies(ds, alpha, core.Options{Compiled: cs})
+			if intOK != compOK {
+				t.Fatalf("%s: implication verdict mismatch: interpreted=%v compiled=%v", label, intOK, compOK)
+			}
+			requireSameResult(t, label, intRes, compRes, intErr, compErr)
+		}
+	}
+}
+
+// diffTracer records both the Figure-7 Tracer stream (with the rendered
+// live subhierarchy, proving the compiled engine's shadow graph tracks
+// its bitsets) and the StructuredTracer stream with depths and prune
+// heuristics.
+type diffTracer struct {
+	events []string
+}
+
+func (d *diffTracer) Expand(g *frozen.Subhierarchy, ctop string, R []string) {
+	d.events = append(d.events, fmt.Sprintf("expand %s %v g=%s", ctop, R, g))
+}
+
+func (d *diffTracer) Check(g *frozen.Subhierarchy, induced bool) {
+	d.events = append(d.events, fmt.Sprintf("check %v g=%s", induced, g))
+}
+
+func (d *diffTracer) ExpandStep(depth int, ctop string, R []string) {
+	d.events = append(d.events, fmt.Sprintf("expand-step %d %s %v", depth, ctop, R))
+}
+
+func (d *diffTracer) CheckStep(depth int, induced bool) {
+	d.events = append(d.events, fmt.Sprintf("check-step %d %v", depth, induced))
+}
+
+func (d *diffTracer) PruneStep(depth int, ctop, heuristic string) {
+	d.events = append(d.events, fmt.Sprintf("prune-step %d %s %s", depth, ctop, heuristic))
+}
+
+func TestCompiledTraceParity(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		cs := mustCompile(t, ds)
+		for vname, opts := range optionVariants() {
+			for _, c := range ds.G.SortedCategories() {
+				intTr, compTr := &diffTracer{}, &diffTracer{}
+				iopts := opts
+				iopts.Tracer = intTr
+				if _, err := core.Satisfiable(ds, c, iopts); err != nil {
+					t.Fatalf("%s/%s/%s interpreted: %v", name, vname, c, err)
+				}
+				copts := opts
+				copts.Tracer = compTr
+				copts.Compiled = cs
+				if _, err := core.Satisfiable(ds, c, copts); err != nil {
+					t.Fatalf("%s/%s/%s compiled: %v", name, vname, c, err)
+				}
+				if !reflect.DeepEqual(intTr.events, compTr.events) {
+					t.Fatalf("%s/%s/%s: trace mismatch (%d vs %d events)\nfirst divergence: %s",
+						name, vname, c, len(intTr.events), len(compTr.events), firstDivergence(intTr.events, compTr.events))
+				}
+			}
+		}
+	}
+}
+
+func firstDivergence(a, b []string) string {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("event %d:\n  interpreted: %s\n  compiled:    %s", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+// TestCompiledCheckpointInterchange suspends searches on each engine at
+// several budgets and resumes them on the other engine (and itself),
+// requiring the exact uninterrupted result either way.
+func TestCompiledCheckpointInterchange(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		cs := mustCompile(t, ds)
+		for _, c := range ds.G.SortedCategories()[:3] {
+			full, err := core.Satisfiable(ds, c, core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s full: %v", name, c, err)
+			}
+			for _, budget := range []int{1, 2, 5, 17} {
+				if full.Stats.Expansions <= budget {
+					continue
+				}
+				label := fmt.Sprintf("%s/%s/budget%d", name, c, budget)
+				bopts := core.Options{MaxExpansions: budget, Checkpoint: &core.Checkpointing{}}
+				intRes, intErr := core.Satisfiable(ds, c, bopts)
+				cbopts := bopts
+				cbopts.Compiled = cs
+				compRes, compErr := core.Satisfiable(ds, c, cbopts)
+				requireSameResult(t, label, intRes, compRes, intErr, compErr)
+				if !errors.Is(intErr, core.ErrBudgetExceeded) || intRes.Checkpoint == nil {
+					t.Fatalf("%s: expected budget abort with checkpoint, got %v", label, intErr)
+				}
+				// Resume each engine's checkpoint on both engines.
+				for rname, ropts := range map[string]core.Options{
+					"interpreted": {},
+					"compiled":    {Compiled: cs},
+				} {
+					res, err := core.ResumeSatisfiable(ds, intRes.Checkpoint, ropts)
+					if err != nil {
+						t.Fatalf("%s resume on %s: %v", label, rname, err)
+					}
+					if res.Satisfiable != full.Satisfiable || res.Stats != full.Stats {
+						t.Fatalf("%s resume on %s: got %v/%+v want %v/%+v",
+							label, rname, res.Satisfiable, res.Stats, full.Satisfiable, full.Stats)
+					}
+					if (res.Witness == nil) != (full.Witness == nil) ||
+						(res.Witness != nil && res.Witness.Key() != full.Witness.Key()) {
+						t.Fatalf("%s resume on %s: witness mismatch", label, rname)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledPeriodicCheckpointParity compares the periodic sink
+// streams: both engines must emit identical snapshots at identical
+// expansion counts.
+func TestCompiledPeriodicCheckpointParity(t *testing.T) {
+	ds := diffSchemas(t)["gen-seed6"]
+	cs := mustCompile(t, ds)
+	for _, c := range ds.G.SortedCategories()[:4] {
+		var intCPs, compCPs []*core.Checkpoint
+		iopts := core.Options{Checkpoint: &core.Checkpointing{Every: 3, Sink: func(cp *core.Checkpoint) error {
+			intCPs = append(intCPs, cp)
+			return nil
+		}}}
+		if _, err := core.Satisfiable(ds, c, iopts); err != nil {
+			t.Fatalf("%s interpreted: %v", c, err)
+		}
+		copts := core.Options{Compiled: cs, Checkpoint: &core.Checkpointing{Every: 3, Sink: func(cp *core.Checkpoint) error {
+			compCPs = append(compCPs, cp)
+			return nil
+		}}}
+		if _, err := core.Satisfiable(ds, c, copts); err != nil {
+			t.Fatalf("%s compiled: %v", c, err)
+		}
+		if !reflect.DeepEqual(intCPs, compCPs) {
+			t.Fatalf("%s: periodic checkpoint streams differ (%d vs %d)", c, len(intCPs), len(compCPs))
+		}
+	}
+}
+
+// TestCompiledBatchSurfaceParity runs the batch entry points with and
+// without the compiled form and requires identical reports.
+func TestCompiledBatchSurfaceParity(t *testing.T) {
+	for _, name := range []string{"gen-seed4", "gen-seed6", "paper-location", "cmp-atoms"} {
+		ds := diffSchemas(t)[name]
+		cs := mustCompile(t, ds)
+		iopts := core.Options{Parallelism: 1}
+		copts := core.Options{Parallelism: 1, Compiled: cs}
+
+		intUnsat, err1 := core.UnsatisfiableCategoriesContext(context.Background(), ds, iopts)
+		compUnsat, err2 := core.UnsatisfiableCategoriesContext(context.Background(), ds, copts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s unsat: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(intUnsat, compUnsat) {
+			t.Fatalf("%s unsat mismatch: %v vs %v", name, intUnsat, compUnsat)
+		}
+
+		intM, err1 := core.SummarizabilityMatrix(ds, iopts)
+		compM, err2 := core.SummarizabilityMatrix(ds, copts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s matrix: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(intM, compM) {
+			t.Fatalf("%s matrix mismatch:\n%s\nvs\n%s", name, intM, compM)
+		}
+
+		intL, err1 := core.Lint(ds, iopts)
+		compL, err2 := core.Lint(ds, copts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s lint: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(intL, compL) {
+			t.Fatalf("%s lint mismatch: %+v vs %+v", name, intL, compL)
+		}
+	}
+}
+
+// TestCompiledSatCacheSharing proves compiled and interpreted calls hit
+// the same cache entries: the fingerprint keys agree across engines.
+func TestCompiledSatCacheSharing(t *testing.T) {
+	ds := paper.LocationSch()
+	cs := mustCompile(t, ds)
+	cache := core.NewSatCache()
+	c := ds.G.SortedCategories()[1]
+
+	intRes, err := core.Satisfiable(ds, c, core.Options{Cache: cache})
+	if err != nil {
+		t.Fatalf("interpreted: %v", err)
+	}
+	if intRes.Stats.Expansions == 0 {
+		t.Fatalf("expected a real search on the miss")
+	}
+	compRes, err := core.Satisfiable(ds, c, core.Options{Cache: cache, Compiled: cs})
+	if err != nil {
+		t.Fatalf("compiled: %v", err)
+	}
+	if compRes.Stats != (core.Stats{}) {
+		t.Fatalf("compiled call should hit the interpreted call's cache entry, got stats %+v", compRes.Stats)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats: %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestCompiledMismatchRejected(t *testing.T) {
+	ds1 := paper.LocationSch()
+	ds2, err := gen.Schema(gen.SchemaSpec{Seed: 1, Categories: 6, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := mustCompile(t, ds1)
+	c := ds2.G.SortedCategories()[1]
+	if _, err := core.Satisfiable(ds2, c, core.Options{Compiled: cs}); !errors.Is(err, core.ErrCompiledMismatch) {
+		t.Fatalf("Satisfiable: got %v, want ErrCompiledMismatch", err)
+	}
+	// An alpha valid in ds2's graph, so the mismatch is detected by the
+	// compiled-schema pin rather than constraint validation.
+	alpha := constraint.RollupAtom{RootCat: c, Cat: "All"}
+	if _, _, err := core.Implies(ds2, alpha, core.Options{Compiled: cs}); !errors.Is(err, core.ErrCompiledMismatch) {
+		t.Fatalf("Implies: got %v, want ErrCompiledMismatch", err)
+	}
+	cp := &core.Checkpoint{Version: core.CheckpointVersion, Schema: cs.Fingerprint(), Root: c, IntoPruning: true, StructurePruning: true}
+	if _, err := core.ResumeSatisfiable(ds2, cp, core.Options{Compiled: cs}); !errors.Is(err, core.ErrCompiledMismatch) {
+		t.Fatalf("Resume: got %v, want ErrCompiledMismatch", err)
+	}
+}
+
+func TestCompiledAccessors(t *testing.T) {
+	ds := paper.LocationSch()
+	cs := mustCompile(t, ds)
+	if cs.Source() != ds {
+		t.Fatalf("Source should return the compiled schema")
+	}
+	if cs.Fingerprint() != core.Fingerprint(ds) {
+		t.Fatalf("Fingerprint mismatch: %s vs %s", cs.Fingerprint(), core.Fingerprint(ds))
+	}
+	st := cs.Stats()
+	if st.Categories != len(ds.G.SortedCategories()) || st.Constraints != len(ds.Sigma) {
+		t.Fatalf("Stats shape: %+v", st)
+	}
+	if st.Compiles != 1 || st.CompileSeconds <= 0 {
+		t.Fatalf("Stats compile counters: %+v", st)
+	}
+
+	// Derive caches by constraint and shares the counters.
+	alpha := ds.Sigma[0]
+	d1, err := cs.Derive(constraint.Not{X: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cs.Derive(constraint.Not{X: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("Derive should cache")
+	}
+	st = cs.Stats()
+	if st.Compiles != 2 || st.DeriveMisses != 1 || st.DeriveHits != 1 {
+		t.Fatalf("derive counters: %+v", st)
+	}
+	if d1.Fingerprint() == cs.Fingerprint() {
+		t.Fatalf("derived schema should have a different fingerprint")
+	}
+	// The derived source is content-identical to the ImpliesReduction neg
+	// schema, so fingerprints (checkpoint pins, cache keys) agree.
+	neg, _, _, decided, err := core.ImpliesReduction(ds, alpha)
+	if err != nil || decided {
+		t.Fatalf("reduction: %v %v", decided, err)
+	}
+	if d1.Fingerprint() != core.Fingerprint(neg) {
+		t.Fatalf("derived fingerprint should match the reduction's neg schema")
+	}
+}
+
+func TestCompileRejectsInvalidSchema(t *testing.T) {
+	ds, err := gen.Schema(gen.SchemaSpec{Seed: 1, Categories: 6, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := core.NewDimensionSchema(ds.G, constraint.RollupAtom{RootCat: ds.G.SortedCategories()[1], Cat: "nope"})
+	if _, err := core.Compile(bad); err == nil {
+		t.Fatalf("Compile should reject an invalid schema")
+	}
+}
+
+// TestCompiledEnumerateFrozenIgnoresCompiled pins the documented
+// behavior: enumeration always runs interpreted, compiled option or not.
+func TestCompiledEnumerateFrozenIgnoresCompiled(t *testing.T) {
+	ds := paper.LocationSch()
+	cs := mustCompile(t, ds)
+	root := ds.G.SortedCategories()[1]
+	plain, err := core.EnumerateFrozen(ds, root, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := core.EnumerateFrozen(ds, root, core.Options{Compiled: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(with) {
+		t.Fatalf("enumeration changed: %d vs %d", len(plain), len(with))
+	}
+	for i := range plain {
+		if plain[i].Key() != with[i].Key() {
+			t.Fatalf("enumeration order changed at %d", i)
+		}
+	}
+}
+
+// FuzzCompiledVsInterpreted drives the differential oracle from fuzzed
+// generator parameters and budgets; wired into make fuzz-smoke.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(3), uint8(30), uint8(50), uint8(2), uint8(40), uint8(40), uint16(0))
+	f.Add(int64(7), uint8(10), uint8(4), uint8(40), uint8(30), uint8(3), uint8(30), uint8(50), uint16(9))
+	f.Add(int64(42), uint8(8), uint8(2), uint8(60), uint8(80), uint8(0), uint8(0), uint8(20), uint16(25))
+	f.Fuzz(func(t *testing.T, seed int64, cats, levels, edgeP, choiceP, consts, condP, intoP uint8, budget uint16) {
+		spec := gen.SchemaSpec{
+			Seed:          seed,
+			Categories:    2 + int(cats%12),
+			Levels:        2 + int(levels%4),
+			ExtraEdgeProb: float64(edgeP%100) / 100,
+			ChoiceProb:    float64(choiceP%100) / 100,
+			Constants:     int(consts % 5),
+			CondProb:      float64(condP%100) / 100,
+			IntoFrac:      float64(intoP%100) / 100,
+		}
+		ds, err := gen.Schema(spec)
+		if err != nil {
+			t.Skip()
+		}
+		cs, err := core.Compile(ds)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		opts := core.Options{Checkpoint: &core.Checkpointing{}}
+		// A zero fuzzed budget caps the run anyway so pathological
+		// schemas cannot stall the fuzzer.
+		opts.MaxExpansions = 1 + int(budget%2000)
+		for _, c := range ds.G.SortedCategories() {
+			intRes, intErr := core.Satisfiable(ds, c, opts)
+			copts := opts
+			copts.Compiled = cs
+			compRes, compErr := core.Satisfiable(ds, c, copts)
+			if (intErr == nil) != (compErr == nil) ||
+				(intErr != nil && intErr.Error() != compErr.Error()) {
+				t.Fatalf("%s: error mismatch: %v vs %v", c, intErr, compErr)
+			}
+			if intRes.Satisfiable != compRes.Satisfiable || intRes.Stats != compRes.Stats {
+				t.Fatalf("%s: result mismatch: %+v vs %+v", c, intRes, compRes)
+			}
+			if (intRes.Witness == nil) != (compRes.Witness == nil) ||
+				(intRes.Witness != nil && intRes.Witness.Key() != compRes.Witness.Key()) {
+				t.Fatalf("%s: witness mismatch", c)
+			}
+			if !reflect.DeepEqual(intRes.Checkpoint, compRes.Checkpoint) {
+				t.Fatalf("%s: checkpoint mismatch: %+v vs %+v", c, intRes.Checkpoint, compRes.Checkpoint)
+			}
+		}
+	})
+}

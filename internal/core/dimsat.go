@@ -75,6 +75,38 @@ type Options struct {
 	// Pool, when non-nil, observes the batch-surface worker pool: batch
 	// fan-outs, task starts, and task completions with latency.
 	Pool PoolObserver
+
+	// Compiled, when non-nil, runs searches on the compiled bitset engine
+	// built by Compile instead of the interpreted one. It must stem from
+	// the same dimension schema passed alongside it — verified by pointer
+	// or by fingerprint, with ErrCompiledMismatch on disagreement. Both
+	// engines produce identical Results, Stats, trace events and
+	// checkpoints; checkpoints resume interchangeably across engines.
+	// EnumerateFrozenContext ignores this field and always runs
+	// interpreted.
+	Compiled *Compiled
+}
+
+// ErrCompiledMismatch reports that Options.Compiled was built from a
+// different schema than the one passed to the call. Test with errors.Is.
+var ErrCompiledMismatch = errors.New("core: compiled schema does not match the dimension schema")
+
+// compiledFor validates opts.Compiled against ds: nil passes through,
+// pointer identity is accepted immediately, and anything else must agree
+// on the schema fingerprint.
+func compiledFor(ds *DimensionSchema, opts Options) (*Compiled, error) {
+	cs := opts.Compiled
+	if cs == nil {
+		return nil, nil
+	}
+	if cs.src == ds {
+		return cs, nil
+	}
+	if cs.Fingerprint() != schemaFingerprint(ds) {
+		return nil, fmt.Errorf("%w: compiled %.12s.. vs schema %.12s..",
+			ErrCompiledMismatch, cs.Fingerprint(), schemaFingerprint(ds))
+	}
+	return cs, nil
 }
 
 // Tracer observes a DIMSAT execution; used to reproduce the Figure 7 trace
@@ -151,21 +183,38 @@ func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts
 		g := frozen.NewSubhierarchy(schema.All)
 		return Result{Satisfiable: true, Witness: &frozen.Frozen{G: g, Assign: frozen.Assignment{}}}, nil
 	}
+	cs, err := compiledFor(ds, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	ctx, cancel := withOptionsDeadline(ctx, opts)
 	defer cancel()
 	if opts.Cache != nil && opts.Tracer == nil {
 		if err := opts.Faults.Hit(faults.SiteCacheLookup); err != nil {
 			return Result{}, fmt.Errorf("core: sat-cache: %w", err)
 		}
-		return opts.Cache.satisfiable(ctx, ds, c, func() (Result, error) {
+		// The compiled form memoizes the fingerprint, hoisting the
+		// per-lookup schema hash of the interpreted path.
+		fp := ""
+		if cs != nil {
+			fp = cs.Fingerprint()
+		} else {
+			fp = schemaFingerprint(ds)
+		}
+		return opts.Cache.satisfiable(ctx, fp, c, func() (Result, error) {
 			return runSatisfiable(ctx, ds, c, opts)
 		})
 	}
 	return runSatisfiable(ctx, ds, c, opts)
 }
 
-// runSatisfiable executes one uncached DIMSAT search.
+// runSatisfiable executes one uncached DIMSAT search on whichever engine
+// the options select. Options.Compiled is assumed validated by the entry
+// point (compiledFor).
 func runSatisfiable(ctx context.Context, ds *DimensionSchema, c string, opts Options) (Result, error) {
+	if opts.Compiled != nil {
+		return runSatisfiableCompiled(ctx, opts.Compiled, c, opts)
+	}
 	s := newSearch(ctx, ds, c, opts)
 	s.walk(frozen.NewSubhierarchy(c), s.check)
 	opts.Effort.add(s.stats)

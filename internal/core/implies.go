@@ -34,6 +34,32 @@ func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha constraint.E
 	if decided {
 		return verdict, Result{}, nil
 	}
+	if opts.Compiled != nil {
+		cs, cerr := compiledFor(ds, opts)
+		if cerr != nil {
+			return false, Result{}, cerr
+		}
+		// A cached verdict needs no search, so deriving the compiled neg
+		// schema up front would waste a compile on every hit; peek the
+		// cache and derive only when a search will actually run. Traced
+		// runs bypass the cache and fault-armed runs must reach the
+		// injected cache-lookup site, so both take the straight path.
+		if opts.Cache != nil && opts.Tracer == nil && opts.Faults == nil {
+			if res, ok := opts.Cache.peek(cs.negFingerprint(constraint.Not{X: alpha}), root); ok {
+				return !res.Satisfiable, res, nil
+			}
+		}
+		// Derive compiles the identical neg schema (same content, same
+		// fingerprint) against the interned graph, with a per-alpha cache.
+		// A derive failure falls back to the interpreted engine rather
+		// than failing the query.
+		if dcs, derr := cs.Derive(constraint.Not{X: alpha}); derr == nil {
+			opts.Compiled = dcs
+			neg = dcs.Source()
+		} else {
+			opts.Compiled = nil
+		}
+	}
 	res, err := SatisfiableContext(ctx, neg, root, opts)
 	if err != nil {
 		return false, res, err

@@ -81,7 +81,19 @@ func LintContext(ctx context.Context, ds *DimensionSchema, opts Options) (_ *Lin
 		rest = append(rest, ds.Sigma[:i]...)
 		rest = append(rest, ds.Sigma[i+1:]...)
 		sub := NewDimensionSchema(ds.G, rest...)
-		implied, _, err := ImpliesContext(ctx, sub, ds.Sigma[i], opts)
+		// Each redundancy probe runs against a different sub-schema, so
+		// opts.Compiled (pinned to ds) cannot be threaded through as-is:
+		// compile the sub-schema instead, falling back to the interpreted
+		// engine if it does not compile.
+		subOpts := opts
+		if opts.Compiled != nil {
+			if scs, cerr := Compile(sub); cerr == nil {
+				subOpts.Compiled = scs
+			} else {
+				subOpts.Compiled = nil
+			}
+		}
+		implied, _, err := ImpliesContext(ctx, sub, ds.Sigma[i], subOpts)
 		if err != nil {
 			return err
 		}

@@ -171,6 +171,10 @@ type Store struct {
 
 	acquire func(ctx context.Context) (func(), error)
 
+	// compiled is the store's schema compiled once at Open; every attempt
+	// runs on the compiled engine (nil falls back to interpreted).
+	compiled *core.Compiled
+
 	submitted       atomic.Int64
 	recovered       atomic.Int64
 	resumed         atomic.Int64
@@ -219,6 +223,11 @@ func Open(cfg Config) (*Store, error) {
 		jobs:    map[string]*job{},
 		byKey:   map[string]string{},
 		acquire: cfg.Acquire,
+	}
+	if cfg.Options.Compiled != nil {
+		s.compiled = cfg.Options.Compiled
+	} else if cs, err := core.Compile(cfg.Schema); err == nil {
+		s.compiled = cs
 	}
 	if err := s.load(); err != nil {
 		cancel()
@@ -550,6 +559,7 @@ func (s *Store) attempt(ctx context.Context, id string, req Request, cp *core.Ch
 	opts.Cache = nil
 	opts.Tracer = nil
 	opts.Checkpoint = s.checkpointing(id)
+	opts.Compiled = s.compiled
 	if cp != nil {
 		s.resumed.Add(1)
 	}
@@ -574,7 +584,16 @@ func (s *Store) attempt(ctx context.Context, id string, req Request, cp *core.Ch
 			return core.Result{Satisfiable: !verdict}, nil
 		}
 		// The reduction is deterministic, so a resumed search runs
-		// against the identical neg schema (same fingerprint).
+		// against the identical neg schema (same fingerprint); Derive
+		// compiles that same schema against the store's interned graph.
+		if s.compiled != nil {
+			if dcs, derr := s.compiled.Derive(constraint.Not{X: alpha}); derr == nil {
+				opts.Compiled = dcs
+				neg = dcs.Source()
+			} else {
+				opts.Compiled = nil
+			}
+		}
 		if cp != nil {
 			return core.ResumeSatisfiableContext(ctx, neg, cp, opts)
 		}

@@ -193,9 +193,22 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	if opts.Cache == nil {
 		opts.Cache = core.NewSatCache()
 	}
+	if opts.Compiled == nil {
+		// Compile the hosted schema once; every request then runs on the
+		// compiled engine. A schema the compiler rejects would also have
+		// failed Validate above, so this cannot fail here, but fall back
+		// to the interpreted engine defensively anyway.
+		if cs, err := core.Compile(ds); err == nil {
+			opts.Compiled = cs
+		}
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+	fingerprint := core.Fingerprint(ds)
+	if opts.Compiled != nil {
+		fingerprint = opts.Compiled.Fingerprint()
 	}
 	s := &Server{
 		ds:          ds,
@@ -204,7 +217,7 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 		mux:         http.NewServeMux(),
 		timeout:     cfg.RequestTimeout,
 		started:     time.Now(),
-		fingerprint: core.Fingerprint(ds),
+		fingerprint: fingerprint,
 		metrics:     reg,
 		met:         newServerMetrics(reg),
 		logger:      obs.NewLogger(cfg.Log),

@@ -29,6 +29,29 @@
 //	res, err := olapdim.SatisfiableContext(ctx, ds, "Store", olapdim.Options{})
 //	rep, err := olapdim.SummarizableContext(ctx, ds, "Country", []string{"City"}, olapdim.Options{})
 //
+// # Compiled schemas and the migration to the Compile API
+//
+// Compile builds a one-time compiled form of a dimension schema —
+// category names interned to dense integers, the hierarchy and its
+// reachability closure packed into bitsets, constraints pre-analyzed per
+// root — so the EXPAND/CHECK steps of DIMSAT become bitwise operations
+// over pooled frames with near-zero per-step allocation:
+//
+//	cs, err := olapdim.Compile(ds)
+//	res, err := olapdim.SatisfiableContext(ctx, ds, "Store", olapdim.Options{Compiled: cs})
+//
+// Every ...Context entry point accepts the compiled form through
+// Options.Compiled and returns results, Stats, trace events and
+// checkpoints identical to the interpreted engine's; checkpoints taken
+// on one engine resume on the other. Migrate by compiling once where
+// the schema is built and threading the CompiledSchema through the
+// Options you already pass. The context-free wrappers (Satisfiable,
+// Implies, ...) need no migration: they compile on first use into a
+// package-level fingerprint-keyed cache and reuse the compiled form on
+// every later call with the same schema. EnumerateFrozen[Context] always
+// runs interpreted. A CompiledSchema pinned to one schema is refused
+// with ErrCompiledMismatch when passed alongside a different one.
+//
 // # Contexts, budgets and the migration from the context-free API
 //
 // DIMSAT is NP-complete (Theorem 4), so every reasoning entry point has a
@@ -215,8 +238,11 @@ var ErrCheckpointMismatch = core.ErrCheckpointMismatch
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return core.DecodeCheckpoint(data) }
 
 // ResumeSatisfiable continues a suspended satisfiability search from cp,
-// returning exactly what the uninterrupted run would have returned.
+// returning exactly what the uninterrupted run would have returned. The
+// schema is compiled on first use, like Satisfiable; checkpoints taken
+// on either engine resume on either.
 func ResumeSatisfiable(ds *DimensionSchema, cp *Checkpoint, opts Options) (Result, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.ResumeSatisfiable(ds, cp, opts)
 }
 
@@ -291,8 +317,11 @@ func NewDimensionSchema(g *HierarchySchema, sigma ...Constraint) *DimensionSchem
 	return core.NewDimensionSchema(g, sigma...)
 }
 
-// Satisfiable decides category satisfiability with DIMSAT.
+// Satisfiable decides category satisfiability with DIMSAT. The schema is
+// compiled on first use (see Compile) and the compiled form reused by
+// later context-free calls with the same schema.
 func Satisfiable(ds *DimensionSchema, category string, opts Options) (Result, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.Satisfiable(ds, category, opts)
 }
 
@@ -304,8 +333,10 @@ func SatisfiableContext(ctx context.Context, ds *DimensionSchema, category strin
 }
 
 // Implies decides whether every instance of ds satisfies alpha
-// (Theorem 2 reduction to category satisfiability).
+// (Theorem 2 reduction to category satisfiability). The schema is
+// compiled on first use, like Satisfiable.
 func Implies(ds *DimensionSchema, alpha Constraint, opts Options) (bool, Result, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.Implies(ds, alpha, opts)
 }
 
@@ -318,6 +349,7 @@ func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha Constraint, 
 // the cube views for the categories in from, in every instance of ds
 // (Theorem 1).
 func Summarizable(ds *DimensionSchema, target string, from []string, opts Options) (*SummarizabilityReport, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.Summarizable(ds, target, from, opts)
 }
 
@@ -342,7 +374,8 @@ func EnumerateFrozenContext(ctx context.Context, ds *DimensionSchema, root strin
 // UnsatisfiableCategories returns the categories no instance of ds can
 // populate; the paper recommends dropping them at design time.
 func UnsatisfiableCategories(ds *DimensionSchema) ([]string, error) {
-	return core.UnsatisfiableCategories(ds)
+	ds, opts := withAutoCompile(ds, Options{})
+	return core.UnsatisfiableCategoriesContext(context.Background(), ds, opts)
 }
 
 // UnsatisfiableCategoriesContext is UnsatisfiableCategories under a
@@ -359,6 +392,7 @@ type Matrix = core.Matrix
 // SummarizabilityMatrix computes single-source summarizability between
 // every pair of categories — the design-stage overview of Section 6.
 func SummarizabilityMatrix(ds *DimensionSchema, opts Options) (*Matrix, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.SummarizabilityMatrix(ds, opts)
 }
 
@@ -379,6 +413,7 @@ func SummarizabilityMatrixPartialContext(ctx context.Context, ds *DimensionSchem
 // MinimalSources enumerates every minimal source set (up to maxSize
 // categories) from which target is summarizable in all instances of ds.
 func MinimalSources(ds *DimensionSchema, target string, maxSize int, opts Options) ([][]string, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.MinimalSources(ds, target, maxSize, opts)
 }
 
@@ -394,6 +429,7 @@ type LintReport = core.LintReport
 
 // Lint analyzes a dimension schema for design problems.
 func Lint(ds *DimensionSchema, opts Options) (*LintReport, error) {
+	ds, opts = withAutoCompile(ds, opts)
 	return core.Lint(ds, opts)
 }
 
