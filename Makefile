@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-race race vet metrics-lint smoke-e2e fuzz-smoke bench bench-load bench-diff bench-smoke experiments clean
+.PHONY: build test check check-race race vet metrics-lint smoke-e2e smoke-cluster fuzz-smoke bench bench-load bench-cluster bench-diff bench-smoke experiments clean
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,13 @@ metrics-lint:
 smoke-e2e:
 	./scripts/e2e_smoke.sh
 
+# smoke-cluster boots a coordinator fronting two dimsatd workers, drives
+# it with a seeded load run, SIGKILLs one worker mid-run, and asserts
+# the cluster recovers: reads fail over, health converges to 1/2, jobs
+# complete on the survivor, olapdim_cluster_* families are live.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
+
 # check is the pre-merge gate: static analysis, the metric naming lint,
 # the full test suite under the race detector, a fuzzing smoke pass over
 # the decode boundaries, and a short seeded load run gated against the
@@ -63,6 +70,12 @@ bench:
 # scripts/bench_load.sh and docs/BENCHMARKING.md.
 bench-load:
 	./scripts/bench_load.sh
+
+# bench-cluster runs the same seeded load pipeline against a sharded
+# cluster: WORKERS dimsatd workers behind a coordinator, record written
+# to BENCH_cluster.json with the per-shard cluster stats block.
+bench-cluster:
+	./scripts/bench_cluster.sh
 
 # bench-diff compares a new run record against the committed baseline
 # with the default same-machine thresholds.

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"olapdim/internal/cluster"
+)
+
+// coordinatorFlags carries the -coordinator mode settings out of main's
+// flag block.
+type coordinatorFlags struct {
+	addr          string
+	workers       string
+	probeInterval time.Duration
+	pollInterval  time.Duration
+	failAfter     int
+	recoverAfter  int
+	hedgeDelay    time.Duration
+	readTimeout   time.Duration
+	grace         time.Duration
+}
+
+// runCoordinator is the -coordinator entry point: build the cluster
+// front end over the listed workers and serve until SIGINT/SIGTERM.
+func runCoordinator(f coordinatorFlags) {
+	var urls []string
+	for _, w := range strings.Split(f.workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, w)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("dimsatd: -coordinator requires -workers with at least one worker URL")
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers:       urls,
+		FailAfter:     f.failAfter,
+		RecoverAfter:  f.recoverAfter,
+		ProbeInterval: f.probeInterval,
+		PollInterval:  f.pollInterval,
+		HedgeDelay:    f.hedgeDelay,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord.Start()
+
+	srv := &http.Server{
+		Addr:         f.addr,
+		Handler:      coord,
+		ReadTimeout:  f.readTimeout,
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+	log.Printf("dimsatd: coordinating %d workers on %s: %s", len(urls), f.addr, strings.Join(urls, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("dimsatd: coordinator shutting down (grace %s)", f.grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), f.grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dimsatd: shutdown: %v", err)
+	}
+	coord.Close()
+	log.Printf("dimsatd: bye")
+}

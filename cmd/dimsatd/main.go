@@ -29,9 +29,20 @@
 // -debug-addr starts a second, loopback-only listener with the
 // net/http/pprof profiling handlers.
 //
+// With -coordinator, the daemon takes no schema argument and instead
+// fronts the dimsatd workers listed in -workers as one sharded cluster:
+// requests route by an op-specific key on a consistent-hash ring,
+// workers are health-checked (active /readyz probes plus passive error
+// signals, debounced), failed forwards retry against the next ring
+// candidate with backoff, straggling reads are hedged, and a dead or
+// drained worker's durable jobs are re-enqueued — latest mirrored
+// checkpoint attached — on the shard next in ring order. See
+// docs/OPERATIONS.md ("Running a sharded cluster").
+//
 //	dimsatd -addr :8080 -timeout 10s -budget 1000000 -max-concurrent 32 schema.dims
 //	dimsatd -addr :8080 -jobs-dir /var/lib/dimsatd/jobs schema.dims
 //	dimsatd -addr :8080 -log - -trace-every 100 -debug-addr 127.0.0.1:6060 schema.dims
+//	dimsatd -coordinator -addr :8080 -workers http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -73,11 +84,33 @@ func main() {
 	traceEvery := flag.Int("trace-every", 0, "record a structured search trace every N reasoning requests (0 disables; traced requests bypass the cache)")
 	traceRing := flag.Int("trace-ring", 256, "structured traces retained for /debug/traces")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; keep it loopback-only)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator fronting -workers instead of serving a schema")
+	workers := flag.String("workers", "", "comma-separated dimsatd worker base URLs (coordinator mode)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "worker /readyz probe period (coordinator mode)")
+	pollInterval := flag.Duration("poll-interval", 500*time.Millisecond, "job status/checkpoint mirror period (coordinator mode)")
+	failAfter := flag.Int("fail-after", 3, "consecutive failures before a worker leaves rotation (coordinator mode)")
+	recoverAfter := flag.Int("recover-after", 2, "consecutive successes before a down worker returns (coordinator mode)")
+	hedgeDelay := flag.Duration("hedge-delay", 200*time.Millisecond, "straggler-read hedge delay (coordinator mode; <0 disables hedging)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dimsatd [flags] <schema.dims>")
+		fmt.Fprintln(os.Stderr, "       dimsatd -coordinator -workers <url,url,...> [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *coordinator {
+		runCoordinator(coordinatorFlags{
+			addr:          *addr,
+			workers:       *workers,
+			probeInterval: *probeInterval,
+			pollInterval:  *pollInterval,
+			failAfter:     *failAfter,
+			recoverAfter:  *recoverAfter,
+			hedgeDelay:    *hedgeDelay,
+			readTimeout:   *readTimeout,
+			grace:         *grace,
+		})
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -162,6 +163,17 @@ func run() int {
 	if v, ok := rep.Server["dimsat_cache_work_expansions_total"]; ok {
 		fmt.Fprintf(os.Stderr, "dimsatload:   server effort: %.0f expansions, %.0f checks, %.0f dead ends\n",
 			v, rep.Server["dimsat_cache_work_checks_total"], rep.Server["dimsat_cache_work_dead_ends_total"])
+	}
+	if cs := rep.Cluster; cs != nil {
+		fmt.Fprintf(os.Stderr, "dimsatload:   cluster: %d/%d workers healthy, forwards per shard:\n", cs.Healthy, cs.Workers)
+		var names []string
+		for name := range cs.Forwards {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "dimsatload:     %-30s %d\n", name, cs.Forwards[name])
+		}
 	}
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "dimsatload: wrote %s\n", *out)

@@ -1,11 +1,12 @@
 // Command metricslint instantiates the full serving metrics surface —
 // a server hosting the paper's Location schema with a job store and an
-// (unarmed) fault injector, so every conditional family registers — and
-// lints each registered family against the naming conventions in
-// obs.Lint: snake_case names, counters ending in _total, time-valued
-// metrics in base seconds. It prints the metric catalog and exits
-// non-zero on the first violation, so `make check` fails before a
-// nonconforming metric can land on a dashboard.
+// (unarmed) fault injector, so every conditional family registers, plus
+// a cluster coordinator (never started, so nothing is dialed) for the
+// olapdim_cluster_* families — and lints each registered family against
+// the naming conventions in obs.Lint: snake_case names, counters ending
+// in _total, time-valued metrics in base seconds. It prints the metric
+// catalog and exits non-zero on the first violation, so `make check`
+// fails before a nonconforming metric can land on a dashboard.
 //
 //	metricslint            lint and print the catalog
 //	metricslint -q         lint only
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"olapdim/internal/cluster"
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
 	"olapdim/internal/jobs"
@@ -52,20 +54,31 @@ func run(quiet bool) error {
 	if err != nil {
 		return err
 	}
+	// Never Started: building the coordinator registers every
+	// olapdim_cluster_* family without probing the (fake) workers.
+	coord, err := cluster.New(cluster.Config{
+		Workers: []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		Faults:  faults.New(),
+	})
+	if err != nil {
+		return err
+	}
 
 	var bad int
-	for _, f := range srv.Registry().Families() {
-		if err := obs.Lint(f.Name, f.Type); err != nil {
-			fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
-			bad++
-			continue
-		}
-		if !quiet {
-			name := f.Name
-			if f.Label != "" {
-				name += "{" + f.Label + "}"
+	for _, reg := range []*obs.Registry{srv.Registry(), coord.Registry()} {
+		for _, f := range reg.Families() {
+			if err := obs.Lint(f.Name, f.Type); err != nil {
+				fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+				bad++
+				continue
 			}
-			fmt.Printf("%-55s %-9s %s\n", name, f.Type, f.Help)
+			if !quiet {
+				name := f.Name
+				if f.Label != "" {
+					name += "{" + f.Label + "}"
+				}
+				fmt.Printf("%-55s %-9s %s\n", name, f.Type, f.Help)
+			}
 		}
 	}
 	if bad > 0 {

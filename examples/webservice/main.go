@@ -13,17 +13,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"strings"
 	"time"
 
+	"olapdim/internal/cluster"
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
 	"olapdim/internal/paper"
@@ -141,43 +141,36 @@ func overloadDemo() {
 	var sat struct {
 		Satisfiable bool `json:"satisfiable"`
 	}
-	if err := getJSONRetry(ts.URL+"/sat?category=City", &sat, 5); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := getJSONRetry(ctx, ts.URL+"/sat?category=City", &sat, 5); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  after retrying: City satisfiable=%v\n", sat.Satisfiable)
 	<-slow
 }
 
-// retryJitter spreads a retry wait over [wait, wait*1.5) with a
-// deterministic fraction derived from the request URL and attempt
-// number: clients shed together do not retry in lockstep (no thundering
-// herd on the Retry-After boundary), yet every run of this example
-// replays the identical schedule — the same reproducibility-first stance
-// as the seeded fault injector.
-func retryJitter(wait time.Duration, url string, attempt int) time.Duration {
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%s#%d", url, attempt)
-	frac := float64(h.Sum32()%1000) / 1000 // [0, 1)
-	return wait + time.Duration(frac*float64(wait)/2)
-}
-
 // getJSONRetry is getJSON with the retry contract of docs/OPERATIONS.md:
 // on 429 it waits the server's Retry-After hint (falling back to an
-// exponential backoff when the header is absent) and tries again, up to
-// maxAttempts.
-func getJSONRetry(url string, out any, maxAttempts int) error {
+// exponential backoff when the header is absent or malformed) and tries
+// again, up to maxAttempts. The backoff sleep runs through
+// cluster.SleepContext, so cancelling ctx aborts the wait immediately —
+// a caller whose own deadline expired must not sit out a multi-second
+// Retry-After before noticing. The jitter and Retry-After parsing are
+// the shared helpers the cluster coordinator's worker client uses.
+func getJSONRetry(ctx context.Context, url string, out any, maxAttempts int) error {
 	backoff := 250 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		resp, err := http.Get(url)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			wait := backoff
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				wait = time.Duration(secs) * time.Second
-			}
-			wait = retryJitter(wait, url, attempt)
+			wait := cluster.RetryJitter(cluster.RetryAfterWait(resp.Header, backoff), url, attempt)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if attempt >= maxAttempts {
@@ -187,7 +180,9 @@ func getJSONRetry(url string, out any, maxAttempts int) error {
 			// reporting so the operator can find the exact request in the
 			// server's JSON log.
 			fmt.Printf("  attempt %d (%s) shed with 429, retrying in %s\n", attempt, requestID(resp), wait)
-			time.Sleep(wait)
+			if err := cluster.SleepContext(ctx, wait); err != nil {
+				return fmt.Errorf("giving up mid-backoff: %w", err)
+			}
 			backoff *= 2
 			continue
 		}

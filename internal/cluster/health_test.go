@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthDebounce(t *testing.T) {
+	var transitions []string
+	h := newHealthTracker(3, 2, func(w string, from, to healthState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	now := time.Now()
+	h.add("w", now)
+
+	// Two failures: still up (FailAfter is 3).
+	h.observe("w", false, "boom", now)
+	h.observe("w", false, "boom", now)
+	if !h.healthy("w") {
+		t.Fatal("worker down after 2 failures, FailAfter is 3")
+	}
+	// Third consecutive failure trips it.
+	h.observe("w", false, "boom", now)
+	if h.healthy("w") {
+		t.Fatal("worker still up after 3 consecutive failures")
+	}
+	// One success: still down (RecoverAfter is 2).
+	h.observe("w", true, "", now)
+	if h.healthy("w") {
+		t.Fatal("worker recovered after 1 success, RecoverAfter is 2")
+	}
+	h.observe("w", true, "", now)
+	if !h.healthy("w") {
+		t.Fatal("worker still down after 2 consecutive successes")
+	}
+	want := []string{"up->down", "down->up"}
+	if len(transitions) != len(want) || transitions[0] != want[0] || transitions[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+// TestHealthFlappingDoesNotThrash pins the hysteresis guarantee:
+// alternating failure/success never accumulates either streak, so a
+// flapping worker causes zero ring transitions.
+func TestHealthFlappingDoesNotThrash(t *testing.T) {
+	changes := 0
+	h := newHealthTracker(3, 2, func(string, healthState, healthState) { changes++ })
+	now := time.Now()
+	h.add("w", now)
+	for i := 0; i < 100; i++ {
+		h.observe("w", i%2 == 0, "flap", now)
+	}
+	if changes != 0 {
+		t.Fatalf("flapping worker caused %d state transitions, want 0", changes)
+	}
+	if !h.healthy("w") {
+		t.Fatal("flapping worker should remain in its initial up state")
+	}
+}
+
+func TestHealthDrain(t *testing.T) {
+	h := newHealthTracker(3, 2, nil)
+	now := time.Now()
+	h.add("w", now)
+	if _, ok := h.drain("w", now); !ok {
+		t.Fatal("drain of an up worker refused")
+	}
+	if h.healthy("w") {
+		t.Fatal("draining worker still counted healthy")
+	}
+	if _, ok := h.drain("w", now); ok {
+		t.Fatal("second drain should be refused")
+	}
+	// Success signals do not pull a draining worker back into rotation.
+	h.observe("w", true, "", now)
+	h.observe("w", true, "", now)
+	if h.state("w") != stateDraining {
+		t.Fatalf("state after successes = %v, want draining", h.state("w"))
+	}
+	if h.countHealthy() != 0 {
+		t.Fatalf("countHealthy = %d, want 0", h.countHealthy())
+	}
+}
+
+func TestHealthUnknownWorkerIsNoop(t *testing.T) {
+	h := newHealthTracker(1, 1, func(string, healthState, healthState) {
+		t.Fatal("observe on an unknown worker must not transition")
+	})
+	h.observe("ghost", false, "x", time.Now())
+	if !h.healthy("ghost") {
+		t.Fatal("unknown workers default to up (add's optimism)")
+	}
+}

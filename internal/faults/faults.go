@@ -36,16 +36,29 @@ const (
 	// SiteJobPersist fires before each durable write the job store makes
 	// (job records and search checkpoints), simulating a failing disk.
 	SiteJobPersist = "jobs.persist"
+	// SiteClusterForward fires before each attempt the cluster
+	// coordinator's worker client forwards to a dimsatd worker,
+	// simulating a failing or unreachable shard.
+	SiteClusterForward = "cluster.forward"
+	// SiteClusterProbe fires before each /readyz health probe the
+	// coordinator sends a worker, simulating a flapping health plane.
+	SiteClusterProbe = "cluster.probe"
+	// SiteClusterHedge fires before the coordinator launches a hedge
+	// request for a straggling read, simulating hedge-path failures.
+	SiteClusterHedge = "cluster.hedge"
 )
 
 // knownSites is the registry Check validates rule plans against: a plan
 // naming a site nothing instruments would otherwise arm a fault that never
 // fires, and the test relying on it would silently pass.
 var knownSites = map[string]bool{
-	SiteCacheLookup: true,
-	SitePoolTask:    true,
-	SiteExpand:      true,
-	SiteJobPersist:  true,
+	SiteCacheLookup:    true,
+	SitePoolTask:       true,
+	SiteExpand:         true,
+	SiteJobPersist:     true,
+	SiteClusterForward: true,
+	SiteClusterProbe:   true,
+	SiteClusterHedge:   true,
 }
 
 // KnownSites returns the registered injection sites, sorted.

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -69,6 +70,14 @@ type Request struct {
 	// submit with the same key returns the existing job instead of
 	// creating a new one.
 	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+	// Checkpoint, when non-empty, seeds the job from a base64-encoded
+	// core.Checkpoint captured elsewhere — the cross-shard handoff path:
+	// a cluster coordinator re-enqueues a dead worker's job here with its
+	// last mirrored checkpoint, and the first attempt resumes the search
+	// instead of restarting it. The checkpoint must pin the exact schema
+	// this store would search for the request (the store schema for sat,
+	// the negation reduction for implies) or the submit is refused.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // Result is the outcome of a finished job.
@@ -126,6 +135,10 @@ var ErrUnknownJob = errors.New("jobs: unknown job")
 
 // ErrJobTerminal reports an operation (cancel) on a finished job.
 var ErrJobTerminal = errors.New("jobs: job already terminal")
+
+// ErrNoCheckpoint reports a CheckpointData call for a job that has no
+// durable search checkpoint.
+var ErrNoCheckpoint = errors.New("jobs: no checkpoint")
 
 // Config configures a Store.
 type Config struct {
@@ -349,6 +362,10 @@ func (s *Store) Submit(req Request) (Status, bool, error) {
 	default:
 		return Status{}, false, fmt.Errorf("jobs: unknown kind %q (want %q or %q)", req.Kind, KindSat, KindImplies)
 	}
+	cp, err := s.decodeSeedCheckpoint(req)
+	if err != nil {
+		return Status{}, false, err
+	}
 	s.mu.Lock()
 	if k := req.IdempotencyKey; k != "" {
 		if id, ok := s.byKey[k]; ok {
@@ -359,7 +376,15 @@ func (s *Store) Submit(req Request) (Status, bool, error) {
 	}
 	id := fmt.Sprintf("j%06d", s.seq)
 	s.seq++
-	j := &job{st: Status{ID: id, Request: req, State: StatePending}}
+	st0 := Status{ID: id, Request: req, State: StatePending}
+	if cp != nil {
+		// The durable .ckpt file is the checkpoint of record; the blob is
+		// not duplicated into every job-record write.
+		st0.Request.Checkpoint = ""
+		st0.State = StateCheckpointed
+		st0.Stats = cp.Stats
+	}
+	j := &job{st: st0}
 	s.jobs[id] = j
 	if k := req.IdempotencyKey; k != "" {
 		s.byKey[k] = id
@@ -367,13 +392,23 @@ func (s *Store) Submit(req Request) (Status, bool, error) {
 	started := s.started
 	st := j.st
 	s.mu.Unlock()
-	if err := s.persistRecord(st); err != nil {
+	rollback := func() {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		if k := req.IdempotencyKey; k != "" {
 			delete(s.byKey, k)
 		}
 		s.mu.Unlock()
+	}
+	if cp != nil {
+		if err := s.persistCheckpoint(id, cp); err != nil {
+			rollback()
+			return Status{}, false, err
+		}
+	}
+	if err := s.persistRecord(st); err != nil {
+		rollback()
+		s.removeCkpt(id)
 		return Status{}, false, err
 	}
 	s.submitted.Add(1)
@@ -381,6 +416,72 @@ func (s *Store) Submit(req Request) (Status, bool, error) {
 		s.launch(id)
 	}
 	return st, true, nil
+}
+
+// decodeSeedCheckpoint validates a Request.Checkpoint seed: it must be
+// valid base64 of a well-formed core.Checkpoint whose schema fingerprint
+// matches what an attempt for this request would search. A mismatched
+// seed is refused here — at submit, where the caller can react — rather
+// than failing the job on its first attempt.
+func (s *Store) decodeSeedCheckpoint(req Request) (*core.Checkpoint, error) {
+	if req.Checkpoint == "" {
+		return nil, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: checkpoint seed is not base64: %w", err)
+	}
+	cp, err := core.DecodeCheckpoint(raw)
+	if err != nil {
+		return nil, err
+	}
+	want := ""
+	switch req.Kind {
+	case KindSat:
+		want = core.Fingerprint(s.cfg.Schema)
+	case KindImplies:
+		alpha, perr := parser.ParseConstraint(req.Constraint)
+		if perr != nil {
+			return nil, perr
+		}
+		neg, _, _, decided, rerr := core.ImpliesReduction(s.cfg.Schema, alpha)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if decided {
+			// Propositionally constant: the attempt never searches, so a
+			// seed has nothing to resume. Ignore it.
+			return nil, nil
+		}
+		want = core.Fingerprint(neg)
+	}
+	if cp.Schema != want {
+		return nil, fmt.Errorf("%w: seed fingerprint %.12s.. vs expected %.12s..",
+			core.ErrCheckpointMismatch, cp.Schema, want)
+	}
+	return cp, nil
+}
+
+// CheckpointData returns the raw encoded bytes of a job's latest durable
+// search checkpoint, for mirroring by a cluster coordinator. ErrUnknownJob
+// for unknown IDs; ErrNoCheckpoint when the job has none (not started,
+// never checkpointed, or finished).
+func (s *Store) CheckpointData(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	hasCkpt := ok && j.hasCkpt
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if !hasCkpt {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, id)
+	}
+	payload, err := ReadSnapshotFile(s.ckptPath(id))
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
 }
 
 // Status returns the current status of a job.

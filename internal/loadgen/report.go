@@ -58,6 +58,22 @@ type Report struct {
 	// effort (dimsat_cache_work_expansions_total, ..._dead_ends_total),
 	// cache traffic, shed/timeout counts, job checkpoint writes.
 	Server map[string]float64 `json:"server"`
+	// Cluster is populated when the target is a cluster coordinator
+	// (GET /cluster answered): per-worker forward deltas over the run,
+	// so a BENCH record shows how the key space balanced across shards.
+	// Additive and optional — schema version 1 stays readable by every
+	// benchdiff.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats summarizes shard balance for a coordinator-target run.
+type ClusterStats struct {
+	// Workers counts configured workers; Healthy is the count at run end.
+	Workers int `json:"workers"`
+	Healthy int `json:"healthy"`
+	// Forwards maps worker name → forward attempts the coordinator sent
+	// it during the run (after−before deltas of GET /cluster).
+	Forwards map[string]int64 `json:"forwards"`
 }
 
 // Machine describes the client host, for reading run files across

@@ -129,6 +129,7 @@ func (rn *Runner) Run(ctx context.Context) (*Report, error) {
 		rn.logf("loadgen: pre-run metrics scrape failed (%v); server deltas will be empty", err)
 		before = nil
 	}
+	clusterBefore := rn.scrapeCluster(ctx, client, base)
 
 	stats := map[string]*opStats{}
 	for _, op := range Ops() {
@@ -262,7 +263,57 @@ func (rn *Runner) Run(ctx context.Context) (*Report, error) {
 	if before != nil && after != nil {
 		rep.Server = DeltaCounters(before, after)
 	}
+	if clusterAfter := rn.scrapeCluster(ctx, client, base); clusterAfter != nil {
+		rep.Cluster = clusterDelta(clusterBefore, clusterAfter)
+	}
 	return rep, nil
+}
+
+// clusterView is the subset of the coordinator's GET /cluster answer the
+// load generator reads for shard balance.
+type clusterView struct {
+	Workers []struct {
+		Name     string `json:"name"`
+		Forwards int64  `json:"forwards"`
+	} `json:"workers"`
+	Healthy int `json:"healthy"`
+}
+
+// scrapeCluster fetches GET /cluster; nil when the target is not a
+// coordinator (404 from a plain dimsatd) or the fetch fails — cluster
+// stats are strictly optional.
+func (rn *Runner) scrapeCluster(ctx context.Context, client *http.Client, base string) *clusterView {
+	status, body, err := rn.do(ctx, client, base, http.MethodGet, "/cluster", "")
+	if err != nil || status != http.StatusOK {
+		return nil
+	}
+	var v clusterView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil
+	}
+	return &v
+}
+
+// clusterDelta computes the per-worker forward deltas over the run. The
+// GET /metrics scrape cannot supply these: ParseMetrics sums labeled
+// series, so olapdim_cluster_forwards_total{worker} collapses to one
+// number there.
+func clusterDelta(before, after *clusterView) *ClusterStats {
+	cs := &ClusterStats{
+		Workers:  len(after.Workers),
+		Healthy:  after.Healthy,
+		Forwards: map[string]int64{},
+	}
+	prev := map[string]int64{}
+	if before != nil {
+		for _, w := range before.Workers {
+			prev[w.Name] = w.Forwards
+		}
+	}
+	for _, w := range after.Workers {
+		cs.Forwards[w.Name] = w.Forwards - prev[w.Name]
+	}
+	return cs
 }
 
 // execute performs one request and classifies the outcome. OpJobs spans

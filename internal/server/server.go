@@ -291,6 +291,7 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 		s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 		s.mux.HandleFunc("GET /jobs", s.handleJobList)
 		s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+		s.mux.HandleFunc("GET /jobs/{id}/checkpoint", s.handleJobCheckpoint)
 		s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	}
 	s.registerCollectors(reg)
@@ -920,6 +921,21 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(st))
+}
+
+// handleJobCheckpoint serves the raw encoded bytes of a job's latest
+// durable search checkpoint: 200 with the encoding, 404 when the job is
+// unknown or has none. A cluster coordinator polls this to mirror
+// checkpoints, so a job can be re-enqueued on another shard — seed
+// attached — after this worker dies.
+func (s *Server) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
+	payload, err := s.jobs.CheckpointData(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
 }
 
 // handleJobCancel cancels a job: 200 with the final view, 404 for an

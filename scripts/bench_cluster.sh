@@ -1,0 +1,90 @@
+#!/bin/sh
+# bench_cluster.sh — one reproducible load run against a sharded dimsatd
+# cluster: N workers over the same generated schema behind a coordinator.
+#
+# Builds dimsatd and dimsatload, generates the benchmark schema from the
+# run seed, boots WORKERS dimsatd workers plus a coordinator fronting
+# them, drives the coordinator with the seeded workload mix, and leaves
+# the run record (including the per-shard cluster stats block) in $OUT.
+#
+#   WORKERS=2 DURATION=30s ./scripts/bench_cluster.sh
+#   WORKERS=1 OUT=BENCH_cluster_single.json ./scripts/bench_cluster.sh
+#
+# Run from the repository root (make bench-cluster).
+set -eu
+
+COORD_PORT="${BENCH_COORD_PORT:-18095}"
+WORKER_BASE_PORT="${BENCH_WORKER_BASE_PORT:-18096}"
+WORKERS="${WORKERS:-2}"
+SEED="${SEED:-42}"
+DURATION="${DURATION:-10s}"
+WARMUP="${WARMUP:-1s}"
+RATE="${RATE:-0}"
+CONCURRENCY="${CONCURRENCY:-0}"
+MIX="${MIX:-sat=8,implies=5,summarizable=4,sources=2,jobs=1}"
+OUT="${OUT:-BENCH_cluster.json}"
+TMP="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "bench_cluster: FAIL: $*" >&2
+    for log in "$TMP"/*.log; do
+        [ -f "$log" ] && sed "s|^|bench_cluster:   $(basename "$log" .log): |" "$log" >&2
+    done
+    exit 1
+}
+
+echo "bench_cluster: building dimsatd and dimsatload"
+go build -o "$TMP/dimsatd" ./cmd/dimsatd
+go build -o "$TMP/dimsatload" ./cmd/dimsatload
+
+echo "bench_cluster: generating schema (seed $SEED)"
+"$TMP/dimsatload" -seed "$SEED" -write-schema "$TMP/bench.dims"
+
+URLS=""
+i=0
+while [ "$i" -lt "$WORKERS" ]; do
+    port=$((WORKER_BASE_PORT + i))
+    echo "bench_cluster: starting worker $((i + 1))/$WORKERS on :$port"
+    "$TMP/dimsatd" -addr "127.0.0.1:$port" -jobs-dir "$TMP/jobs$i" \
+        "$TMP/bench.dims" >"$TMP/worker$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    URLS="${URLS:+$URLS,}http://127.0.0.1:$port"
+    i=$((i + 1))
+done
+
+echo "bench_cluster: starting coordinator on :$COORD_PORT"
+"$TMP/dimsatd" -coordinator -addr "127.0.0.1:$COORD_PORT" \
+    -workers "$URLS" >"$TMP/coordinator.log" 2>&1 &
+PIDS="$PIDS $!"
+
+BASE="http://127.0.0.1:$COORD_PORT"
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "coordinator did not become ready"
+    sleep 0.1
+done
+curl -fsS "$BASE/cluster" | grep -q "\"healthy\":$WORKERS" \
+    || fail "cluster did not start $WORKERS/$WORKERS healthy"
+
+echo "bench_cluster: running load (mix $MIX, rate $RATE, duration $DURATION, $WORKERS workers)"
+"$TMP/dimsatload" -seed "$SEED" -target "$BASE" -mix "$MIX" \
+    -rate "$RATE" -concurrency "$CONCURRENCY" \
+    -duration "$DURATION" -warmup "$WARMUP" -out "$OUT" \
+    || fail "load run reported errors"
+
+grep -q '"schemaVersion"' "$OUT" || fail "$OUT is not a run record"
+grep -q '"cluster"' "$OUT" || fail "$OUT has no cluster stats block"
+echo "bench_cluster: PASS ($OUT)"

@@ -1,0 +1,139 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end robustness smoke test for the sharded
+# dimsatd cluster.
+#
+# Builds dimsatd and dimsatload, boots two workers over the same
+# generated schema plus a coordinator fronting them, then exercises the
+# failure model for real: a seeded load run drives the coordinator while
+# one worker is SIGKILLed mid-run. The run must finish error-free (reads
+# fail over to the survivor), the coordinator must converge to 1/2
+# healthy workers while staying ready, a job submitted after the kill
+# must complete on the survivor, and the olapdim_cluster_* metric
+# families must be live on the coordinator's /metrics. Run from the
+# repository root (make smoke-cluster).
+set -eu
+
+COORD_PORT="${SMOKE_COORD_PORT:-18091}"
+W1_PORT="${SMOKE_W1_PORT:-18092}"
+W2_PORT="${SMOKE_W2_PORT:-18093}"
+SEED="${SEED:-42}"
+TMP="$(mktemp -d)"
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+
+cleanup() {
+    for pid in "$COORD_PID" "$W1_PID" "$W2_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "$COORD_PID" "$W1_PID" "$W2_PID"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "cluster_smoke: FAIL: $*" >&2
+    for log in coordinator worker1 worker2 dimsatload; do
+        [ -f "$TMP/$log.log" ] && sed "s/^/cluster_smoke:   $log: /" "$TMP/$log.log" >&2
+    done
+    exit 1
+}
+
+echo "cluster_smoke: building dimsatd and dimsatload"
+go build -o "$TMP/dimsatd" ./cmd/dimsatd
+go build -o "$TMP/dimsatload" ./cmd/dimsatload
+
+echo "cluster_smoke: generating schema (seed $SEED)"
+"$TMP/dimsatload" -seed "$SEED" -write-schema "$TMP/bench.dims"
+
+echo "cluster_smoke: starting workers on :$W1_PORT and :$W2_PORT"
+"$TMP/dimsatd" -addr "127.0.0.1:$W1_PORT" -jobs-dir "$TMP/jobs1" \
+    "$TMP/bench.dims" >"$TMP/worker1.log" 2>&1 &
+W1_PID=$!
+"$TMP/dimsatd" -addr "127.0.0.1:$W2_PORT" -jobs-dir "$TMP/jobs2" \
+    "$TMP/bench.dims" >"$TMP/worker2.log" 2>&1 &
+W2_PID=$!
+
+echo "cluster_smoke: starting coordinator on :$COORD_PORT"
+"$TMP/dimsatd" -coordinator \
+    -addr "127.0.0.1:$COORD_PORT" \
+    -workers "http://127.0.0.1:$W1_PORT,http://127.0.0.1:$W2_PORT" \
+    -probe-interval 200ms -poll-interval 100ms \
+    -fail-after 2 -recover-after 1 \
+    >"$TMP/coordinator.log" 2>&1 &
+COORD_PID=$!
+
+BASE="http://127.0.0.1:$COORD_PORT"
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "coordinator did not become ready"
+    kill -0 "$COORD_PID" 2>/dev/null || fail "coordinator exited early"
+    sleep 0.1
+done
+
+curl -fsS "$BASE/cluster" >"$TMP/cluster0.json" || fail "/cluster request failed"
+grep -q '"healthy":2' "$TMP/cluster0.json" || fail "cluster did not start 2/2 healthy"
+echo "cluster_smoke: 2/2 workers healthy"
+
+# Routed reads answer through the coordinator exactly like a single
+# dimsatd would.
+curl -fsS "$BASE/categories" >/dev/null || fail "/categories via coordinator failed"
+
+echo "cluster_smoke: load run with a mid-run worker kill"
+"$TMP/dimsatload" -seed "$SEED" -target "$BASE" \
+    -mix "sat=8,implies=5,summarizable=4,sources=2,jobs=1" \
+    -duration 6s -warmup 500ms -out "$TMP/BENCH_cluster_smoke.json" \
+    >"$TMP/dimsatload.log" 2>&1 &
+LOAD_PID=$!
+sleep 2
+echo "cluster_smoke: SIGKILL worker 1 (pid $W1_PID)"
+kill -9 "$W1_PID" 2>/dev/null || fail "could not kill worker 1"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+wait "$LOAD_PID" || { sed 's/^/cluster_smoke:   dimsatload: /' "$TMP/dimsatload.log" >&2; \
+    fail "load run reported errors after the worker kill"; }
+grep -q '"schemaVersion"' "$TMP/BENCH_cluster_smoke.json" || fail "run record invalid"
+grep -q '"cluster"' "$TMP/BENCH_cluster_smoke.json" || fail "run record has no cluster stats"
+
+# The coordinator must have converged: one worker down, still ready.
+i=0
+until curl -fsS "$BASE/cluster" 2>/dev/null | grep -q '"healthy":1'; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "coordinator never marked the killed worker down"
+    sleep 0.1
+done
+curl -fsS "$BASE/readyz" >/dev/null || fail "coordinator not ready with one healthy worker"
+echo "cluster_smoke: converged to 1/2 healthy, still ready"
+
+# Reads and jobs keep working against the surviving shard.
+curl -fsS "$BASE/sat?category=All" >/dev/null || fail "read after kill failed"
+JOB="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"kind":"sat","category":"All"}' "$BASE/jobs")" \
+    || fail "job submit after kill failed"
+JOB_ID="$(printf '%s' "$JOB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_ID" ] || fail "job submit returned no id: $JOB"
+i=0
+until curl -fsS "$BASE/jobs/$JOB_ID" 2>/dev/null | grep -q '"state":"done"'; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "job $JOB_ID did not finish on the survivor"
+    sleep 0.1
+done
+echo "cluster_smoke: job $JOB_ID finished on the surviving worker"
+
+echo "cluster_smoke: GET /metrics"
+curl -fsS "$BASE/metrics" >"$TMP/metrics" || fail "/metrics request failed"
+for family in \
+    olapdim_cluster_http_requests_total \
+    olapdim_cluster_forwards_total \
+    olapdim_cluster_failovers_total \
+    olapdim_cluster_probes_total \
+    olapdim_cluster_worker_transitions_total \
+    olapdim_cluster_workers_healthy \
+    olapdim_cluster_uptime_seconds; do
+    grep -q "^$family" "$TMP/metrics" || fail "/metrics is missing $family"
+done
+
+echo "cluster_smoke: PASS"
