@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-race race vet metrics-lint smoke-e2e smoke-cluster fuzz-smoke bench bench-load bench-cluster bench-diff bench-smoke experiments clean
+.PHONY: build test check check-race race vet metrics-lint smoke-e2e smoke-cluster chaos-smoke chaos-sweep fuzz-smoke bench bench-load bench-cluster bench-diff bench-smoke experiments clean
 
 build:
 	$(GO) build ./...
@@ -55,11 +55,28 @@ smoke-e2e:
 smoke-cluster:
 	./scripts/cluster_smoke.sh
 
+# chaos-smoke runs one seeded chaos round per topology through the real
+# stack: generated fault schedule (partition/crash/disk faults), a
+# deterministic workload driven through it, heal, then the four
+# invariant oracles. Seeds 3 and 4 are committed regression seeds — see
+# internal/chaos/chaos_test.go for the bugs they found. Deeper sweeps:
+# make chaos-sweep or scripts/chaos_sweep.sh.
+chaos-smoke:
+	$(GO) run ./cmd/dimsatchaos -seed 3 -window 1500ms
+	$(GO) run ./cmd/dimsatchaos -seed 4 -topology cluster -window 1500ms
+
+# chaos-sweep walks a seed range per topology and reports the minimal
+# failing seed, worth committing as a regression. Knobs: SEEDS, WINDOW,
+# TOPOLOGY — see scripts/chaos_sweep.sh.
+chaos-sweep:
+	./scripts/chaos_sweep.sh
+
 # check is the pre-merge gate: static analysis, the metric naming lint,
-# the full test suite under the race detector, a fuzzing smoke pass over
-# the decode boundaries, and a short seeded load run gated against the
-# committed performance baseline.
-check: vet metrics-lint check-race fuzz-smoke bench-smoke
+# the full test suite under the race detector (which replays the chaos
+# regression seeds in internal/chaos), a fuzzing smoke pass over the
+# decode boundaries, a chaos smoke round per topology, and a short
+# seeded load run gated against the committed performance baseline.
+check: vet metrics-lint check-race fuzz-smoke chaos-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -1,0 +1,122 @@
+// Command dimsatchaos runs the seeded chaos orchestrator from
+// internal/chaos against the real serving stack, in-process: a single
+// dimsatd node or a coordinator-fronted cluster, shaken by a
+// deterministic fault schedule (partitions, crash-restarts, disk
+// faults) while a deterministic workload runs, then healed and held to
+// the chaos invariants.
+//
+// One seed reproduces one run: the fault schedule, the injector rule
+// streams and the workload request stream are all pure functions of
+// -seed, so a failing seed replays until fixed — and is worth
+// committing as a regression (see internal/chaos's regression table).
+//
+//	dimsatchaos -seed 42                         # one run, single node
+//	dimsatchaos -seed 7 -topology cluster        # one run, 2-worker cluster
+//	dimsatchaos -sweep 20 -window 2s             # seeds 1..20, report the minimal failing seed
+//	dimsatchaos -seed 42 -print-schedule         # print the fault schedule and exit (no run)
+//
+// Exit status: 0 when every run passed, 1 when any invariant failed,
+// 2 on setup or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"olapdim/internal/chaos"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Int64("seed", 1, "chaos seed: pins the fault schedule, fault injections and workload stream")
+	sweep := flag.Int("sweep", 0, "run seeds seed..seed+N-1 and report every failure plus the minimal failing seed")
+	topology := flag.String("topology", "single", `stack shape: "single" node or coordinator-fronted "cluster"`)
+	workers := flag.Int("workers", 2, "cluster worker count (cluster topology only)")
+	window := flag.Duration("window", 3*time.Second, "fault-active phase length; faults and workload are scheduled inside it")
+	requests := flag.Int("requests", 0, "workload request count (0 = scaled to window)")
+	printSchedule := flag.Bool("print-schedule", false, "print the seed's fault schedule and exit without running")
+	verbose := flag.Bool("v", false, "narrate fault application and print traffic counts")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dimsatchaos: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+	if *topology != "single" && *topology != "cluster" {
+		fmt.Fprintf(os.Stderr, "dimsatchaos: -topology must be single or cluster, got %q\n", *topology)
+		return 2
+	}
+
+	opts := chaos.Options{
+		Topology: *topology,
+		Workers:  *workers,
+		Window:   *window,
+		Requests: *requests,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	if *printSchedule {
+		nodes := 1
+		if *topology == "cluster" {
+			nodes = *workers
+		}
+		fmt.Print(chaos.NewPlan(*seed, nodes, *window, *topology == "cluster").String())
+		return 0
+	}
+
+	runOne := func(s int64) (bool, error) {
+		rep, err := chaos.Run(s, opts)
+		if err != nil {
+			return false, err
+		}
+		fmt.Print(rep.Summary())
+		if *verbose {
+			fmt.Printf("  %s\n", rep.Traffic())
+		}
+		return !rep.Failed(), nil
+	}
+
+	if *sweep <= 0 {
+		ok, err := runOne(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dimsatchaos: %v\n", err)
+			return 2
+		}
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
+	minFailing := int64(-1)
+	failures := 0
+	for s := *seed; s < *seed+int64(*sweep); s++ {
+		ok, err := runOne(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dimsatchaos: seed %d: %v\n", s, err)
+			return 2
+		}
+		if !ok {
+			failures++
+			if minFailing < 0 {
+				minFailing = s
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("sweep: %d of %d seeds failed; minimal failing seed %d (replay: dimsatchaos -seed %d -topology %s -window %s -v)\n",
+			failures, *sweep, minFailing, minFailing, *topology, *window)
+		return 1
+	}
+	fmt.Printf("sweep: all %d seeds passed\n", *sweep)
+	return 0
+}

@@ -17,15 +17,19 @@ import (
 // coordinatorFlags carries the -coordinator mode settings out of main's
 // flag block.
 type coordinatorFlags struct {
-	addr          string
-	workers       string
-	probeInterval time.Duration
-	pollInterval  time.Duration
-	failAfter     int
-	recoverAfter  int
-	hedgeDelay    time.Duration
-	readTimeout   time.Duration
-	grace         time.Duration
+	addr              string
+	workers           string
+	probeInterval     time.Duration
+	pollInterval      time.Duration
+	failAfter         int
+	recoverAfter      int
+	hedgeDelay        time.Duration
+	breakerThreshold  int
+	breakerCooldown   time.Duration
+	retryBudget       int
+	retryBudgetWindow time.Duration
+	readTimeout       time.Duration
+	grace             time.Duration
 }
 
 // runCoordinator is the -coordinator entry point: build the cluster
@@ -41,13 +45,17 @@ func runCoordinator(f coordinatorFlags) {
 		log.Fatal("dimsatd: -coordinator requires -workers with at least one worker URL")
 	}
 	coord, err := cluster.New(cluster.Config{
-		Workers:       urls,
-		FailAfter:     f.failAfter,
-		RecoverAfter:  f.recoverAfter,
-		ProbeInterval: f.probeInterval,
-		PollInterval:  f.pollInterval,
-		HedgeDelay:    f.hedgeDelay,
-		Logf:          log.Printf,
+		Workers:           urls,
+		FailAfter:         f.failAfter,
+		RecoverAfter:      f.recoverAfter,
+		ProbeInterval:     f.probeInterval,
+		PollInterval:      f.pollInterval,
+		HedgeDelay:        f.hedgeDelay,
+		BreakerThreshold:  f.breakerThreshold,
+		BreakerCooldown:   f.breakerCooldown,
+		RetryBudget:       f.retryBudget,
+		RetryBudgetWindow: f.retryBudgetWindow,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -91,6 +91,10 @@ func main() {
 	failAfter := flag.Int("fail-after", 3, "consecutive failures before a worker leaves rotation (coordinator mode)")
 	recoverAfter := flag.Int("recover-after", 2, "consecutive successes before a down worker returns (coordinator mode)")
 	hedgeDelay := flag.Duration("hedge-delay", 200*time.Millisecond, "straggler-read hedge delay (coordinator mode; <0 disables hedging)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures tripping a worker's circuit breaker (coordinator mode; 0 = default 5, <0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a single probe request is admitted (coordinator mode; 0 = default 2s)")
+	retryBudget := flag.Int("retry-budget", 0, "cluster-wide retry/hedge attempts allowed per -retry-budget-window (coordinator mode; 0 = default 64, <0 unlimited)")
+	retryBudgetWindow := flag.Duration("retry-budget-window", 0, "retry budget refill window (coordinator mode; 0 = default 1s)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dimsatd [flags] <schema.dims>")
 		fmt.Fprintln(os.Stderr, "       dimsatd -coordinator -workers <url,url,...> [flags]")
@@ -99,15 +103,19 @@ func main() {
 	flag.Parse()
 	if *coordinator {
 		runCoordinator(coordinatorFlags{
-			addr:          *addr,
-			workers:       *workers,
-			probeInterval: *probeInterval,
-			pollInterval:  *pollInterval,
-			failAfter:     *failAfter,
-			recoverAfter:  *recoverAfter,
-			hedgeDelay:    *hedgeDelay,
-			readTimeout:   *readTimeout,
-			grace:         *grace,
+			addr:              *addr,
+			workers:           *workers,
+			probeInterval:     *probeInterval,
+			pollInterval:      *pollInterval,
+			failAfter:         *failAfter,
+			recoverAfter:      *recoverAfter,
+			hedgeDelay:        *hedgeDelay,
+			breakerThreshold:  *breakerThreshold,
+			breakerCooldown:   *breakerCooldown,
+			retryBudget:       *retryBudget,
+			retryBudgetWindow: *retryBudgetWindow,
+			readTimeout:       *readTimeout,
+			grace:             *grace,
 		})
 		return
 	}

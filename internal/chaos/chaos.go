@@ -1,0 +1,307 @@
+// Package chaos is the seeded chaos orchestrator for the dimension-
+// constraint serving stack: it boots the real system (a single dimsatd
+// node, or the cluster coordinator fronting several), generates a
+// deterministic fault schedule from one seed — network partitions,
+// crash-restarts, disk faults in the durable job store — drives a
+// deterministic workload through the faults, heals everything, and then
+// holds the system to its invariants:
+//
+//  1. jobs-durable: no acknowledged job is ever lost, and none lies —
+//     a done job carries the verdict and the exact search stats an
+//     uninterrupted oracle run produces (deterministic EXPAND order
+//     makes resumed and restarted searches bit-identical); a job may
+//     fail under active disk faults, but only with a typed error.
+//  2. typed-errors: every client-visible error is in the documented
+//     vocabulary (429 with Retry-After, 500/502/503/504 with a JSON
+//     error body) — never a raw panic, never a malformed body, never a
+//     4xx blaming the client for the server's disk.
+//  3. reconverge: after the last fault heals, a probe job completes and
+//     every node returns to rotation within a bound.
+//  4. goroutines: after teardown the process is back to its baseline —
+//     chaos leaked nothing.
+//
+// Determinism contract: one seed fixes the fault schedule (Plan), the
+// injector rule streams, and the workload request stream byte for byte.
+// Completion-order nondeterminism (goroutine interleaving) is absorbed
+// by the oracles, which judge outcomes, not orderings — so a seed that
+// fails keeps failing for the same reason, and cmd/dimsatchaos's sweep
+// can bisect to a minimal failing seed worth committing as a
+// regression.
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"olapdim/internal/core"
+	"olapdim/internal/loadgen"
+	"olapdim/internal/schema"
+)
+
+// Options configures one chaos run. The zero value is usable: a single
+// node shaken for three seconds.
+type Options struct {
+	// Topology is "single" (default) or "cluster".
+	Topology string
+	// Workers is the cluster size (default 2; ignored for single).
+	Workers int
+	// Window is the fault-active phase length (default 3s). Faults are
+	// scheduled inside it and the workload is paced across it.
+	Window time.Duration
+	// Requests is the workload length (default: one per 30ms of window,
+	// at least 40).
+	Requests int
+	// Concurrency is the workload's in-flight cap (default 3).
+	Concurrency int
+	// ConvergeBound bounds the post-heal reconvergence check
+	// (default 10s).
+	ConvergeBound time.Duration
+	// JobBound bounds the per-run wait for acknowledged jobs to reach a
+	// terminal state after heal (default 20s).
+	JobBound time.Duration
+	// Logf receives harness narration (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Topology == "" {
+		o.Topology = "single"
+	}
+	if o.Workers < 2 {
+		o.Workers = 2
+	}
+	if o.Window <= 0 {
+		o.Window = 3 * time.Second
+	}
+	if o.Requests <= 0 {
+		o.Requests = int(o.Window / (30 * time.Millisecond))
+		if o.Requests < 40 {
+			o.Requests = 40
+		}
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 3
+	}
+	if o.ConvergeBound <= 0 {
+		o.ConvergeBound = 10 * time.Second
+	}
+	if o.JobBound <= 0 {
+		o.JobBound = 20 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Seed     int64
+	Topology string
+	Plan     Plan
+
+	Requests      int
+	TransportErrs int
+	ByStatus      map[int]int
+	AckedJobs     int
+
+	Invariants []InvariantResult
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool {
+	for _, inv := range r.Invariants {
+		if !inv.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders the deterministic part of the report — the schedule
+// and the invariant verdicts. Two runs of the same seed and options
+// produce identical summaries; traffic counts (which depend on
+// completion interleaving) are deliberately excluded.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d topology=%s\n", r.Seed, r.Topology)
+	b.WriteString(r.Plan.String())
+	for _, inv := range r.Invariants {
+		fmt.Fprintf(&b, "  %s\n", inv)
+	}
+	return b.String()
+}
+
+// Traffic renders the nondeterministic traffic counts, for -v output.
+func (r *Report) Traffic() string {
+	codes := make([]int, 0, len(r.ByStatus))
+	for c := range r.ByStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	var parts []string
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d:%d", c, r.ByStatus[c]))
+	}
+	return fmt.Sprintf("requests=%d transport-errors=%d acked-jobs=%d status{%s}",
+		r.Requests, r.TransportErrs, r.AckedJobs, strings.Join(parts, " "))
+}
+
+// Run executes one seeded chaos run end to end and reports the verdict.
+// An error return means the harness itself could not run (setup
+// failure); invariant violations are reported in the Report, not as
+// errors.
+func Run(seed int64, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	isCluster := opts.Topology == "cluster"
+	if !isCluster && opts.Topology != "single" {
+		return nil, fmt.Errorf("chaos: unknown topology %q (want single or cluster)", opts.Topology)
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	// One seed pins the workload stream (schema family instance and
+	// request sampling) and, independently, the fault schedule. The mix
+	// leans harder on durable jobs than the benchmark default: jobs are
+	// what the durability oracle chases, so short windows still must
+	// acknowledge a few.
+	planner, err := loadgen.NewPlanner(loadgen.Spec{Seed: seed, Mix: map[string]int{
+		loadgen.OpSat:          6,
+		loadgen.OpImplies:      3,
+		loadgen.OpSummarizable: 3,
+		loadgen.OpSources:      2,
+		loadgen.OpJobs:         6,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: planner: %w", err)
+	}
+	ds := planner.Schema()
+	nodes := 1
+	if isCluster {
+		nodes = opts.Workers
+	}
+	plan := NewPlan(seed, nodes, opts.Window, isCluster)
+	report := &Report{Seed: seed, Topology: opts.Topology, Plan: plan}
+	opts.Logf("chaos: %s", strings.TrimSuffix(plan.String(), "\n"))
+
+	// Boot the stack on crash-surviving directories.
+	root, err := os.MkdirTemp("", "chaos-run-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	var topo topology
+	if isCluster {
+		dirs := make([]string, nodes)
+		for i := range dirs {
+			dirs[i] = fmt.Sprintf("%s/node%d", root, i)
+		}
+		topo, err = newCluster(ds, seed, dirs, opts.Logf)
+	} else {
+		topo, err = newSingle(ds, seed, root+"/node0", opts.Logf)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault phase: the workload runs across the window while the
+	// scheduler walks the plan's apply/revert timeline.
+	type boundary struct {
+		at    time.Duration
+		apply bool
+		ev    Event
+	}
+	var timeline []boundary
+	for _, ev := range plan.Events {
+		timeline = append(timeline, boundary{at: ev.At, apply: true, ev: ev})
+		timeline = append(timeline, boundary{at: ev.At + ev.Dur, apply: false, ev: ev})
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].at < timeline[j].at })
+
+	samplesCh := make(chan []sample, 1)
+	go func() {
+		samplesCh <- drive(topo.base(), planner, opts.Requests, opts.Concurrency, opts.Window)
+	}()
+	start := time.Now()
+	for _, b := range timeline {
+		if d := time.Until(start.Add(b.at)); d > 0 {
+			time.Sleep(d)
+		}
+		if b.apply {
+			topo.apply(b.ev)
+		} else {
+			topo.revert(b.ev)
+		}
+	}
+	samples := <-samplesCh
+
+	// Heal everything, then hold the system to its invariants.
+	topo.healAll()
+	opts.Logf("chaos: healed; running oracles")
+
+	report.Requests = len(samples)
+	report.ByStatus = map[int]int{}
+	for _, s := range samples {
+		if s.transportErr != "" {
+			report.TransportErrs++
+			continue
+		}
+		report.ByStatus[s.status]++
+	}
+	acked := ackedJobs(samples)
+	report.AckedJobs = len(acked)
+
+	client := &http.Client{Timeout: 3 * time.Second}
+	cats := make([]string, 0, len(acked))
+	for _, j := range acked {
+		cats = append(cats, j.Category)
+	}
+	truth, err := satBaselines(ds, dedupeSorted(cats))
+	if err != nil {
+		topo.shutdown()
+		return nil, err
+	}
+
+	probeCat := probeCategory(ds)
+	report.Invariants = append(report.Invariants,
+		checkConvergence(client, topo, probeCat, opts.ConvergeBound),
+		checkJobsDurable(client, topo.base(), acked, truth, opts.JobBound),
+		checkTypedErrors(samples),
+	)
+
+	// Teardown, then the leak oracle: everything chaos started must be
+	// gone. A small slack absorbs runtime-owned background goroutines.
+	client.CloseIdleConnections()
+	topo.shutdown()
+	leak := InvariantResult{Name: "goroutines", OK: true}
+	settle := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(settle) {
+			leak = InvariantResult{Name: "goroutines", OK: false,
+				Detail: fmt.Sprintf("%d at start, %d after teardown", baseGoroutines, now)}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	report.Invariants = append(report.Invariants, leak)
+	return report, nil
+}
+
+// probeCategory picks the deterministic category the convergence probe
+// job reasons over: the first sorted real category of the schema.
+func probeCategory(ds *core.DimensionSchema) string {
+	for _, c := range ds.G.SortedCategories() {
+		if c != schema.All {
+			return c
+		}
+	}
+	return schema.All
+}

@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"olapdim/internal/loadgen"
+)
+
+// sample records one workload request and what the client saw. The
+// typed-error oracle audits every sample; the durability oracle chases
+// the acknowledged job submissions.
+type sample struct {
+	idx     int
+	op      string
+	method  string
+	path    string
+	reqBody string
+
+	status       int    // 0 on a transport error
+	transportErr string // non-empty when the request never got an answer
+	retryAfter   string
+	respBody     []byte
+}
+
+// ackedJob is a durable-job submission the service acknowledged: from
+// this moment the job must never be lost and never lie about its result.
+type ackedJob struct {
+	ID       string
+	Category string
+}
+
+// drive issues n requests from the planner's deterministic stream
+// against base, paced across window so the stream overlaps the fault
+// schedule, with conc workers in flight. Request generation order is
+// the planner's (deterministic per seed); completion interleaving is
+// not, and nothing downstream depends on it.
+func drive(base string, planner *loadgen.Planner, n, conc int, window time.Duration) []sample {
+	if conc < 1 {
+		conc = 3
+	}
+	samples := make([]sample, n)
+	type item struct {
+		req loadgen.Request
+		at  time.Time
+	}
+	queue := make(chan item, conc)
+	client := &http.Client{Timeout: 3 * time.Second}
+
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range queue {
+				if d := time.Until(it.at); d > 0 {
+					time.Sleep(d)
+				}
+				samples[it.req.Index] = execute(client, base, it.req)
+			}
+		}()
+	}
+	start := time.Now()
+	gap := window / time.Duration(n)
+	for i := 0; i < n; i++ {
+		queue <- item{req: planner.Next(), at: start.Add(time.Duration(i) * gap)}
+	}
+	close(queue)
+	wg.Wait()
+	client.CloseIdleConnections()
+	return samples
+}
+
+// execute sends one planned request and materializes the outcome.
+func execute(client *http.Client, base string, req loadgen.Request) sample {
+	s := sample{idx: req.Index, op: req.Op, method: req.Method, path: req.Path, reqBody: req.Body}
+	var body *strings.Reader
+	if req.Body != "" {
+		body = strings.NewReader(req.Body)
+	} else {
+		body = strings.NewReader("")
+	}
+	hreq, err := http.NewRequest(req.Method, base+req.Path, body)
+	if err != nil {
+		s.transportErr = err.Error()
+		return s
+	}
+	if req.Body != "" {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		s.transportErr = err.Error()
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	s.retryAfter = resp.Header.Get("Retry-After")
+	buf := make([]byte, 0, 512)
+	tmp := make([]byte, 4096)
+	for {
+		k, rerr := resp.Body.Read(tmp)
+		buf = append(buf, tmp[:k]...)
+		if rerr != nil {
+			break
+		}
+	}
+	s.respBody = buf
+	return s
+}
+
+// ackedJobs extracts the acknowledged durable-job submissions from the
+// sample stream: submits answered 200 or 202 whose body carries the job
+// ID the client would poll. Duplicate IDs (coordinator idempotency) are
+// collapsed.
+func ackedJobs(samples []sample) []ackedJob {
+	seen := map[string]bool{}
+	var out []ackedJob
+	for _, s := range samples {
+		if s.op != loadgen.OpJobs || (s.status != http.StatusOK && s.status != http.StatusAccepted) {
+			continue
+		}
+		var resp struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(s.respBody, &resp) != nil || resp.ID == "" || seen[resp.ID] {
+			continue
+		}
+		var req struct {
+			Category string `json:"category"`
+		}
+		json.Unmarshal([]byte(s.reqBody), &req)
+		seen[resp.ID] = true
+		out = append(out, ackedJob{ID: resp.ID, Category: req.Category})
+	}
+	return out
+}

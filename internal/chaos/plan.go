@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ActionKind names one class of injected failure in a chaos plan.
+type ActionKind string
+
+const (
+	// ActPartition blackholes the network between the coordinator and
+	// one worker for the event window (cluster topology only). The
+	// harness actuates it through a cluster.PartitionTransport, so
+	// forwards, probes, hedges and job polls all fail at the transport.
+	ActPartition ActionKind = "partition"
+	// ActCrash kills one node hard — HTTP listener torn down mid-flight,
+	// job store abandoned without a shutdown checkpoint — and restarts
+	// it on the same address and data directory at the window's end.
+	ActCrash ActionKind = "crash"
+	// ActDiskFault arms a disk-fault rule (see DiskMode) on one node's
+	// injector for the window, then disarms it.
+	ActDiskFault ActionKind = "disk"
+)
+
+// DiskMode selects what an ActDiskFault window injects.
+type DiskMode string
+
+const (
+	// DiskENOSPC fails every snapshot fsync with faults.ErrNoSpace: the
+	// disk accepts bytes but cannot make them durable. Submits must
+	// answer a typed 503, never acknowledge-and-lose.
+	DiskENOSPC DiskMode = "enospc"
+	// DiskTorn fails every second snapshot fsync with
+	// faults.ErrTornWrite, leaving a truncated file for fresh paths —
+	// the recovery scan must quarantine it, never resurrect it.
+	DiskTorn DiskMode = "torn"
+	// DiskFlip flips one bit in every third snapshot read, modeling
+	// silent media corruption the checksum must catch; corrupt
+	// checkpoints are quarantined and the search restarts from scratch.
+	DiskFlip DiskMode = "bitflip"
+)
+
+// Event is one scheduled fault: applied at At, reverted (healed,
+// restarted or disarmed) at At+Dur. Offsets are relative to the start
+// of the fault phase.
+type Event struct {
+	At   time.Duration `json:"at"`
+	Dur  time.Duration `json:"dur"`
+	Kind ActionKind    `json:"kind"`
+	// Node is the target node index (worker index in cluster topology,
+	// always 0 in single topology).
+	Node int `json:"node"`
+	// Mode is set for ActDiskFault events.
+	Mode DiskMode `json:"mode,omitempty"`
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%7s +%-7s %s node%d", e.At.Round(time.Millisecond), e.Dur.Round(time.Millisecond), e.Kind, e.Node)
+	if e.Mode != "" {
+		s += " " + string(e.Mode)
+	}
+	return s
+}
+
+// Plan is a seeded fault schedule: a pure function of (seed, nodes,
+// duration, topology kind), so one seed replays the same schedule on
+// every run — the determinism the minimal-failing-seed sweep rests on.
+type Plan struct {
+	Seed   int64         `json:"seed"`
+	Nodes  int           `json:"nodes"`
+	Window time.Duration `json:"window"`
+	Events []Event       `json:"events"`
+}
+
+// diskModes in generation order; indexed by the plan's seeded rng.
+var diskModes = []DiskMode{DiskENOSPC, DiskTorn, DiskFlip}
+
+// NewPlan generates the fault schedule for one seed. cluster selects
+// the event vocabulary: partitions only exist between a coordinator
+// and its workers. Event density scales with the window (roughly one
+// fault per 600ms, at least two), windows are 15–35% of the phase, and
+// start offsets leave the tail free so every fault heals before the
+// oracle phase begins.
+func NewPlan(seed int64, nodes int, window time.Duration, cluster bool) Plan {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if window <= 0 {
+		window = 3 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []ActionKind{ActCrash, ActDiskFault}
+	if cluster {
+		kinds = []ActionKind{ActPartition, ActCrash, ActDiskFault}
+	}
+	n := int(window / (600 * time.Millisecond))
+	if n < 2 {
+		n = 2
+	}
+	p := Plan{Seed: seed, Nodes: nodes, Window: window}
+	for i := 0; i < n; i++ {
+		ev := Event{
+			Kind: kinds[rng.Intn(len(kinds))],
+			Node: rng.Intn(nodes),
+			At:   time.Duration(float64(window) * (0.05 + 0.55*rng.Float64())),
+			Dur:  time.Duration(float64(window) * (0.15 + 0.20*rng.Float64())),
+		}
+		if ev.Kind == ActDiskFault {
+			ev.Mode = diskModes[rng.Intn(len(diskModes))]
+		}
+		p.Events = append(p.Events, ev)
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// String renders the schedule, one event per line — the deterministic
+// artifact dimsatchaos -print-schedule emits and the determinism test
+// compares byte for byte.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan seed=%d nodes=%d window=%s events=%d\n", p.Seed, p.Nodes, p.Window, len(p.Events))
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

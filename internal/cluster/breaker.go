@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic circuit-breaker state machine, per worker.
+type breakerState int
+
+const (
+	// breakerClosed passes traffic and counts consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen fails fast: the worker's transport is assumed dead and
+	// no forwards are attempted until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen lets exactly one probe attempt through; its outcome
+	// decides between closing again and re-opening for another cooldown.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// breaker holds one circuit breaker per worker. A worker's breaker trips
+// open after `threshold` consecutive transport failures (connect refused,
+// reset, partition — any attempt that never produced an HTTP answer; an
+// answer of any status counts as reachable). While open, forwards skip
+// the worker without dialing, so a partitioned shard costs the
+// coordinator nothing but the ring walk. After `cooldown` one half-open
+// probe is allowed; success closes the breaker, failure re-opens it.
+// All methods are safe for concurrent use and on a nil receiver (a nil
+// *breaker passes everything).
+type breaker struct {
+	mu           sync.Mutex
+	threshold    int
+	cooldown     time.Duration
+	onTransition func(worker string, to breakerState)
+	workers      map[string]*workerBreaker
+}
+
+type workerBreaker struct {
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(worker string, to breakerState)) *breaker {
+	return &breaker{
+		threshold:    threshold,
+		cooldown:     cooldown,
+		onTransition: onTransition,
+		workers:      map[string]*workerBreaker{},
+	}
+}
+
+// get returns worker's breaker, creating it closed; callers hold b.mu.
+func (b *breaker) get(worker string) *workerBreaker {
+	wb, ok := b.workers[worker]
+	if !ok {
+		wb = &workerBreaker{}
+		b.workers[worker] = wb
+	}
+	return wb
+}
+
+// transition flips a worker's state and notifies; callers hold b.mu.
+func (b *breaker) transition(worker string, wb *workerBreaker, to breakerState) {
+	wb.state = to
+	if b.onTransition != nil {
+		b.onTransition(worker, to)
+	}
+}
+
+// allow reports whether a forward to worker may be attempted now. An
+// open breaker past its cooldown converts to half-open and admits the
+// caller as its single probe.
+func (b *breaker) allow(worker string, now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wb := b.get(worker)
+	switch wb.state {
+	case breakerOpen:
+		if now.Sub(wb.openedAt) < b.cooldown {
+			return false
+		}
+		b.transition(worker, wb, breakerHalfOpen)
+		wb.probing = true
+		return true
+	case breakerHalfOpen:
+		if wb.probing {
+			return false
+		}
+		wb.probing = true
+		return true
+	}
+	return true
+}
+
+// record feeds one attempt's outcome: reachable (any HTTP answer) or a
+// transport failure. Probe successes from the health plane feed here too,
+// so a healed partition closes the breaker within one probe round even
+// with no client traffic.
+func (b *breaker) record(worker string, reachable bool, now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wb := b.get(worker)
+	wb.probing = false
+	if reachable {
+		wb.fails = 0
+		if wb.state != breakerClosed {
+			b.transition(worker, wb, breakerClosed)
+		}
+		return
+	}
+	wb.fails++
+	switch wb.state {
+	case breakerHalfOpen:
+		wb.openedAt = now
+		b.transition(worker, wb, breakerOpen)
+	case breakerClosed:
+		if wb.fails >= b.threshold {
+			wb.openedAt = now
+			b.transition(worker, wb, breakerOpen)
+		}
+	}
+}
+
+// state returns worker's current breaker state, for /cluster reporting.
+func (b *breaker) state(worker string) breakerState {
+	if b == nil {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.get(worker).state
+}
+
+// openCount reports how many workers' breakers are not closed, for the
+// scrape-time gauge.
+func (b *breaker) openCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, wb := range b.workers {
+		if wb.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// retryBudget is a coordinator-wide cap on forward retries (attempts
+// beyond a request's first) per window: with N clients hammering a
+// partitioned shard, per-request retry policy alone multiplies load on
+// the survivors by maxAttempts — the budget turns that amplification
+// into a constant. Nil or non-positive max means unlimited.
+type retryBudget struct {
+	mu     sync.Mutex
+	max    int
+	window time.Duration
+	start  time.Time
+	used   int
+}
+
+func newRetryBudget(max int, window time.Duration) *retryBudget {
+	return &retryBudget{max: max, window: window}
+}
+
+// allow consumes one retry token, rolling the window when it expires.
+func (rb *retryBudget) allow(now time.Time) bool {
+	if rb == nil || rb.max <= 0 {
+		return true
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.start.IsZero() || now.Sub(rb.start) >= rb.window {
+		rb.start = now
+		rb.used = 0
+	}
+	if rb.used >= rb.max {
+		return false
+	}
+	rb.used++
+	return true
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"olapdim/internal/faults"
+	"olapdim/internal/paper"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	var transitions []string
+	b := newBreaker(3, 100*time.Millisecond, func(w string, to breakerState) {
+		transitions = append(transitions, w+":"+to.String())
+	})
+	now := time.Unix(1000, 0)
+
+	// Closed passes traffic; failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow("w1", now) {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.record("w1", false, now)
+	}
+	if got := b.state("w1"); got != breakerClosed {
+		t.Fatalf("after 2 failures state = %v, want closed", got)
+	}
+
+	// Third consecutive failure trips it open.
+	b.record("w1", false, now)
+	if got := b.state("w1"); got != breakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", got)
+	}
+	if b.allow("w1", now.Add(50*time.Millisecond)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if n := b.openCount(); n != 1 {
+		t.Fatalf("openCount = %d, want 1", n)
+	}
+
+	// Past the cooldown: exactly one half-open probe is admitted.
+	probeAt := now.Add(150 * time.Millisecond)
+	if !b.allow("w1", probeAt) {
+		t.Fatal("breaker past cooldown refused the half-open probe")
+	}
+	if got := b.state("w1"); got != breakerHalfOpen {
+		t.Fatalf("probe admitted but state = %v, want half_open", got)
+	}
+	if b.allow("w1", probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure re-opens for another full cooldown.
+	b.record("w1", false, probeAt)
+	if got := b.state("w1"); got != breakerOpen {
+		t.Fatalf("failed probe left state %v, want open", got)
+	}
+	if b.allow("w1", probeAt.Add(50*time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown elapsed")
+	}
+
+	// Next probe succeeds: breaker closes and passes traffic again.
+	healAt := probeAt.Add(150 * time.Millisecond)
+	if !b.allow("w1", healAt) {
+		t.Fatal("re-opened breaker past cooldown refused its probe")
+	}
+	b.record("w1", true, healAt)
+	if got := b.state("w1"); got != breakerClosed {
+		t.Fatalf("successful probe left state %v, want closed", got)
+	}
+	if !b.allow("w1", healAt) {
+		t.Fatal("closed breaker refused traffic after heal")
+	}
+	if n := b.openCount(); n != 0 {
+		t.Fatalf("openCount after heal = %d, want 0", n)
+	}
+
+	want := []string{"w1:open", "w1:half_open", "w1:open", "w1:half_open", "w1:closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+
+	// Workers are independent: w1's history never touches w2.
+	if got := b.state("w2"); got != breakerClosed {
+		t.Fatalf("untouched worker state = %v, want closed", got)
+	}
+
+	// Nil receiver passes everything (breaker disabled).
+	var nb *breaker
+	if !nb.allow("w1", now) {
+		t.Fatal("nil breaker refused a request")
+	}
+	nb.record("w1", false, now)
+	if got := nb.state("w1"); got != breakerClosed {
+		t.Fatalf("nil breaker state = %v, want closed", got)
+	}
+}
+
+func TestRetryBudgetWindow(t *testing.T) {
+	rb := newRetryBudget(3, time.Second)
+	now := time.Unix(2000, 0)
+	for i := 0; i < 3; i++ {
+		if !rb.allow(now) {
+			t.Fatalf("budget refused retry %d of 3", i+1)
+		}
+	}
+	if rb.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("budget admitted a 4th retry inside the window")
+	}
+	// The window rolls: tokens refill a full second after the first use.
+	if !rb.allow(now.Add(1100 * time.Millisecond)) {
+		t.Fatal("budget refused a retry after the window rolled")
+	}
+
+	// Nil and non-positive-max budgets are unlimited.
+	var nilRB *retryBudget
+	if !nilRB.allow(now) {
+		t.Fatal("nil budget refused a retry")
+	}
+	unlimited := newRetryBudget(0, time.Second)
+	for i := 0; i < 100; i++ {
+		if !unlimited.allow(now) {
+			t.Fatal("max<=0 budget refused a retry")
+		}
+	}
+}
+
+// TestPartitionThenHealConvergence drives the full partition story
+// through a real 2-worker topology: a PartitionTransport blackholes one
+// worker, reads keep answering via failover to the survivor, the
+// debounced health tracker marks the partitioned worker down and the
+// circuit breaker trips open; healing the partition converges the
+// cluster back to 2 healthy workers with the breaker closed — all
+// within probe-round bounds, with no client-visible failures.
+func TestPartitionThenHealConvergence(t *testing.T) {
+	w1 := startWorker(t, paper.LocationSch(), nil)
+	w2 := startWorker(t, paper.LocationSch(), nil)
+	pt := NewPartitionTransport(nil, faults.New())
+	c, ts := startCoordinator(t, Config{
+		HedgeDelay:       -1,
+		Transport:        pt,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	}, w1.URL, w2.URL)
+
+	get := func() int {
+		var sat struct {
+			Satisfiable bool `json:"satisfiable"`
+		}
+		code := coordGet(t, ts.URL, "/sat?category=Store", &sat)
+		if code == http.StatusOK && !sat.Satisfiable {
+			t.Fatal("Store should be satisfiable in locationSch")
+		}
+		return code
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("pre-partition GET /sat = %d", code)
+	}
+
+	awaitView := func(desc string, ok func(clusterStatusView) bool) clusterStatusView {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var v clusterStatusView
+		for time.Now().Before(deadline) {
+			v = c.StatusView()
+			if ok(v) {
+				return v
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("cluster never reached %s; last view %+v", desc, v)
+		return v
+	}
+
+	// Partition w1 off. Probes and forwards to it now fail at the
+	// transport, so health debounces it down and its breaker trips.
+	pt.Block(w1.URL)
+	view := awaitView("1 healthy with w1 breaker open", func(v clusterStatusView) bool {
+		if v.Healthy != 1 {
+			return false
+		}
+		for _, w := range v.Workers {
+			if w.Name == w1.URL {
+				return w.Breaker == "open"
+			}
+		}
+		return false
+	})
+	if view.Healthy != 1 {
+		t.Fatalf("during partition healthy = %d, want 1", view.Healthy)
+	}
+
+	// Reads must keep answering through the survivor while partitioned.
+	for i := 0; i < 5; i++ {
+		if code := get(); code != http.StatusOK {
+			t.Fatalf("partitioned GET /sat #%d = %d, want 200 via survivor", i, code)
+		}
+	}
+
+	// Heal. Probes reach w1 again: breaker closes within one probe round
+	// and debounced health recovers the worker.
+	pt.HealAll()
+	awaitView("2 healthy with w1 breaker closed", func(v clusterStatusView) bool {
+		if v.Healthy != 2 {
+			return false
+		}
+		for _, w := range v.Workers {
+			if w.Name == w1.URL && w.Breaker != "closed" {
+				return false
+			}
+		}
+		return true
+	})
+	for i := 0; i < 3; i++ {
+		if code := get(); code != http.StatusOK {
+			t.Fatalf("post-heal GET /sat #%d = %d", i, code)
+		}
+	}
+}

@@ -73,6 +73,17 @@ type workerClient struct {
 	// here so every code path — failover, hedge arms, job polls —
 	// feeds them uniformly.
 	onAttempt func(worker string, d time.Duration, err error, status int)
+	// breaker, when non-nil, is the per-worker circuit breaker: do()
+	// feeds it every attempt's reachability, and forwardWithFailover
+	// skips candidates whose breaker is open. onBreakerSkip observes
+	// each skip for metrics.
+	breaker       *breaker
+	onBreakerSkip func(worker string)
+	// budget, when non-nil, rate-limits retries (attempts beyond a
+	// request's first) across all requests sharing this client.
+	// onBudgetExhausted observes each denied retry.
+	budget            *retryBudget
+	onBudgetExhausted func()
 }
 
 // errInjectedForward wraps a fault-injection activation at
@@ -80,20 +91,28 @@ type workerClient struct {
 // errors if needed; classify treats both as failover.
 var errInjectedForward = errors.New("cluster: injected forward fault")
 
+// errBreakersOpen reports a forward that attempted nothing because every
+// candidate's circuit breaker was open: fail fast (the coordinator
+// answers a typed 503) instead of dialing workers known to be dead.
+var errBreakersOpen = errors.New("cluster: every candidate's circuit breaker is open")
+
 // do sends method path?query with body to worker (a base URL) and
 // reads the full response. A faults hit at cluster.forward before the
 // attempt simulates an unreachable shard.
 func (wc *workerClient) do(ctx context.Context, worker, method, pathAndQuery string, header http.Header, body []byte) (res *forwardResult, err error) {
 	start := time.Now()
-	if wc.onAttempt != nil {
-		defer func() {
+	defer func() {
+		// Any HTTP answer means the worker was reachable; only a
+		// transport-level failure moves its breaker toward open.
+		wc.breaker.record(worker, err == nil, time.Now())
+		if wc.onAttempt != nil {
 			status := 0
 			if res != nil {
 				status = res.status
 			}
 			wc.onAttempt(worker, time.Since(start), err, status)
-		}()
-	}
+		}
+	}()
 	if ferr := wc.faults.Hit(faults.SiteClusterForward); ferr != nil {
 		return nil, fmt.Errorf("%w: %v", errInjectedForward, ferr)
 	}
@@ -161,8 +180,27 @@ func (wc *workerClient) forwardWithFailover(ctx context.Context, candidates []st
 	var lastRes *forwardResult
 	for ci := 0; ci < len(candidates) && attempts < pol.maxAttempts; ci++ {
 		worker := candidates[ci]
+		if !wc.breaker.allow(worker, time.Now()) {
+			// Tripped breaker: the worker's transport is known-dead, so
+			// skipping it costs nothing and dialing it wastes an attempt.
+			if wc.onBreakerSkip != nil {
+				wc.onBreakerSkip(worker)
+			}
+			continue
+		}
 		sheds := 0
 		for attempts < pol.maxAttempts {
+			if attempts >= 1 && !wc.budget.allow(time.Now()) {
+				// Retry budget exhausted coordinator-wide: relay the best
+				// answer already in hand rather than amplify the storm.
+				if wc.onBudgetExhausted != nil {
+					wc.onBudgetExhausted()
+				}
+				if lastRes != nil {
+					return lastRes, attempts, attempts > 1, nil
+				}
+				return nil, attempts, attempts > 1, lastErr
+			}
 			attempts++
 			r, derr := wc.do(ctx, worker, method, pathAndQuery, header, body)
 			status := 0
@@ -206,6 +244,9 @@ func (wc *workerClient) forwardWithFailover(ctx context.Context, candidates []st
 	}
 	if lastRes != nil {
 		return lastRes, attempts, attempts > 1, nil
+	}
+	if attempts == 0 && lastErr == nil {
+		return nil, 0, false, errBreakersOpen
 	}
 	return nil, attempts, attempts > 1, lastErr
 }

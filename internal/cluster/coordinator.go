@@ -46,6 +46,25 @@ type Config struct {
 	// read is hedged to the next candidate (default 200ms). HedgeDelay
 	// < 0 disables hedging.
 	HedgeDelay time.Duration
+	// BreakerThreshold is the consecutive transport-failure count that
+	// trips a worker's circuit breaker open (default 5; negative
+	// disables breakers). While open, forwards skip the worker without
+	// dialing; after BreakerCooldown (default 2s) a single half-open
+	// probe decides whether it closes again.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryBudget caps forward retries — attempts beyond each request's
+	// first — across the whole coordinator per RetryBudgetWindow
+	// (defaults 64 per 1s; negative disables), so a dead or partitioned
+	// shard cannot amplify every incoming request into a retry storm on
+	// the survivors. A request denied a retry token relays the best
+	// answer it already has instead of trying again.
+	RetryBudget       int
+	RetryBudgetWindow time.Duration
+	// Transport, when non-nil, replaces the default HTTP transport for
+	// all worker traffic — forwards, hedges, probes and job polls. The
+	// chaos harness installs a PartitionTransport here.
+	Transport http.RoundTripper
 	// Faults optionally arms the coordinator's injection sites
 	// (cluster.forward, cluster.probe, cluster.hedge).
 	Faults *faults.Injector
@@ -105,6 +124,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.HedgeDelay == 0 {
 		cfg.HedgeDelay = 200 * time.Millisecond
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 64
+	}
+	if cfg.RetryBudgetWindow <= 0 {
+		cfg.RetryBudgetWindow = time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -125,10 +156,29 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, w := range cfg.Workers {
 		c.health.add(w, now)
 	}
+	httpc := &http.Client{}
+	if cfg.Transport != nil {
+		httpc.Transport = cfg.Transport
+	}
+	var br *breaker
+	if cfg.BreakerThreshold > 0 {
+		br = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func(worker string, to breakerState) {
+			c.met.breakerTransitions.With(to.String()).Inc()
+			c.cfg.Logf("cluster: breaker for %s -> %s", worker, to)
+		})
+	}
+	var budget *retryBudget
+	if cfg.RetryBudget > 0 {
+		budget = newRetryBudget(cfg.RetryBudget, cfg.RetryBudgetWindow)
+	}
 	c.client = &workerClient{
-		httpc:     &http.Client{},
-		faults:    cfg.Faults,
-		onAttempt: c.observeAttempt,
+		httpc:             httpc,
+		faults:            cfg.Faults,
+		onAttempt:         c.observeAttempt,
+		breaker:           br,
+		budget:            budget,
+		onBreakerSkip:     func(string) { c.met.breakerSkipped.Inc() },
+		onBudgetExhausted: func() { c.met.retryExhausted.Inc() },
 	}
 
 	// Idempotent reads: routed by an op-specific key, hedged when slow.
@@ -507,6 +557,7 @@ func (c *Coordinator) applyWorkerView(id string, workerView []byte) {
 type clusterWorkerView struct {
 	Name     string `json:"name"`
 	State    string `json:"state"`
+	Breaker  string `json:"breaker"`
 	Since    string `json:"since"`
 	LastErr  string `json:"lastError,omitempty"`
 	Jobs     int    `json:"jobs"`
@@ -541,6 +592,7 @@ func (c *Coordinator) StatusView() clusterStatusView {
 		view.Workers = append(view.Workers, clusterWorkerView{
 			Name:     name,
 			State:    h.state.String(),
+			Breaker:  c.client.breaker.state(name).String(),
 			Since:    h.since.UTC().Format(time.RFC3339),
 			LastErr:  h.lastErr,
 			Jobs:     len(c.jobs.onWorker(name)),

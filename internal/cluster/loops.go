@@ -54,6 +54,10 @@ func (c *Coordinator) probe(worker string) {
 		return
 	}
 	resp, err := c.client.httpc.Do(req)
+	// A probe that got any HTTP answer proves the transport works: feed
+	// the breaker so a healed partition closes it within one probe round
+	// even with no client traffic to prove it.
+	c.client.breaker.record(worker, err == nil, time.Now())
 	ok := err == nil && resp.StatusCode == http.StatusOK
 	msg := ""
 	if err != nil {

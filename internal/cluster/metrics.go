@@ -27,6 +27,10 @@ type clusterMetrics struct {
 	transitions *obs.CounterVec // by state entered
 	reassigned  *obs.Counter
 	mirrored    *obs.Counter
+
+	breakerTransitions *obs.CounterVec // by state entered
+	breakerSkipped     *obs.Counter
+	retryExhausted     *obs.Counter
 }
 
 func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
@@ -60,6 +64,13 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			"Jobs re-enqueued on a surviving shard after their worker died or drained."),
 		mirrored: reg.Counter("olapdim_cluster_checkpoints_mirrored_total",
 			"Worker search checkpoints copied into the coordinator's job mirror."),
+
+		breakerTransitions: reg.CounterVec("olapdim_cluster_breaker_transitions_total",
+			"Per-worker circuit-breaker state transitions, by state entered.", "state"),
+		breakerSkipped: reg.Counter("olapdim_cluster_breaker_skipped_total",
+			"Forward candidates skipped without dialing because their breaker was open."),
+		retryExhausted: reg.Counter("olapdim_cluster_retry_budget_exhausted_total",
+			"Forward retries denied because the coordinator-wide retry budget for the window was spent."),
 	}
 }
 
@@ -83,6 +94,9 @@ func (c *Coordinator) registerCollectors(reg *obs.Registry) {
 	reg.GaugeFunc("olapdim_cluster_uptime_seconds",
 		"Seconds since the coordinator was constructed.",
 		func() float64 { return time.Since(c.started).Seconds() })
+	reg.GaugeFunc("olapdim_cluster_breaker_open",
+		"Workers whose circuit breaker is currently open or half-open.",
+		func() float64 { return float64(c.client.breaker.openCount()) })
 
 	if inj := c.cfg.Faults; inj != nil {
 		reg.CounterVecFunc("olapdim_cluster_fault_injections_total",

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"olapdim/internal/faults"
+)
+
+// ErrPartitioned is the transport error a PartitionTransport returns for
+// a blocked worker — what a request into a network partition looks like
+// from the coordinator: the dial never completes. Test with errors.Is.
+var ErrPartitioned = errors.New("cluster: network partition")
+
+// PartitionTransport interposes on every request the coordinator sends a
+// worker — forwards, probes, hedges and job polls alike — and simulates
+// a network partition two ways, composable:
+//
+//   - Per-host: Block(worker) makes every request to that worker's host
+//     fail with ErrPartitioned until Unblock/HealAll. This is the chaos
+//     harness's partition actuator.
+//   - Rule-driven: each request first passes the injector's
+//     faults.SiteClusterPartition site, so Error rules armed there
+//     (every Nth, probabilistic, exact hits) blackhole traffic to all
+//     workers deterministically, and Latency rules model a lossy slow
+//     link before the verdict.
+//
+// Install it via Config.Transport. The zero value is usable; a nil
+// *PartitionTransport is not a valid RoundTripper (wrap construction in
+// NewPartitionTransport).
+type PartitionTransport struct {
+	base http.RoundTripper
+	inj  *faults.Injector
+
+	mu      sync.Mutex
+	blocked map[string]bool // host:port
+}
+
+// NewPartitionTransport wraps base (nil means http.DefaultTransport)
+// with partition control. inj may be nil; then only Block/Unblock apply.
+func NewPartitionTransport(base http.RoundTripper, inj *faults.Injector) *PartitionTransport {
+	return &PartitionTransport{base: base, inj: inj, blocked: map[string]bool{}}
+}
+
+// hostOf normalizes a worker base URL or bare host to the host:port key.
+func hostOf(worker string) string {
+	if i := strings.Index(worker, "://"); i >= 0 {
+		worker = worker[i+3:]
+	}
+	if i := strings.IndexByte(worker, '/'); i >= 0 {
+		worker = worker[:i]
+	}
+	return worker
+}
+
+// Block starts a partition between the coordinator and worker (a base
+// URL like "http://127.0.0.1:8081", or a bare host:port).
+func (t *PartitionTransport) Block(worker string) {
+	t.mu.Lock()
+	t.blocked[hostOf(worker)] = true
+	t.mu.Unlock()
+}
+
+// Unblock heals the partition to one worker.
+func (t *PartitionTransport) Unblock(worker string) {
+	t.mu.Lock()
+	delete(t.blocked, hostOf(worker))
+	t.mu.Unlock()
+}
+
+// HealAll heals every per-host partition (armed injector rules at
+// cluster.partition are the injector owner's to disarm).
+func (t *PartitionTransport) HealAll() {
+	t.mu.Lock()
+	t.blocked = map[string]bool{}
+	t.mu.Unlock()
+}
+
+// Blocked reports whether worker is currently partitioned off.
+func (t *PartitionTransport) Blocked(worker string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocked[hostOf(worker)]
+}
+
+func (t *PartitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.inj.Hit(faults.SiteClusterPartition); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPartitioned, req.URL.Host, err)
+	}
+	t.mu.Lock()
+	blocked := t.blocked[req.URL.Host]
+	t.mu.Unlock()
+	if blocked {
+		return nil, fmt.Errorf("%w: %s unreachable", ErrPartitioned, req.URL.Host)
+	}
+	base := t.base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -46,19 +46,39 @@ const (
 	// SiteClusterHedge fires before the coordinator launches a hedge
 	// request for a straggling read, simulating hedge-path failures.
 	SiteClusterHedge = "cluster.hedge"
+	// SiteJobsFsync fires at the durability point of a snapshot write
+	// (the fsync before rename), separately from SiteJobPersist which
+	// fires before the write begins. An Error rule here models a disk
+	// that accepts the bytes but cannot make them durable: fsync
+	// failure, ENOSPC at flush (ErrNoSpace), or a torn write
+	// (ErrTornWrite) where only a prefix reached the platter.
+	SiteJobsFsync = "jobs.fsync"
+	// SiteSnapshotRead fires before each snapshot file read the job
+	// store makes (job records and checkpoints, at load and resume). A
+	// Corrupt rule here flips a bit in the bytes read, modeling silent
+	// media corruption that the snapshot checksum must catch.
+	SiteSnapshotRead = "snapshot.read"
+	// SiteClusterPartition fires before each request the coordinator's
+	// transport sends a worker — forwards, probes and hedges alike —
+	// modeling a network partition between coordinator and worker. The
+	// chaos harness arms it per-host via PartitionTransport.
+	SiteClusterPartition = "cluster.partition"
 )
 
 // knownSites is the registry Check validates rule plans against: a plan
 // naming a site nothing instruments would otherwise arm a fault that never
 // fires, and the test relying on it would silently pass.
 var knownSites = map[string]bool{
-	SiteCacheLookup:    true,
-	SitePoolTask:       true,
-	SiteExpand:         true,
-	SiteJobPersist:     true,
-	SiteClusterForward: true,
-	SiteClusterProbe:   true,
-	SiteClusterHedge:   true,
+	SiteCacheLookup:      true,
+	SitePoolTask:         true,
+	SiteExpand:           true,
+	SiteJobPersist:       true,
+	SiteClusterForward:   true,
+	SiteClusterProbe:     true,
+	SiteClusterHedge:     true,
+	SiteJobsFsync:        true,
+	SiteSnapshotRead:     true,
+	SiteClusterPartition: true,
 }
 
 // KnownSites returns the registered injection sites, sorted.
@@ -78,6 +98,16 @@ var ErrInjected = errors.New("faults: injected error")
 // ErrUnknownSite reports a rule plan naming an injection site no
 // instrumented package owns. Test with errors.Is.
 var ErrUnknownSite = errors.New("faults: unknown injection site")
+
+// ErrNoSpace is a canned Err for Error rules at SiteJobsFsync modeling
+// ENOSPC surfacing at flush time. Test with errors.Is.
+var ErrNoSpace = errors.New("faults: injected no space left on device")
+
+// ErrTornWrite is a canned Err for Error rules at SiteJobsFsync modeling
+// a write torn mid-file by power loss: the store treats the write as
+// failed AND leaves a truncated file behind for the recovery scan to
+// quarantine. Test with errors.Is.
+var ErrTornWrite = errors.New("faults: injected torn write")
 
 // Check validates a rule plan before installation: every rule must name a
 // registered injection site. It returns an error wrapping ErrUnknownSite
@@ -104,6 +134,12 @@ const (
 	Latency
 	// Panic makes Hit panic with a *PanicValue naming the site and hit.
 	Panic
+	// Corrupt makes Hit return a *CorruptError carrying the site and hit
+	// number. Instrumented read paths recognize it (errors.As) and
+	// corrupt the bytes they just read — FlipBit is the canonical
+	// mutation — instead of failing the read outright, so checksum
+	// verification downstream is what must catch the damage.
+	Corrupt
 )
 
 func (k Kind) String() string {
@@ -114,6 +150,8 @@ func (k Kind) String() string {
 		return "latency"
 	case Panic:
 		return "panic"
+	case Corrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -169,6 +207,36 @@ type PanicValue struct {
 
 func (p *PanicValue) String() string {
 	return fmt.Sprintf("faults: injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// CorruptError is returned by Hit when a Corrupt rule fires. An
+// instrumented read path detects it with errors.As and damages the bytes
+// it read (FlipBit(data, Hit) keeps the damage deterministic per hit)
+// rather than propagating it as a failure; a site that does not know how
+// to corrupt may treat it as a plain read error.
+type CorruptError struct {
+	Site string
+	Hit  int
+}
+
+func (c *CorruptError) Error() string {
+	return fmt.Sprintf("faults: injected corruption at %s (hit %d)", c.Site, c.Hit)
+}
+
+// FlipBit flips one bit of data, chosen deterministically from hit, and
+// reports whether it changed anything (false only for empty data). It is
+// the canonical mutation for Corrupt rules: one flipped bit is the
+// smallest damage a checksum must still catch.
+func FlipBit(data []byte, hit int) bool {
+	if len(data) == 0 {
+		return false
+	}
+	if hit < 0 {
+		hit = -hit
+	}
+	bit := hit % (len(data) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+	return true
 }
 
 // Injector evaluates rules at injection sites. All methods are safe for
@@ -246,6 +314,8 @@ func (in *Injector) Hit(site string) error {
 			}
 		case Panic:
 			pv = &PanicValue{Site: site, Hit: n}
+		case Corrupt:
+			ret = &CorruptError{Site: site, Hit: n}
 		}
 		break
 	}
@@ -257,6 +327,41 @@ func (in *Injector) Hit(site string) error {
 		panic(pv)
 	}
 	return ret
+}
+
+// Arm appends rules to the injector's plan at runtime, after validating
+// their sites. The chaos harness uses Arm/DisarmSite to turn a timed
+// fault schedule into windows during which a site misbehaves. Arm on a
+// nil injector returns an error: the caller forgot to install one.
+func (in *Injector) Arm(rules ...Rule) error {
+	if in == nil {
+		return errors.New("faults: Arm on nil injector")
+	}
+	if err := Check(rules...); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, rules...)
+	in.mu.Unlock()
+	return nil
+}
+
+// DisarmSite removes every rule armed at site, ending a fault window
+// opened by Arm. Hit and fired counts are preserved. A nil injector or
+// an unarmed site is a no-op.
+func (in *Injector) DisarmSite(site string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	kept := in.rules[:0]
+	for _, r := range in.rules {
+		if r.Site != site {
+			kept = append(kept, r)
+		}
+	}
+	in.rules = kept
+	in.mu.Unlock()
 }
 
 // rng returns the per-site generator; callers hold in.mu.

@@ -175,6 +175,76 @@ func TestUnknownSiteRejected(t *testing.T) {
 	New(bad)
 }
 
+func TestCorruptRuleReturnsCorruptError(t *testing.T) {
+	in := New(Rule{Site: SiteSnapshotRead, Kind: Corrupt, On: []int{2}})
+	if err := in.Hit(SiteSnapshotRead); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	err := in.Hit(SiteSnapshotRead)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("hit 2 returned %v, want *CorruptError", err)
+	}
+	if ce.Site != SiteSnapshotRead || ce.Hit != 2 {
+		t.Errorf("corrupt error = %+v", ce)
+	}
+}
+
+func TestFlipBitDeterministicSingleBit(t *testing.T) {
+	orig := []byte("snapshot payload")
+	a := append([]byte(nil), orig...)
+	b := append([]byte(nil), orig...)
+	if !FlipBit(a, 7) || !FlipBit(b, 7) {
+		t.Fatal("FlipBit reported no change on non-empty data")
+	}
+	if string(a) != string(b) {
+		t.Error("same hit produced different mutations")
+	}
+	diffBits := 0
+	for i := range a {
+		x := a[i] ^ orig[i]
+		for x != 0 {
+			diffBits += int(x & 1)
+			x >>= 1
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("flipped %d bits, want exactly 1", diffBits)
+	}
+	if FlipBit(nil, 3) {
+		t.Error("FlipBit on empty data reported a change")
+	}
+}
+
+func TestArmDisarmWindow(t *testing.T) {
+	in := New()
+	if err := in.Hit(SiteJobsFsync); err != nil {
+		t.Fatalf("unarmed hit: %v", err)
+	}
+	if err := in.Arm(Rule{Site: SiteJobsFsync, Kind: Error, Err: ErrNoSpace}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if err := in.Hit(SiteJobsFsync); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("armed hit = %v, want ErrNoSpace", err)
+	}
+	in.DisarmSite(SiteJobsFsync)
+	if err := in.Hit(SiteJobsFsync); err != nil {
+		t.Fatalf("disarmed hit: %v", err)
+	}
+	if in.Hits(SiteJobsFsync) != 3 || in.Fired(SiteJobsFsync) != 1 {
+		t.Errorf("hits/fired = %d/%d, want 3/1",
+			in.Hits(SiteJobsFsync), in.Fired(SiteJobsFsync))
+	}
+	if err := in.Arm(Rule{Site: "no.such.site", Kind: Error}); !errors.Is(err, ErrUnknownSite) {
+		t.Errorf("Arm with bad site = %v, want ErrUnknownSite", err)
+	}
+	var nilIn *Injector
+	if err := nilIn.Arm(Rule{Site: SiteJobsFsync, Kind: Error}); err == nil {
+		t.Error("Arm on nil injector succeeded")
+	}
+	nilIn.DisarmSite(SiteJobsFsync) // must not panic
+}
+
 func TestKnownSitesAccepted(t *testing.T) {
 	for _, site := range KnownSites() {
 		if err := Check(Rule{Site: site, Kind: Error}); err != nil {

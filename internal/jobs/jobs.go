@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"olapdim/internal/constraint"
 	"olapdim/internal/core"
@@ -140,6 +141,13 @@ var ErrJobTerminal = errors.New("jobs: job already terminal")
 // durable search checkpoint.
 var ErrNoCheckpoint = errors.New("jobs: no checkpoint")
 
+// ErrStorage reports a durable write that failed — disk full, fsync
+// error, injected disk fault. A Submit refused with it was rolled back:
+// nothing was acknowledged, and the client should retry later (the HTTP
+// layer maps it to 503, not 400 — the request was well-formed). Test
+// with errors.Is.
+var ErrStorage = errors.New("jobs: storage failure")
+
 // Config configures a Store.
 type Config struct {
 	// Dir is the directory holding job records and checkpoints; created
@@ -196,6 +204,19 @@ type Store struct {
 	done            atomic.Int64
 	failed          atomic.Int64
 	cancelled       atomic.Int64
+
+	// killed marks an abrupt Kill-in-progress: workers abandon their jobs
+	// without the graceful suspend persistence, like a real process death.
+	killed atomic.Bool
+
+	// writeFailStreak counts consecutive durable-write failures;
+	// lastWriteErr holds the latest failure text. A healthy write resets
+	// the streak. Surfaced by WriteHealth for readiness checks.
+	writeFailStreak atomic.Int64
+	lastWriteErr    atomic.Value // string
+	// lastDiskProbe is the unix-nano time of the last recovery probe
+	// WriteHealth issued while the streak was non-zero.
+	lastDiskProbe atomic.Int64
 }
 
 // job is the in-memory side of one job. st is guarded by the store mutex;
@@ -262,7 +283,7 @@ func (s *Store) load() error {
 			continue
 		}
 		path := filepath.Join(s.dir, name)
-		payload, err := ReadSnapshotFile(path)
+		payload, err := s.readSnapshot(path)
 		if err != nil {
 			s.quarantine(path, err)
 			continue
@@ -275,7 +296,19 @@ func (s *Store) load() error {
 		}
 		j := &job{st: st}
 		if _, err := os.Stat(s.ckptPath(st.ID)); err == nil {
-			j.hasCkpt = true
+			// A checkpoint is trusted only if its content verifies: a
+			// torn or bit-flipped file found by this scan is quarantined
+			// here, before any attempt, and the job restarts from
+			// scratch instead of failing at resume time.
+			if ckpt, cerr := s.readSnapshot(s.ckptPath(st.ID)); cerr == nil {
+				if _, derr := core.DecodeCheckpoint(ckpt); derr == nil {
+					j.hasCkpt = true
+				} else {
+					s.quarantine(s.ckptPath(st.ID), derr)
+				}
+			} else if errors.Is(cerr, ErrCorruptSnapshot) {
+				s.quarantine(s.ckptPath(st.ID), cerr)
+			}
 		}
 		if !st.State.Terminal() {
 			// Interrupted by a crash or shutdown: re-enqueue. With a
@@ -403,13 +436,13 @@ func (s *Store) Submit(req Request) (Status, bool, error) {
 	if cp != nil {
 		if err := s.persistCheckpoint(id, cp); err != nil {
 			rollback()
-			return Status{}, false, err
+			return Status{}, false, fmt.Errorf("%w: %w", ErrStorage, err)
 		}
 	}
 	if err := s.persistRecord(st); err != nil {
 		rollback()
 		s.removeCkpt(id)
-		return Status{}, false, err
+		return Status{}, false, fmt.Errorf("%w: %w", ErrStorage, err)
 	}
 	s.submitted.Add(1)
 	if started {
@@ -477,7 +510,7 @@ func (s *Store) CheckpointData(id string) ([]byte, error) {
 	if !hasCkpt {
 		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, id)
 	}
-	payload, err := ReadSnapshotFile(s.ckptPath(id))
+	payload, err := s.readSnapshot(s.ckptPath(id))
 	if err != nil {
 		return nil, err
 	}
@@ -597,15 +630,27 @@ func (s *Store) run(id string) {
 		var err error
 		cp, err = s.loadCkpt(id)
 		if err != nil {
-			// A damaged checkpoint is refused with its typed error; the
-			// search position is unknown, so the job fails rather than
-			// risk a wrong answer.
-			s.fail(id, err)
-			return
+			// A damaged checkpoint is refused with its typed error and
+			// quarantined — but the job is not failed: the deterministic
+			// enumeration makes a from-scratch search return exactly what
+			// the resumed one would have, so only progress is lost, never
+			// the answer. (Failing acknowledged jobs here was the bug
+			// chaos seed 38 found — its node restarts while snapshot reads
+			// are still flipping bits, so the recovery scan walks corrupt
+			// checkpoints; TestCorruptCheckpointRestartsFromScratch and the
+			// seed-38 entry in internal/chaos's regression table pin the
+			// fix.)
+			s.logf("jobs: %s checkpoint unusable (%v); restarting from scratch", id, err)
+			cp = nil
+			s.clearCkpt(id)
+			s.mu.Lock()
+			j.st.Stats = core.Stats{}
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			j.st.Stats = cp.Stats
+			s.mu.Unlock()
 		}
-		s.mu.Lock()
-		j.st.Stats = cp.Stats
-		s.mu.Unlock()
 	}
 
 	res, resErr := s.attempt(ctx, id, st.Request, cp)
@@ -635,6 +680,11 @@ func (s *Store) run(id string) {
 	case resErr == nil:
 		s.complete(id, st.Request, res)
 	case errors.Is(resErr, context.Canceled) && s.ctx.Err() != nil:
+		if s.killed.Load() {
+			// Kill: abandon with no suspend-time persistence, leaving
+			// the crash-faithful on-disk state for the next Open.
+			return
+		}
 		// Store shutdown: suspend with whatever position the search
 		// captured; the record stays non-terminal for recovery.
 		if res.Checkpoint != nil {
@@ -782,17 +832,126 @@ func (s *Store) suspend(id string, stats core.Stats) {
 	}
 }
 
+// writeSnapshot is the store's durable write path: WriteSnapshotFile with
+// fault injection at faults.SiteJobsFsync (the durability point, before
+// the rename) and write-health bookkeeping. An injected faults.ErrTornWrite
+// additionally leaves a truncated file at a previously-empty path —
+// modeling a filesystem that published the name before the data survived —
+// so the recovery scan's torn-write quarantine is exercised; an existing
+// complete file is never destroyed, matching the atomic-rename contract.
+func (s *Store) writeSnapshot(path string, payload []byte) error {
+	err := writeSnapshotFile(path, payload, func() error {
+		return s.cfg.Options.Faults.Hit(faults.SiteJobsFsync)
+	})
+	if err != nil {
+		if errors.Is(err, faults.ErrTornWrite) {
+			if _, statErr := os.Stat(path); errors.Is(statErr, os.ErrNotExist) {
+				enc := EncodeSnapshot(payload)
+				_ = os.WriteFile(path, enc[:len(enc)/2], 0o644)
+			}
+		}
+		s.noteWrite(err)
+		return err
+	}
+	s.noteWrite(nil)
+	return nil
+}
+
+// readSnapshot is the store's verified read path: ReadSnapshotFile with
+// fault injection at faults.SiteSnapshotRead. An armed Corrupt rule flips
+// one bit of the bytes read before decoding — the checksum, not the
+// injector, is what must catch the damage — and any other injected error
+// stands in for a failing read (EIO).
+func (s *Store) readSnapshot(path string) ([]byte, error) {
+	if err := s.cfg.Options.Faults.Hit(faults.SiteSnapshotRead); err != nil {
+		var ce *faults.CorruptError
+		if !errors.As(err, &ce) {
+			return nil, fmt.Errorf("jobs: read %s: %w", filepath.Base(path), err)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		faults.FlipBit(data, ce.Hit)
+		payload, derr := DecodeSnapshot(data)
+		if derr != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(path), derr)
+		}
+		return payload, nil
+	}
+	return ReadSnapshotFile(path)
+}
+
+// noteWrite records the outcome of one durable write for WriteHealth.
+func (s *Store) noteWrite(err error) {
+	if err == nil {
+		s.writeFailStreak.Store(0)
+		return
+	}
+	s.writeFailStreak.Add(1)
+	s.lastWriteErr.Store(err.Error())
+}
+
+// diskProbeInterval rate-limits the recovery probe WriteHealth issues
+// while the write-fail streak is non-zero.
+const diskProbeInterval = 250 * time.Millisecond
+
+// diskProbeDue claims the next probe slot; at most one caller wins per
+// interval, so concurrent /readyz scrapes cannot stampede the disk.
+func (s *Store) diskProbeDue() bool {
+	now := time.Now().UnixNano()
+	last := s.lastDiskProbe.Load()
+	return now-last >= int64(diskProbeInterval) && s.lastDiskProbe.CompareAndSwap(last, now)
+}
+
+// WriteHealth reports the store's durable-write health: the number of
+// consecutive failed writes (0 when the last write succeeded) and the
+// most recent failure text. The HTTP server degrades /readyz when the
+// streak shows the disk is persistently refusing writes.
+//
+// While the streak is non-zero, WriteHealth re-verifies the condition
+// with a rate-limited probe — a small synced write in the store
+// directory — so a disk that healed clears the streak without waiting
+// for the next real job write. An idle-but-healed store would otherwise
+// report storage-failing forever, and a clustered worker would never
+// rejoin rotation (its coordinator probes /readyz, which reads this).
+func (s *Store) WriteHealth() (failStreak int, lastErr string) {
+	if s.writeFailStreak.Load() > 0 && s.diskProbeDue() {
+		probe := filepath.Join(s.dir, ".disk-probe")
+		if err := s.writeSnapshot(probe, []byte("disk probe")); err == nil {
+			os.Remove(probe)
+		}
+	}
+	failStreak = int(s.writeFailStreak.Load())
+	if v, ok := s.lastWriteErr.Load().(string); ok {
+		lastErr = v
+	}
+	return failStreak, lastErr
+}
+
+// Kill simulates abrupt process death, for crash testing: running
+// attempts are cancelled and abandoned with no suspend-time persistence,
+// so the directory holds exactly what the last durable write left —
+// what a real kill -9 leaves — then blocks until all workers exit. The
+// store is unusable afterwards; Open the directory again to recover.
+func (s *Store) Kill() {
+	s.killed.Store(true)
+	s.cancel()
+	s.wg.Wait()
+}
+
 // persistRecord durably writes a job record (with fault injection at
 // faults.SiteJobPersist).
 func (s *Store) persistRecord(st Status) error {
 	if err := s.cfg.Options.Faults.Hit(faults.SiteJobPersist); err != nil {
+		s.noteWrite(err)
 		return fmt.Errorf("jobs: persist %s: %w", st.ID, err)
 	}
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return err
 	}
-	return WriteSnapshotFile(s.jobPath(st.ID), payload)
+	return s.writeSnapshot(s.jobPath(st.ID), payload)
 }
 
 // persistCheckpoint durably writes a search checkpoint and mirrors its
@@ -802,13 +961,14 @@ func (s *Store) persistCheckpoint(id string, cp *core.Checkpoint) error {
 		return errors.New("jobs: checkpoint for unknown job")
 	}
 	if err := s.cfg.Options.Faults.Hit(faults.SiteJobPersist); err != nil {
+		s.noteWrite(err)
 		return fmt.Errorf("jobs: persist checkpoint %s: %w", id, err)
 	}
 	payload, err := cp.Encode()
 	if err != nil {
 		return err
 	}
-	if err := WriteSnapshotFile(s.ckptPath(id), payload); err != nil {
+	if err := s.writeSnapshot(s.ckptPath(id), payload); err != nil {
 		return err
 	}
 	s.ckptWrites.Add(1)
@@ -823,27 +983,37 @@ func (s *Store) persistCheckpoint(id string, cp *core.Checkpoint) error {
 
 // loadCkpt reads and validates a job's durable checkpoint. Corruption is
 // quarantined and returned as ErrCorruptSnapshot; a decodable-but-invalid
-// checkpoint surfaces core.ErrBadCheckpoint.
+// checkpoint surfaces core.ErrBadCheckpoint. Either way the job no longer
+// has a usable checkpoint and the caller restarts the search from
+// scratch — safe, because the deterministic enumeration makes a fresh run
+// return exactly what the resumed one would have.
 func (s *Store) loadCkpt(id string) (*core.Checkpoint, error) {
 	path := s.ckptPath(id)
-	payload, err := ReadSnapshotFile(path)
+	payload, err := s.readSnapshot(path)
 	if err != nil {
 		if errors.Is(err, ErrCorruptSnapshot) {
 			s.quarantine(path, err)
+			s.clearCkpt(id)
 		}
 		return nil, err
 	}
 	cp, err := core.DecodeCheckpoint(payload)
 	if err != nil {
 		s.quarantine(path, err)
-		s.mu.Lock()
-		if j, ok := s.jobs[id]; ok {
-			j.hasCkpt = false
-		}
-		s.mu.Unlock()
+		s.clearCkpt(id)
 		return nil, err
 	}
 	return cp, nil
+}
+
+// clearCkpt drops a job's in-memory checkpoint flag after its durable
+// checkpoint was quarantined or removed.
+func (s *Store) clearCkpt(id string) {
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		j.hasCkpt = false
+	}
+	s.mu.Unlock()
 }
 
 func (s *Store) removeCkpt(id string) {

@@ -306,12 +306,12 @@ func TestKillAndResume(t *testing.T) {
 	}
 }
 
-// TestFlippedByteCheckpointRejected flips one payload byte in a durable
-// checkpoint and asserts the store refuses it with the typed corruption
-// error — a damaged checkpoint must never yield a wrong answer.
-func TestFlippedByteCheckpointRejected(t *testing.T) {
-	src := hardUnsatSrc(3, 2)
-	dir := t.TempDir()
+// interruptedJobDir runs a job to its first durable checkpoint, kills the
+// worker with an injected panic (no state transition, like a real crash),
+// and returns the store directory and job ID ready for a recovery test.
+func interruptedJobDir(t *testing.T, src string) (dir, id string) {
+	t.Helper()
+	dir = t.TempDir()
 	inj := faults.New(faults.Rule{Site: faults.SiteExpand, Kind: faults.Panic, On: []int{200}})
 	s1, err := Open(Config{
 		Dir:             dir,
@@ -332,8 +332,24 @@ func TestFlippedByteCheckpointRejected(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	s1.Close()
+	return dir, st.ID
+}
 
-	ckpt := filepath.Join(dir, st.ID+".ckpt")
+// TestCorruptCheckpointRestartsFromScratch flips one payload byte in a
+// durable checkpoint and asserts the recovery scan quarantines it and the
+// job restarts from scratch, finishing with the verdict and stats of an
+// uninterrupted run. (Chaos seed 42 found the earlier behavior — failing
+// the acknowledged job — as an invariant violation: a damaged checkpoint
+// loses progress, never the answer.)
+func TestCorruptCheckpointRestartsFromScratch(t *testing.T) {
+	src := hardUnsatSrc(3, 2)
+	baseline, err := core.Satisfiable(parse(t, src), "C0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, id := interruptedJobDir(t, src)
+
+	ckpt := filepath.Join(dir, id+".ckpt")
 	data, err := os.ReadFile(ckpt)
 	if err != nil {
 		t.Fatal(err)
@@ -344,22 +360,215 @@ func TestFlippedByteCheckpointRejected(t *testing.T) {
 	}
 
 	s2 := open(t, Config{Dir: dir, Schema: parse(t, src), CheckpointEvery: 1})
-	s2.Start()
-	final := await(t, s2, st.ID)
-	if final.State != StateFailed {
-		t.Fatalf("job with corrupt checkpoint = %+v, want failed", final)
-	}
-	if !strings.Contains(final.Error, "corrupt") {
-		t.Errorf("Error = %q, want corruption mentioned", final.Error)
-	}
-	if final.Result != nil {
-		t.Errorf("corrupt checkpoint produced a result: %+v", final.Result)
-	}
 	if c := s2.Counters(); c.CorruptRejected == 0 {
-		t.Error("CorruptRejected not counted")
+		t.Error("recovery scan did not count the corrupt checkpoint")
 	}
 	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
 		t.Errorf("corrupt checkpoint not quarantined: %v", err)
+	}
+	s2.Start()
+	final := await(t, s2, id)
+	if final.State != StateDone || final.Result == nil || final.Result.Satisfiable == nil {
+		t.Fatalf("job after corrupt checkpoint = %+v, want done", final)
+	}
+	if *final.Result.Satisfiable != baseline.Satisfiable {
+		t.Errorf("restarted verdict %v != uninterrupted %v",
+			*final.Result.Satisfiable, baseline.Satisfiable)
+	}
+	if final.Stats != baseline.Stats {
+		t.Errorf("restarted stats %+v != uninterrupted %+v", final.Stats, baseline.Stats)
+	}
+	if c := s2.Counters(); c.Resumed != 0 {
+		t.Errorf("Resumed = %d, want 0 (restart, not resume)", c.Resumed)
+	}
+}
+
+// TestTornCheckpointQuarantinedOnRecoveryScan truncates a checkpoint
+// mid-file — the torn write a non-atomic filesystem can leave — and
+// asserts the recovery scan quarantines it before any attempt, so the
+// recovered job restarts from scratch instead of failing at resume time.
+func TestTornCheckpointQuarantinedOnRecoveryScan(t *testing.T) {
+	src := hardUnsatSrc(3, 2)
+	dir, id := interruptedJobDir(t, src)
+
+	ckpt := filepath.Join(dir, id+".ckpt")
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, Config{Dir: dir, Schema: parse(t, src), CheckpointEvery: 1})
+	if c := s2.Counters(); c.CorruptRejected == 0 {
+		t.Error("torn checkpoint not counted by the recovery scan")
+	}
+	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
+		t.Errorf("torn checkpoint not quarantined: %v", err)
+	}
+	got, err := s2.Status(id)
+	if err != nil || got.State != StatePending {
+		t.Fatalf("recovered job = %+v, %v, want pending (checkpoint unusable)", got, err)
+	}
+	s2.Start()
+	final := await(t, s2, id)
+	if final.State != StateDone {
+		t.Fatalf("job after torn checkpoint = %+v, want done", final)
+	}
+}
+
+// TestInjectedReadCorruptionAtResume arms a Corrupt rule at snapshot.read
+// so the checkpoint verifies at the recovery scan but reads corrupt at
+// resume time; the store must quarantine it then and still finish the job
+// from scratch with the uninterrupted verdict.
+func TestInjectedReadCorruptionAtResume(t *testing.T) {
+	src := hardUnsatSrc(3, 2)
+	baseline, err := core.Satisfiable(parse(t, src), "C0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, id := interruptedJobDir(t, src)
+
+	// Reads at Open: hit 1 = job record, hit 2 = checkpoint verify.
+	// Hit 3 is loadCkpt at resume.
+	inj := faults.New(faults.Rule{Site: faults.SiteSnapshotRead, Kind: faults.Corrupt, On: []int{3}})
+	s2 := open(t, Config{
+		Dir:             dir,
+		Schema:          parse(t, src),
+		Options:         core.Options{Faults: inj},
+		CheckpointEvery: 1,
+	})
+	if c := s2.Counters(); c.CorruptRejected != 0 {
+		t.Fatalf("recovery scan rejected %d snapshots before the fault window", c.CorruptRejected)
+	}
+	s2.Start()
+	final := await(t, s2, id)
+	if final.State != StateDone || final.Result == nil || final.Result.Satisfiable == nil {
+		t.Fatalf("job = %+v, want done", final)
+	}
+	if *final.Result.Satisfiable != baseline.Satisfiable || final.Stats != baseline.Stats {
+		t.Errorf("result after injected read corruption diverged: %+v vs %+v",
+			final.Stats, baseline.Stats)
+	}
+	if c := s2.Counters(); c.CorruptRejected == 0 {
+		t.Error("injected corruption not counted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".ckpt.corrupt")); err != nil {
+		t.Errorf("checkpoint not quarantined at resume: %v", err)
+	}
+}
+
+// TestFsyncFailureRefusesSubmit arms an Error rule at jobs.fsync and
+// asserts Submit rolls back with the typed ErrStorage — an acknowledged
+// job must imply a durable record — and that WriteHealth reports the
+// failure streak until a healthy write clears it.
+func TestFsyncFailureRefusesSubmit(t *testing.T) {
+	inj := faults.New()
+	s := open(t, Config{
+		Dir:     t.TempDir(),
+		Schema:  parse(t, diamondSrc),
+		Options: core.Options{Faults: inj},
+	})
+	if err := inj.Arm(faults.Rule{Site: faults.SiteJobsFsync, Kind: faults.Error, Err: faults.ErrNoSpace}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit(Request{Kind: KindSat, Category: "A"}); !errors.Is(err, ErrStorage) {
+		t.Fatalf("Submit under fsync failure = %v, want ErrStorage", err)
+	} else if !errors.Is(err, faults.ErrNoSpace) {
+		t.Errorf("Submit error %v does not carry the cause", err)
+	}
+	if streak, last := s.WriteHealth(); streak == 0 || last == "" {
+		t.Errorf("WriteHealth = %d, %q after a failed write", streak, last)
+	}
+	if got := s.Jobs(); len(got) != 0 {
+		t.Errorf("rolled-back submit still listed: %+v", got)
+	}
+	inj.DisarmSite(faults.SiteJobsFsync)
+	st, created, err := s.Submit(Request{Kind: KindSat, Category: "A"})
+	if err != nil || !created {
+		t.Fatalf("Submit after heal = %v created=%v", err, created)
+	}
+	if streak, _ := s.WriteHealth(); streak != 0 {
+		t.Errorf("WriteHealth streak = %d after healthy write, want 0", streak)
+	}
+	s.Start()
+	await(t, s, st.ID)
+}
+
+// TestWriteHealthProbeRecoversIdleStore pins the readiness-recovery
+// contract: after the disk heals, WriteHealth's rate-limited probe write
+// clears the fail streak on its own — no real job write required — so an
+// idle store (and the /readyz built on it) does not report
+// storage-failing forever.
+func TestWriteHealthProbeRecoversIdleStore(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New()
+	s := open(t, Config{
+		Dir:     dir,
+		Schema:  parse(t, diamondSrc),
+		Options: core.Options{Faults: inj},
+	})
+	if err := inj.Arm(faults.Rule{Site: faults.SiteJobsFsync, Kind: faults.Error, Err: faults.ErrNoSpace}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit(Request{Kind: KindSat, Category: "A"}); !errors.Is(err, ErrStorage) {
+		t.Fatalf("Submit under fsync failure = %v, want ErrStorage", err)
+	}
+	if streak, _ := s.WriteHealth(); streak == 0 {
+		t.Fatal("WriteHealth streak = 0 after a failed write")
+	}
+	inj.DisarmSite(faults.SiteJobsFsync)
+	// No job writes from here on: only the probe can clear the streak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		streak, _ := s.WriteHealth()
+		if streak == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WriteHealth streak = %d two seconds after the disk healed, want 0 via probe", streak)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, ".disk-probe*")); len(stray) != 0 {
+		t.Errorf("probe left files behind: %v", stray)
+	}
+}
+
+// TestTornWriteLeavesQuarantinableFile arms the torn-write fault on a
+// fresh submit: the submit must fail (rolled back, nothing acknowledged)
+// and the truncated record it left behind must be quarantined — not
+// trusted, not fatal — by the next recovery scan.
+func TestTornWriteLeavesQuarantinableFile(t *testing.T) {
+	dir := t.TempDir()
+	schema := parse(t, diamondSrc)
+	inj := faults.New()
+	s1, err := Open(Config{Dir: dir, Schema: schema, Options: core.Options{Faults: inj}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(faults.Rule{Site: faults.SiteJobsFsync, Kind: faults.Error, Err: faults.ErrTornWrite, On: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.Submit(Request{Kind: KindSat, Category: "A"}); !errors.Is(err, ErrStorage) {
+		t.Fatalf("Submit under torn write = %v, want ErrStorage", err)
+	}
+	s1.Close()
+	torn, err := filepath.Glob(filepath.Join(dir, "*.job"))
+	if err != nil || len(torn) != 1 {
+		t.Fatalf("torn record files = %v, %v, want exactly one", torn, err)
+	}
+
+	s2 := open(t, Config{Dir: dir, Schema: schema})
+	if c := s2.Counters(); c.CorruptRejected != 1 {
+		t.Errorf("CorruptRejected = %d, want 1 (the torn record)", c.CorruptRejected)
+	}
+	if _, err := os.Stat(torn[0] + ".corrupt"); err != nil {
+		t.Errorf("torn record not quarantined: %v", err)
+	}
+	if got := s2.Jobs(); len(got) != 0 {
+		t.Errorf("torn record resurrected a job: %+v", got)
 	}
 }
 

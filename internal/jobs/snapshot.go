@@ -65,8 +65,20 @@ func DecodeSnapshot(data []byte) ([]byte, error) {
 // WriteSnapshotFile durably replaces path with the encoded payload:
 // write to a temp file in the same directory, fsync it, rename over path,
 // fsync the directory. A crash at any point leaves either the old complete
-// file or the new complete file, never a torn one.
+// file or the new complete file, never a torn one. Any error — including
+// an fsync or close failure — means the write did not happen: the caller
+// must not treat the payload as durable, and path is left untouched.
 func WriteSnapshotFile(path string, payload []byte) error {
+	return writeSnapshotFile(path, payload, nil)
+}
+
+// writeSnapshotFile is WriteSnapshotFile with an optional hook called at
+// the durability point — after the payload is flushed to the temp file,
+// before the rename publishes it. A hook error aborts the write exactly
+// like a real fsync failure would: the temp file is discarded and path
+// keeps its previous content. The job store injects faults.SiteJobsFsync
+// here.
+func writeSnapshotFile(path string, payload []byte, syncHook func() error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -83,6 +95,11 @@ func WriteSnapshotFile(path string, payload []byte) error {
 	}
 	if err := tmp.Sync(); err != nil {
 		return err
+	}
+	if syncHook != nil {
+		if err := syncHook(); err != nil {
+			return err
+		}
 	}
 	name := tmp.Name()
 	if err := tmp.Close(); err != nil {

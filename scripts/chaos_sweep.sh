@@ -1,0 +1,55 @@
+#!/bin/sh
+# chaos_sweep.sh — seeded chaos sweep over the serving stack.
+#
+# Runs cmd/dimsatchaos over a seed range for each requested topology:
+# every seed boots the real stack (single dimsatd node, or coordinator
+# plus workers), shakes it with that seed's generated fault schedule
+# (partitions, crash-restarts, disk faults) under a deterministic
+# workload, heals, and holds it to the four chaos invariants. A failing
+# sweep prints the minimal failing seed; replay it with
+#
+#   go run ./cmd/dimsatchaos -seed <seed> -topology <topology> -v
+#
+# until fixed, then commit it to the regression table in
+# internal/chaos/chaos_test.go. Knobs (environment variables):
+#
+#   START    first seed (default 1)
+#   SEEDS    seeds per topology (default 10)
+#   WINDOW   fault-active window per run (default 1500ms)
+#   TOPOLOGY "single", "cluster", or "both" (default both)
+#
+# Run from the repository root (make chaos-sweep).
+set -eu
+
+START="${START:-1}"
+SEEDS="${SEEDS:-10}"
+WINDOW="${WINDOW:-1500ms}"
+TOPOLOGY="${TOPOLOGY:-both}"
+
+case "$TOPOLOGY" in
+single) topologies="single" ;;
+cluster) topologies="cluster" ;;
+both) topologies="single cluster" ;;
+*)
+    echo "chaos_sweep: TOPOLOGY must be single, cluster or both, got '$TOPOLOGY'" >&2
+    exit 2
+    ;;
+esac
+
+echo "chaos_sweep: building dimsatchaos"
+go build -o /tmp/dimsatchaos.$$ ./cmd/dimsatchaos
+trap 'rm -f /tmp/dimsatchaos.$$' EXIT INT TERM
+
+status=0
+for topo in $topologies; do
+    echo "chaos_sweep: sweeping $SEEDS seeds from $START, topology=$topo window=$WINDOW"
+    if ! /tmp/dimsatchaos.$$ -sweep "$SEEDS" -seed "$START" -topology "$topo" -window "$WINDOW"; then
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "chaos_sweep: FAIL: at least one seed violated an invariant (replay lines above)" >&2
+    exit 1
+fi
+echo "chaos_sweep: PASS"
