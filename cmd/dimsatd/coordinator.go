@@ -28,6 +28,8 @@ type coordinatorFlags struct {
 	breakerCooldown   time.Duration
 	retryBudget       int
 	retryBudgetWindow time.Duration
+	spanRing          int
+	spanSample        int
 	readTimeout       time.Duration
 	grace             time.Duration
 }
@@ -55,6 +57,8 @@ func runCoordinator(f coordinatorFlags) {
 		BreakerCooldown:   f.breakerCooldown,
 		RetryBudget:       f.retryBudget,
 		RetryBudgetWindow: f.retryBudgetWindow,
+		SpanRing:          f.spanRing,
+		SpanSample:        f.spanSample,
 		Logf:              log.Printf,
 	})
 	if err != nil {

@@ -61,6 +61,7 @@ import (
 
 	"olapdim/internal/core"
 	"olapdim/internal/jobs"
+	"olapdim/internal/obs"
 	"olapdim/internal/server"
 )
 
@@ -83,6 +84,8 @@ func main() {
 	slowSearch := flag.Int("slow-search", 100000, "expansions at which a search is counted and logged slow (0 disables)")
 	traceEvery := flag.Int("trace-every", 0, "record a structured search trace every N reasoning requests (0 disables; traced requests bypass the cache)")
 	traceRing := flag.Int("trace-ring", 256, "structured traces retained for /debug/traces")
+	spanRing := flag.Int("span-ring", 2048, "distributed-trace spans retained for /debug/spans")
+	spanSample := flag.Int("span-sample", 1, "start a sampled distributed trace every N requests arriving without a traceparent (1 = all, <0 disables)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; keep it loopback-only)")
 	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator fronting -workers instead of serving a schema")
 	workers := flag.String("workers", "", "comma-separated dimsatd worker base URLs (coordinator mode)")
@@ -114,6 +117,8 @@ func main() {
 			breakerCooldown:   *breakerCooldown,
 			retryBudget:       *retryBudget,
 			retryBudgetWindow: *retryBudgetWindow,
+			spanRing:          *spanRing,
+			spanSample:        *spanSample,
 			readTimeout:       *readTimeout,
 			grace:             *grace,
 		})
@@ -144,6 +149,10 @@ func main() {
 		defer f.Close()
 		logW = f
 	}
+	// One span store is shared by the HTTP server and the job store, so a
+	// request's spans and the lifecycle spans of the jobs it submits land
+	// in the same per-node ring (GET /debug/spans).
+	spans := obs.NewSpanStore(*spanRing, "server")
 	// The job store opens (and recovers interrupted jobs) before the
 	// server is built, so the server can install its admission semaphore
 	// as the store's Acquire hook; workers only start once Start runs,
@@ -156,6 +165,7 @@ func main() {
 			Options:         core.Options{MaxExpansions: *jobBudget},
 			CheckpointEvery: *checkpointEvery,
 			Logf:            log.Printf,
+			Spans:           spans,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -182,6 +192,8 @@ func main() {
 		Log:                  logW,
 		TraceEvery:           *traceEvery,
 		TraceRing:            *traceRing,
+		Spans:                spans,
+		SpanSample:           *spanSample,
 		SlowSearchExpansions: *slowSearch,
 	})
 	if err != nil {

@@ -6,8 +6,12 @@
 // are retried with backoff until the server admits them (see
 // docs/OPERATIONS.md for the full failure model). Every response carries
 // an X-Request-ID header; the client logs it so a slow or shed call can
-// be correlated with the server's request log and GET /debug/traces/{id}
-// (see docs/OBSERVABILITY.md).
+// be correlated with the server's request log and GET /debug/traces/{id}.
+// The client also mints a W3C `traceparent` for the calls it cares about,
+// so every retry of a shed request joins one distributed trace, and logs
+// the X-Trace-ID the server answers with — the key into GET
+// /debug/spans/{traceID} (see docs/OBSERVABILITY.md, "Distributed
+// tracing").
 //
 //	go run ./examples/webservice
 package main
@@ -26,6 +30,7 @@ import (
 	"olapdim/internal/cluster"
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
+	"olapdim/internal/obs"
 	"olapdim/internal/paper"
 	"olapdim/internal/server"
 )
@@ -129,12 +134,22 @@ func overloadDemo() {
 	slow := make(chan struct{})
 	go func() {
 		defer close(slow)
-		resp, err := http.Get(ts.URL + "/sat?category=Store")
+		// The slow call is the one worth tracing: mint a sampled trace
+		// context so the server records a server.request span for it, and
+		// log the trace ID — the handle an operator would paste into
+		// GET /debug/spans/{traceID} to see where the time went.
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/sat?category=Store", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("traceparent", mintTraceContext().Traceparent())
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			log.Fatal(err)
 		}
 		resp.Body.Close()
-		fmt.Printf("  slow request %s finished with %d\n", requestID(resp), resp.StatusCode)
+		fmt.Printf("  slow request %s (trace %s) finished with %d\n",
+			requestID(resp), traceID(resp), resp.StatusCode)
 	}()
 	time.Sleep(100 * time.Millisecond) // let the slow request take the slot
 
@@ -160,11 +175,16 @@ func overloadDemo() {
 // the shared helpers the cluster coordinator's worker client uses.
 func getJSONRetry(ctx context.Context, url string, out any, maxAttempts int) error {
 	backoff := 250 * time.Millisecond
+	// One trace context for the whole retry loop: every attempt sends the
+	// same traceparent, so shed attempts and the eventual admitted one are
+	// one trace on the server side.
+	tp := mintTraceContext().Traceparent()
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
 		}
+		req.Header.Set("traceparent", tp)
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return err
@@ -179,7 +199,8 @@ func getJSONRetry(ctx context.Context, url string, out any, maxAttempts int) err
 			// The shed response still carries a request ID: quote it when
 			// reporting so the operator can find the exact request in the
 			// server's JSON log.
-			fmt.Printf("  attempt %d (%s) shed with 429, retrying in %s\n", attempt, requestID(resp), wait)
+			fmt.Printf("  attempt %d (%s trace %s) shed with 429, retrying in %s\n",
+				attempt, requestID(resp), traceID(resp), wait)
 			if err := cluster.SleepContext(ctx, wait); err != nil {
 				return fmt.Errorf("giving up mid-backoff: %w", err)
 			}
@@ -190,7 +211,7 @@ func getJSONRetry(ctx context.Context, url string, out any, maxAttempts int) err
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("GET %s: status %d (request %s)", url, resp.StatusCode, requestID(resp))
 		}
-		fmt.Printf("  attempt %d (%s) admitted\n", attempt, requestID(resp))
+		fmt.Printf("  attempt %d (%s trace %s) admitted\n", attempt, requestID(resp), traceID(resp))
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 }
@@ -202,6 +223,23 @@ func requestID(resp *http.Response) string {
 		return id
 	}
 	return "no-request-id"
+}
+
+// traceID extracts the distributed-trace ID the server answered with, the
+// key into GET /debug/spans/{traceID} (and, behind a coordinator,
+// GET /cluster/trace/{traceID}).
+func traceID(resp *http.Response) string {
+	if id := resp.Header.Get("X-Trace-ID"); id != "" {
+		return id
+	}
+	return "no-trace-id"
+}
+
+// mintTraceContext starts a client-side sampled trace: the server honors
+// an adopted traceparent's sampled flag regardless of its own sampling
+// rate, so the caller decides which calls are worth a recorded span.
+func mintTraceContext() obs.SpanContext {
+	return obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
 }
 
 func getJSON(url string, out any) {

@@ -271,6 +271,7 @@ func Run(seed int64, opts Options) (*Report, error) {
 		checkConvergence(client, topo, probeCat, opts.ConvergeBound),
 		checkJobsDurable(client, topo.base(), acked, truth, opts.JobBound),
 		checkTypedErrors(samples),
+		checkTraces(client, topo, probeCat, isCluster, opts.ConvergeBound),
 	)
 
 	// Teardown, then the leak oracle: everything chaos started must be

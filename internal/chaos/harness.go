@@ -11,6 +11,7 @@ import (
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
 	"olapdim/internal/jobs"
+	"olapdim/internal/obs"
 	"olapdim/internal/server"
 )
 
@@ -35,6 +36,12 @@ type node struct {
 // server, serve on the pinned address. The first start listens on an
 // ephemeral port and pins it.
 func (n *node) start() error {
+	// One span store per boot, shared by the server and the job store, so
+	// a request's spans and its jobs' lifecycle spans land in the same
+	// /debug/spans ring. It dies with the process on crash — exactly what
+	// a real kill leaves — while the trace *context* survives in the
+	// jobs snapshot, so a resumed attempt rejoins its trace.
+	spans := obs.NewSpanStore(0, fmt.Sprintf("node%d", n.idx))
 	store, err := jobs.Open(jobs.Config{
 		Dir:             n.dir,
 		Schema:          n.schema,
@@ -43,11 +50,12 @@ func (n *node) start() error {
 		Logf: func(format string, args ...any) {
 			n.logf("node%d: "+format, append([]any{n.idx}, args...)...)
 		},
+		Spans: spans,
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: node%d store: %w", n.idx, err)
 	}
-	srv, err := server.NewWithConfig(n.schema, server.Config{Jobs: store})
+	srv, err := server.NewWithConfig(n.schema, server.Config{Jobs: store, Spans: spans})
 	if err != nil {
 		store.Close()
 		return fmt.Errorf("chaos: node%d server: %w", n.idx, err)

@@ -308,6 +308,83 @@ func checkConvergence(client *http.Client, topo topology, probeCategory string, 
 	}
 }
 
+// checkTraces is the distributed-tracing oracle: after heal, a request
+// through the front door must yield a complete, well-parented trace.
+// The request's X-Trace-ID response header names the trace; in cluster
+// mode the coordinator's /cluster/trace assembly must contain at least
+// the coordinator root, a forward span and the worker's server span,
+// all reachable from one root; in single mode the node's own
+// /debug/spans must hold the request's span. Span stores are in-memory
+// and sampled-by-default, so a healed system that cannot produce this
+// has broken propagation, not merely lost history.
+func checkTraces(client *http.Client, topo topology, probeCategory string, isCluster bool, bound time.Duration) InvariantResult {
+	deadline := time.Now().Add(bound)
+	fail := func(format string, args ...any) InvariantResult {
+		return InvariantResult{Name: "traces", OK: false, Detail: fmt.Sprintf(format, args...)}
+	}
+	var traceID string
+	for {
+		resp, err := client.Get(topo.base() + "/sat?category=" + probeCategory)
+		if err == nil {
+			traceID = resp.Header.Get("X-Trace-ID")
+			status := resp.StatusCode
+			resp.Body.Close()
+			if status < 500 && traceID != "" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fail("no traced answer to the probe request within %s", bound)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	path := "/debug/spans/"
+	if isCluster {
+		path = "/cluster/trace/"
+	}
+	var lastDetail string
+	for {
+		resp, err := client.Get(topo.base() + path + traceID)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var v struct {
+				Spans []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+				WellParented bool `json:"wellParented"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if derr == nil {
+				if isCluster {
+					if len(v.Spans) >= 3 && v.WellParented {
+						return InvariantResult{Name: "traces", OK: true}
+					}
+					lastDetail = fmt.Sprintf("trace %s: %d spans, wellParented=%v", traceID, len(v.Spans), v.WellParented)
+				} else {
+					for _, sp := range v.Spans {
+						if sp.Name == "server.request" {
+							return InvariantResult{Name: "traces", OK: true}
+						}
+					}
+					lastDetail = fmt.Sprintf("trace %s: %d spans, none named server.request", traceID, len(v.Spans))
+				}
+			} else {
+				lastDetail = fmt.Sprintf("trace %s: decoding: %v", traceID, derr)
+			}
+		} else if err != nil {
+			lastDetail = fmt.Sprintf("trace %s: %v", traceID, err)
+		} else {
+			resp.Body.Close()
+			lastDetail = fmt.Sprintf("trace %s: status %d", traceID, resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fail("%s", lastDetail)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
 // dedupeSorted returns the sorted distinct values of xs.
 func dedupeSorted(xs []string) []string {
 	seen := map[string]bool{}

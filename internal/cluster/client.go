@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"olapdim/internal/faults"
+	"olapdim/internal/obs"
 )
 
 // attemptOutcome classifies one forward attempt for the failover loop.
@@ -66,6 +67,11 @@ func classify(err error, status int) attemptOutcome {
 type workerClient struct {
 	httpc  *http.Client
 	faults *faults.Injector
+	// spans, when non-nil, receives one "cluster.forward" client span per
+	// attempt whose context carries a sampled trace. Hedge arms run do()
+	// concurrently, so the traceparent is injected into each attempt's own
+	// request — the shared header map is never mutated.
+	spans *obs.SpanStore
 	// onAttempt, when set, observes every forward attempt: the worker,
 	// its wall-clock latency, the transport error (nil on an HTTP
 	// answer) and the status code (0 on a transport error). The
@@ -101,6 +107,11 @@ var errBreakersOpen = errors.New("cluster: every candidate's circuit breaker is 
 // attempt simulates an unreachable shard.
 func (wc *workerClient) do(ctx context.Context, worker, method, pathAndQuery string, header http.Header, body []byte) (res *forwardResult, err error) {
 	start := time.Now()
+	var fwdSpan *obs.Span
+	var child obs.SpanContext
+	if parent, ok := obs.SpanFrom(ctx); ok && parent.Sampled {
+		fwdSpan, child = obs.StartSpan(parent, "cluster.forward", "client")
+	}
 	defer func() {
 		// Any HTTP answer means the worker was reachable; only a
 		// transport-level failure moves its breaker toward open.
@@ -111,6 +122,27 @@ func (wc *workerClient) do(ctx context.Context, worker, method, pathAndQuery str
 				status = res.status
 			}
 			wc.onAttempt(worker, time.Since(start), err, status)
+		}
+		if fwdSpan != nil {
+			fwdSpan.SetAttr("worker", worker)
+			fwdSpan.SetAttr("path", pathAndQuery)
+			outcome := "ok"
+			switch {
+			case errors.Is(err, context.Canceled):
+				// A cancelled attempt is almost always a losing hedge arm
+				// (or an abandoned client); its span is recorded as
+				// cancelled, not failed, so traces distinguish the two.
+				outcome = "cancelled"
+			case err != nil:
+				outcome = "error"
+			case res != nil && res.status >= 500:
+				outcome = "error"
+			}
+			if res != nil {
+				fwdSpan.SetAttr("status", fmt.Sprint(res.status))
+			}
+			fwdSpan.Finish(outcome)
+			wc.spans.Add(fwdSpan)
 		}
 	}()
 	if ferr := wc.faults.Hit(faults.SiteClusterForward); ferr != nil {
@@ -128,6 +160,9 @@ func (wc *workerClient) do(ctx context.Context, worker, method, pathAndQuery str
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}
+	}
+	if child.Valid() {
+		req.Header.Set("traceparent", child.Traceparent())
 	}
 	resp, err := wc.httpc.Do(req)
 	if err != nil {

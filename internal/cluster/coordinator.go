@@ -8,8 +8,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"olapdim/internal/faults"
@@ -61,6 +63,14 @@ type Config struct {
 	// answer it already has instead of trying again.
 	RetryBudget       int
 	RetryBudgetWindow time.Duration
+	// SpanRing bounds the coordinator's distributed-trace span store
+	// (default 2048 spans; see obs.NewSpanStore).
+	SpanRing int
+	// SpanSample samples coordinator-minted traces: every Nth request
+	// that arrives without a traceparent starts a sampled trace
+	// (default 1 = every request; negative disables minting). Adopted
+	// traceparents keep their own sampled flag regardless.
+	SpanSample int
 	// Transport, when non-nil, replaces the default HTTP transport for
 	// all worker traffic — forwards, hedges, probes and job polls. The
 	// chaos harness installs a PartitionTransport here.
@@ -84,6 +94,11 @@ type Coordinator struct {
 	health  *healthTracker
 	jobs    *jobTracker
 	started time.Time
+
+	ids        *obs.IDSource
+	spans      *obs.SpanStore
+	spanSample int
+	spanSeq    atomic.Int64
 
 	mu       sync.Mutex
 	workers  []string
@@ -150,6 +165,12 @@ func New(cfg Config) (*Coordinator, error) {
 		forwards: map[string]int64{},
 		stop:     make(chan struct{}),
 	}
+	c.ids = obs.NewIDSource()
+	c.spans = obs.NewSpanStore(cfg.SpanRing, "coordinator")
+	c.spanSample = cfg.SpanSample
+	if c.spanSample == 0 {
+		c.spanSample = 1
+	}
 	c.met = newClusterMetrics(c.reg)
 	c.health = newHealthTracker(cfg.FailAfter, cfg.RecoverAfter, c.onHealthChange)
 	now := time.Now()
@@ -173,6 +194,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.client = &workerClient{
 		httpc:             httpc,
+		spans:             c.spans,
 		faults:            cfg.Faults,
 		onAttempt:         c.observeAttempt,
 		breaker:           br,
@@ -209,7 +231,11 @@ func New(cfg Config) (*Coordinator, error) {
 
 	// Cluster plane.
 	c.mux.HandleFunc("GET /cluster", c.handleClusterStatus)
+	c.mux.HandleFunc("GET /cluster/trace/{traceID}", c.handleClusterTrace)
+	c.mux.HandleFunc("GET /cluster/metrics", c.handleClusterMetrics)
 	c.mux.HandleFunc("POST /cluster/drain", c.handleDrain)
+	c.mux.HandleFunc("GET /debug/spans", c.handleSpanList)
+	c.mux.HandleFunc("GET /debug/spans/{traceID}", c.handleSpanTrace)
 	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -245,6 +271,26 @@ func (c *Coordinator) Close() {
 
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.met.received.Inc()
+
+	// Correlation: adopt a syntactically valid inbound X-Request-ID so
+	// client → coordinator → worker log lines share one ID (the ID is
+	// written back into r.Header, which forwardHeader relays); mint one
+	// otherwise. Tracing: adopt an inbound traceparent or mint a trace,
+	// and open the root span every forward and job span parents into.
+	id := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(id) {
+		id = c.ids.Next()
+		r.Header.Set("X-Request-ID", id)
+	}
+	w.Header().Set("X-Request-ID", id)
+	parent, adopted := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !adopted {
+		parent = obs.SpanContext{TraceID: obs.NewTraceID(), Sampled: c.sampleSpan()}
+	}
+	span, sc := obs.StartSpan(parent, "coordinator.request", "server")
+	w.Header().Set("X-Trace-ID", sc.TraceID)
+	r = r.WithContext(obs.WithSpan(obs.WithRequestID(r.Context(), id), sc))
+
 	sw := &statusRecorder{ResponseWriter: w}
 	start := time.Now()
 	c.mux.ServeHTTP(sw, r)
@@ -254,7 +300,33 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	class := codeClass(status)
 	c.met.reqTotal.With(class).Inc()
-	c.met.reqDur.With(class).Observe(time.Since(start).Seconds())
+	exemplar := ""
+	if sc.Sampled {
+		exemplar = sc.TraceID
+	}
+	c.met.reqDur.With(class).ObserveWithExemplar(time.Since(start).Seconds(), exemplar)
+	if sc.Sampled {
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		span.SetAttr("status", strconv.Itoa(status))
+		span.SetAttr("requestId", id)
+		st := "ok"
+		if status >= 500 {
+			st = "error"
+		}
+		span.Finish(st)
+		c.spans.Add(span)
+	}
+	c.cfg.Logf("cluster: %s %s status=%d requestId=%s traceId=%s", r.Method, r.URL.Path, status, id, sc.TraceID)
+}
+
+// sampleSpan decides whether a coordinator-minted trace is sampled:
+// every spanSample-th request, all when 1, none when negative.
+func (c *Coordinator) sampleSpan() bool {
+	if c.spanSample <= 0 {
+		return false
+	}
+	return (c.spanSeq.Add(1)-1)%int64(c.spanSample) == 0
 }
 
 // observeAttempt is the workerClient hook: every forward attempt feeds
@@ -421,6 +493,16 @@ func (c *Coordinator) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// already accepted it dedupes instead of running it twice.
 		req.IdempotencyKey = "coord:" + j.ID
 		c.jobs.update(j.ID, func(t *trackedJob) { t.req.IdempotencyKey = req.IdempotencyKey })
+	}
+	if req.TraceContext == "" {
+		// Pin the submit's trace to the job so every lifecycle span — on
+		// this shard, and on whichever shard a reassignment lands it —
+		// joins the same trace. The tracked copy carries it through
+		// failover and handoff resubmissions.
+		if sc, ok := obs.SpanFrom(r.Context()); ok {
+			req.TraceContext = sc.Traceparent()
+			c.jobs.update(j.ID, func(t *trackedJob) { t.req.TraceContext = req.TraceContext })
+		}
 	}
 	res, status := c.submitToShard(r.Context(), j.ID, key, req, "")
 	if res == nil {

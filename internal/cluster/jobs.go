@@ -18,6 +18,10 @@ type jobRequest struct {
 	Constraint     string `json:"constraint,omitempty"`
 	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 	Checkpoint     string `json:"checkpoint,omitempty"`
+	// TraceContext is the W3C traceparent of the submit that created the
+	// job; resubmitted on every reassignment so the trace ID survives
+	// worker crashes and drains.
+	TraceContext string `json:"traceContext,omitempty"`
 }
 
 // trackedJob is one job the coordinator has forwarded. The coordinator

@@ -31,6 +31,8 @@ type clusterMetrics struct {
 	breakerTransitions *obs.CounterVec // by state entered
 	breakerSkipped     *obs.Counter
 	retryExhausted     *obs.Counter
+
+	federationScrapes *obs.CounterVec // by outcome
 }
 
 func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
@@ -71,6 +73,9 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			"Forward candidates skipped without dialing because their breaker was open."),
 		retryExhausted: reg.Counter("olapdim_cluster_retry_budget_exhausted_total",
 			"Forward retries denied because the coordinator-wide retry budget for the window was spent."),
+
+		federationScrapes: reg.CounterVec("olapdim_cluster_federation_scrapes_total",
+			"Worker /metrics scrapes performed by the federation endpoint, by outcome (ok or fail).", "outcome"),
 	}
 }
 
@@ -97,6 +102,14 @@ func (c *Coordinator) registerCollectors(reg *obs.Registry) {
 	reg.GaugeFunc("olapdim_cluster_breaker_open",
 		"Workers whose circuit breaker is currently open or half-open.",
 		func() float64 { return float64(c.client.breaker.openCount()) })
+
+	spans := c.spans
+	reg.CounterFunc("olapdim_spans_recorded_total",
+		"Distributed-trace spans recorded into the span store.",
+		func() float64 { return float64(spans.Recorded()) })
+	reg.CounterFunc("olapdim_spans_dropped_total",
+		"Spans dropped by the span store's trace and size bounds.",
+		func() float64 { return float64(spans.Dropped()) })
 
 	if inj := c.cfg.Faults; inj != nil {
 		reg.CounterVecFunc("olapdim_cluster_fault_injections_total",

@@ -17,6 +17,7 @@ import (
 	"olapdim/internal/constraint"
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
+	"olapdim/internal/obs"
 	"olapdim/internal/parser"
 )
 
@@ -79,6 +80,12 @@ type Request struct {
 	// this store would search for the request (the store schema for sat,
 	// the negation reduction for implies) or the submit is refused.
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// TraceContext, when non-empty, is the W3C traceparent of the
+	// distributed trace this job belongs to. It is persisted with the job
+	// record (snapshot v2), so the trace ID survives crashes, restarts
+	// and cross-shard handoff: every lifecycle span of every attempt —
+	// on whichever worker runs it — parents into the same trace.
+	TraceContext string `json:"traceContext,omitempty"`
 }
 
 // Result is the outcome of a finished job.
@@ -172,6 +179,10 @@ type Config struct {
 	Acquire func(ctx context.Context) (release func(), err error)
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Spans, when non-nil, receives job lifecycle spans (submit, attempt,
+	// first checkpoint write, completion) for jobs that carry a sampled
+	// TraceContext. Nil disables span recording.
+	Spans *obs.SpanStore
 }
 
 const defaultCheckpointEvery = 1000
@@ -379,6 +390,7 @@ func (s *Store) Close() {
 // whether it was newly created (false when an idempotency key matched an
 // existing job, whose status is returned instead).
 func (s *Store) Submit(req Request) (Status, bool, error) {
+	submitStart := time.Now()
 	switch req.Kind {
 	case KindSat:
 		if !s.cfg.Schema.G.HasCategory(req.Category) {
@@ -445,6 +457,8 @@ func (s *Store) Submit(req Request) (Status, bool, error) {
 		return Status{}, false, fmt.Errorf("%w: %w", ErrStorage, err)
 	}
 	s.submitted.Add(1)
+	s.recordJobSpan(st.Request, "job.submit", submitStart, "ok",
+		map[string]string{"jobId": id, "kind": req.Kind})
 	if started {
 		s.launch(id)
 	}
@@ -653,18 +667,33 @@ func (s *Store) run(id string) {
 		}
 	}
 
+	attemptStart := time.Now()
 	res, resErr := s.attempt(ctx, id, st.Request, cp)
 
 	// An injected panic is the simulated process kill of the robustness
 	// harness: the worker abandons the job with no state transition —
-	// exactly what a real crash leaves behind — so reopening the store
-	// exercises the genuine recovery path. Real panics fail the job.
+	// exactly what a real crash leaves behind (a dead process records no
+	// spans either) — so reopening the store exercises the genuine
+	// recovery path. Real panics fail the job.
 	var ie *core.InternalError
 	if errors.As(resErr, &ie) {
 		if _, injected := ie.Value.(*faults.PanicValue); injected {
 			s.logf("jobs: %s worker killed by injected panic", id)
 			return
 		}
+	}
+	attemptStatus := "ok"
+	switch {
+	case resErr == nil:
+	case errors.Is(resErr, context.Canceled):
+		attemptStatus = "cancelled"
+	default:
+		attemptStatus = "error"
+	}
+	s.recordJobSpan(st.Request, "job.attempt", attemptStart, attemptStatus, map[string]string{
+		"jobId": id, "kind": st.Request.Kind, "attempt": fmt.Sprint(st.Attempts),
+		"resumed": fmt.Sprint(cp != nil)})
+	if ie != nil {
 		s.fail(id, resErr)
 		return
 	}
@@ -709,7 +738,7 @@ func (s *Store) attempt(ctx context.Context, id string, req Request, cp *core.Ch
 	opts := s.cfg.Options
 	opts.Cache = nil
 	opts.Tracer = nil
-	opts.Checkpoint = s.checkpointing(id)
+	opts.Checkpoint = s.checkpointing(id, req)
 	opts.Compiled = s.compiled
 	if cp != nil {
 		s.resumed.Add(1)
@@ -754,14 +783,56 @@ func (s *Store) attempt(ctx context.Context, id string, req Request, cp *core.Ch
 	}
 }
 
+// recordJobSpan records one job-lifecycle span when the job carries a
+// sampled trace context and the store has a span store. Every such span
+// parents directly into the propagated context, so a trace assembled
+// across workers shows the job's submit, attempts, checkpoints and
+// completion under the request that spawned it — even when different
+// processes ran them.
+func (s *Store) recordJobSpan(req Request, name string, start time.Time, status string, attrs map[string]string) {
+	if s.cfg.Spans == nil || req.TraceContext == "" {
+		return
+	}
+	parent, ok := obs.ParseTraceparent(req.TraceContext)
+	if !ok || !parent.Sampled {
+		return
+	}
+	sp := &obs.Span{
+		TraceID:    parent.TraceID,
+		SpanID:     obs.NewSpanID(),
+		ParentID:   parent.SpanID,
+		Name:       name,
+		Kind:       "internal",
+		Start:      start,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Status:     status,
+	}
+	for k, v := range attrs {
+		sp.SetAttr(k, v)
+	}
+	s.cfg.Spans.Add(sp)
+}
+
 // checkpointing builds the Options.Checkpoint installation for a job:
-// periodic durable sinks plus abort capture.
-func (s *Store) checkpointing(id string) *core.Checkpointing {
+// periodic durable sinks plus abort capture. Only the first durable
+// write of the attempt is recorded as a span — with CheckpointEvery at
+// its test settings a long search writes thousands of checkpoints, and
+// one span proves the durability hop without flooding the trace.
+func (s *Store) checkpointing(id string, req Request) *core.Checkpointing {
 	ck := &core.Checkpointing{}
 	if s.cfg.CheckpointEvery > 0 {
 		ck.Every = s.cfg.CheckpointEvery
+		var spanOnce sync.Once
 		ck.Sink = func(cp *core.Checkpoint) error {
-			return s.persistCheckpoint(id, cp)
+			start := time.Now()
+			err := s.persistCheckpoint(id, cp)
+			if err == nil {
+				spanOnce.Do(func() {
+					s.recordJobSpan(req, "job.checkpoint", start, "ok", map[string]string{
+						"jobId": id, "expansions": fmt.Sprint(cp.Stats.Expansions)})
+				})
+			}
+			return err
 		}
 	}
 	return ck
@@ -797,6 +868,8 @@ func (s *Store) complete(id string, req Request, res core.Result) {
 		s.logf("jobs: persisting result of %s: %v", id, err)
 	}
 	s.removeCkpt(id)
+	s.recordJobSpan(req, "job.complete", time.Now(), "ok",
+		map[string]string{"jobId": id, "attempts": fmt.Sprint(st.Attempts)})
 }
 
 // fail finalizes a failed attempt.

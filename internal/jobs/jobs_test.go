@@ -11,6 +11,7 @@ import (
 
 	"olapdim/internal/core"
 	"olapdim/internal/faults"
+	"olapdim/internal/obs"
 )
 
 const diamondSrc = `
@@ -685,5 +686,105 @@ func TestCloseSuspendsRunningJob(t *testing.T) {
 	}
 	if final.Stats.Expansions < got.Stats.Expansions {
 		t.Errorf("stats went backwards across suspend: %d < %d", final.Stats.Expansions, got.Stats.Expansions)
+	}
+}
+
+// TestTraceContextSurvivesKill is the distributed-tracing half of the
+// crash story: the span *ring* dies with the process (a killed process
+// records nothing), but the trace *context* is persisted in the job
+// snapshot, so the resumed attempt on the next boot rejoins the
+// submitter's trace ID.
+func TestTraceContextSurvivesKill(t *testing.T) {
+	src := hardUnsatSrc(3, 2)
+	schema := parse(t, src)
+	dir := t.TempDir()
+	inj := faults.New(faults.Rule{Site: faults.SiteExpand, Kind: faults.Panic, On: []int{301}})
+	spans1 := obs.NewSpanStore(0, "boot1")
+	s1, err := Open(Config{
+		Dir:             dir,
+		Schema:          schema,
+		Options:         core.Options{Faults: inj},
+		CheckpointEvery: 1,
+		Spans:           spans1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	parent := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "C0", TraceContext: parent.Traceparent()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.Fired(faults.SiteExpand) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if inj.Fired(faults.SiteExpand) == 0 {
+		t.Fatal("injected panic never fired")
+	}
+	names := func(spans []obs.Span) []string {
+		var out []string
+		for _, sp := range spans {
+			out = append(out, sp.Name)
+		}
+		return out
+	}
+	got := spans1.Trace(parent.TraceID)
+	if len(got) == 0 {
+		t.Fatalf("first boot recorded no spans for the submit trace")
+	}
+	for _, sp := range got {
+		if sp.Name == "job.submit" && sp.ParentID != parent.SpanID {
+			t.Fatalf("job.submit parented to %s, want the submitter's span %s", sp.ParentID, parent.SpanID)
+		}
+	}
+	s1.Close()
+
+	// "Restart the process": a fresh store, a fresh (empty) span ring.
+	spans2 := obs.NewSpanStore(0, "boot2")
+	s2 := open(t, Config{Dir: dir, Schema: parse(t, src), CheckpointEvery: 1, Spans: spans2})
+	recovered, err := s2.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Request.TraceContext != parent.Traceparent() {
+		t.Fatalf("recovered trace context %q, want %q (must survive the crash in the snapshot)",
+			recovered.Request.TraceContext, parent.Traceparent())
+	}
+	s2.Start()
+	final := await(t, s2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed job = %+v, want done", final)
+	}
+	// The lifecycle spans are recorded just after the state transitions
+	// the await saw, so give them a beat to land.
+	var attempt, complete *obs.Span
+	spanDeadline := time.Now().Add(2 * time.Second)
+	for {
+		after := spans2.Trace(parent.TraceID)
+		attempt, complete = nil, nil
+		for i := range after {
+			switch after[i].Name {
+			case "job.attempt":
+				attempt = &after[i]
+			case "job.complete":
+				complete = &after[i]
+			}
+		}
+		if attempt != nil && complete != nil {
+			break
+		}
+		if time.Now().After(spanDeadline) {
+			t.Fatalf("second boot spans %v, want job.attempt and job.complete on the original trace", names(after))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if attempt.Attrs["resumed"] != "true" {
+		t.Errorf("resumed attempt span attrs %v, want resumed=true", attempt.Attrs)
+	}
+	if attempt.ParentID != parent.SpanID || complete.ParentID != parent.SpanID {
+		t.Errorf("resumed spans parented to %s/%s, want the submitter's span %s",
+			attempt.ParentID, complete.ParentID, parent.SpanID)
 	}
 }

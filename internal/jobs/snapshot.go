@@ -21,8 +21,15 @@ import (
 )
 
 // snapshotMagic heads every snapshot file; the version is part of the
-// magic so a future format change can never be misread.
-const snapshotMagic = "olapdim-snapshot v1 sha256="
+// magic so a future format change can never be misread. v2 job records
+// may carry a persisted distributed-trace context (Request.TraceContext);
+// v1 files — written before tracing existed — remain readable, their
+// payloads simply have no trace field.
+const snapshotMagic = "olapdim-snapshot v2 sha256="
+
+// snapshotMagicV1 is the previous on-disk version, still accepted on
+// read so a store upgraded in place recovers every existing record.
+const snapshotMagicV1 = "olapdim-snapshot v1 sha256="
 
 // ErrCorruptSnapshot reports a snapshot file whose header or checksum does
 // not verify: truncated, bit-flipped, or not a snapshot at all. The store
@@ -43,12 +50,19 @@ func EncodeSnapshot(payload []byte) []byte {
 }
 
 // DecodeSnapshot verifies the header and checksum of an encoded snapshot
-// and returns the payload, or ErrCorruptSnapshot.
+// and returns the payload, or ErrCorruptSnapshot. Both the current v2
+// header and the legacy v1 header are accepted: the checksum framing is
+// identical, only the payload schema grew (additively), so v1 files
+// migrate by simply being read.
 func DecodeSnapshot(data []byte) ([]byte, error) {
-	if !bytes.HasPrefix(data, []byte(snapshotMagic)) {
-		return nil, fmt.Errorf("%w: missing header", ErrCorruptSnapshot)
+	magic := snapshotMagic
+	if !bytes.HasPrefix(data, []byte(magic)) {
+		magic = snapshotMagicV1
+		if !bytes.HasPrefix(data, []byte(magic)) {
+			return nil, fmt.Errorf("%w: missing header", ErrCorruptSnapshot)
+		}
 	}
-	rest := data[len(snapshotMagic):]
+	rest := data[len(magic):]
 	nl := bytes.IndexByte(rest, '\n')
 	if nl != hex.EncodedLen(sha256.Size) {
 		return nil, fmt.Errorf("%w: malformed checksum line", ErrCorruptSnapshot)

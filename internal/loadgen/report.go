@@ -125,6 +125,12 @@ type EndpointStats struct {
 	P99Ms  float64 `json:"p99Ms"`
 	P999Ms float64 `json:"p999Ms"`
 	MaxMs  float64 `json:"maxMs"`
+	// SlowestTraceID is the distributed-trace ID (X-Trace-ID response
+	// header) of the slowest measured request, when the server sent one —
+	// the exemplar link from a BENCH record's worst latency to the
+	// server-side trace that explains it. Additive field: schema version
+	// unchanged, absent when tracing is off.
+	SlowestTraceID string `json:"slowestTraceId,omitempty"`
 }
 
 // Encode renders the report as indented JSON with a trailing newline —

@@ -52,6 +52,10 @@ type opStats struct {
 	shed  int64
 	sum   float64
 	max   float64
+	// maxTraceID is the X-Trace-ID of the request behind max — replaced
+	// (even with "") whenever a slower request lands, so it never names
+	// a different, faster request.
+	maxTraceID string
 }
 
 type outcome int
@@ -62,7 +66,7 @@ const (
 	outcomeErr
 )
 
-func (o *opStats) observe(d time.Duration, out outcome) {
+func (o *opStats) observe(d time.Duration, out outcome, traceID string) {
 	s := d.Seconds()
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -70,6 +74,7 @@ func (o *opStats) observe(d time.Duration, out outcome) {
 	o.sum += s
 	if s > o.max {
 		o.max = s
+		o.maxTraceID = traceID
 	}
 	o.hist.Observe(s)
 	switch out {
@@ -92,6 +97,7 @@ func (o *opStats) stats() EndpointStats {
 		es.P99Ms = toMS(o.hist.Quantile(0.99))
 		es.P999Ms = toMS(o.hist.Quantile(0.999))
 		es.MaxMs = toMS(o.max)
+		es.SlowestTraceID = o.maxTraceID
 	}
 	return es
 }
@@ -146,13 +152,13 @@ func (rn *Runner) Run(ctx context.Context) (*Report, error) {
 	var wg sync.WaitGroup
 
 	execute := func(tr timedRequest) {
-		out := rn.execute(ctx, client, base, spec, tr.req, end, &transportErrs)
+		out, traceID := rn.execute(ctx, client, base, spec, tr.req, end, &transportErrs)
 		d := time.Since(tr.sched)
 		if tr.sched.Before(warmupEnd) {
 			warmupCount.Add(1)
 			return
 		}
-		stats[tr.req.Op].observe(d, out)
+		stats[tr.req.Op].observe(d, out, traceID)
 	}
 
 	if spec.Rate > 0 {
@@ -283,7 +289,7 @@ type clusterView struct {
 // coordinator (404 from a plain dimsatd) or the fetch fails — cluster
 // stats are strictly optional.
 func (rn *Runner) scrapeCluster(ctx context.Context, client *http.Client, base string) *clusterView {
-	status, body, err := rn.do(ctx, client, base, http.MethodGet, "/cluster", "")
+	status, body, _, err := rn.do(ctx, client, base, http.MethodGet, "/cluster", "")
 	if err != nil || status != http.StatusOK {
 		return nil
 	}
@@ -316,22 +322,24 @@ func clusterDelta(before, after *clusterView) *ClusterStats {
 	return cs
 }
 
-// execute performs one request and classifies the outcome. OpJobs spans
-// submit plus polling to a terminal state.
-func (rn *Runner) execute(ctx context.Context, client *http.Client, base string, spec Spec, req Request, end time.Time, transportErrs *atomic.Int64) outcome {
-	status, body, err := rn.do(ctx, client, base, req.Method, req.Path, req.Body)
+// execute performs one request and classifies the outcome, returning the
+// initial request's trace ID so the per-op stats can name the slowest
+// observation's trace. OpJobs spans submit plus polling to a terminal
+// state; the trace ID is the submit's (the traced request), not a poll's.
+func (rn *Runner) execute(ctx context.Context, client *http.Client, base string, spec Spec, req Request, end time.Time, transportErrs *atomic.Int64) (outcome, string) {
+	status, body, traceID, err := rn.do(ctx, client, base, req.Method, req.Path, req.Body)
 	if err != nil {
 		transportErrs.Add(1)
-		return outcomeErr
+		return outcomeErr, traceID
 	}
 	switch {
 	case status == http.StatusTooManyRequests:
-		return outcomeShed
+		return outcomeShed, traceID
 	case status < 200 || status > 299:
-		return outcomeErr
+		return outcomeErr, traceID
 	}
 	if req.Op != OpJobs {
-		return outcomeOK
+		return outcomeOK, traceID
 	}
 	// Poll the submitted job to a terminal state.
 	var view struct {
@@ -339,57 +347,59 @@ func (rn *Runner) execute(ctx context.Context, client *http.Client, base string,
 		State string `json:"state"`
 	}
 	if err := json.Unmarshal(body, &view); err != nil || view.ID == "" {
-		return outcomeErr
+		return outcomeErr, traceID
 	}
 	deadline := end.Add(maxJobWait)
 	for {
 		switch view.State {
 		case "done":
-			return outcomeOK
+			return outcomeOK, traceID
 		case "failed", "cancelled":
-			return outcomeErr
+			return outcomeErr, traceID
 		}
 		if ctx.Err() != nil || time.Now().After(deadline) {
-			return outcomeErr
+			return outcomeErr, traceID
 		}
 		time.Sleep(spec.JobPollInterval)
-		status, body, err = rn.do(ctx, client, base, http.MethodGet, "/jobs/"+view.ID, "")
+		status, body, _, err = rn.do(ctx, client, base, http.MethodGet, "/jobs/"+view.ID, "")
 		if err != nil {
 			transportErrs.Add(1)
-			return outcomeErr
+			return outcomeErr, traceID
 		}
 		if status != http.StatusOK {
-			return outcomeErr
+			return outcomeErr, traceID
 		}
 		if err := json.Unmarshal(body, &view); err != nil {
-			return outcomeErr
+			return outcomeErr, traceID
 		}
 	}
 }
 
-// do issues one HTTP request and returns status and body.
-func (rn *Runner) do(ctx context.Context, client *http.Client, base, method, path, body string) (int, []byte, error) {
+// do issues one HTTP request and returns status, body, and the server's
+// X-Trace-ID response header ("" when the target does not trace).
+func (rn *Runner) do(ctx context.Context, client *http.Client, base, method, path, body string) (int, []byte, string, error) {
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, "", err
 	}
 	if body != "" {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-ID")
 	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return resp.StatusCode, nil, err
+		return resp.StatusCode, nil, traceID, err
 	}
-	return resp.StatusCode, b, nil
+	return resp.StatusCode, b, traceID, nil
 }
 
 func machineInfo() Machine {

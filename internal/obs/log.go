@@ -97,3 +97,21 @@ func NewIDSource() *IDSource {
 func (s *IDSource) Next() string {
 	return fmt.Sprintf("%s-%06d", s.prefix, s.seq.Add(1))
 }
+
+// ValidRequestID reports whether a forwarded X-Request-ID is safe to
+// adopt as a log key: non-empty, bounded, printable ASCII with no
+// whitespace or control bytes. Anything else is discarded and a fresh
+// ID minted — an inbound header must never be able to forge log lines
+// or smuggle delimiters into the structured log.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}

@@ -112,6 +112,16 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram's tail to a concrete trace: the trace ID of
+// the largest observation recorded so far and its value. Exposed through
+// /stats (exposition format 0.0.4 has no exemplar syntax), it turns "p99
+// moved" into "go read this trace".
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	Value   float64 `json:"value"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -145,6 +155,35 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one sample and, when it is the largest
+// seen so far and carries a trace ID, retains it as the histogram's
+// exemplar. The keep-max policy means the exemplar always names the
+// slowest-bucket observation — the request worth reading a trace for.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	for {
+		old := h.ex.Load()
+		if old != nil && old.Value >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(old, &Exemplar{TraceID: traceID, Value: v}) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the retained slowest-observation exemplar, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	ex := h.ex.Load()
+	if ex == nil {
+		return Exemplar{}, false
+	}
+	return *ex, true
 }
 
 // Count returns the number of observations.

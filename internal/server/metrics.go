@@ -133,6 +133,14 @@ func (s *Server) registerCollectors(reg *obs.Registry) {
 		"Build metadata: module version, Go toolchain, VCS revision. Constant 1.",
 		obs.GetBuildInfo().Labels())
 
+	spans := s.spans
+	reg.CounterFunc("olapdim_spans_recorded_total",
+		"Distributed-trace spans recorded into the span store.",
+		func() float64 { return float64(spans.Recorded()) })
+	reg.CounterFunc("olapdim_spans_dropped_total",
+		"Spans dropped by the span store's trace and size bounds.",
+		func() float64 { return float64(spans.Dropped()) })
+
 	cache := s.cache
 	reg.CounterFunc("dimsat_cache_hits_total",
 		"Satisfiability calls answered from the shared cache.",

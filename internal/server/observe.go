@@ -55,6 +55,12 @@ type reasoning struct {
 	detail string
 	start  time.Time
 
+	// sc is the request's span context (scOK when one was attached), so
+	// the reasoning phase can be recorded as a child span and the
+	// slow-search log line can name the trace.
+	sc   obs.SpanContext
+	scOK bool
+
 	opts   core.Options
 	effort *core.EffortSink
 	tracer *obs.SearchTracer
@@ -80,6 +86,7 @@ func (s *Server) beginReasoning(r *http.Request, endpoint string) *reasoning {
 		opts:     s.opts,
 		effort:   &core.EffortSink{},
 	}
+	rz.sc, rz.scOK = obs.SpanFrom(r.Context())
 	rz.opts.Effort = rz.effort
 	if s.traceEvery > 0 && (s.traceSeq.Add(1)-1)%int64(s.traceEvery) == 0 {
 		rz.tracer = obs.NewSearchTracer(s.traceEvents)
@@ -97,7 +104,11 @@ func (rz *reasoning) finish() {
 	rz.cancel()
 	s := rz.s
 	st := rz.effort.Stats()
-	s.met.searchExpansions.Observe(float64(st.Expansions))
+	traceID := ""
+	if rz.scOK && rz.sc.Sampled {
+		traceID = rz.sc.TraceID
+	}
+	s.met.searchExpansions.ObserveWithExemplar(float64(st.Expansions), traceID)
 	s.met.searchChecks.Observe(float64(st.Checks))
 	s.met.searchBacktracks.Observe(float64(st.DeadEnds))
 
@@ -107,6 +118,7 @@ func (rz *reasoning) finish() {
 		s.met.slowSearches.Inc()
 		s.logger.Log("slow_search", map[string]any{
 			"requestId":  rz.id,
+			"traceId":    rz.sc.TraceID,
 			"endpoint":   rz.endpoint,
 			"detail":     rz.detail,
 			"schema":     s.fingerprint,
@@ -116,6 +128,24 @@ func (rz *reasoning) finish() {
 			"durationMs": durMS,
 			"threshold":  s.slowExpansions,
 		})
+	}
+	if rz.scOK && rz.sc.Sampled {
+		sp := &obs.Span{
+			TraceID:    rz.sc.TraceID,
+			SpanID:     obs.NewSpanID(),
+			ParentID:   rz.sc.SpanID,
+			Name:       "server.reason",
+			Kind:       "internal",
+			Start:      rz.start,
+			DurationMS: durMS,
+			Status:     "ok",
+		}
+		sp.SetAttr("endpoint", rz.endpoint)
+		if rz.detail != "" {
+			sp.SetAttr("detail", rz.detail)
+		}
+		sp.SetAttr("expansions", fmt.Sprint(st.Expansions))
+		s.spans.Add(sp)
 	}
 	if rz.tracer != nil && rz.id != "" {
 		events, truncated := rz.tracer.Events()
@@ -159,4 +189,36 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, t)
+}
+
+// spanListResponse is the GET /debug/spans body: which traces this node
+// retains spans for, newest first.
+type spanListResponse struct {
+	Node     string   `json:"node,omitempty"`
+	Spans    int      `json:"spans"`
+	TraceIDs []string `json:"traceIds"`
+}
+
+// spanTraceResponse is the GET /debug/spans/{traceID} body — also the
+// wire format the coordinator's /cluster/trace fan-out consumes.
+type spanTraceResponse struct {
+	TraceID string     `json:"traceId"`
+	Node    string     `json:"node,omitempty"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+func (s *Server) handleSpanList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, spanListResponse{
+		Node: s.spans.Node(), Spans: s.spans.Len(), TraceIDs: s.spans.TraceIDs(),
+	})
+}
+
+func (s *Server) handleSpanTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("traceID")
+	spans := s.spans.Trace(id)
+	if spans == nil {
+		writeErr(w, http.StatusNotFound, "no spans retained for trace %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, spanTraceResponse{TraceID: id, Node: s.spans.Node(), Spans: spans})
 }

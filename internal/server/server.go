@@ -132,6 +132,19 @@ type Config struct {
 	// above which a search is counted slow and logged to the slow-search
 	// log; zero disables slow-search detection.
 	SlowSearchExpansions int
+
+	// Spans, when non-nil, is the span store finished spans are recorded
+	// into — shared with the job store in dimsatd so request and job
+	// lifecycle spans of one trace land in one place. Nil means a fresh
+	// private store sized by SpanRing.
+	Spans *obs.SpanStore
+	// SpanRing bounds the spans retained for GET /debug/spans when the
+	// server owns its store; zero means 2048.
+	SpanRing int
+	// SpanSample records every N-th locally-minted trace (1 = all, the
+	// default); negative disables span recording for minted traces. An
+	// adopted traceparent's sampled flag is always honored regardless.
+	SpanSample int
 }
 
 const (
@@ -167,6 +180,10 @@ type Server struct {
 	traceEvents    int
 	traceSeq       atomic.Int64
 	slowExpansions int
+
+	spans      *obs.SpanStore
+	spanSample int
+	spanSeq    atomic.Int64
 
 	// Admission control: sem holds one token per executing reasoning
 	// request (nil disables admission); the met.queued and met.inflight
@@ -229,6 +246,15 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 		traceEvery:     cfg.TraceEvery,
 		traceEvents:    cfg.TraceEvents,
 		slowExpansions: cfg.SlowSearchExpansions,
+
+		spans:      cfg.Spans,
+		spanSample: cfg.SpanSample,
+	}
+	if s.spans == nil {
+		s.spans = obs.NewSpanStore(cfg.SpanRing, "server")
+	}
+	if s.spanSample == 0 {
+		s.spanSample = 1
 	}
 	if s.opts.Pool == nil {
 		s.opts.Pool = poolObserver{s.met}
@@ -280,6 +306,8 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	s.mux.Handle("GET /metrics", reg)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/spans", s.handleSpanList)
+	s.mux.HandleFunc("GET /debug/spans/{traceID}", s.handleSpanTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.Jobs != nil {
@@ -325,16 +353,33 @@ func (s *Server) acquireJobSlot(ctx context.Context) (func(), error) {
 }
 
 // ServeHTTP implements http.Handler. It is the outermost containment and
-// observability boundary: every request is assigned an X-Request-ID
-// (propagated via context and echoed as a response header), counted and
-// timed by status class, and logged as one JSON line; a panic escaping
-// any handler is recovered here, answered as a structured 500, and
-// counted, so one poisoned request can never take the process down.
+// observability boundary: every request carries an X-Request-ID — a
+// syntactically valid forwarded one (the cluster coordinator's) is
+// adopted so coordinator and worker log lines share one key, anything
+// else is replaced by a freshly minted ID — plus a W3C trace context
+// (adopted from a well-formed `traceparent` header or minted here), both
+// propagated via context and echoed as response headers. Every request
+// is counted and timed by status class, recorded as a span when its
+// trace is sampled, and logged as one JSON line; a panic escaping any
+// handler is recovered here, answered as a structured 500, and counted,
+// so one poisoned request can never take the process down.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.met.received.Inc()
-	id := s.ids.Next()
+	id := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(id) {
+		id = s.ids.Next()
+	}
 	w.Header().Set("X-Request-ID", id)
-	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+	ctx := obs.WithRequestID(r.Context(), id)
+
+	parent, adopted := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !adopted {
+		parent = obs.SpanContext{TraceID: obs.NewTraceID(), Sampled: s.sampleSpan()}
+	}
+	span, sc := obs.StartSpan(parent, "server.request", "server")
+	w.Header().Set("X-Trace-ID", sc.TraceID)
+	r = r.WithContext(obs.WithSpan(ctx, sc))
+
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	defer func() {
@@ -350,9 +395,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		class := codeClass(status)
 		d := time.Since(start)
 		s.met.reqTotal.With(class).Inc()
-		s.met.reqDur.With(class).Observe(d.Seconds())
+		exemplar := ""
+		if sc.Sampled {
+			exemplar = sc.TraceID
+		}
+		s.met.reqDur.With(class).ObserveWithExemplar(d.Seconds(), exemplar)
+		if sc.Sampled {
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			span.SetAttr("status", strconv.Itoa(status))
+			span.SetAttr("requestId", id)
+			st := "ok"
+			if status >= 500 {
+				st = "error"
+			}
+			span.Finish(st)
+			s.spans.Add(span)
+		}
 		s.logger.Log("request", map[string]any{
 			"requestId":  id,
+			"traceId":    sc.TraceID,
 			"method":     r.Method,
 			"path":       r.URL.Path,
 			"status":     status,
@@ -360,6 +422,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		})
 	}()
 	s.mux.ServeHTTP(sw, r)
+}
+
+// sampleSpan decides whether a trace minted here is recorded: every
+// spanSample-th minted trace (1 = all); non-positive disables.
+func (s *Server) sampleSpan() bool {
+	if s.spanSample <= 0 {
+		return false
+	}
+	return (s.spanSeq.Add(1)-1)%int64(s.spanSample) == 0
 }
 
 // admit gates h behind the concurrency semaphore: run immediately when a
@@ -813,13 +884,20 @@ type statsResponse struct {
 }
 
 // quantileView is the /stats rendering of one histogram: interpolated
-// percentiles over everything observed since the server started.
+// percentiles over everything observed since the server started, plus —
+// when the histogram carries one — the exemplar naming the trace of the
+// slowest observation, so "p99 moved" links straight to a trace at
+// GET /debug/spans/{traceId}.
 type quantileView struct {
 	Count uint64  `json:"count"`
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
 	P999  float64 `json:"p999"`
+	// SlowestExemplar is the trace ID and value of the largest
+	// observation recorded so far (exposition 0.0.4 has no exemplar
+	// syntax, so /stats is where exemplars surface).
+	SlowestExemplar *obs.Exemplar `json:"slowestExemplar,omitempty"`
 }
 
 // viewQuantiles summarizes h, nil while the histogram is empty so the
@@ -828,13 +906,17 @@ func viewQuantiles(h *obs.Histogram) *quantileView {
 	if h == nil || h.Count() == 0 {
 		return nil
 	}
-	return &quantileView{
+	v := &quantileView{
 		Count: h.Count(),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
 		P999:  h.Quantile(0.999),
 	}
+	if ex, ok := h.Exemplar(); ok {
+		v.SlowestExemplar = &ex
+	}
+	return v
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -884,10 +966,13 @@ type jobView struct {
 	Checks     int          `json:"checks"`
 	Error      string       `json:"error,omitempty"`
 	Result     *jobs.Result `json:"result,omitempty"`
+	// TraceID names the distributed trace the job belongs to (persisted
+	// in the job record, so it survives crash/handoff).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func viewOf(st jobs.Status) jobView {
-	return jobView{
+	v := jobView{
 		ID:         st.ID,
 		Kind:       st.Request.Kind,
 		Category:   st.Request.Category,
@@ -899,6 +984,10 @@ func viewOf(st jobs.Status) jobView {
 		Error:      st.Error,
 		Result:     st.Result,
 	}
+	if sc, ok := obs.ParseTraceparent(st.Request.TraceContext); ok {
+		v.TraceID = sc.TraceID
+	}
+	return v
 }
 
 // handleJobSubmit accepts a durable reasoning job: 202 with the job view
@@ -907,6 +996,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobs.Request
 	if !s.decodeBody(w, r, &req) {
 		return
+	}
+	// A submit with no trace context of its own (the coordinator sends
+	// one; a direct client usually does not) joins this request's trace,
+	// so the job's lifecycle spans — across crashes and handoffs — stay
+	// reachable from the submitting request's trace ID.
+	if req.TraceContext == "" {
+		if sc, ok := obs.SpanFrom(r.Context()); ok {
+			req.TraceContext = sc.Traceparent()
+		}
 	}
 	st, created, err := s.jobs.Submit(req)
 	if err != nil {

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"olapdim/internal/obs"
+	"olapdim/internal/paper"
+)
+
+func newSpanServer(t *testing.T) (*httptest.Server, *obs.SpanStore) {
+	t.Helper()
+	spans := obs.NewSpanStore(0, "test")
+	s, err := NewWithConfig(paper.LocationSch(), Config{Spans: spans, SpanSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, spans
+}
+
+func getWithHeader(t *testing.T, url, header, value string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestTraceparentAdopted(t *testing.T) {
+	ts, spans := newSpanServer(t)
+	parent := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+
+	resp := getWithHeader(t, ts.URL+"/sat?category=Store", "traceparent", parent.Traceparent())
+	if got := resp.Header.Get("X-Trace-ID"); got != parent.TraceID {
+		t.Fatalf("X-Trace-ID = %q, want the adopted trace %q", got, parent.TraceID)
+	}
+	recorded := spans.Trace(parent.TraceID)
+	var root *obs.Span
+	for i := range recorded {
+		if recorded[i].Name == "server.request" {
+			root = &recorded[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no server.request span recorded for the adopted trace (got %d spans)", len(recorded))
+	}
+	if root.ParentID != parent.SpanID {
+		t.Errorf("server.request parented to %q, want the caller's span %q", root.ParentID, parent.SpanID)
+	}
+}
+
+func TestTraceparentUnsampledFlagHonored(t *testing.T) {
+	ts, spans := newSpanServer(t)
+	// Sampled=false in the adopted context must win over SpanSample=1:
+	// the caller decided this trace is not recorded.
+	parent := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: false}
+
+	resp := getWithHeader(t, ts.URL+"/sat?category=Store", "traceparent", parent.Traceparent())
+	if got := resp.Header.Get("X-Trace-ID"); got != parent.TraceID {
+		t.Fatalf("X-Trace-ID = %q, want %q even for an unsampled trace", got, parent.TraceID)
+	}
+	if got := spans.Trace(parent.TraceID); len(got) != 0 {
+		t.Fatalf("unsampled trace recorded %d spans, want none", len(got))
+	}
+}
+
+func TestMalformedTraceparentReplaced(t *testing.T) {
+	ts, spans := newSpanServer(t)
+	hex32 := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	valid := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+
+	cases := map[string]string{
+		"wrong shape":    "hello",
+		"missing part":   "00-" + valid.TraceID + "-01",
+		"uppercase hex":  "00-" + strings.ToUpper(valid.TraceID) + "-" + valid.SpanID + "-01",
+		"all-zero trace": "00-00000000000000000000000000000000-" + valid.SpanID + "-01",
+		"all-zero span":  "00-" + valid.TraceID + "-0000000000000000-01",
+		"bad version":    "ff-" + valid.TraceID + "-" + valid.SpanID + "-01",
+		"oversized":      valid.Traceparent() + strings.Repeat("-extra", 20),
+		"non-hex flags":  "00-" + valid.TraceID + "-" + valid.SpanID + "-zz",
+	}
+	for name, tp := range cases {
+		resp := getWithHeader(t, ts.URL+"/sat?category=Store", "traceparent", tp)
+		got := resp.Header.Get("X-Trace-ID")
+		if !hex32.MatchString(got) {
+			t.Errorf("%s: X-Trace-ID %q is not a minted 32-hex trace ID", name, got)
+		}
+		if got == valid.TraceID {
+			t.Errorf("%s: adopted the trace ID out of a malformed traceparent %q", name, tp)
+		}
+		// The minted replacement is fully functional: sampled (SpanSample=1)
+		// and recorded under the fresh ID.
+		if len(spans.Trace(got)) == 0 {
+			t.Errorf("%s: replacement trace %q recorded no spans", name, got)
+		}
+	}
+}
+
+func TestForwardedRequestIDAdoptedAndInvalidReplaced(t *testing.T) {
+	ts, _ := newSpanServer(t)
+
+	// A syntactically valid forwarded ID (what the cluster coordinator
+	// sends) is adopted verbatim.
+	resp := getWithHeader(t, ts.URL+"/sat?category=Store", "X-Request-ID", "coord-000042")
+	if got := resp.Header.Get("X-Request-ID"); got != "coord-000042" {
+		t.Fatalf("X-Request-ID = %q, want the forwarded ID adopted", got)
+	}
+
+	// Control bytes can't even be sent through net/http; spaces, non-ASCII
+	// and oversized values can, and all must be replaced by a minted ID.
+	for name, bad := range map[string]string{
+		"spaces":    "two words",
+		"non-ascii": "идентификатор",
+		"oversized": strings.Repeat("x", 200),
+	} {
+		resp := getWithHeader(t, ts.URL+"/sat?category=Store", "X-Request-ID", bad)
+		got := resp.Header.Get("X-Request-ID")
+		if got == bad || got == "" {
+			t.Errorf("%s: X-Request-ID = %q, want a freshly minted replacement", name, got)
+		}
+		if !obs.ValidRequestID(got) {
+			t.Errorf("%s: minted replacement %q is itself invalid", name, got)
+		}
+	}
+}

@@ -82,6 +82,27 @@ echo "cluster_smoke: 2/2 workers healthy"
 # dimsatd would.
 curl -fsS "$BASE/categories" >/dev/null || fail "/categories via coordinator failed"
 
+# A routed read must yield one distributed trace assembled across the
+# coordinator and the worker that served it: coordinator.request →
+# cluster.forward → server.request (plus the worker's reasoning span).
+echo "cluster_smoke: distributed trace for a routed read"
+curl -fsS -D "$TMP/sat_headers" "$BASE/sat?category=All" >/dev/null \
+    || fail "/sat via coordinator failed"
+TRACE_ID="$(tr -d '\r' <"$TMP/sat_headers" | awk -F': ' 'tolower($1) == "x-trace-id" {print $2}')"
+[ -n "$TRACE_ID" ] || fail "no X-Trace-ID response header from the coordinator"
+# The coordinator records its own root span just after answering; retry
+# briefly so the assembly has all its spans.
+i=0
+until curl -fsS "$BASE/cluster/trace/$TRACE_ID" >"$TMP/trace.json" 2>/dev/null \
+    && grep -q '"wellParented":true' "$TMP/trace.json"; do
+    i=$((i + 1))
+    [ "$i" -gt 20 ] && fail "trace $TRACE_ID never assembled well-parented"
+    sleep 0.1
+done
+SPAN_COUNT="$(grep -o '"spanId"' "$TMP/trace.json" | wc -l | tr -d ' ')"
+[ "$SPAN_COUNT" -ge 3 ] || fail "assembled trace has $SPAN_COUNT spans, want >= 3"
+echo "cluster_smoke: trace $TRACE_ID assembled with $SPAN_COUNT spans"
+
 echo "cluster_smoke: load run with a mid-run worker kill"
 "$TMP/dimsatload" -seed "$SEED" -target "$BASE" \
     -mix "sat=8,implies=5,summarizable=4,sources=2,jobs=1" \
@@ -135,5 +156,18 @@ for family in \
     olapdim_cluster_uptime_seconds; do
     grep -q "^$family" "$TMP/metrics" || fail "/metrics is missing $family"
 done
+
+# The federated exposition must aggregate the coordinator's registry and
+# the surviving worker's scrape, every sample labeled with its origin.
+echo "cluster_smoke: GET /cluster/metrics"
+curl -fsS "$BASE/cluster/metrics" >"$TMP/fed_metrics" || fail "/cluster/metrics request failed"
+grep -q 'worker="coordinator"' "$TMP/fed_metrics" \
+    || fail "federated metrics have no coordinator-origin samples"
+grep -q "worker=\"http://127.0.0.1:$W2_PORT\"" "$TMP/fed_metrics" \
+    || fail "federated metrics have no samples from the surviving worker"
+grep -q '^olapdim_cluster_federation_scrapes_total{' "$TMP/fed_metrics" \
+    || fail "federated metrics missing olapdim_cluster_federation_scrapes_total"
+grep -q '^dimsat_http_requests_total{' "$TMP/fed_metrics" \
+    || fail "federated metrics missing the workers' serving families"
 
 echo "cluster_smoke: PASS"

@@ -54,7 +54,9 @@ curl -fsS -D "$TMP/headers" "$BASE/sat?category=Store" >"$TMP/sat.json" \
 grep -q '"satisfiable":true' "$TMP/sat.json" || fail "/sat did not answer satisfiable"
 REQ_ID="$(tr -d '\r' <"$TMP/headers" | awk -F': ' 'tolower($1) == "x-request-id" {print $2}')"
 [ -n "$REQ_ID" ] || fail "no X-Request-ID response header"
-echo "e2e_smoke: request id $REQ_ID"
+TRACE_ID="$(tr -d '\r' <"$TMP/headers" | awk -F': ' 'tolower($1) == "x-trace-id" {print $2}')"
+[ -n "$TRACE_ID" ] || fail "no X-Trace-ID response header"
+echo "e2e_smoke: request id $REQ_ID, trace id $TRACE_ID"
 
 echo "e2e_smoke: GET /metrics"
 curl -fsS "$BASE/metrics" >"$TMP/metrics" || fail "/metrics request failed"
@@ -74,6 +76,12 @@ curl -fsS "$BASE/debug/traces/$REQ_ID" >"$TMP/trace.json" \
     || fail "trace for $REQ_ID not retrievable"
 grep -q '"kind":"expand"' "$TMP/trace.json" || fail "trace has no expand events"
 grep -q '"kind":"check"' "$TMP/trace.json" || fail "trace has no check events"
+
+echo "e2e_smoke: GET /debug/spans/$TRACE_ID"
+curl -fsS "$BASE/debug/spans/$TRACE_ID" >"$TMP/spans.json" \
+    || fail "distributed-trace spans for $TRACE_ID not retrievable"
+grep -q '"name":"server.request"' "$TMP/spans.json" \
+    || fail "trace $TRACE_ID has no server.request span"
 
 echo "e2e_smoke: slow-search log"
 grep -q '"event":"slow_search"' "$TMP/requests.jsonl" \
