@@ -7,6 +7,7 @@
 //
 //	dimsat check   <schema.dims>                 validate schema + constraints
 //	dimsat sat     <schema.dims> <category>      category satisfiability
+//	dimsat explain <schema.dims> <category>      verdict provenance + minimal unsat core
 //	dimsat unsat   <schema.dims>                 list unsatisfiable categories
 //	dimsat implies <schema.dims> <constraint>    constraint implication
 //	dimsat frozen  <schema.dims> <root>          enumerate frozen dimensions
@@ -56,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noInto := fs.Bool("no-into", false, "disable into-constraint pruning")
 	noStructure := fs.Bool("no-structure", false, "disable cycle/shortcut pruning")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: dimsat [flags] <check|sat|unsat|implies|frozen|summarize|trace> <schema.dims> [args]")
+		fmt.Fprintln(stderr, "usage: dimsat [flags] <check|sat|explain|unsat|implies|frozen|summarize|trace> <schema.dims> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +108,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return cmdSat(ds, rest[0], opts, stdout, stderr)
+	case "explain":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: dimsat explain <schema.dims> <category>")
+			return 2
+		}
+		return cmdExplain(ds, rest[0], opts, stdout, stderr)
 	case "unsat":
 		return cmdUnsat(ds, stdout, stderr)
 	case "implies":
@@ -205,6 +212,43 @@ func cmdSat(ds *core.DimensionSchema, cat string, opts core.Options, stdout, std
 	if res.Satisfiable {
 		return 0
 	}
+	return 3
+}
+
+// cmdExplain prints the verdict provenance for one category: the touched
+// set of the deciding search and, when the category is unsatisfiable, the
+// minimal unsat core (constraints that jointly force UNSAT, each one
+// necessary) plus the frontier categories where every branch died.
+func cmdExplain(ds *core.DimensionSchema, cat string, opts core.Options, stdout, stderr io.Writer) int {
+	ex, err := core.Explain(ds, cat, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dimsat:", err)
+		return 1
+	}
+	if ex.Satisfiable {
+		fmt.Fprintf(stdout, "%s is satisfiable\nwitness: %s\n", cat, ex.Witness)
+	} else {
+		fmt.Fprintf(stdout, "%s is unsatisfiable\n", cat)
+	}
+	if p := ex.Provenance; p != nil {
+		fmt.Fprintf(stdout, "touched: %d categories, %d edges, %d constraints\n",
+			len(p.Categories), len(p.Edges), len(p.Sigma))
+	}
+	if ex.Satisfiable {
+		return 0
+	}
+	if len(ex.Core) == 0 {
+		fmt.Fprintln(stdout, "core: empty (structural) — no acyclic shortcut-free subhierarchy reaches All, regardless of constraints")
+	} else {
+		fmt.Fprintf(stdout, "minimal unsat core (%d of %d constraints):\n", len(ex.Core), len(ds.Sigma))
+		for i, idx := range ex.Core {
+			fmt.Fprintf(stdout, "  sigma[%d]: %s\n", idx, ex.CoreExprs[i])
+		}
+	}
+	if len(ex.Frontier) > 0 {
+		fmt.Fprintf(stdout, "frontier: %s\n", strings.Join(ex.Frontier, ", "))
+	}
+	fmt.Fprintf(stdout, "shrink probes: %d (%d expansions)\n", ex.Probes, ex.ProbeStats.Expansions)
 	return 3
 }
 

@@ -43,7 +43,7 @@ func main() {
 func run() int {
 	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the dimsatd under test")
 	seed := flag.Int64("seed", 1, "seed for schema generation and request sampling (equal seeds = identical runs)")
-	mixFlag := flag.String("mix", loadgen.FormatMix(loadgen.DefaultMix()), "workload mix as op=weight pairs (ops: sat, categories, implies, summarizable, sources, matrix, jobs)")
+	mixFlag := flag.String("mix", loadgen.FormatMix(loadgen.DefaultMix()), "workload mix as op=weight pairs (ops: sat, categories, implies, summarizable, sources, matrix, jobs, explain)")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
 	concurrency := flag.Int("concurrency", 0, "closed-loop workers, or open-loop in-flight cap (0 = defaults: 8 closed, 256 open)")
 	duration := flag.Duration("duration", 10*time.Second, "issuing duration including warmup")

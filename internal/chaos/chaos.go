@@ -174,6 +174,7 @@ func Run(seed int64, opts Options) (*Report, error) {
 		loadgen.OpImplies:      3,
 		loadgen.OpSummarizable: 3,
 		loadgen.OpSources:      2,
+		loadgen.OpExplain:      2,
 		loadgen.OpJobs:         6,
 	}})
 	if err != nil {

@@ -64,7 +64,10 @@ func TestRegressionSeeds(t *testing.T) {
 			"(now a typed 503 via jobs.ErrStorage)"},
 		{38, "single", "the node restarts while snapshot reads still flip bits, so " +
 			"recovery scans corrupt checkpoints; jobs used to fail outright instead " +
-			"of quarantining the snapshot and restarting the search from scratch"},
+			"of quarantining the snapshot and restarting the search from scratch — " +
+			"and, found again once the workload put a job-record read in the same " +
+			"window, the scan used to quarantine a record off one faulted read, " +
+			"forgetting an acknowledged job (now it re-reads before condemning)"},
 		{4, "cluster", "one worker crashes, then the survivor is partitioned from the " +
 			"coordinator; exercises breaker open/close, failover and the post-heal " +
 			"rejoin that the /readyz disk probe makes possible on idle stores"},

@@ -207,6 +207,12 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /sat", c.read(func(r *http.Request) string {
 		return "sat/" + r.URL.Query().Get("category")
 	}))
+	// /explain shares /sat's ring key: both decide the same (schema,
+	// category) verdict, so routing them to the same shard reuses its
+	// SatCache entries and derived-subset compilations.
+	c.mux.HandleFunc("GET /explain", c.read(func(r *http.Request) string {
+		return "sat/" + r.URL.Query().Get("category")
+	}))
 	c.mux.HandleFunc("POST /implies", c.read(func(r *http.Request) string {
 		return "implies/" + bodyField(r, "constraint")
 	}))

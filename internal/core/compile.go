@@ -307,21 +307,58 @@ func (cs *Compiled) Stats() CompiledStats {
 // per extra-constraint string with FIFO eviction.
 func (cs *Compiled) Derive(extra constraint.Expr) (*Compiled, error) {
 	key := extra.String()
-	cs.deriveMu.Lock()
-	if d, ok := cs.derived[key]; ok {
-		cs.met.hits.Add(1)
-		cs.deriveMu.Unlock()
+	if d, ok := cs.deriveLookup(key); ok {
 		return d, nil
 	}
-	cs.deriveMu.Unlock()
-
 	if err := constraint.Validate(extra, cs.src.G); err != nil {
 		return nil, fmt.Errorf("core: derive: %w", err)
 	}
-	start := time.Now()
 	sigma := make([]constraint.Expr, 0, len(cs.src.Sigma)+1)
 	sigma = append(sigma, cs.src.Sigma...)
 	sigma = append(sigma, extra)
+	return cs.deriveSigma(key, sigma)
+}
+
+// deriveSubset compiles the schema whose Σ is the subset of the source Σ
+// selected by keep (ascending original indices), sharing the interned
+// graph and the Derive cache. ExplainContext's shrink probes use it so a
+// subset probed repeatedly — within one call or across requests —
+// compiles once. The cache key is prefixed with a NUL byte, which no
+// constraint's rendered form starts with, so subset entries cannot
+// collide with Derive's per-constraint entries.
+func (cs *Compiled) deriveSubset(keep []int) (*Compiled, error) {
+	mask := make([]byte, (len(cs.src.Sigma)+7)/8)
+	for _, i := range keep {
+		mask[i/8] |= 1 << uint(i%8)
+	}
+	key := "\x00subset:" + hex.EncodeToString(mask)
+	if d, ok := cs.deriveLookup(key); ok {
+		return d, nil
+	}
+	sigma := make([]constraint.Expr, 0, len(keep))
+	for _, i := range keep {
+		sigma = append(sigma, cs.src.Sigma[i])
+	}
+	return cs.deriveSigma(key, sigma)
+}
+
+// deriveLookup answers a derive-cache probe, counting a hit.
+func (cs *Compiled) deriveLookup(key string) (*Compiled, bool) {
+	cs.deriveMu.Lock()
+	defer cs.deriveMu.Unlock()
+	if d, ok := cs.derived[key]; ok {
+		cs.met.hits.Add(1)
+		return d, true
+	}
+	return nil, false
+}
+
+// deriveSigma compiles a schema sharing cs's graph with Σ = sigma and
+// caches it under key with FIFO eviction; the Σ-independent parts
+// (interning, adjacency, closure) are reused, everything downstream of Σ
+// is rebuilt.
+func (cs *Compiled) deriveSigma(key string, sigma []constraint.Expr) (*Compiled, error) {
+	start := time.Now()
 	ds := &DimensionSchema{G: cs.src.G, Sigma: sigma}
 
 	n := len(cs.names)

@@ -469,6 +469,150 @@ func TestCompiledEnumerateFrozenIgnoresCompiled(t *testing.T) {
 	}
 }
 
+// TestCompiledProvenanceParity extends the differential oracle to the
+// touched-set accounting: provenance-enabled runs must return identical
+// Provenance — categories, edges, Σ indices, frontier — on both engines,
+// while leaving verdicts, stats and witnesses bit-identical to a
+// provenance-free run.
+func TestCompiledProvenanceParity(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		cs := mustCompile(t, ds)
+		for vname, opts := range optionVariants() {
+			for _, c := range ds.G.SortedCategories() {
+				label := fmt.Sprintf("%s/%s/%s", name, vname, c)
+				iopts := opts
+				iopts.Provenance = true
+				intRes, intErr := core.Satisfiable(ds, c, iopts)
+				copts := iopts
+				copts.Compiled = cs
+				compRes, compErr := core.Satisfiable(ds, c, copts)
+				requireSameResult(t, label, intRes, compRes, intErr, compErr)
+				if intRes.Provenance == nil || compRes.Provenance == nil {
+					t.Fatalf("%s: provenance missing: interpreted=%v compiled=%v", label, intRes.Provenance, compRes.Provenance)
+				}
+				if !reflect.DeepEqual(intRes.Provenance, compRes.Provenance) {
+					t.Fatalf("%s: provenance mismatch:\n  interpreted: %+v\n  compiled:    %+v", label, intRes.Provenance, compRes.Provenance)
+				}
+				// The touched set must cover the root and stay inside the
+				// schema's vocabulary.
+				for _, cat := range intRes.Provenance.Categories {
+					if !ds.G.HasCategory(cat) {
+						t.Fatalf("%s: touched unknown category %q", label, cat)
+					}
+				}
+				for _, idx := range intRes.Provenance.Sigma {
+					if idx < 0 || idx >= len(ds.Sigma) {
+						t.Fatalf("%s: touched Σ index %d out of range", label, idx)
+					}
+				}
+				// Collecting provenance must not perturb the search.
+				plain, plainErr := core.Satisfiable(ds, c, opts)
+				requireSameResult(t, label+"/plain-vs-prov", plain, intRes, plainErr, intErr)
+				if plain.Provenance != nil {
+					t.Fatalf("%s: provenance present without Options.Provenance", label)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainCoreParity runs Explain on both engines over every category
+// of every differential schema and requires identical explanations:
+// verdict, provenance, core, frontier, probe counts and probe stats.
+func TestExplainCoreParity(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		cs := mustCompile(t, ds)
+		for vname, opts := range optionVariants() {
+			for _, c := range ds.G.SortedCategories() {
+				label := fmt.Sprintf("%s/%s/%s", name, vname, c)
+				intEx, intErr := core.Explain(ds, c, opts)
+				copts := opts
+				copts.Compiled = cs
+				compEx, compErr := core.Explain(ds, c, copts)
+				if (intErr == nil) != (compErr == nil) ||
+					(intErr != nil && intErr.Error() != compErr.Error()) {
+					t.Fatalf("%s: error mismatch: %v vs %v", label, intErr, compErr)
+				}
+				if intEx.Satisfiable != compEx.Satisfiable {
+					t.Fatalf("%s: verdict mismatch", label)
+				}
+				if !reflect.DeepEqual(intEx.Provenance, compEx.Provenance) {
+					t.Fatalf("%s: provenance mismatch:\n  interpreted: %+v\n  compiled:    %+v", label, intEx.Provenance, compEx.Provenance)
+				}
+				if !reflect.DeepEqual(intEx.Core, compEx.Core) {
+					t.Fatalf("%s: core mismatch: %v vs %v", label, intEx.Core, compEx.Core)
+				}
+				if !reflect.DeepEqual(intEx.Frontier, compEx.Frontier) {
+					t.Fatalf("%s: frontier mismatch: %v vs %v", label, intEx.Frontier, compEx.Frontier)
+				}
+				if intEx.Probes != compEx.Probes || intEx.ProbeStats != compEx.ProbeStats {
+					t.Fatalf("%s: probe effort mismatch: %d/%+v vs %d/%+v",
+						label, intEx.Probes, intEx.ProbeStats, compEx.Probes, compEx.ProbeStats)
+				}
+			}
+		}
+	}
+}
+
+// sigmaSubset builds the schema keeping only the Σ members at the given
+// indices, mirroring what the shrink loop probes.
+func sigmaSubset(ds *core.DimensionSchema, keep []int) *core.DimensionSchema {
+	sigma := make([]constraint.Expr, 0, len(keep))
+	for _, i := range keep {
+		sigma = append(sigma, ds.Sigma[i])
+	}
+	return core.NewDimensionSchema(ds.G, sigma...)
+}
+
+// requireCoreMinimal checks the minimality contract: the core subset is
+// UNSAT as-is and removing any single member flips the verdict to SAT.
+func requireCoreMinimal(t *testing.T, label string, ds *core.DimensionSchema, c string, coreIdx []int, opts core.Options) {
+	t.Helper()
+	res, err := core.Satisfiable(sigmaSubset(ds, coreIdx), c, opts)
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		t.Skipf("%s: verification budget exhausted", label)
+	}
+	if err != nil {
+		t.Fatalf("%s: core verification run: %v", label, err)
+	}
+	if res.Satisfiable {
+		t.Fatalf("%s: core %v is not UNSAT-forcing", label, coreIdx)
+	}
+	for drop := range coreIdx {
+		rest := append(append([]int(nil), coreIdx[:drop]...), coreIdx[drop+1:]...)
+		res, err := core.Satisfiable(sigmaSubset(ds, rest), c, opts)
+		if errors.Is(err, core.ErrBudgetExceeded) {
+			t.Skipf("%s: verification budget exhausted", label)
+		}
+		if err != nil {
+			t.Fatalf("%s: minimality probe without σ%d: %v", label, coreIdx[drop], err)
+		}
+		if !res.Satisfiable {
+			t.Fatalf("%s: core %v is not minimal: still UNSAT without σ%d", label, coreIdx, coreIdx[drop])
+		}
+	}
+}
+
+// TestExplainCoreMinimal verifies the minimality contract on every UNSAT
+// category of the differential schemas.
+func TestExplainCoreMinimal(t *testing.T) {
+	for name, ds := range diffSchemas(t) {
+		for _, c := range ds.G.SortedCategories() {
+			ex, err := core.Explain(ds, c, core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c, err)
+			}
+			if ex.Satisfiable {
+				if ex.Core != nil {
+					t.Fatalf("%s/%s: SAT verdict carries a core", name, c)
+				}
+				continue
+			}
+			requireCoreMinimal(t, name+"/"+c, ds, c, ex.Core, core.Options{})
+		}
+	}
+}
+
 // FuzzCompiledVsInterpreted drives the differential oracle from fuzzed
 // generator parameters and budgets; wired into make fuzz-smoke.
 func FuzzCompiledVsInterpreted(f *testing.F) {
@@ -517,6 +661,48 @@ func FuzzCompiledVsInterpreted(f *testing.F) {
 			if !reflect.DeepEqual(intRes.Checkpoint, compRes.Checkpoint) {
 				t.Fatalf("%s: checkpoint mismatch: %+v vs %+v", c, intRes.Checkpoint, compRes.Checkpoint)
 			}
+		}
+	})
+}
+
+// FuzzExplainCoreMinimal fuzzes generator parameters and requires every
+// core Explain returns to be genuinely minimal: the subset is UNSAT as-is
+// and dropping any single member makes the category satisfiable. Budget
+// aborts (which return unminimized partial cores by contract) are
+// skipped; wired into make fuzz-smoke.
+func FuzzExplainCoreMinimal(f *testing.F) {
+	f.Add(int64(3), uint8(8), uint8(2), uint8(60), uint8(80), uint8(2), uint8(40), uint8(40))
+	f.Add(int64(11), uint8(10), uint8(3), uint8(40), uint8(50), uint8(3), uint8(60), uint8(60))
+	f.Add(int64(42), uint8(6), uint8(2), uint8(50), uint8(90), uint8(0), uint8(0), uint8(30))
+	f.Fuzz(func(t *testing.T, seed int64, cats, levels, edgeP, choiceP, consts, condP, intoP uint8) {
+		spec := gen.SchemaSpec{
+			Seed:          seed,
+			Categories:    2 + int(cats%10),
+			Levels:        2 + int(levels%3),
+			ExtraEdgeProb: float64(edgeP%100) / 100,
+			ChoiceProb:    float64(choiceP%100) / 100,
+			Constants:     int(consts % 4),
+			CondProb:      float64(condP%100) / 100,
+			IntoFrac:      float64(intoP%100) / 100,
+		}
+		ds, err := gen.Schema(spec)
+		if err != nil {
+			t.Skip()
+		}
+		// The total Explain budget bounds pathological schemas; an
+		// exhausted budget returns a partial (unminimized) core, which the
+		// contract exempts from minimality, so those are skipped.
+		opts := core.Options{MaxExpansions: 20000}
+		vopts := core.Options{MaxExpansions: 20000}
+		for _, c := range ds.G.SortedCategories() {
+			ex, err := core.Explain(ds, c, opts)
+			if err != nil {
+				continue
+			}
+			if ex.Satisfiable {
+				continue
+			}
+			requireCoreMinimal(t, c, ds, c, ex.Core, vopts)
 		}
 	})
 }

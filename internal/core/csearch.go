@@ -36,6 +36,10 @@ type csearch struct {
 	path       []uint64
 	cp         *Checkpoint
 	fp         string
+	// prov collects the touched set; nil unless Options.Provenance.
+	// Marked with interned ids resolved to names, so finalized sets are
+	// identical to the interpreted engine's.
+	prov *provCollector
 
 	// Mutable subhierarchy state: category set, flat out/in adjacency
 	// rows, and out-degrees (a category with outdeg 0 is a top).
@@ -103,6 +107,9 @@ func newCSearch(ctx context.Context, cs *Compiled, root string, opts Options) *c
 	if opts.Checkpoint != nil {
 		s.fp = cs.Fingerprint()
 	}
+	if opts.Provenance {
+		s.prov = newProvCollector(root)
+	}
 	if opts.Tracer != nil {
 		s.shadow = frozen.NewSubhierarchy(root)
 	}
@@ -136,10 +143,14 @@ func runSatisfiableCompiled(ctx context.Context, cs *Compiled, c string, opts Op
 	s := newCSearch(ctx, cs, c, opts)
 	s.walkFrom(nil, 0)
 	opts.Effort.add(s.stats)
-	if s.err != nil {
-		return Result{Stats: s.stats, Checkpoint: s.cp}, s.err
+	var prov *Provenance
+	if s.prov != nil {
+		prov = s.prov.finalize()
 	}
-	return Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}, nil
+	if s.err != nil {
+		return Result{Stats: s.stats, Checkpoint: s.cp, Provenance: prov}, s.err
+	}
+	return Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats, Provenance: prov}, nil
 }
 
 func (s *csearch) outRow(c int32) []uint64 { return s.outW[int(c)*s.words : (int(c)+1)*s.words] }
@@ -183,6 +194,9 @@ func (s *csearch) removeEdge(c, p int32, dropCategory bool) {
 // deadEnd mirrors search.deadEnd.
 func (s *csearch) deadEnd(ctop, heuristic string) {
 	s.stats.DeadEnds++
+	if s.prov != nil {
+		s.prov.markFrontier(ctop)
+	}
 	if s.structured != nil {
 		s.structured.PruneStep(len(s.path), ctop, heuristic)
 	}
@@ -370,6 +384,9 @@ func (s *csearch) walkFrom(replay []uint64, next uint64) bool {
 		for _, p := range f.R {
 			f.newCat = append(f.newCat, !bitTest(s.cats, p))
 			s.addEdge(ctop, p)
+			if s.prov != nil {
+				s.prov.markEdge(s.cs.names[ctop], s.cs.names[p])
+			}
 		}
 		s.path = append(s.path, mask)
 		if silent {
@@ -478,6 +495,16 @@ func (s *csearch) reachableInto(c int32, dst []uint64) {
 // check mirrors search.check via the compiled CHECK below.
 func (s *csearch) check() bool {
 	s.stats.Checks++
+	if s.prov != nil {
+		// Same touch rule as the interpreted engine: every relevant
+		// constraint that is not vacuously true (root outside g).
+		for _, idx := range s.sigmaIdx {
+			cc := &s.cs.sigma[idx]
+			if cc.root < 0 || bitTest(s.cats, cc.root) {
+				s.prov.markSigma(int(idx))
+			}
+		}
+	}
 	f, ok := s.induces()
 	if s.opts.Tracer != nil {
 		s.opts.Tracer.Check(s.shadow, ok)

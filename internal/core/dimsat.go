@@ -85,6 +85,20 @@ type Options struct {
 	// EnumerateFrozenContext ignores this field and always runs
 	// interpreted.
 	Compiled *Compiled
+
+	// Provenance, when set, makes the search accumulate its touched set —
+	// the categories, edges and Σ indices it actually consulted — into
+	// Result.Provenance. Provenance-enabled runs bypass the shared cache
+	// (like traced runs: a hit would skip the steps being observed), and
+	// both engines produce identical provenance. Costs one pointer test
+	// per marking site when unset.
+	Provenance bool
+	// ShrinkObserver, when non-nil, observes every unsat-core shrink
+	// probe executed by ExplainContext: which Σ index the probe tried to
+	// drop, whether it was proven redundant, and the probe's effort and
+	// timing. Ignored by every other entry point. The server installs one
+	// per /explain request to emit per-probe spans and metrics.
+	ShrinkObserver func(ShrinkProbe)
 }
 
 // ErrCompiledMismatch reports that Options.Compiled was built from a
@@ -152,6 +166,10 @@ type Result struct {
 	// injected fault error — not a panic); pass it to
 	// ResumeSatisfiableContext to continue the search.
 	Checkpoint *Checkpoint
+	// Provenance is the touched set of the run, collected only when
+	// Options.Provenance is set; nil otherwise. Aborted runs carry the
+	// partial touched set accumulated before the abort.
+	Provenance *Provenance
 }
 
 // Satisfiable decides category satisfiability with the DIMSAT algorithm
@@ -181,7 +199,11 @@ func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts
 	if c == schema.All {
 		// Proposition 1: the trivial instance witnesses satisfiability.
 		g := frozen.NewSubhierarchy(schema.All)
-		return Result{Satisfiable: true, Witness: &frozen.Frozen{G: g, Assign: frozen.Assignment{}}}, nil
+		res := Result{Satisfiable: true, Witness: &frozen.Frozen{G: g, Assign: frozen.Assignment{}}}
+		if opts.Provenance {
+			res.Provenance = trivialProvenance()
+		}
+		return res, nil
 	}
 	cs, err := compiledFor(ds, opts)
 	if err != nil {
@@ -189,7 +211,7 @@ func SatisfiableContext(ctx context.Context, ds *DimensionSchema, c string, opts
 	}
 	ctx, cancel := withOptionsDeadline(ctx, opts)
 	defer cancel()
-	if opts.Cache != nil && opts.Tracer == nil {
+	if opts.Cache != nil && opts.Tracer == nil && !opts.Provenance {
 		if err := opts.Faults.Hit(faults.SiteCacheLookup); err != nil {
 			return Result{}, fmt.Errorf("core: sat-cache: %w", err)
 		}
@@ -218,11 +240,14 @@ func runSatisfiable(ctx context.Context, ds *DimensionSchema, c string, opts Opt
 	s := newSearch(ctx, ds, c, opts)
 	s.walk(frozen.NewSubhierarchy(c), s.check)
 	opts.Effort.add(s.stats)
-	res := Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats}
-	if s.err != nil {
-		return Result{Stats: s.stats, Checkpoint: s.cp}, s.err
+	var prov *Provenance
+	if s.prov != nil {
+		prov = s.prov.finalize()
 	}
-	return res, nil
+	if s.err != nil {
+		return Result{Stats: s.stats, Checkpoint: s.cp, Provenance: prov}, s.err
+	}
+	return Result{Satisfiable: s.witness != nil, Witness: s.witness, Stats: s.stats, Provenance: prov}, nil
 }
 
 // withOptionsDeadline derives a context carrying opts.Deadline when set.
@@ -313,6 +338,13 @@ type search struct {
 	// fp memoizes the schema fingerprint for snapshots (checkpointing runs
 	// only; hashing the schema per checkpoint would dominate small Everys).
 	fp string
+	// prov collects the touched set; nil unless Options.Provenance.
+	// sigmaIdx and sigmaRoots align with s.sigma: the original Σ index
+	// and root category of each relevant constraint, resolved once so
+	// CHECK-time marking mirrors the compiled engine's vacuity test.
+	prov       *provCollector
+	sigmaIdx   []int
+	sigmaRoots []string
 }
 
 func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Options) *search {
@@ -330,6 +362,11 @@ func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Optio
 	if opts.Checkpoint != nil {
 		s.fp = schemaFingerprint(ds)
 	}
+	if opts.Provenance {
+		s.prov = newProvCollector(root)
+		s.sigmaIdx = sigmaIndicesFor(ds.Sigma, ds.G, root)
+		s.sigmaRoots = sigmaRootsOf(ds.Sigma, s.sigmaIdx)
+	}
 	s.structured, _ = opts.Tracer.(StructuredTracer)
 	return s
 }
@@ -338,6 +375,9 @@ func newSearch(ctx context.Context, ds *DimensionSchema, root string, opts Optio
 // tracer with the heuristic that pruned it.
 func (s *search) deadEnd(ctop, heuristic string) {
 	s.stats.DeadEnds++
+	if s.prov != nil {
+		s.prov.markFrontier(ctop)
+	}
 	if s.structured != nil {
 		s.structured.PruneStep(len(s.path), ctop, heuristic)
 	}
@@ -588,6 +628,9 @@ func (s *search) walkFrom(g *frozen.Subhierarchy, onComplete func(*frozen.Subhie
 		newCat = newCat[:0]
 		for _, p := range R {
 			newCat = append(newCat, g.AddEdgeUndoable(ctop, p))
+			if s.prov != nil {
+				s.prov.markEdge(ctop, p)
+			}
 		}
 		s.path = append(s.path, mask)
 		if silent {
@@ -638,6 +681,16 @@ func conflictingPair(R []string, reachableOf map[string]map[string]bool) bool {
 // abort the search once a witness is found.
 func (s *search) check(g *frozen.Subhierarchy) bool {
 	s.stats.Checks++
+	if s.prov != nil {
+		// A relevant constraint is consulted by this CHECK unless it is
+		// vacuously true because its root is outside g (Definition 4) —
+		// the same test the compiled engine's CHECK skips on.
+		for i, root := range s.sigmaRoots {
+			if root == "" || g.HasCategory(root) {
+				s.prov.markSigma(s.sigmaIdx[i])
+			}
+		}
+	}
 	f, ok := frozen.Induces(g, s.sigma, s.consts)
 	if s.opts.Tracer != nil {
 		s.opts.Tracer.Check(g, ok)

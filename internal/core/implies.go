@@ -42,9 +42,10 @@ func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha constraint.E
 		// A cached verdict needs no search, so deriving the compiled neg
 		// schema up front would waste a compile on every hit; peek the
 		// cache and derive only when a search will actually run. Traced
-		// runs bypass the cache and fault-armed runs must reach the
-		// injected cache-lookup site, so both take the straight path.
-		if opts.Cache != nil && opts.Tracer == nil && opts.Faults == nil {
+		// and provenance-enabled runs bypass the cache and fault-armed
+		// runs must reach the injected cache-lookup site, so all three
+		// take the straight path.
+		if opts.Cache != nil && opts.Tracer == nil && opts.Faults == nil && !opts.Provenance {
 			if res, ok := opts.Cache.peek(cs.negFingerprint(constraint.Not{X: alpha}), root); ok {
 				return !res.Satisfiable, res, nil
 			}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"olapdim/internal/constraint"
+	"olapdim/internal/schema"
+)
+
+// Provenance describes what one DIMSAT run actually consulted: the
+// touched set of a search. It is collected only when Options.Provenance
+// is set — the engines carry a nil collector otherwise, so the default
+// path pays one pointer test per marking site — and both engines produce
+// identical provenance for identical queries (enforced by the
+// differential oracle alongside verdicts, stats and traces).
+//
+// The touched set is the future delta API's invalidation key: a stored
+// verdict only depends on the categories, edges and constraints listed
+// here, so a schema edit disjoint from them cannot change it.
+type Provenance struct {
+	// Categories the search placed in any candidate subhierarchy: the
+	// root plus every endpoint of an applied edge. Sorted.
+	Categories []string `json:"categories"`
+	// Edges applied by EXPAND steps, as [child, parent] pairs in the
+	// child-rolls-up-to-parent direction. Sorted lexicographically.
+	Edges [][2]string `json:"edges,omitempty"`
+	// Sigma holds the indices (into the queried schema's Σ) of the
+	// constraints CHECK consulted: a relevant constraint is touched by a
+	// CHECK when it is rootless or its root category is in the candidate
+	// subhierarchy (anything else is vacuously true by Definition 4 and
+	// is skipped without reading the constraint). Sorted ascending.
+	Sigma []int `json:"sigma,omitempty"`
+	// Frontier lists the categories at which pruning abandoned branches
+	// (the ctop of every dead end). For an UNSAT verdict these are the
+	// places the search died; schema.All appears when a cycle swallowed
+	// the frontier. Sorted.
+	Frontier []string `json:"frontier,omitempty"`
+}
+
+// provCollector accumulates the touched set during one run. Both engines
+// share it: the compiled engine marks with interned names resolved back
+// to strings, so the finalized sets are comparable across engines.
+type provCollector struct {
+	cats     map[string]bool
+	edges    map[[2]string]bool
+	sigma    map[int]bool
+	frontier map[string]bool
+}
+
+func newProvCollector(root string) *provCollector {
+	return &provCollector{
+		cats:     map[string]bool{root: true},
+		edges:    map[[2]string]bool{},
+		sigma:    map[int]bool{},
+		frontier: map[string]bool{},
+	}
+}
+
+func (p *provCollector) markEdge(c, parent string) {
+	p.cats[c] = true
+	p.cats[parent] = true
+	p.edges[[2]string{c, parent}] = true
+}
+
+func (p *provCollector) markSigma(idx int)       { p.sigma[idx] = true }
+func (p *provCollector) markFrontier(cat string) { p.frontier[cat] = true }
+
+// finalize renders the collected sets in deterministic order.
+func (p *provCollector) finalize() *Provenance {
+	out := &Provenance{
+		Categories: sortedKeys(p.cats),
+		Frontier:   sortedKeys(p.frontier),
+	}
+	for e := range p.edges {
+		out.Edges = append(out.Edges, e)
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		if out.Edges[i][0] != out.Edges[j][0] {
+			return out.Edges[i][0] < out.Edges[j][0]
+		}
+		return out.Edges[i][1] < out.Edges[j][1]
+	})
+	for i := range p.sigma {
+		out.Sigma = append(out.Sigma, i)
+	}
+	sort.Ints(out.Sigma)
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// trivialProvenance is the touched set of the Proposition 1 fast path:
+// c == All is decided without a search, consulting nothing but the root.
+func trivialProvenance() *Provenance {
+	return &Provenance{Categories: []string{schema.All}}
+}
+
+// sigmaIndicesFor returns the indices into sigma that SigmaFor(sigma, g,
+// c) selects, in the same order — the original-Σ positions of the
+// constraints a search rooted at c can see. The interpreted engine uses
+// it to mark provenance with schema-level indices (its filtered sigma
+// slice loses them); the compiled engine reads the same selection from
+// its precomputed sigmaFor rows.
+func sigmaIndicesFor(sigma []constraint.Expr, g *schema.Schema, c string) []int {
+	var out []int
+	for i, e := range sigma {
+		root, err := constraint.Root(e)
+		if err != nil {
+			continue
+		}
+		if root == "" || g.Reaches(c, root) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sigmaRootsOf resolves the root category of each selected Σ constraint
+// ("" for rootless), aligned with the indices. CHECK-time touch marking
+// needs the root to mirror the compiled engine's vacuity test.
+func sigmaRootsOf(sigma []constraint.Expr, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		root, err := constraint.Root(sigma[j])
+		if err != nil {
+			continue
+		}
+		out[i] = root
+	}
+	return out
+}

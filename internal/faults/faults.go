@@ -63,6 +63,10 @@ const (
 	// modeling a network partition between coordinator and worker. The
 	// chaos harness arms it per-host via PartitionTransport.
 	SiteClusterPartition = "cluster.partition"
+	// SiteCoreShrink fires before each unsat-core shrink probe
+	// ExplainContext runs, simulating explain-path failures without
+	// disturbing the initial satisfiability run.
+	SiteCoreShrink = "core.shrink"
 )
 
 // knownSites is the registry Check validates rule plans against: a plan
@@ -79,6 +83,7 @@ var knownSites = map[string]bool{
 	SiteJobsFsync:        true,
 	SiteSnapshotRead:     true,
 	SiteClusterPartition: true,
+	SiteCoreShrink:       true,
 }
 
 // KnownSites returns the registered injection sites, sorted.

@@ -296,6 +296,16 @@ func (s *Store) load() error {
 		path := filepath.Join(s.dir, name)
 		payload, err := s.readSnapshot(path)
 		if err != nil {
+			// One failed read does not condemn the record: quarantining
+			// here forgets an acknowledged job (its status answers 404
+			// forever), so that verdict must not rest on a transient read
+			// fault — an EIO, a bit flipped on the way in. Re-read once;
+			// only damage both reads agree on is quarantined. Real on-disk
+			// corruption fails the checksum identically both times.
+			s.logf("jobs: re-reading %s after failed read: %v", name, err)
+			payload, err = s.readSnapshot(path)
+		}
+		if err != nil {
 			s.quarantine(path, err)
 			continue
 		}

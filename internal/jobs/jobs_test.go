@@ -460,6 +460,59 @@ func TestInjectedReadCorruptionAtResume(t *testing.T) {
 	}
 }
 
+// TestTransientRecordReadFaultSurvivesRecovery arms a Corrupt rule so
+// the recovery scan's first read of a job record comes back damaged
+// while the bytes on disk are fine. The scan must re-read before
+// quarantining — forgetting the record here makes an acknowledged job
+// answer 404 forever, which is the durability violation chaos seed 38
+// found once its workload put a record read (not just a checkpoint
+// read) inside the bitflip window.
+func TestTransientRecordReadFaultSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	schema := parse(t, diamondSrc)
+	s1, err := Open(Config{Dir: dir, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := s1.Submit(Request{Kind: KindSat, Category: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	inj := faults.New(faults.Rule{Site: faults.SiteSnapshotRead, Kind: faults.Corrupt, On: []int{1}})
+	s2 := open(t, Config{Dir: dir, Schema: schema, Options: core.Options{Faults: inj}})
+	if c := s2.Counters(); c.CorruptRejected != 0 || c.Recovered != 1 {
+		t.Fatalf("transient read fault condemned the record: %+v", c)
+	}
+	s2.Start()
+	if got := await(t, s2, st.ID); got.State != StateDone {
+		t.Fatalf("recovered job = %+v, want done", got)
+	}
+
+	// Real on-disk damage fails both reads identically: still quarantined.
+	s2.Close()
+	rec := filepath.Join(dir, st.ID+".job")
+	data, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40
+	if err := os.WriteFile(rec, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := open(t, Config{Dir: dir, Schema: schema})
+	if c := s3.Counters(); c.CorruptRejected != 1 {
+		t.Fatalf("persistent corruption not quarantined: %+v", c)
+	}
+	if _, err := s3.Status(st.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Status after quarantine = %v, want ErrUnknownJob", err)
+	}
+	if _, err := os.Stat(rec + ".corrupt"); err != nil {
+		t.Errorf("record not renamed aside: %v", err)
+	}
+}
+
 // TestFsyncFailureRefusesSubmit arms an Error rule at jobs.fsync and
 // asserts Submit rolls back with the typed ErrStorage — an acknowledged
 // job must imply a durable record — and that WriteHealth reports the

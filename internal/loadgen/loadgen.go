@@ -55,11 +55,15 @@ const (
 	// OpJobs submits a durable job (POST /jobs) and polls it to a
 	// terminal state; the recorded latency spans submit to completion.
 	OpJobs = "jobs"
+	// OpExplain issues GET /explain for a random category: the verdict
+	// plus touched-set provenance and, on UNSAT, the shrink-probe loop
+	// that extracts the minimal unsat core.
+	OpExplain = "explain"
 )
 
 // Ops lists every operation in canonical order.
 func Ops() []string {
-	return []string{OpSat, OpCategories, OpImplies, OpSummarizable, OpSources, OpMatrix, OpJobs}
+	return []string{OpSat, OpCategories, OpImplies, OpSummarizable, OpSources, OpMatrix, OpJobs, OpExplain}
 }
 
 // Spec parameterizes one load-generation run. The zero value is not
@@ -124,13 +128,15 @@ func Defaults() Spec {
 
 // DefaultMix is the standard workload blend: satisfiability-heavy with
 // implication and summarizability alongside, a trickle of
-// minimal-sources enumerations and durable jobs, no full matrices.
+// minimal-sources enumerations, explain requests and durable jobs, no
+// full matrices.
 func DefaultMix() map[string]int {
 	return map[string]int{
 		OpSat:          8,
 		OpImplies:      5,
 		OpSummarizable: 4,
 		OpSources:      2,
+		OpExplain:      1,
 		OpJobs:         1,
 	}
 }

@@ -161,6 +161,8 @@ func (p *Planner) Next() Request {
 	case OpJobs:
 		req.Method, req.Path = "POST", "/jobs"
 		req.Body = mustJSON(map[string]string{"category": p.pick(p.cats), "kind": "sat"})
+	case OpExplain:
+		req.Path = "/explain?category=" + url.QueryEscape(p.pick(p.cats))
 	default:
 		panic(fmt.Sprintf("loadgen: unknown op %q", op))
 	}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"olapdim/internal/core"
+	"olapdim/internal/faults"
+	"olapdim/internal/paper"
+)
+
+// shopServer boots a server over a schema with a known two-constraint
+// minimal unsat core at Store: constraint 0 severs SaleRegion's only
+// path to All and constraint 1 forces Store to include it (the same
+// fixture internal/core's explain tests pin).
+func shopServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ds, err := core.Parse(`
+schema shop
+edge Store -> SaleRegion -> Country -> All
+edge Store -> Brand -> All
+constraint !SaleRegion_Country
+constraint Store_SaleRegion
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithConfig(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestExplainEndpointSat(t *testing.T) {
+	ts := testServer(t)
+	var resp explainResponse
+	if code := get(t, ts, "/explain?category=Store", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Satisfiable || resp.Witness == "" {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Provenance == nil || len(resp.Provenance.Categories) == 0 || len(resp.Provenance.Edges) == 0 {
+		t.Fatalf("SAT explanation missing touched set: %+v", resp.Provenance)
+	}
+	if resp.Core != nil || resp.Probes != 0 {
+		t.Errorf("SAT verdict carried core %v after %d probes", resp.Core, resp.Probes)
+	}
+	if resp.Expansions == 0 {
+		t.Error("explanation reports no search effort")
+	}
+	if code := get(t, ts, "/explain", nil); code != 400 {
+		t.Errorf("missing category status %d", code)
+	}
+	if code := get(t, ts, "/explain?category=Ghost", nil); code != 400 {
+		t.Errorf("unknown category status %d", code)
+	}
+}
+
+func TestExplainEndpointUnsatCore(t *testing.T) {
+	ts := shopServer(t, Config{})
+	var resp explainResponse
+	if code := get(t, ts, "/explain?category=Store", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Satisfiable || resp.Witness != "" {
+		t.Fatalf("response = %+v", resp)
+	}
+	if len(resp.Core) != 2 || resp.Core[0] != 0 || resp.Core[1] != 1 {
+		t.Fatalf("core = %v, want [0 1]", resp.Core)
+	}
+	if len(resp.CoreConstraints) != 2 {
+		t.Fatalf("coreConstraints = %v", resp.CoreConstraints)
+	}
+	if resp.Probes == 0 || resp.ProbeExpansions == 0 {
+		t.Errorf("shrinking effort not reported: %+v", resp)
+	}
+	if resp.Provenance == nil {
+		t.Fatal("UNSAT explanation missing touched set")
+	}
+}
+
+// TestExplainBudget503 pins the typed-error contract: budget exhaustion
+// mid-shrink answers 503 with the exhaustion counter bumped, never a
+// silently-unminimized 200.
+func TestExplainBudget503(t *testing.T) {
+	ts := shopServer(t, Config{Options: core.Options{MaxExpansions: 1}})
+	if code := get(t, ts, "/explain?category=Store", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "olapdim_explain_budget_exhausted_total 1") {
+		t.Error("budget exhaustion not counted in olapdim_explain_budget_exhausted_total")
+	}
+}
+
+// TestExplainShrinkFaultContained covers the core.shrink fault site at
+// the server boundary: an injected error mid-shrink is the server's
+// failure — structured 500, fault named in the body — and the very next
+// request succeeds with the full minimal core.
+func TestExplainShrinkFaultContained(t *testing.T) {
+	ts := shopServer(t, Config{Options: core.Options{
+		Faults: faults.New(faults.Rule{Site: faults.SiteCoreShrink, Kind: faults.Error, On: []int{2}}),
+	}})
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := get(t, ts, "/explain?category=Store", &e); code != http.StatusInternalServerError {
+		t.Fatalf("faulted explain status = %d, want 500", code)
+	}
+	if !strings.Contains(e.Error, "core: shrink") {
+		t.Errorf("error body = %q, want the shrink fault named", e.Error)
+	}
+	var resp explainResponse
+	if code := get(t, ts, "/explain?category=Store", &resp); code != 200 {
+		t.Fatalf("explain after contained fault = %d, want 200", code)
+	}
+	if resp.Satisfiable || len(resp.Core) != 2 {
+		t.Errorf("recovered explain = %+v", resp)
+	}
+}
+
+func TestImpliesProvenance(t *testing.T) {
+	ts := testServer(t)
+
+	// An implication that holds: provenance plus a core over Σ ∪ {¬α}.
+	var resp impliesResponse
+	if code := post(t, ts, "/implies", `{"constraint": "Store.Country", "provenance": true}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Implied {
+		t.Fatal("Store.Country should be implied")
+	}
+	if resp.Provenance == nil || len(resp.Provenance.Categories) == 0 {
+		t.Fatalf("implied verdict missing touched set: %+v", resp.Provenance)
+	}
+	if len(resp.Core) == 0 || len(resp.CoreConstraints) != len(resp.Core) {
+		t.Fatalf("implied verdict missing core: %v / %v", resp.Core, resp.CoreConstraints)
+	}
+	nSigma := len(paper.LocationSch().Sigma)
+	negated := false
+	for _, i := range resp.Core {
+		if i == nSigma {
+			negated = true
+		}
+	}
+	if !negated {
+		t.Errorf("core %v does not include ¬α (index %d): implication would be vacuous", resp.Core, nSigma)
+	}
+
+	// A failed implication: counterexample scoped by the touched set, no
+	// core.
+	resp = impliesResponse{}
+	if code := post(t, ts, "/implies", `{"constraint": "Store_SaleRegion", "provenance": true}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Implied || resp.Counterexample == "" {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Provenance == nil {
+		t.Fatal("failed implication missing touched set")
+	}
+	if resp.Core != nil {
+		t.Errorf("failed implication carried a core: %v", resp.Core)
+	}
+
+	// Provenance off: the body stays exactly as before this field existed.
+	resp = impliesResponse{}
+	if code := post(t, ts, "/implies", `{"constraint": "Store.Country"}`, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Provenance != nil || resp.Core != nil {
+		t.Errorf("provenance leaked into a plain implies response: %+v", resp)
+	}
+}

@@ -39,6 +39,11 @@ type serverMetrics struct {
 	searchBacktracks *obs.Histogram
 	slowSearches     *obs.Counter
 	tracesRecorded   *obs.Counter
+
+	explainRequests  *obs.Counter
+	explainProbes    *obs.Counter
+	explainCoreSize  *obs.Histogram
+	explainExhausted *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -85,6 +90,15 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Reasoning requests whose expansions exceeded the slow-search threshold."),
 		tracesRecorded: reg.Counter("dimsat_search_traces_recorded_total",
 			"Structured search traces recorded into the trace ring."),
+
+		explainRequests: reg.Counter("olapdim_explain_requests_total",
+			"Verdict-provenance requests served (GET /explain and provenance-enabled POST /implies)."),
+		explainProbes: reg.Counter("olapdim_explain_shrink_probes_total",
+			"Unsat-core deletion probes executed by explain requests."),
+		explainCoreSize: reg.Histogram("olapdim_explain_core_size",
+			"Minimal unsat-core sizes returned by explain requests (UNSAT verdicts only).", obs.EffortBuckets()),
+		explainExhausted: reg.Counter("olapdim_explain_budget_exhausted_total",
+			"Explain requests whose core shrinking stopped early on budget or deadline, returning a partial core."),
 	}
 }
 

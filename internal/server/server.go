@@ -31,7 +31,8 @@
 //	GET  /schema                         the schema in .dims syntax
 //	GET  /categories                     categories with satisfiability
 //	GET  /sat?category=Store             category satisfiability + witness
-//	POST /implies        {"constraint": "Store.Country"}
+//	GET  /explain?category=Store         verdict provenance: touched set + minimal unsat core
+//	POST /implies        {"constraint": "Store.Country", "provenance": true}
 //	POST /summarizable   {"target": "Country", "from": ["City"]}
 //	GET  /frozen?root=Store              frozen dimensions
 //	GET  /matrix                         single-source summarizability
@@ -64,7 +65,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"olapdim/internal/constraint"
 	"olapdim/internal/core"
+	"olapdim/internal/faults"
 	"olapdim/internal/jobs"
 	"olapdim/internal/obs"
 	"olapdim/internal/parser"
@@ -297,6 +300,7 @@ func NewWithConfig(ds *core.DimensionSchema, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("GET /categories", s.admit(s.handleCategories))
 	s.mux.HandleFunc("GET /sat", s.admit(s.handleSat))
+	s.mux.HandleFunc("GET /explain", s.admit(s.handleExplain))
 	s.mux.HandleFunc("POST /implies", s.admit(s.handleImplies))
 	s.mux.HandleFunc("POST /summarizable", s.admit(s.handleSummarizable))
 	s.mux.HandleFunc("GET /frozen", s.admit(s.handleFrozen))
@@ -536,7 +540,8 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 
 // writeReasoningErr maps engine errors to HTTP statuses: deadline and
 // budget exhaustion are service-side limits (504/503), a contained panic
-// is a structured 500 (the process keeps serving), a canceled request
+// or an injected engine fault is a structured 500 (the process keeps
+// serving), a canceled request
 // context means the client is gone, and anything else is a bad request
 // (unknown category, parse error).
 func (s *Server) writeReasoningErr(w http.ResponseWriter, err error) {
@@ -551,6 +556,11 @@ func (s *Server) writeReasoningErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusGatewayTimeout, "reasoning timed out: %v", err)
 	case errors.Is(err, core.ErrBudgetExceeded):
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, faults.ErrInjected):
+		// An injected engine fault (e.g. core.shrink) is the server's
+		// failure, never the client's: structured 500, process keeps
+		// serving.
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, context.Canceled):
 		// The client disconnected; nothing useful can be written.
 		writeErr(w, http.StatusServiceUnavailable, "request canceled")
@@ -662,14 +672,154 @@ func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// explainResponse is the GET /explain body: the satisfiability verdict
+// plus the evidence for it. SAT verdicts carry the witness and the
+// touched set; UNSAT verdicts additionally carry a minimal unsat core —
+// Σ indices whose subset is unsatisfiable as-is while dropping any single
+// member flips the verdict — with Core empty (not null) when the UNSAT
+// is structural and no constraint participates. Budget or deadline
+// exhaustion during shrinking answers a typed 503/504 like every other
+// reasoning endpoint, never a silently-unminimized 200.
+type explainResponse struct {
+	Category    string           `json:"category"`
+	Satisfiable bool             `json:"satisfiable"`
+	Witness     string           `json:"witness,omitempty"`
+	Provenance  *core.Provenance `json:"provenance,omitempty"`
+	// Core and CoreConstraints are the minimal unsat core as Σ indices and
+	// rendered constraints; null on SAT verdicts.
+	Core            []int    `json:"core"`
+	CoreConstraints []string `json:"coreConstraints,omitempty"`
+	Frontier        []string `json:"frontier,omitempty"`
+	// Probes and ProbeExpansions are the shrinking effort on top of the
+	// initial search.
+	Probes          int `json:"probes"`
+	ProbeExpansions int `json:"probeExpansions"`
+	Expansions      int `json:"expansions"`
+}
+
+// probeSpanObserver builds the ShrinkObserver that records one child span
+// per unsat-core deletion probe under parent, plus the probe counter. The
+// observer runs synchronously on the explain goroutine, so no locking.
+func (s *Server) probeSpanObserver(parent obs.SpanContext, record bool) func(core.ShrinkProbe) {
+	return func(p core.ShrinkProbe) {
+		s.met.explainProbes.Inc()
+		if !record {
+			return
+		}
+		sp := &obs.Span{
+			TraceID:    parent.TraceID,
+			SpanID:     obs.NewSpanID(),
+			ParentID:   parent.SpanID,
+			Name:       "server.explain.probe",
+			Kind:       "internal",
+			Start:      p.Start,
+			DurationMS: float64(p.Duration) / float64(time.Millisecond),
+			Status:     "ok",
+		}
+		if p.Err != nil {
+			sp.Status = "error"
+		}
+		sp.SetAttr("sigmaIndex", strconv.Itoa(p.Index))
+		sp.SetAttr("removed", strconv.FormatBool(p.Removed))
+		sp.SetAttr("expansions", strconv.Itoa(p.Stats.Expansions))
+		s.spans.Add(sp)
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	c := r.URL.Query().Get("category")
+	if c == "" {
+		writeErr(w, http.StatusBadRequest, "missing category parameter")
+		return
+	}
+	s.met.explainRequests.Inc()
+	rz := s.beginReasoning(r, "/explain")
+	rz.detail = "category=" + c
+	defer rz.finish()
+
+	// The explain phase is its own parent span, so a sampled trace shows
+	// server.request → server.explain → one server.explain.probe child per
+	// deletion probe, each timed by the engine's ShrinkProbe record.
+	record := rz.scOK && rz.sc.Sampled
+	var parentSpan *obs.Span
+	parentSC := rz.sc
+	if record {
+		parentSpan, parentSC = obs.StartSpan(rz.sc, "server.explain", "server")
+	}
+	opts := rz.opts
+	opts.ShrinkObserver = s.probeSpanObserver(parentSC, record)
+
+	ex, err := core.ExplainContext(rz.ctx, s.ds, c, opts)
+	if parentSpan != nil {
+		parentSpan.SetAttr("category", c)
+		if ex != nil {
+			parentSpan.SetAttr("probes", strconv.Itoa(ex.Probes))
+			parentSpan.SetAttr("coreSize", strconv.Itoa(len(ex.Core)))
+		}
+		st := "ok"
+		if err != nil {
+			st = "error"
+		}
+		parentSpan.Finish(st)
+		s.spans.Add(parentSpan)
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.explainExhausted.Inc()
+		}
+		s.writeReasoningErr(w, err)
+		return
+	}
+	resp := explainResponse{
+		Category:        c,
+		Satisfiable:     ex.Satisfiable,
+		Provenance:      ex.Provenance,
+		Frontier:        ex.Frontier,
+		Probes:          ex.Probes,
+		ProbeExpansions: ex.ProbeStats.Expansions,
+		Expansions:      rz.effort.Stats().Expansions,
+	}
+	if ex.Witness != nil {
+		resp.Witness = ex.Witness.String()
+	}
+	if !ex.Satisfiable {
+		resp.Core = ex.Core
+		if resp.Core == nil {
+			resp.Core = []int{}
+		}
+		for _, e := range ex.CoreExprs {
+			resp.CoreConstraints = append(resp.CoreConstraints, e.String())
+		}
+		s.met.explainCoreSize.Observe(float64(len(ex.Core)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type impliesRequest struct {
 	Constraint string `json:"constraint"`
+	// Provenance asks for verdict provenance: the touched set of the
+	// deciding Theorem 2 search, and — when the implication holds, i.e.
+	// the negation schema is UNSAT — a minimal unsat core over Σ ∪ {¬α}.
+	// Provenance-enabled requests bypass the shared verdict cache.
+	Provenance bool `json:"provenance"`
 }
 
 type impliesResponse struct {
 	Constraint     string `json:"constraint"`
 	Implied        bool   `json:"implied"`
 	Counterexample string `json:"counterexample,omitempty"`
+	// Provenance is the touched set of the deciding search (the Theorem 2
+	// negation run), present when the request asked for it. In the failed-
+	// implication case it scopes the counterexample: only the categories,
+	// edges and constraints listed were consulted in building it.
+	Provenance *core.Provenance `json:"provenance,omitempty"`
+	// Core and CoreConstraints carry the minimal unsat core over the
+	// negation schema Σ ∪ {¬α} when the implication holds and provenance
+	// was requested. Index len(Σ) denotes ¬α itself; its absence from the
+	// core means Σ alone is already unsatisfiable at the constraint's root
+	// (a vacuous implication).
+	Core            []int    `json:"core,omitempty"`
+	CoreConstraints []string `json:"coreConstraints,omitempty"`
 }
 
 func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
@@ -685,6 +835,10 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 	rz := s.beginReasoning(r, "/implies")
 	rz.detail = "constraint=" + alpha.String()
 	defer rz.finish()
+	if req.Provenance {
+		s.explainImplies(w, rz, alpha)
+		return
+	}
 	implied, res, err := core.ImpliesContext(rz.ctx, s.ds, alpha, rz.opts)
 	if err != nil {
 		s.writeReasoningErr(w, err)
@@ -693,6 +847,55 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 	resp := impliesResponse{Constraint: alpha.String(), Implied: implied}
 	if !implied && res.Witness != nil {
 		resp.Counterexample = res.Witness.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainImplies answers a provenance-enabled POST /implies: it runs the
+// Theorem 2 reduction explicitly and explains the negation schema's
+// verdict, so the response carries the touched set and — when the
+// implication holds — a minimal unsat core over Σ ∪ {¬α}.
+func (s *Server) explainImplies(w http.ResponseWriter, rz *reasoning, alpha constraint.Expr) {
+	s.met.explainRequests.Inc()
+	neg, root, verdict, decided, err := core.ImpliesReduction(s.ds, alpha)
+	if err != nil {
+		s.writeReasoningErr(w, err)
+		return
+	}
+	if decided {
+		writeJSON(w, http.StatusOK, impliesResponse{Constraint: alpha.String(), Implied: verdict})
+		return
+	}
+	opts := rz.opts
+	if opts.Compiled != nil {
+		// Derive the compiled negation schema like ImpliesContext does; a
+		// derive failure falls back to the interpreted engine.
+		if dcs, derr := opts.Compiled.Derive(constraint.Not{X: alpha}); derr == nil {
+			opts.Compiled = dcs
+			neg = dcs.Source()
+		} else {
+			opts.Compiled = nil
+		}
+	}
+	opts.ShrinkObserver = s.probeSpanObserver(rz.sc, rz.scOK && rz.sc.Sampled)
+	ex, err := core.ExplainContext(rz.ctx, neg, root, opts)
+	if err != nil {
+		if errors.Is(err, core.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.explainExhausted.Inc()
+		}
+		s.writeReasoningErr(w, err)
+		return
+	}
+	resp := impliesResponse{Constraint: alpha.String(), Implied: !ex.Satisfiable, Provenance: ex.Provenance}
+	if ex.Satisfiable && ex.Witness != nil {
+		resp.Counterexample = ex.Witness.String()
+	}
+	if !ex.Satisfiable {
+		resp.Core = ex.Core
+		for _, e := range ex.CoreExprs {
+			resp.CoreConstraints = append(resp.CoreConstraints, e.String())
+		}
+		s.met.explainCoreSize.Observe(float64(len(ex.Core)))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

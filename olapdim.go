@@ -116,6 +116,21 @@ type Result = core.Result
 // Stats counts DIMSAT search effort.
 type Stats = core.Stats
 
+// Provenance is the touched set of a DIMSAT run — the categories, edges
+// and Σ indices the search actually consulted — collected into
+// Result.Provenance when Options.Provenance is set. Provenance-enabled
+// runs bypass the shared cache, like traced runs.
+type Provenance = core.Provenance
+
+// Explanation is the verdict provenance assembled by Explain: the
+// outcome plus witness or minimal unsat core, touched set, frontier and
+// shrink-probe effort.
+type Explanation = core.Explanation
+
+// ShrinkProbe describes one unsat-core deletion probe to
+// Options.ShrinkObserver.
+type ShrinkProbe = core.ShrinkProbe
+
 // SatCache memoizes satisfiability results across calls and goroutines,
 // keyed by (schema fingerprint, root category). Install one in
 // Options.Cache to solve repeated roots once.
@@ -185,6 +200,7 @@ const (
 	SiteCacheLookup  = faults.SiteCacheLookup
 	SitePoolTask     = faults.SitePoolTask
 	SiteDimsatExpand = faults.SiteExpand
+	SiteCoreShrink   = faults.SiteCoreShrink
 )
 
 // NewFaultInjector builds a deterministic fault injector (seed 1).
@@ -343,6 +359,26 @@ func Implies(ds *DimensionSchema, alpha Constraint, opts Options) (bool, Result,
 // ImpliesContext is Implies under a context and the Options budget.
 func ImpliesContext(ctx context.Context, ds *DimensionSchema, alpha Constraint, opts Options) (bool, Result, error) {
 	return core.ImpliesContext(ctx, ds, alpha, opts)
+}
+
+// Explain explains the satisfiability verdict for a category: the
+// touched set of the deciding run plus, on UNSAT, a minimal unsat core —
+// a smallest-by-deletion subset of Σ still forcing the verdict, verified
+// so that removing any single member makes the category satisfiable —
+// and the frontier categories where every branch died. The schema is
+// compiled on first use, like Satisfiable, so shrink probes reuse the
+// compiled graph through its Derive cache.
+func Explain(ds *DimensionSchema, category string, opts Options) (*Explanation, error) {
+	ds, opts = withAutoCompile(ds, opts)
+	return core.Explain(ds, category, opts)
+}
+
+// ExplainContext is Explain under a context and the Options budget,
+// applied to the whole call (initial run plus shrink probes): an
+// exhausted budget or deadline returns the current working set as a
+// partial core together with the typed error.
+func ExplainContext(ctx context.Context, ds *DimensionSchema, category string, opts Options) (*Explanation, error) {
+	return core.ExplainContext(ctx, ds, category, opts)
 }
 
 // Summarizable tests whether the cube view for target can be computed from

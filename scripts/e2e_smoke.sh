@@ -58,6 +58,12 @@ TRACE_ID="$(tr -d '\r' <"$TMP/headers" | awk -F': ' 'tolower($1) == "x-trace-id"
 [ -n "$TRACE_ID" ] || fail "no X-Trace-ID response header"
 echo "e2e_smoke: request id $REQ_ID, trace id $TRACE_ID"
 
+echo "e2e_smoke: GET /explain"
+curl -fsS "$BASE/explain?category=Store" >"$TMP/explain.json" \
+    || fail "/explain request failed"
+grep -q '"satisfiable":true' "$TMP/explain.json" || fail "/explain did not answer satisfiable"
+grep -q '"provenance"' "$TMP/explain.json" || fail "/explain carried no provenance"
+
 echo "e2e_smoke: GET /metrics"
 curl -fsS "$BASE/metrics" >"$TMP/metrics" || fail "/metrics request failed"
 for family in \
@@ -67,6 +73,10 @@ for family in \
     dimsat_pool_tasks_total \
     dimsat_search_expansions_bucket \
     dimsat_slow_searches_total \
+    olapdim_explain_requests_total \
+    olapdim_explain_shrink_probes_total \
+    olapdim_explain_core_size_bucket \
+    olapdim_explain_budget_exhausted_total \
     dimsat_uptime_seconds; do
     grep -q "^$family" "$TMP/metrics" || fail "/metrics is missing $family"
 done
@@ -94,7 +104,7 @@ echo "e2e_smoke: dimsatload against the live server"
 # runs without -jobs-dir) must finish error-free and produce a valid
 # run record with client percentiles and server effort deltas.
 "$TMP/dimsatload" -seed 7 -target "$BASE" -schema "$SCHEMA" \
-    -mix "sat=4,implies=2,summarizable=2,sources=1" \
+    -mix "sat=4,implies=2,summarizable=2,sources=1,explain=1" \
     -duration 2s -warmup 200ms -out "$TMP/BENCH_e2e.json" \
     2>"$TMP/dimsatload.log" \
     || { sed 's/^/e2e_smoke:   dimsatload: /' "$TMP/dimsatload.log" >&2; \
